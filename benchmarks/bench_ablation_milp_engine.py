@@ -1,0 +1,31 @@
+"""Ablation: MILP engine — pure-Python branch & bound vs HiGHS branch & cut.
+
+DESIGN.md substitutes Gurobi with two engines behind the same model
+layer: scipy's HiGHS (`engine="scipy"`, the default) and a from-scratch
+best-first branch & bound over HiGHS LP relaxations (`engine="bnb"`).
+Both are exact; this ablation quantifies the gap on the Figure 5a
+workload.  Expected shape: HiGHS wins by a wide constant factor, and
+the gap widens with N — justifying the default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counterfactual import closest_counterfactual
+from repro.datasets import random_boolean_dataset
+
+
+@pytest.mark.parametrize("engine", ["scipy", "bnb"])
+@pytest.mark.parametrize("size", [10, 20])
+def test_milp_engine(benchmark, rng, engine, size):
+    data = random_boolean_dataset(rng, 15, size)
+    x = rng.integers(0, 2, size=15).astype(float)
+
+    def task():
+        return closest_counterfactual(
+            data, 1, "hamming", x, method="hamming-milp", engine=engine
+        )
+
+    result = benchmark.pedantic(task, rounds=2, iterations=1, warmup_rounds=0)
+    assert result.found

@@ -1,0 +1,31 @@
+"""Ablation: linear vs binary search over the SAT distance bound.
+
+Section 9.2 closes with "by doing a binary search over the parameter k
+(or a linear search if the answer is expected to be small) we obtain a
+closest counterfactual".  This ablation measures both strategies on the
+random-boolean workload, where optimal counterfactual distances are
+small — the regime where linear search wins by solving fewer (and
+easier, mostly-SAT) instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.counterfactual import closest_counterfactual
+from repro.datasets import random_boolean_dataset
+
+
+@pytest.mark.parametrize("strategy", ["linear", "binary"])
+@pytest.mark.parametrize("n", [20, 40])
+def test_sat_bound_search_strategy(benchmark, rng, strategy, n):
+    data = random_boolean_dataset(rng, n, 30)
+    x = rng.integers(0, 2, size=n).astype(float)
+
+    def task():
+        return closest_counterfactual(
+            data, 1, "hamming", x, method="hamming-sat", strategy=strategy
+        )
+
+    result = benchmark.pedantic(task, rounds=2, iterations=1, warmup_rounds=0)
+    assert result.found

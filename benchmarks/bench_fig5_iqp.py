@@ -1,0 +1,35 @@
+"""Figure 5a: IQP (linearized MILP) runtimes for Hamming counterfactuals.
+
+Paper workload: uniformly random {0,1}^n points, Bernoulli(1/2) labels,
+closest counterfactual for a random query via the IQP formulation
+(Gurobi in the paper, our linearized MILP on HiGHS here), sweeping
+n in 50..350 and N in 500..2000.  Scaled grid: n in {20..80},
+N in {40, 80, 120}.  Expected shape (as in the paper): runtime grows
+mildly in n and steeply in N (the model has |S+| x |S-| comparison
+constraints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.counterfactual import closest_counterfactual
+from repro.datasets import random_boolean_dataset
+
+DIMENSIONS = [20, 40, 60, 80]
+SIZES = [40, 80, 120]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("n", DIMENSIONS)
+def test_fig5a_iqp_counterfactual(benchmark, rng, n, size):
+    data = random_boolean_dataset(rng, n, size)
+    x = rng.integers(0, 2, size=n).astype(float)
+
+    def task():
+        return closest_counterfactual(data, 1, "hamming", x, method="hamming-milp")
+
+    result = benchmark.pedantic(task, rounds=2, iterations=1, warmup_rounds=0)
+    assert result.found
+    assert result.distance >= 1

@@ -1,0 +1,35 @@
+"""Figure 6a: minimal sufficient reason (l1) runtimes on digit images.
+
+Paper workload: MNIST rescaled to side lengths 12..28, training sizes
+N in 250..1000, minimal sufficient reason under l1 via the Proposition 4
+checker inside the Proposition 2 greedy, with FAISS for the NN queries.
+Here: synthetic digit images (4 vs 9), sides {6, 8, 10}, N in {16, 24,
+32}, brute-force numpy NN.  Expected shape: steep growth in the side
+length (the greedy performs one Check-SR per pixel, each scanning the
+dataset) and linear-ish growth in N — matching the paper's Figure 6a.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abductive import minimal_sufficient_reason
+from repro.datasets import DigitImages
+
+SIDES = [6, 8, 10]
+SIZES = [16, 24, 32]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("side", SIDES)
+def test_fig6a_minimal_sr_l1(benchmark, rng, side, size):
+    images = DigitImages.generate(rng, digits=(4, 9), count_per_digit=size // 2, side=side)
+    data = images.to_dataset(positive_digit=4)
+    query = DigitImages.generate(rng, digits=(4,), count_per_digit=1, side=side)
+    x = query.flattened()[0]
+
+    def task():
+        return minimal_sufficient_reason(data, 1, "l1", x)
+
+    X = benchmark.pedantic(task, rounds=2, iterations=1, warmup_rounds=0)
+    assert len(X) <= side * side

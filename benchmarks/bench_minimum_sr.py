@@ -1,0 +1,32 @@
+"""Extension experiment: exact Minimum-SR pipelines (MILP vs SAT vs brute).
+
+The paper's experiments stop at *minimal* sufficient reasons (the
+polynomial case); this bench extends Section 9 to the NP-complete
+*minimum* problem on the discrete k = 1 cell, comparing the two exact
+encodings of `repro.abductive.minimum` against the brute-force
+baseline.  Expected shape: brute force explodes with n while both
+solver pipelines scale; MILP leads SAT for the same engine-constant
+reasons as in Figure 5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abductive import minimum_sufficient_reason
+from repro.datasets import random_boolean_dataset
+
+GRID = [(8, 12), (12, 16)]
+
+
+@pytest.mark.parametrize("method", ["milp", "sat", "brute"])
+@pytest.mark.parametrize("n,size", GRID, ids=[f"n{n}-N{s}" for n, s in GRID])
+def test_minimum_sr_pipeline(benchmark, rng, method, n, size):
+    data = random_boolean_dataset(rng, n, size)
+    x = rng.integers(0, 2, size=n).astype(float)
+
+    def task():
+        return minimum_sufficient_reason(data, 1, "hamming", x, method=method)
+
+    result = benchmark.pedantic(task, rounds=2, iterations=1, warmup_rounds=0)
+    assert result.size <= n

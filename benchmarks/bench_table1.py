@@ -1,0 +1,146 @@
+"""Table 1: one benchmark per cell of the complexity landscape.
+
+Table 1 is a complexity summary, not a runtime table, so it is
+"regenerated" in two parts: ``repro.complexity.render_table()`` prints
+the table itself (checked against the paper in the test suite), and the
+benchmarks here give each cell an empirical runtime footprint —
+polynomial cells run their polynomial algorithm at moderate size, hard
+cells run the practical solver (MILP/SAT/brute) at small size.  The
+qualitative expectation: the P-cell benches stay flat-ish as inputs
+grow, while the hard-cell benches are the ones needing solver engines
+at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abductive import (
+    check_sufficient_reason,
+    minimal_sufficient_reason,
+    minimum_sufficient_reason,
+)
+from repro.counterfactual import closest_counterfactual
+from repro.datasets import gaussian_blobs, random_boolean_dataset
+
+
+def _continuous(rng, n, per_class):
+    return gaussian_blobs(rng, n, per_class, separation=2.0)
+
+
+# -- Counterfactual row ------------------------------------------------------
+
+
+@pytest.mark.parametrize("k", [1, 3])
+def test_cell_cf_l2_polynomial(benchmark, rng, k):
+    # n^O(k) witness pairs: keep the k = 3 instance small so the cell
+    # stays a milliseconds-scale data point rather than a stress test.
+    per_class = 30 if k == 1 else 6
+    data = _continuous(rng, 12, per_class)
+    x = rng.normal(size=12)
+    result = benchmark.pedantic(
+        lambda: closest_counterfactual(data, k, "l2", x),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert result.found
+
+
+def test_cell_cf_l1_npc_milp(benchmark, rng):
+    data = _continuous(rng, 8, 8)
+    x = rng.normal(size=8)
+    result = benchmark(lambda: closest_counterfactual(data, 1, "l1", x))
+    assert result.found
+
+
+def test_cell_cf_hamming_npc_milp(benchmark, rng):
+    data = random_boolean_dataset(rng, 30, 40)
+    x = rng.integers(0, 2, size=30).astype(float)
+    result = benchmark(
+        lambda: closest_counterfactual(data, 1, "hamming", x, method="hamming-milp")
+    )
+    assert result.found
+
+
+# -- Check-SR row ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("k", [1, 3])
+def test_cell_check_sr_l2_polynomial(benchmark, rng, k):
+    data = _continuous(rng, 10, 12)
+    x = rng.normal(size=10)
+    X = set(range(5))
+    benchmark(lambda: check_sufficient_reason(data, k, "l2", x, X))
+
+
+def test_cell_check_sr_l1_k1_polynomial(benchmark, rng):
+    data = _continuous(rng, 40, 100)
+    x = rng.normal(size=40)
+    X = set(range(20))
+    benchmark(lambda: check_sufficient_reason(data, 1, "l1", x, X))
+
+
+def test_cell_check_sr_hamming_k1_polynomial(benchmark, rng):
+    data = random_boolean_dataset(rng, 40, 200)
+    x = rng.integers(0, 2, size=40).astype(float)
+    X = set(range(20))
+    benchmark(lambda: check_sufficient_reason(data, 1, "hamming", x, X))
+
+
+def test_cell_check_sr_hamming_k3_conp_brute(benchmark, rng):
+    # The coNP-complete cell: exact answer by hypercube enumeration.
+    data = random_boolean_dataset(rng, 12, 14)
+    x = rng.integers(0, 2, size=12).astype(float)
+    X = set(range(8))  # 2^4 free coordinates
+    benchmark(lambda: check_sufficient_reason(data, 3, "hamming", x, X, method="brute"))
+
+
+# -- Minimum-SR row ----------------------------------------------------------
+
+
+def test_cell_minimum_sr_hamming_k1_npc_milp(benchmark, rng):
+    data = random_boolean_dataset(rng, 14, 16)
+    x = rng.integers(0, 2, size=14).astype(float)
+    result = benchmark(
+        lambda: minimum_sufficient_reason(data, 1, "hamming", x, method="milp")
+    )
+    assert result.size <= 14
+
+
+def test_cell_minimum_sr_l2_npc_brute(benchmark, rng):
+    data = _continuous(rng, 8, 6)
+    x = rng.normal(size=8)
+    result = benchmark(
+        lambda: minimum_sufficient_reason(data, 1, "l2", x, method="brute")
+    )
+    assert result.size <= 8
+
+
+def test_cell_minimum_sr_hamming_k3_sigma2p_brute(benchmark, rng):
+    # The Sigma2p-complete cell: subset enumeration over a brute checker.
+    data = random_boolean_dataset(rng, 8, 10)
+    x = rng.integers(0, 2, size=8).astype(float)
+    result = benchmark(
+        lambda: minimum_sufficient_reason(data, 3, "hamming", x, method="brute")
+    )
+    assert result.size <= 8
+
+
+# -- Minimal-SR column (Proposition 2 greedy over each P checker) ------------
+
+
+@pytest.mark.parametrize(
+    "metric, k",
+    [("l2", 1), ("l2", 3), ("l1", 1), ("hamming", 1)],
+)
+def test_cell_minimal_sr_polynomial(benchmark, rng, metric, k):
+    if metric == "hamming":
+        data = random_boolean_dataset(rng, 16, 30)
+        x = rng.integers(0, 2, size=16).astype(float)
+    else:
+        data = _continuous(rng, 8, 10)
+        x = rng.normal(size=8)
+    X = benchmark(lambda: minimal_sufficient_reason(data, k, metric, x))
+    assert len(X) <= data.dimension

@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures.
+
+The paper's figures sweep feature count n against training-set size N.
+The grids here are scaled down from the paper's Gurobi-on-M1 sizes to
+pure-Python-friendly ones; the *shape* of each curve (growth in n,
+growth in N, which pipeline wins) is what the suite reproduces.  See
+EXPERIMENTS.md for paper-vs-measured notes per figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20250601)

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so
+that ``pip install -e .`` works on offline machines whose environments
+lack the ``wheel`` package required by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

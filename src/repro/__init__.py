@@ -1,0 +1,91 @@
+"""repro — abductive and counterfactual explanations for k-NN classifiers.
+
+A full reproduction of *"Explaining k-Nearest Neighbors: Abductive and
+Counterfactual Explanations"* (PODS 2025): the exact optimistic k-NN
+semantics, polynomial-time explanation algorithms for every tractable
+cell of the paper's Table 1, SAT/MILP pipelines for the intractable
+cells, and executable versions of every hardness reduction.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import Dataset, KNNClassifier
+>>> data = Dataset([[0, 0], [1, 1]], [[3, 3], [4, 4]])
+>>> clf = KNNClassifier(data, k=1, metric="l2")
+>>> clf.classify([0.5, 0.5])
+1
+"""
+
+from __future__ import annotations
+
+from .exceptions import (
+    DimensionMismatchError,
+    InfeasibleError,
+    ReproError,
+    ResourceLimitError,
+    SolverError,
+    UnboundedError,
+    UnsupportedSettingError,
+    ValidationError,
+)
+from .abductive import (
+    CheckResult,
+    check_sufficient_reason,
+    is_minimal_sufficient_reason,
+    minimal_sufficient_reason,
+    minimum_sufficient_reason,
+)
+from .counterfactual import (
+    CounterfactualResult,
+    closest_counterfactual,
+    exists_counterfactual,
+)
+from .knn import Dataset, KNNClassifier, Witness, find_witness, verify_witness
+from .metrics import (
+    HammingMetric,
+    L1Metric,
+    L2Metric,
+    LInfMetric,
+    LpMetric,
+    Metric,
+    get_metric,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # knn
+    "Dataset",
+    "KNNClassifier",
+    "Witness",
+    "find_witness",
+    "verify_witness",
+    # abductive explanations
+    "CheckResult",
+    "check_sufficient_reason",
+    "minimal_sufficient_reason",
+    "is_minimal_sufficient_reason",
+    "minimum_sufficient_reason",
+    # counterfactual explanations
+    "CounterfactualResult",
+    "closest_counterfactual",
+    "exists_counterfactual",
+    # metrics
+    "Metric",
+    "LpMetric",
+    "L1Metric",
+    "L2Metric",
+    "LInfMetric",
+    "HammingMetric",
+    "get_metric",
+    # exceptions
+    "ReproError",
+    "ValidationError",
+    "DimensionMismatchError",
+    "UnsupportedSettingError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "ResourceLimitError",
+]

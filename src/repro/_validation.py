@@ -1,0 +1,112 @@
+"""Shared input-validation helpers.
+
+These helpers normalize user-facing inputs into canonical numpy forms and
+raise :class:`~repro.exceptions.ValidationError` subclasses with precise
+messages.  Every public entry point of the library funnels its inputs
+through this module so the rest of the code can assume clean data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import DimensionMismatchError, ValidationError
+
+
+def as_vector(x, *, name: str = "x") -> np.ndarray:
+    """Coerce *x* into a 1-D float64 array, rejecting NaN/inf entries."""
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be a 1-D vector, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    return arr
+
+
+def as_matrix(points, *, name: str = "points", dimension: int | None = None) -> np.ndarray:
+    """Coerce *points* into a 2-D float64 array of shape (m, n).
+
+    An empty collection yields a ``(0, dimension)`` array when *dimension*
+    is given, else a ``(0, 0)`` array.
+    """
+    arr = np.asarray(points, dtype=np.float64)
+    if arr.size == 0:
+        n = dimension if dimension is not None else 0
+        return np.empty((0, n), dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be a 2-D array of row vectors, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite entries")
+    if dimension is not None and arr.shape[1] != dimension:
+        raise DimensionMismatchError(
+            f"{name} has dimension {arr.shape[1]}, expected {dimension}"
+        )
+    return arr
+
+
+def as_boolean_matrix(points, *, name: str = "points", dimension: int | None = None) -> np.ndarray:
+    """Coerce *points* into a 2-D 0/1 float matrix, rejecting other values."""
+    arr = as_matrix(points, name=name, dimension=dimension)
+    if arr.size and not np.all((arr == 0.0) | (arr == 1.0)):
+        raise ValidationError(f"{name} must contain only 0/1 entries for the discrete setting")
+    return arr
+
+
+def as_boolean_vector(x, *, name: str = "x") -> np.ndarray:
+    """Coerce *x* into a 1-D 0/1 float vector."""
+    arr = as_vector(x, name=name)
+    if arr.size and not np.all((arr == 0.0) | (arr == 1.0)):
+        raise ValidationError(f"{name} must contain only 0/1 entries for the discrete setting")
+    return arr
+
+
+def as_index_set(X: Iterable[int], *, dimension: int, name: str = "X") -> frozenset[int]:
+    """Validate a set of 0-based component indices against *dimension*."""
+    try:
+        indices = frozenset(int(i) for i in X)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be an iterable of integers") from exc
+    for i in indices:
+        if not 0 <= i < dimension:
+            raise ValidationError(
+                f"{name} contains index {i}, outside the valid range [0, {dimension})"
+            )
+    return indices
+
+
+def check_odd_k(k: int, *, name: str = "k") -> int:
+    """Validate that *k* is a positive odd integer (the paper's assumption)."""
+    if not isinstance(k, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {type(k).__name__}")
+    k = int(k)
+    if k < 1 or k % 2 == 0:
+        raise ValidationError(
+            f"{name} must be a positive odd integer (ties are only benign for odd k); got {k}"
+        )
+    return k
+
+
+def check_positive(value: float, *, name: str) -> float:
+    """Validate a strictly positive finite scalar."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ValidationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_multiplicities(mult: Sequence[int] | None, m: int, *, name: str) -> np.ndarray:
+    """Validate a multiplicity vector for *m* points (default: all ones)."""
+    if mult is None:
+        return np.ones(m, dtype=np.int64)
+    arr = np.asarray(mult, dtype=np.int64)
+    if arr.shape != (m,):
+        raise ValidationError(f"{name} must have shape ({m},), got {arr.shape}")
+    if np.any(arr < 1):
+        raise ValidationError(f"{name} entries must be >= 1")
+    return arr

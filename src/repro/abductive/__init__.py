@@ -1,0 +1,38 @@
+"""Abductive explanations (sufficient reasons) for k-NN classifiers.
+
+A set ``X`` of components is a *sufficient reason* for ``x`` when every
+input agreeing with ``x`` on ``X`` receives the same classification
+(Section 3.1).  The complexity of working with sufficient reasons
+depends sharply on the metric and on k (paper's Table 1):
+
+=====================  ==========  ===================  =====================
+problem                (R, D_2)    (R, D_1)             ({0,1}, D_H)
+=====================  ==========  ===================  =====================
+Check-SR               P, any k    P (k=1); coNP-c k>1  P (k=1); coNP-c k>1
+Minimal-SR             P, any k    P (k=1); hard k>1    P (k=1); hard k>1
+Minimum-SR             NP-c        NP-c (k=1)           NP-c (k=1); Sigma2p k>1
+=====================  ==========  ===================  =====================
+
+This package implements the polynomial algorithms for every tractable
+cell (Propositions 3, 4 and 6 + the greedy of Proposition 2), exact
+exponential baselines for the hard cells, and practical MILP/SAT
+pipelines for Minimum-SR in the discrete setting.
+"""
+
+from __future__ import annotations
+
+from .approximate import ApproximateMSRResult, approximate_minimum_sufficient_reason
+from .check import CheckResult, check_sufficient_reason
+from .minimal import is_minimal_sufficient_reason, minimal_sufficient_reason
+from .minimum import MinimumSRResult, minimum_sufficient_reason
+
+__all__ = [
+    "CheckResult",
+    "check_sufficient_reason",
+    "minimal_sufficient_reason",
+    "is_minimal_sufficient_reason",
+    "MinimumSRResult",
+    "minimum_sufficient_reason",
+    "ApproximateMSRResult",
+    "approximate_minimum_sufficient_reason",
+]

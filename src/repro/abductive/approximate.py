@@ -1,0 +1,99 @@
+"""Approximation heuristics for Minimum Sufficient Reason.
+
+The paper's future-work list asks whether the NP-hard minimum-SR
+problems admit polynomial approximation algorithms producing reasons
+"reasonably close to the minimum".  This module contributes the
+empirical side of that question: polynomial-time upper-bound heuristics
+whose quality can be measured against the exact pipelines.
+
+The core device is the Proposition-2 greedy, whose *output depends on
+the removal order* (Example 2 of the paper).  We therefore search over
+orders:
+
+* an **impact heuristic** removes first the components where the query
+  already looks like the opposite class (they are least likely to be
+  load-bearing);
+* **random restarts** re-run the greedy under shuffled orders and keep
+  the smallest sufficient reason found.
+
+Every candidate the search returns is a genuine (minimal) sufficient
+reason; only its minimality *in cardinality* is approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_vector, check_odd_k
+from ..knn import Dataset, KNNClassifier
+from ..metrics import get_metric
+from .minimal import minimal_sufficient_reason
+
+
+@dataclass(frozen=True)
+class ApproximateMSRResult:
+    """Best sufficient reason found and the search effort spent."""
+
+    X: frozenset[int]
+    size: int
+    restarts_used: int
+
+
+def impact_order(dataset: Dataset, k: int, metric, x) -> list[int]:
+    """Removal order for the greedy: least label-critical features first.
+
+    Features where x agrees with the average opposite-class value are
+    unlikely to be needed to separate x from that class, so they are
+    tried for removal first; features where x disagrees most are kept
+    for last (and hence tend to remain in the reason).
+    """
+    metric = get_metric(metric)
+    xv = as_vector(x, name="x")
+    clf = KNNClassifier(dataset, k=k, metric=metric)
+    label = clf.classify(xv)
+    expanded = dataset.expanded()
+    opposite = expanded.negatives if label == 1 else expanded.positives
+    if opposite.shape[0] == 0:
+        return list(range(dataset.dimension))
+    disagreement = np.abs(opposite - xv).mean(axis=0)
+    # Stable sort: ascending disagreement, index as tiebreak.
+    return [int(i) for i in np.argsort(disagreement, kind="stable")]
+
+
+def approximate_minimum_sufficient_reason(
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    *,
+    restarts: int = 8,
+    seed: int | None = 0,
+    method: str = "auto",
+) -> ApproximateMSRResult:
+    """Polynomial-time upper bound on the minimum sufficient reason.
+
+    Runs the greedy under the impact order, then under ``restarts``
+    shuffled orders, keeping the smallest result.  Each greedy run costs
+    ``n + |X|`` sufficiency checks, so the whole search stays polynomial
+    whenever checking is (Table 1's P cells).
+    """
+    check_odd_k(k)
+    xv = as_vector(x, name="x")
+    rng = np.random.default_rng(seed)
+    best = minimal_sufficient_reason(
+        dataset, k, metric, xv, order=impact_order(dataset, k, metric, xv), method=method
+    )
+    used = 0
+    n = dataset.dimension
+    for used in range(1, restarts + 1):
+        if len(best) <= 1:
+            break  # cannot do better than a singleton (or empty) reason
+        order = list(rng.permutation(n))
+        candidate = minimal_sufficient_reason(
+            dataset, k, metric, xv, order=order, method=method
+        )
+        if len(candidate) < len(best):
+            best = candidate
+    return ApproximateMSRResult(X=best, size=len(best), restarts_used=used)

@@ -1,0 +1,196 @@
+"""``k-Check Sufficient Reason``: is ``X`` a sufficient reason for ``x``?
+
+Implements every polynomial-time checker in the paper plus an
+exhaustive fallback:
+
+* ``l2``, any fixed k — Proposition 3: intersect the affine subspace
+  ``U(X, x)`` with each Proposition-1 polyhedron of the opposite label;
+  ``X`` is sufficient iff every intersection is empty (an LP each, with
+  the strict-system reduction for label-0 pieces).
+* ``l1``, k = 1 — Proposition 4: only the ``|S_opp|`` candidate points
+  obtained by copying the free coordinates from an opposite-class point
+  need to be tested, by the triangle-inequality maximization argument.
+* ``hamming``, k = 1 — Proposition 6: same candidate-set idea with the
+  projections ``y_X``.
+* ``brute`` — exhaustive enumeration of the free coordinates (discrete
+  setting only); exponential, used as the oracle for the coNP-hard
+  cells (k >= 3 under l1/Hamming) and in tests.
+
+Each checker returns a :class:`CheckResult` carrying a *counterexample*
+(an input that agrees with x on X but is classified differently) when
+the answer is negative, so callers can independently verify the verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from .._validation import as_index_set, as_vector, check_odd_k
+from ..exceptions import UnsupportedSettingError, ValidationError
+from ..geometry import AffineSubspace, decision_region_polyhedra
+from ..knn import Dataset, KNNClassifier
+from ..metrics import get_metric
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict of a sufficient-reason check.
+
+    ``counterexample`` is None when ``is_sufficient`` is True; otherwise
+    it is a vector that agrees with the query on ``X`` yet gets the
+    opposite classification.
+    """
+
+    is_sufficient: bool
+    counterexample: np.ndarray | None = None
+
+    def __bool__(self) -> bool:
+        return self.is_sufficient
+
+
+def check_sufficient_reason(
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    X,
+    *,
+    method: str = "auto",
+) -> CheckResult:
+    """Decide whether *X* is a sufficient reason for *x* w.r.t. ``f^k``.
+
+    ``method`` selects the algorithm: ``"auto"`` picks the paper's
+    polynomial algorithm for the (metric, k) cell and raises
+    :class:`UnsupportedSettingError` on intractable cells; ``"l2"``,
+    ``"l1-k1"``, ``"hamming-k1"`` and ``"brute"`` force a specific one.
+    """
+    k = check_odd_k(k)
+    metric = get_metric(metric)
+    xv = as_vector(x, name="x")
+    if xv.shape[0] != dataset.dimension:
+        raise ValidationError(
+            f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
+        )
+    X = as_index_set(X, dimension=dataset.dimension, name="X")
+    if method == "auto":
+        if metric.name == "l2":
+            method = "l2"
+        elif metric.name == "l1" and k == 1:
+            method = "l1-k1"
+        elif metric.name == "hamming" and k == 1:
+            method = "hamming-k1"
+        elif metric.is_discrete:
+            method = "brute"  # coNP-hard cell: exact exponential fallback
+        else:
+            raise UnsupportedSettingError(
+                f"Check-SR({metric.name}, k={k}) has no polynomial algorithm "
+                "(Theorem 5); no exact fallback exists for continuous metrics"
+            )
+    if method == "l2":
+        if metric.name != "l2":
+            raise ValidationError("method 'l2' requires the l2 metric")
+        return _check_l2(dataset, k, xv, X)
+    if method == "l1-k1":
+        if metric.name != "l1" or k != 1:
+            raise ValidationError("method 'l1-k1' requires the l1 metric and k=1")
+        return _check_projection_candidates(dataset, k, metric, xv, X)
+    if method == "hamming-k1":
+        if metric.name != "hamming" or k != 1:
+            raise ValidationError("method 'hamming-k1' requires Hamming and k=1")
+        return _check_projection_candidates(dataset, k, metric, xv, X)
+    if method == "brute":
+        if not metric.is_discrete:
+            raise UnsupportedSettingError(
+                "brute-force Check-SR only enumerates the Boolean hypercube"
+            )
+        return _check_brute_discrete(dataset, k, metric, xv, X)
+    raise ValidationError(f"unknown method {method!r}")
+
+
+# ---------------------------------------------------------------------------
+# Proposition 3: l2, any fixed k
+# ---------------------------------------------------------------------------
+
+
+def _check_l2(dataset: Dataset, k: int, x: np.ndarray, X: frozenset[int]) -> CheckResult:
+    from ..geometry.polyhedron import Polyhedron
+    from ..geometry.halfspace import Halfspace
+
+    clf = KNNClassifier(dataset, k=k, metric="l2")
+    label = clf.classify(x)
+    subspace = AffineSubspace(x, X)
+    A_eq, b_eq = subspace.equality_system()
+    eq = (A_eq, b_eq) if A_eq.shape[0] else (None, None)
+    for piece in decision_region_polyhedra(dataset, k, 1 - label):
+        # Prefer a counterexample strictly inside the piece: boundary
+        # points are mathematically valid for closed (label-1) pieces
+        # but sit on exact classification ties, where float arithmetic
+        # can dispute them.  Fall back to the boundary point when the
+        # piece has an empty interior within the subspace.
+        if not piece.has_strict:
+            interior = Polyhedron(
+                piece.dimension,
+                [Halfspace(w, b, strict=True) for w, b in zip(piece.A, piece.b)],
+            ).find_point(*eq)
+            if interior is not None:
+                return CheckResult(False, counterexample=interior)
+        point = piece.find_point(*eq)
+        if point is not None:
+            return CheckResult(False, counterexample=point)
+    return CheckResult(True)
+
+
+# ---------------------------------------------------------------------------
+# Propositions 4 and 6: candidate projections, k = 1
+# ---------------------------------------------------------------------------
+
+
+def _check_projection_candidates(
+    dataset: Dataset, k: int, metric, x: np.ndarray, X: frozenset[int]
+) -> CheckResult:
+    """Shared shape of the l1 and Hamming k=1 checkers.
+
+    If ``f(x) = label``, a counterexample exists iff one of the
+    projections ``y_X`` (x on X, an opposite-class point elsewhere)
+    flips the classifier — the triangle-inequality argument of
+    Proposition 4 (l1) and the flipping argument of Proposition 6
+    (Hamming).
+    """
+    clf = KNNClassifier(dataset, k=1, metric=metric)
+    label = clf.classify(x)
+    expanded = dataset.expanded()
+    opposite = expanded.negatives if label == 1 else expanded.positives
+    fixed = sorted(X)
+    for source in opposite:
+        candidate = source.copy()
+        candidate[fixed] = x[fixed]
+        if clf.classify(candidate) != label:
+            return CheckResult(False, counterexample=candidate)
+    return CheckResult(True)
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive fallback over {0,1}^n
+# ---------------------------------------------------------------------------
+
+
+def _check_brute_discrete(
+    dataset: Dataset, k: int, metric, x: np.ndarray, X: frozenset[int]
+) -> CheckResult:
+    clf = KNNClassifier(dataset, k=k, metric=metric)
+    label = clf.classify(x)
+    free = [i for i in range(dataset.dimension) if i not in X]
+    if len(free) > 22:
+        raise ValidationError(
+            f"brute-force Check-SR would enumerate 2^{len(free)} points; "
+            "restrict X or use a polynomial setting"
+        )
+    candidate = x.copy()
+    for bits in product((0.0, 1.0), repeat=len(free)):
+        candidate[free] = bits
+        if clf.classify(candidate) != label:
+            return CheckResult(False, counterexample=candidate.copy())
+    return CheckResult(True)

@@ -1,0 +1,94 @@
+"""Minimal sufficient reasons via the greedy of Proposition 2.
+
+Because supersets of sufficient reasons are sufficient, a minimal one
+(inclusion-wise) is obtained by starting from the full component set and
+repeatedly dropping any component whose removal keeps the set
+sufficient.  This turns *any* polynomial Check-SR algorithm into a
+polynomial Minimal-SR algorithm (Corollaries 1, 3 and 4 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._validation import as_index_set, as_vector, check_odd_k
+from ..exceptions import ValidationError
+from ..knn import Dataset
+from .check import check_sufficient_reason
+
+
+def minimal_sufficient_reason(
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    *,
+    start: Iterable[int] | None = None,
+    order: Sequence[int] | None = None,
+    method: str = "auto",
+) -> frozenset[int]:
+    """Compute an inclusion-minimal sufficient reason for *x*.
+
+    Parameters
+    ----------
+    start:
+        a sufficient reason to shrink (default: all components, which is
+        always sufficient).  A non-sufficient *start* raises.
+    order:
+        the order in which components are considered for removal; the
+        greedy's output depends on it, and different orders can surface
+        different minimal reasons (Example 2 of the paper).  Default:
+        descending index.
+    method:
+        forwarded to :func:`~repro.abductive.check.check_sufficient_reason`.
+    """
+    check_odd_k(k)
+    xv = as_vector(x, name="x")
+    n = dataset.dimension
+    if start is None:
+        current = set(range(n))
+    else:
+        current = set(as_index_set(start, dimension=n, name="start"))
+        verdict = check_sufficient_reason(dataset, k, metric, xv, current, method=method)
+        if not verdict:
+            raise ValidationError(
+                "start is not a sufficient reason; cannot shrink it into one"
+            )
+    if order is None:
+        candidates = sorted(current, reverse=True)
+    else:
+        candidates = [i for i in order if i in current]
+        if set(candidates) != current:
+            raise ValidationError("order must enumerate every component of start")
+    for i in candidates:
+        current.discard(i)
+        verdict = check_sufficient_reason(dataset, k, metric, xv, current, method=method)
+        if not verdict:
+            current.add(i)
+    return frozenset(current)
+
+
+def is_minimal_sufficient_reason(
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    X,
+    *,
+    method: str = "auto",
+) -> bool:
+    """``k-Minimal Sufficient Reason``: is *X* sufficient and minimal?
+
+    Implements the reduction of Proposition 2: check X itself, then
+    check that no one-element deletion stays sufficient.
+    """
+    xv = as_vector(x, name="x")
+    X = as_index_set(X, dimension=dataset.dimension, name="X")
+    if not check_sufficient_reason(dataset, k, metric, xv, X, method=method):
+        return False
+    for i in X:
+        if check_sufficient_reason(dataset, k, metric, xv, X - {i}, method=method):
+            return False
+    return True

@@ -1,0 +1,268 @@
+"""``k-Minimum Sufficient Reason``: smallest sufficient reasons.
+
+The problem is NP-complete in every tractable-check setting (Corollary
+6) and Sigma2p-complete for the discrete setting with k >= 3 (Theorem
+8), so no polynomial algorithm exists.  Three exact solvers are
+provided:
+
+* ``brute`` — enumerate component subsets by increasing size, deciding
+  each with the cell's Check-SR algorithm.  Works in every setting where
+  a checker exists; exponential in n.
+* ``milp`` — discrete setting, k = 1: a MILP over indicator variables
+  ``s_i`` ("i is kept"), linearizing the Proposition-6 characterization.
+  For every opposite-class projection source ``o``, a witness point of
+  x's class must beat every opposite point, with Hamming distances that
+  are linear in the ``s_i``.
+* ``sat`` — same characterization, encoded with guarded cardinality
+  constraints and minimized by bound search (a new pipeline in the
+  spirit of the paper's Section 9.2 encoding).
+
+The MILP/SAT encodings exploit that for k = 1 and a projection
+candidate ``o_X`` the distances satisfy
+
+    d_H(o_X, z) = sum_i [ s_i * [x_i != z_i] + (1 - s_i) * [o_i != z_i] ]
+
+which is affine in the indicators.  All distances are integers, so the
+strict comparisons of the optimistic semantics become ``<= -1`` offsets
+and the encodings are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from .._validation import as_vector, check_odd_k
+from ..exceptions import UnsupportedSettingError, ValidationError
+from ..knn import Dataset, KNNClassifier
+from ..metrics import get_metric
+from ..solvers.milp import MILPModel
+from ..solvers.sat import CNFBuilder, minimize_bound
+from .check import check_sufficient_reason
+
+
+@dataclass(frozen=True)
+class MinimumSRResult:
+    """A minimum-cardinality sufficient reason and solver metadata."""
+
+    X: frozenset[int]
+    size: int
+    method: str
+
+
+def minimum_sufficient_reason(
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    *,
+    method: str = "auto",
+    max_brute_dimension: int = 18,
+) -> MinimumSRResult:
+    """Compute a sufficient reason of minimum cardinality.
+
+    ``method``: ``"auto"`` (MILP for the discrete k=1 cell, brute force
+    elsewhere), ``"milp"``, ``"sat"``, or ``"brute"``.
+    """
+    k = check_odd_k(k)
+    metric = get_metric(metric)
+    xv = as_vector(x, name="x")
+    if xv.shape[0] != dataset.dimension:
+        raise ValidationError(
+            f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
+        )
+    if method == "auto":
+        method = "milp" if (metric.name == "hamming" and k == 1) else "brute"
+    if method == "brute":
+        return _minimum_brute(dataset, k, metric, xv, max_brute_dimension)
+    if method in ("milp", "sat"):
+        if metric.name != "hamming" or k != 1:
+            raise UnsupportedSettingError(
+                f"the {method} Minimum-SR pipeline covers the discrete setting "
+                f"with k=1; got metric={metric.name}, k={k}"
+            )
+        if method == "milp":
+            return _minimum_milp_hamming_k1(dataset, xv)
+        return _minimum_sat_hamming_k1(dataset, xv)
+    raise ValidationError(f"unknown method {method!r}")
+
+
+# ---------------------------------------------------------------------------
+# Brute force over subsets, any setting with a checker
+# ---------------------------------------------------------------------------
+
+
+def _minimum_brute(
+    dataset: Dataset, k: int, metric, x: np.ndarray, max_dimension: int
+) -> MinimumSRResult:
+    n = dataset.dimension
+    if n > max_dimension:
+        raise ValidationError(
+            f"brute-force Minimum-SR over {n} components would enumerate "
+            f"2^{n} subsets; use the milp/sat pipeline or reduce n"
+        )
+    for size in range(n + 1):
+        for X in combinations(range(n), size):
+            if check_sufficient_reason(dataset, k, metric, x, X):
+                return MinimumSRResult(frozenset(X), size, "brute")
+    raise AssertionError("the full component set is always sufficient")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Shared characterization for the discrete k = 1 encodings
+# ---------------------------------------------------------------------------
+
+
+def _projection_facts(dataset: Dataset, x: np.ndarray):
+    """Group the data the encodings need.
+
+    Returns ``(label, sources, winners, rivals)`` where *sources* are the
+    opposite-class points generating projection candidates (Prop. 6),
+    *winners* the class a candidate's nearest neighbor must come from to
+    keep x's label, and *rivals* the class that must not win.  For
+    ``label == 1`` a winner must be weakly closer than every rival; for
+    ``label == 0`` strictly closer (optimistic ties favor 1).
+    """
+    clf = KNNClassifier(dataset, k=1, metric="hamming")
+    label = clf.classify(x)
+    expanded = dataset.expanded()
+    if label == 1:
+        sources = expanded.negatives
+        winners = expanded.positives
+        rivals = expanded.negatives
+        margin = 0  # winner needs d_win <= d_rival
+    else:
+        sources = expanded.positives
+        winners = expanded.negatives
+        rivals = expanded.positives
+        margin = 1  # winner needs d_win <= d_rival - 1 (strict)
+    return label, sources, winners, rivals, margin
+
+
+def _distance_coefficients(x, o, z):
+    """Decompose ``d_H(o_X, z)`` as ``constant + sum_i coeff_i * s_i``.
+
+    With ``s_i = 1`` coordinate i of the candidate equals ``x_i``, else
+    ``o_i``; so coordinate i contributes ``[o_i != z_i]`` plus
+    ``([x_i != z_i] - [o_i != z_i]) * s_i``.
+    """
+    from_o = (o != z).astype(int)
+    from_x = (x != z).astype(int)
+    return int(from_o.sum()), from_x - from_o
+
+
+def _minimum_milp_hamming_k1(dataset: Dataset, x: np.ndarray) -> MinimumSRResult:
+    label, sources, winners, rivals, margin = _projection_facts(dataset, x)
+    n = dataset.dimension
+    if winners.shape[0] == 0:
+        # One-class data: f is constant, the empty set explains everything.
+        return MinimumSRResult(frozenset(), 0, "milp")
+    big_m = 2 * n + 2
+    model = MILPModel("minimum-sufficient-reason")
+    keep = [model.add_binary(f"s[{i}]") for i in range(n)]
+    for src_idx, o in enumerate(sources):
+        pick = [model.add_binary(f"w[{src_idx},{j}]") for j in range(winners.shape[0])]
+        model.add_constraint({p: 1 for p in pick}, ">=", 1)
+        for j, w in enumerate(winners):
+            const_w, coef_w = _distance_coefficients(x, o, w)
+            for r in rivals:
+                const_r, coef_r = _distance_coefficients(x, o, r)
+                # d_win - d_rival <= -margin  when pick[j] = 1:
+                # (const_w - const_r) + sum (coef_w - coef_r) s
+                #     <= -margin + M (1 - pick_j)
+                coeffs = {keep[i]: float(coef_w[i] - coef_r[i]) for i in range(n)}
+                coeffs[pick[j]] = float(big_m)
+                model.add_constraint(
+                    coeffs, "<=", big_m - margin - (const_w - const_r)
+                )
+    model.set_objective({s: 1 for s in keep})
+    result = model.solve(engine="scipy")
+    if not result.optimal:  # pragma: no cover - full set is always feasible
+        raise UnsupportedSettingError("minimum-SR MILP unexpectedly infeasible")
+    X = frozenset(i for i in range(n) if round(result.value(keep[i])) == 1)
+    _assert_sufficient(dataset, x, X)
+    return MinimumSRResult(X, len(X), "milp")
+
+
+def _minimum_sat_hamming_k1(dataset: Dataset, x: np.ndarray) -> MinimumSRResult:
+    label, sources, winners, rivals, margin = _projection_facts(dataset, x)
+    n = dataset.dimension
+    if winners.shape[0] == 0:
+        return MinimumSRResult(frozenset(), 0, "sat")
+
+    def build(size_bound: int) -> CNFBuilder:
+        builder = CNFBuilder()
+        keep = builder.new_vars(n, prefix="s")
+        # Coefficients of the distance differences live in {-2..2}; a
+        # cardinality constraint takes each variable once, so coefficient
+        # 2 is expressed by a twin variable clamped equal to the original.
+        twins: dict[int, int] = {}
+
+        def twin(i: int) -> int:
+            if i not in twins:
+                t = builder.new_var()
+                builder.add_clause([-keep[i], t])
+                builder.add_clause([keep[i], -t])
+                twins[i] = t
+            return twins[i]
+
+        for src_idx, o in enumerate(sources):
+            picks = builder.new_vars(winners.shape[0], prefix=f"w{src_idx}")
+            builder.add_clause(picks)
+            for j, w in enumerate(winners):
+                const_w, coef_w = _distance_coefficients(x, o, w)
+                for r in rivals:
+                    const_r, coef_r = _distance_coefficients(x, o, r)
+                    delta = coef_w - coef_r  # entries in {-2, -1, 0, 1, 2}
+                    # Need, when pick_j holds:
+                    #     (const_w - const_r) + sum_i delta_i s_i <= -margin.
+                    # Move negative-coefficient terms to "at least" form:
+                    # every delta_i = -1 contributes the literal s_i, every
+                    # delta_i = +1 the literal (not s_i) with the bound
+                    # shifted by 1; |delta_i| = 2 uses the twin once more.
+                    lits: list[int] = []
+                    bound = (const_w - const_r) + margin
+                    for i in range(n):
+                        d = int(delta[i])
+                        if d == 0:
+                            continue
+                        first = keep[i] if d < 0 else -keep[i]
+                        lits.append(first)
+                        if d > 0:
+                            bound += 1
+                        if abs(d) == 2:
+                            lits.append(twin(i) if d < 0 else -twin(i))
+                            if d > 0:
+                                bound += 1
+                    if bound <= 0:
+                        continue  # comparison holds for every X
+                    if bound > len(lits):
+                        builder.add_clause([-picks[j]])  # never satisfiable
+                        break
+                    builder.add_at_least(lits, bound, guard=picks[j])
+        builder.add_at_most(keep, size_bound)
+        builder._keep = keep  # stashed for decoding
+        return builder
+
+    def feasible(t: int):
+        builder = build(t)
+        model = builder.build_solver().solve()
+        if model is None:
+            return None
+        return frozenset(i for i in range(n) if model[builder._keep[i]])
+
+    found = minimize_bound(feasible, 0, n, strategy="binary")
+    assert found is not None, "the full component set is always sufficient"
+    size, X = found
+    _assert_sufficient(dataset, x, X)
+    return MinimumSRResult(X, len(X), "sat")
+
+
+def _assert_sufficient(dataset: Dataset, x: np.ndarray, X: frozenset[int]) -> None:
+    verdict = check_sufficient_reason(dataset, 1, "hamming", x, X)
+    if not verdict:  # pragma: no cover - encoding bug guard
+        raise AssertionError(
+            f"solver returned X={sorted(X)} which is not a sufficient reason"
+        )

@@ -1,0 +1,101 @@
+"""Command-line front end: ``python -m repro`` / ``repro-knn``.
+
+Subcommands
+-----------
+``table1``
+    print the complexity-results table (paper Table 1);
+``figure <id>``
+    regenerate one of the paper's runtime figures as a text table
+    (``fig5a``, ``fig5b``, ``fig6a``, ``fig6b``), with optional
+    ``--repeats`` and ``--seed``;
+``explain``
+    run an explanation query on a randomly generated dataset — a smoke
+    test showing the three pipelines end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .abductive import minimal_sufficient_reason
+from .counterfactual import closest_counterfactual
+from .datasets import random_boolean_dataset
+from .experiments.figures import ALL_FIGURES
+from .experiments.runner import run_sweep
+from .experiments.tables import render_results_table, render_table1
+
+
+def _cmd_table1(_args) -> int:
+    print(render_table1())
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    spec = ALL_FIGURES.get(args.figure_id)
+    if spec is None:
+        print(f"unknown figure {args.figure_id!r}; choose from {sorted(ALL_FIGURES)}")
+        return 2
+    rng = np.random.default_rng(args.seed)
+    result = run_sweep(
+        f"{spec.figure_id}: {spec.description}",
+        spec.grid(),
+        lambda params: spec.make_task(rng, params["n"], params["N"]),
+        repeats=args.repeats,
+        verbose=True,
+    )
+    print()
+    print(render_results_table(result))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    data = random_boolean_dataset(rng, args.dimension, args.size)
+    x = rng.integers(0, 2, size=args.dimension).astype(float)
+    print(f"dataset: {data!r}")
+    print(f"query x: {x.astype(int).tolist()}")
+    msr = minimal_sufficient_reason(data, 1, "hamming", x)
+    print(f"minimal sufficient reason ({len(msr)} of {args.dimension} features): "
+          f"{sorted(msr)}")
+    cf = closest_counterfactual(data, 1, "hamming", x, method="hamming-milp")
+    if cf.found:
+        flipped = sorted(int(i) for i in np.flatnonzero(cf.y != x))
+        print(f"closest counterfactual flips {int(cf.distance)} feature(s): {flipped}")
+    else:
+        print("no counterfactual exists (single-class data)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-knn",
+        description="Abductive and counterfactual explanations for k-NN classifiers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the complexity landscape (Table 1)")
+
+    fig = sub.add_parser("figure", help="regenerate a runtime figure as text")
+    fig.add_argument("figure_id", help="fig5a | fig5b | fig6a | fig6b")
+    fig.add_argument("--repeats", type=int, default=3)
+    fig.add_argument("--seed", type=int, default=0)
+
+    explain = sub.add_parser("explain", help="explain a random query end to end")
+    explain.add_argument("--dimension", type=int, default=12)
+    explain.add_argument("--size", type=int, default=30)
+    explain.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"table1": _cmd_table1, "figure": _cmd_figure, "explain": _cmd_explain}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""The paper's Table 1 as a queryable registry.
+
+Each entry records the complexity of one (problem, metric space, k
+regime) cell together with its theorem provenance and the module that
+either solves the cell (tractable entries) or witnesses its hardness
+(reduction modules).  ``render_table()`` reproduces the layout of
+Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Problem(str, Enum):
+    COUNTERFACTUAL = "Counterfactual"
+    CHECK_SR = "Check Sufficient Reason"
+    MINIMUM_SR = "Minimum Sufficient Reason"
+    MINIMAL_SR = "Minimal Sufficient Reason"
+
+
+class Space(str, Enum):
+    L2 = "(R, D_2)"
+    L1 = "(R, D_1)"
+    HAMMING = "({0,1}, D_H)"
+
+
+@dataclass(frozen=True)
+class ComplexityEntry:
+    """One cell of the landscape."""
+
+    problem: Problem
+    space: Space
+    k_regime: str  # "k>=1", "k=1", "k>1"
+    complexity: str
+    provenance: str
+    solver: str  # module/function implementing or witnessing the cell
+
+
+ENTRIES: tuple[ComplexityEntry, ...] = (
+    # -- counterfactual explanations --
+    ComplexityEntry(
+        Problem.COUNTERFACTUAL, Space.L2, "k>=1", "P",
+        "Theorem 2", "repro.counterfactual.l2",
+    ),
+    ComplexityEntry(
+        Problem.COUNTERFACTUAL, Space.L1, "k>=1", "NP-complete",
+        "Theorem 4", "repro.counterfactual.l1 (MILP)",
+    ),
+    ComplexityEntry(
+        Problem.COUNTERFACTUAL, Space.HAMMING, "k>=1", "NP-complete",
+        "Theorem 6", "repro.counterfactual.hamming_milp / hamming_sat",
+    ),
+    # -- check sufficient reason --
+    ComplexityEntry(
+        Problem.CHECK_SR, Space.L2, "k=1", "P",
+        "Proposition 3", "repro.abductive.check (l2)",
+    ),
+    ComplexityEntry(
+        Problem.CHECK_SR, Space.L2, "k>1", "P",
+        "Proposition 3", "repro.abductive.check (l2)",
+    ),
+    ComplexityEntry(
+        Problem.CHECK_SR, Space.L1, "k=1", "P",
+        "Proposition 4", "repro.abductive.check (l1-k1)",
+    ),
+    ComplexityEntry(
+        Problem.CHECK_SR, Space.L1, "k>1", "coNP-complete",
+        "Theorem 5", "repro.reductions.partition (hardness witness)",
+    ),
+    ComplexityEntry(
+        Problem.CHECK_SR, Space.HAMMING, "k=1", "P",
+        "Proposition 6", "repro.abductive.check (hamming-k1)",
+    ),
+    ComplexityEntry(
+        Problem.CHECK_SR, Space.HAMMING, "k>1", "coNP-complete",
+        "Theorem 7", "repro.reductions.check_sr_discrete (hardness witness)",
+    ),
+    # -- minimum sufficient reason --
+    ComplexityEntry(
+        Problem.MINIMUM_SR, Space.L2, "k=1", "NP-complete",
+        "Corollary 6", "repro.abductive.minimum (brute)",
+    ),
+    ComplexityEntry(
+        Problem.MINIMUM_SR, Space.L2, "k>1", "NP-complete",
+        "Corollary 6", "repro.abductive.minimum (brute)",
+    ),
+    ComplexityEntry(
+        Problem.MINIMUM_SR, Space.L1, "k=1", "NP-complete",
+        "Corollary 6", "repro.abductive.minimum (brute)",
+    ),
+    ComplexityEntry(
+        Problem.MINIMUM_SR, Space.L1, "k>1", "NP-hard (exact class open)",
+        "Theorem 1", "repro.reductions.vertex_cover (hardness witness)",
+    ),
+    ComplexityEntry(
+        Problem.MINIMUM_SR, Space.HAMMING, "k=1", "NP-complete",
+        "Corollary 6", "repro.abductive.minimum (milp/sat)",
+    ),
+    ComplexityEntry(
+        Problem.MINIMUM_SR, Space.HAMMING, "k>1", "Sigma2p-complete",
+        "Theorem 8", "repro.reductions.interdiction (hardness witness)",
+    ),
+    # -- minimal sufficient reason (from Prop. 2 + the check column) --
+    ComplexityEntry(
+        Problem.MINIMAL_SR, Space.L2, "k>=1", "P",
+        "Proposition 2 + Proposition 3 (Corollary 1)", "repro.abductive.minimal",
+    ),
+    ComplexityEntry(
+        Problem.MINIMAL_SR, Space.L1, "k=1", "P",
+        "Proposition 2 + Proposition 4 (Corollary 3)", "repro.abductive.minimal",
+    ),
+    ComplexityEntry(
+        Problem.MINIMAL_SR, Space.L1, "k>1", "NP-hard (Turing)",
+        "Theorem 5", "repro.reductions.partition (hardness witness)",
+    ),
+    ComplexityEntry(
+        Problem.MINIMAL_SR, Space.HAMMING, "k=1", "P",
+        "Proposition 2 + Proposition 6 (Corollary 4)", "repro.abductive.minimal",
+    ),
+    ComplexityEntry(
+        Problem.MINIMAL_SR, Space.HAMMING, "k>1", "coNP-hard",
+        "Corollary 5", "repro.reductions.check_sr_discrete (hardness witness)",
+    ),
+)
+
+
+def lookup(problem: Problem, space: Space, k: int) -> ComplexityEntry:
+    """The registry entry governing a concrete (problem, space, k)."""
+    regime_order = ["k>=1", "k=1" if k == 1 else "k>1"]
+    for regime in regime_order:
+        for entry in ENTRIES:
+            if entry.problem is problem and entry.space is space and entry.k_regime == regime:
+                return entry
+    raise KeyError(f"no entry for {problem.value} / {space.value} / k={k}")
+
+
+def render_table() -> str:
+    """Reproduce the shape of the paper's Table 1 as fixed-width text."""
+    problems = [
+        (Problem.COUNTERFACTUAL, ["k>=1"]),
+        (Problem.CHECK_SR, ["k=1", "k>1"]),
+        (Problem.MINIMUM_SR, ["k=1", "k>1"]),
+    ]
+    headers = ["Metric space"]
+    for problem, regimes in problems:
+        for regime in regimes:
+            tag = f" ({regime})" if len(regimes) > 1 else ""
+            headers.append(f"{problem.value}{tag}")
+    rows = [headers]
+    for space in Space:
+        row = [space.value]
+        for problem, regimes in problems:
+            for regime in regimes:
+                entry = next(
+                    e
+                    for e in ENTRIES
+                    if e.problem is problem
+                    and e.space is space
+                    and (e.k_regime == regime or e.k_regime == "k>=1")
+                )
+                row.append(f"{entry.complexity} [{entry.provenance}]")
+        rows.append(row)
+    widths = [max(len(r[c]) for r in rows) for c in range(len(headers))]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

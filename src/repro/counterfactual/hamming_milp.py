@@ -1,0 +1,145 @@
+"""Closest Hamming counterfactuals via linearized IQP → MILP (Section 9).
+
+The paper's IQP formulation minimizes ``sum_i (x_i - y_i)^2`` over
+binary ``y`` subject to the flipped-classification constraint.  Over
+binaries ``(x_i - y_i)^2`` is linear (``y_i^2 = y_i``) and so is every
+Hamming distance:
+
+    d_H(y, z) = sum_{i : z_i = 0} y_i + sum_{i : z_i = 1} (1 - y_i)
+
+so the whole program is an exact MILP.  Two formulations are provided:
+
+* ``guarded`` (k = 1, the paper's shape): one model with an indicator
+  ``g_j`` per opposite-class point asserting "point j is the nearest
+  neighbor of y", enforced with big-M implications;
+* ``enumerated`` (any odd k): one small model per Proposition-1 witness
+  pair ``(A, B)``, whose constraints need no indicators at all.
+
+All comparisons are between integer distances, so the optimistic
+strictness (< when flipping to class 0) is the exact ``<= -1`` offset —
+no epsilons anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_odd_k
+from ..exceptions import ValidationError
+from ..knn import Dataset, KNNClassifier
+from ..solvers.milp import MILPModel
+from . import CounterfactualResult
+from .l1 import _witness_pairs
+
+
+def _hamming_terms(z: np.ndarray):
+    """``d_H(y, z) = constant + sum coeff_i y_i`` with coeff in {-1, +1}."""
+    coeff = np.where(z == 0, 1.0, -1.0)
+    constant = float((z == 1).sum())
+    return constant, coeff
+
+
+def closest_counterfactual_hamming_milp(
+    dataset: Dataset,
+    k: int,
+    x: np.ndarray,
+    *,
+    formulation: str = "auto",
+    engine: str = "scipy",
+) -> CounterfactualResult:
+    """Closest Hamming counterfactual through the linearized IQP."""
+    check_odd_k(k)
+    if formulation == "auto":
+        formulation = "guarded" if k == 1 else "enumerated"
+    if formulation == "guarded" and k != 1:
+        raise ValidationError("the guarded formulation covers k = 1 only")
+    if formulation not in ("guarded", "enumerated"):
+        raise ValidationError(f"unknown formulation {formulation!r}")
+    clf = KNNClassifier(dataset, k=k, metric="hamming")
+    label = clf.classify(x)
+    target = 1 - label
+    expanded = dataset.expanded()
+    if target == 1:
+        winning, losing = expanded.positives, expanded.negatives
+        margin = 0  # weak inequality: ties favor class 1
+    else:
+        winning, losing = expanded.negatives, expanded.positives
+        margin = 1  # strict inequality
+    if formulation == "guarded":
+        y_val = _solve_guarded(x, winning, losing, margin, engine)
+    else:
+        y_val = _solve_enumerated(x, winning, losing, margin, k, engine)
+    if y_val is None:
+        return CounterfactualResult(
+            y=None, distance=np.inf, infimum=np.inf, label_from=label, method="hamming-milp"
+        )
+    distance = float(np.abs(y_val - x).sum())
+    return CounterfactualResult(
+        y=y_val,
+        distance=distance,
+        infimum=distance,
+        label_from=label,
+        method="hamming-milp",
+    )
+
+
+def _objective_terms(x: np.ndarray, y_vars):
+    """Linearized ``sum (x_i - y_i)^2``: coefficients and constant."""
+    coeffs = {}
+    constant = 0.0
+    for i, yv in enumerate(y_vars):
+        if x[i] == 0:
+            coeffs[yv] = 1.0
+        else:
+            coeffs[yv] = -1.0
+            constant += 1.0
+    return coeffs, constant
+
+
+def _solve_guarded(x, winning, losing, margin, engine):
+    """One MILP: indicator g_j selects the winning witness point (k = 1)."""
+    n = x.shape[0]
+    if winning.shape[0] == 0:
+        return None  # no point of the target class exists: f is constant
+    big_m = float(2 * n + 2)
+    model = MILPModel("hamming-counterfactual")
+    y = [model.add_binary(f"y[{i}]") for i in range(n)]
+    guards = [model.add_binary(f"g[{j}]") for j in range(winning.shape[0])]
+    model.add_constraint({g: 1 for g in guards}, ">=", 1)
+    for j, w in enumerate(winning):
+        const_w, coef_w = _hamming_terms(w)
+        for c in losing:
+            const_c, coef_c = _hamming_terms(c)
+            # g_j  =>  d(y, w) - d(y, c) <= -margin
+            coeffs = {y[i]: float(coef_w[i] - coef_c[i]) for i in range(n)}
+            coeffs[guards[j]] = big_m
+            model.add_constraint(coeffs, "<=", big_m - margin - (const_w - const_c))
+    obj, const = _objective_terms(x, y)
+    model.set_objective(obj, constant=const)
+    result = model.solve(engine=engine)
+    if not result.optimal:
+        return None
+    return np.array([round(result.value(v)) for v in y], dtype=float)
+
+
+def _solve_enumerated(x, winning, losing, margin, k, engine):
+    """One MILP per Proposition-1 witness pair (any odd k)."""
+    n = x.shape[0]
+    best_y, best_d = None, np.inf
+    for A, B in _witness_pairs(winning.shape[0], losing.shape[0], k):
+        rest = [c for c in range(losing.shape[0]) if c not in B]
+        model = MILPModel("hamming-counterfactual-pair")
+        y = [model.add_binary(f"y[{i}]") for i in range(n)]
+        for a_idx in A:
+            const_w, coef_w = _hamming_terms(winning[a_idx])
+            for c_idx in rest:
+                const_c, coef_c = _hamming_terms(losing[c_idx])
+                coeffs = {y[i]: float(coef_w[i] - coef_c[i]) for i in range(n)}
+                model.add_constraint(coeffs, "<=", -margin - (const_w - const_c))
+        obj, const = _objective_terms(x, y)
+        model.set_objective(obj, constant=const)
+        result = model.solve(engine=engine)
+        if result.optimal and result.objective < best_d:
+            best_d = result.objective
+            best_y = np.array([round(result.value(v)) for v in y], dtype=float)
+    return best_y

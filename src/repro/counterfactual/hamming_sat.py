@@ -1,0 +1,120 @@
+"""The paper's SAT encoding for closest Hamming counterfactuals (§9.2).
+
+Boolean variables ``y_1..y_n`` describe the counterfactual; a selector
+variable ``c_t`` per target-class point ``t`` asserts that ``t`` will be
+(weakly/strictly) closer to ``y`` than every point of the other class.
+For a pair ``(t, r)`` with difference set ``Delta = {i : t_i != r_i}``,
+
+    d_H(y, t) - d_H(y, r) = |Delta| - 2 * #{i in Delta : y_i = t_i}
+
+so ``d_H(y, t) <= d_H(y, r) - margin`` becomes the cardinality
+constraint
+
+    #{i in Delta : y_i = t_i}  >=  ceil((|Delta| + margin) / 2)
+
+guarded by ``c_t`` — for ``margin = 1`` exactly the paper's
+``floor(|Delta|/2) + 1`` bound.  The distance bound
+``d_H(x, y) <= t`` is one more cardinality constraint, and the closest
+counterfactual is found by searching the smallest feasible bound
+(binary or linear, Section 9.2's closing remark).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .._validation import check_odd_k
+from ..exceptions import UnsupportedSettingError
+from ..knn import Dataset, KNNClassifier
+from ..solvers.sat import CNFBuilder, minimize_bound
+from . import CounterfactualResult
+
+
+def build_flip_encoding(
+    x: np.ndarray, winning: np.ndarray, losing: np.ndarray, margin: int
+) -> tuple[CNFBuilder, list[int]]:
+    """CNF + cardinality encoding of ``f(y) = target`` (without the bound).
+
+    Returns the builder and the list of the ``y`` variables.  *winning*
+    is the class that must supply the nearest neighbor of ``y``;
+    ``margin`` is 1 when that win must be strict (target label 0), else
+    0.
+    """
+    n = x.shape[0]
+    builder = CNFBuilder()
+    y = builder.new_vars(n, prefix="y")
+    selectors = builder.new_vars(winning.shape[0], prefix="c")
+    builder.add_clause(selectors)
+    for j, t in enumerate(winning):
+        for r in losing:
+            delta = np.flatnonzero(t != r)
+            bound = math.ceil((len(delta) + margin) / 2)
+            if bound == 0:
+                continue
+            lits = [y[i] if t[i] == 1 else -y[i] for i in delta]
+            if bound > len(lits):
+                builder.add_clause([-selectors[j]])
+                break
+            builder.add_at_least(lits, bound, guard=selectors[j])
+    return builder, y
+
+
+def add_distance_bound(builder: CNFBuilder, y: list[int], x: np.ndarray, t: int) -> None:
+    """Append ``d_H(x, y) <= t`` as an at-least cardinality constraint."""
+    n = x.shape[0]
+    agree_lits = [y[i] if x[i] == 1 else -y[i] for i in range(n)]
+    builder.add_at_least(agree_lits, n - t)
+
+
+def closest_counterfactual_hamming_sat(
+    dataset: Dataset,
+    k: int,
+    x: np.ndarray,
+    *,
+    strategy: str = "binary",
+    conflict_limit: int | None = None,
+) -> CounterfactualResult:
+    """Closest Hamming counterfactual by SAT + bound search (k = 1)."""
+    check_odd_k(k)
+    if k != 1:
+        raise UnsupportedSettingError(
+            "the Section 9.2 SAT encoding targets k = 1; use hamming-milp "
+            "with the enumerated formulation for k >= 3"
+        )
+    clf = KNNClassifier(dataset, k=1, metric="hamming")
+    label = clf.classify(x)
+    expanded = dataset.expanded()
+    if label == 1:
+        winning, losing, margin = expanded.negatives, expanded.positives, 1
+    else:
+        winning, losing, margin = expanded.positives, expanded.negatives, 0
+    if winning.shape[0] == 0:
+        return CounterfactualResult(
+            y=None, distance=np.inf, infimum=np.inf, label_from=label, method="hamming-sat"
+        )
+    n = dataset.dimension
+
+    def feasible(t: int):
+        builder, y = build_flip_encoding(x, winning, losing, margin)
+        add_distance_bound(builder, y, x, t)
+        model = builder.build_solver(conflict_limit=conflict_limit).solve()
+        if model is None:
+            return None
+        return np.array([1.0 if model[v] else 0.0 for v in y])
+
+    found = minimize_bound(feasible, 1, n, strategy=strategy)
+    if found is None:
+        return CounterfactualResult(
+            y=None, distance=np.inf, infimum=np.inf, label_from=label, method="hamming-sat"
+        )
+    t, y_val = found
+    distance = float(np.abs(y_val - x).sum())
+    return CounterfactualResult(
+        y=y_val,
+        distance=distance,
+        infimum=distance,
+        label_from=label,
+        method="hamming-sat",
+    )

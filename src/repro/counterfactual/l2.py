@@ -1,0 +1,107 @@
+"""Closest counterfactuals under the l2 metric (Theorem 2 / Corollary 2).
+
+The target region ``{y : f(y) = 1 - f(x)}`` is a union of polynomially
+many Proposition-1 polyhedra.  For each piece we project ``x`` onto it
+with the active-set QP; the closest counterfactual is the best
+projection over all pieces.
+
+Open pieces (flipping into class 0, whose region is open because ties
+favor class 1) need the two-step treatment from the paper: the piece is
+non-empty iff its *strict* system is feasible (max-epsilon LP); the
+infimum of distances is the projection onto the piece's *closure*; and
+an actual counterfactual is obtained by sliding the projection slightly
+toward a strict interior point (the segment stays in the open piece by
+convexity), as in Corollary 2.
+
+Closed pieces (flipping into class 1) contain their boundary
+mathematically, but a projection landing *exactly on* the boundary can
+fall on the wrong side in floating point.  Every candidate is therefore
+verified against the classifier and nudged toward a strict interior
+point when needed; candidates that cannot be certified are discarded in
+favor of the next-closest piece.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InfeasibleError, SolverError
+from ..geometry import decision_region_polyhedra
+from ..knn import Dataset, KNNClassifier
+from ..solvers.lp import feasible_point_strict
+from ..solvers.qp import project_onto_polyhedron
+from . import CounterfactualResult
+
+_NUDGE_STEPS = 60
+
+
+def closest_counterfactual_l2(
+    dataset: Dataset, k: int, x: np.ndarray
+) -> CounterfactualResult:
+    """Closest l2 counterfactual via per-piece convex QP."""
+    clf = KNNClassifier(dataset, k=k, metric="l2")
+    label = clf.classify(x)
+    target = 1 - label
+    candidates: list[tuple[float, np.ndarray, np.ndarray | None]] = []
+    for piece in decision_region_polyhedra(dataset, k, target):
+        closure = piece.closure()
+        # A strictly interior point doubles as the non-emptiness witness
+        # for open pieces and as the nudge anchor for all pieces.
+        interior = feasible_point_strict(
+            A_strict=closure.A, b_strict=closure.b, n=piece.dimension
+        )
+        if piece.has_strict and interior is None:
+            continue  # the open piece is empty even if its closure is not
+        try:
+            y, sq = project_onto_polyhedron(x, closure.A, closure.b)
+        except InfeasibleError:
+            continue
+        candidates.append((float(sq), y, interior))
+    candidates.sort(key=lambda item: item[0])
+    for sq, y, interior in candidates:
+        infimum = float(np.sqrt(sq))
+        if clf.classify(y) == target:
+            return CounterfactualResult(
+                y=y,
+                distance=float(np.linalg.norm(y - x)),
+                infimum=infimum,
+                label_from=label,
+                method="l2-qp",
+            )
+        if interior is None:
+            continue  # boundary-only piece that float arithmetic rejects
+        nudged = _nudge_toward_interior(clf, target, y, interior)
+        if nudged is not None:
+            return CounterfactualResult(
+                y=nudged,
+                distance=float(np.linalg.norm(nudged - x)),
+                infimum=infimum,
+                label_from=label,
+                method="l2-qp",
+            )
+    return CounterfactualResult(
+        y=None, distance=np.inf, infimum=np.inf, label_from=label, method="l2-qp"
+    )
+
+
+def _nudge_toward_interior(
+    clf: KNNClassifier, target: int, boundary: np.ndarray, interior: np.ndarray
+) -> np.ndarray | None:
+    """Slide from the boundary projection toward a strict interior point.
+
+    Every point ``(1 - t) * boundary + t * interior`` with ``t > 0`` lies
+    in the piece's relative interior (a segment from a closure point to
+    a strict point is strict except possibly at its start), so the
+    smallest ``t`` the classifier confirms gives a genuine counterfactual
+    at distance as close to the infimum as float arithmetic allows.
+    ``t = 1`` is the interior point itself, which always verifies.
+    """
+    t = 1e-9
+    for _ in range(_NUDGE_STEPS):
+        candidate = (1.0 - t) * boundary + t * interior
+        if clf.classify(candidate) == target:
+            return candidate
+        if t >= 1.0:
+            break
+        t = min(1.0, t * 4.0)
+    return None  # pragma: no cover - t=1 verifies whenever interior does

@@ -1,0 +1,112 @@
+"""Heuristic counterfactuals for general lp metrics (p >= 3).
+
+The paper leaves the complexity of ``k-Counterfactual Explanation`` for
+lp, p > 2, open ("is l2 the only metric for which this problem is
+tractable?").  This module contributes the practical side: an upper-
+bound solver usable for experimentation with the open problem.
+
+For a witness pair ``(A, B)`` of the target label, the feasible region
+is ``{y : d_p(y,a)^p <= d_p(y,c)^p for all a in A, c in losing \\ B}``
+— smooth (for even p) or piecewise-smooth constraints that are not
+convex in general, so we run a local constrained minimizer (SLSQP) from
+several starts (each dataset point of the winning side, plus the query
+pushed across each constraint) and keep the best *verified* result.
+Verification is exact: every candidate is re-classified by the k-NN
+classifier before being accepted, so the output is always a genuine
+counterfactual — only its optimality is heuristic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from .._validation import check_odd_k
+from ..exceptions import ValidationError
+from ..knn import Dataset, KNNClassifier
+from ..metrics import LpMetric, get_metric
+from . import CounterfactualResult
+from .l1 import _witness_pairs
+
+
+def closest_counterfactual_lp_heuristic(
+    dataset: Dataset,
+    k: int,
+    p: int,
+    x: np.ndarray,
+    *,
+    margin: float = 1e-7,
+    max_pairs: int = 200,
+) -> CounterfactualResult:
+    """Best verified counterfactual found by multi-start local search.
+
+    Returns an *upper bound* on the optimal lp counterfactual distance
+    (the ``infimum`` field repeats the verified distance; exactness is
+    open — the very question the paper poses).
+    """
+    check_odd_k(k)
+    metric = get_metric(f"lp:{p}")
+    if not isinstance(metric, LpMetric) or metric.p in (1, 2):
+        raise ValidationError("use the exact l1/l2 pipelines for p in {1, 2}")
+    clf = KNNClassifier(dataset, k=k, metric=metric)
+    x = np.asarray(x, dtype=float)
+    label = clf.classify(x)
+    target = 1 - label
+    expanded = dataset.expanded()
+    if target == 1:
+        winning, losing = expanded.positives, expanded.negatives
+    else:
+        winning, losing = expanded.negatives, expanded.positives
+    if winning.shape[0] == 0:
+        return CounterfactualResult(
+            y=None, distance=np.inf, infimum=np.inf, label_from=label,
+            method=f"l{p}-heuristic",
+        )
+    pw = metric.p
+    best_y, best_d = None, np.inf
+    pairs = list(_witness_pairs(winning.shape[0], losing.shape[0], k))
+    if len(pairs) > max_pairs:
+        pairs = pairs[:max_pairs]
+    for A, B in pairs:
+        rest = [c for c in range(losing.shape[0]) if c not in B]
+        near = winning[list(A)]
+        far = losing[rest]
+
+        def constraint(y, near=near, far=far):
+            y = np.asarray(y)
+            d_near = np.power(np.abs(near - y), pw).sum(axis=1)
+            d_far = np.power(np.abs(far - y), pw).sum(axis=1)
+            # Every (a, c) comparison as one vector: far - near - margin >= 0.
+            return (d_far[None, :] - d_near[:, None]).ravel() - margin
+
+        starts = [w for w in near]
+        starts.append(near.mean(axis=0))
+        starts.append(0.5 * (x + near.mean(axis=0)))
+        for y0 in starts:
+            res = minimize(
+                lambda y: np.power(np.abs(y - x), pw).sum(),
+                x0=np.asarray(y0, dtype=float),
+                constraints=[{"type": "ineq", "fun": constraint}],
+                method="SLSQP",
+                options={"maxiter": 200, "ftol": 1e-12},
+            )
+            if not res.success:
+                continue
+            candidate = np.asarray(res.x)
+            if clf.classify(candidate) != target:
+                continue  # verification failed: reject silently
+            d = float(metric.distance(candidate, x))
+            if d < best_d:
+                best_y, best_d = candidate, d
+    if best_y is None:
+        return CounterfactualResult(
+            y=None, distance=np.inf, infimum=np.inf, label_from=label,
+            method=f"l{p}-heuristic",
+        )
+    return CounterfactualResult(
+        y=best_y,
+        distance=best_d,
+        infimum=best_d,
+        label_from=label,
+        method=f"l{p}-heuristic",
+    )

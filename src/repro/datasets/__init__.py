@@ -1,0 +1,27 @@
+"""Data substrate for experiments, examples, and benchmarks.
+
+The paper's Section 9 evaluates on (a) uniformly random Boolean vectors
+with Bernoulli(1/2) labels and (b) MNIST, in grayscale and binarized
+forms at several rescalings.  MNIST is not redistributable offline, so
+:mod:`digits` generates synthetic digit images — stroke-based
+seven-segment glyphs with elastic noise — that exercise the exact same
+code paths (image-structured, class-clustered, binarizable, rescalable)
+and preserve the scaling shape of the runtime experiments.
+"""
+
+from __future__ import annotations
+
+from .digits import DigitImages, binarize_images, render_ascii, scale_image
+from .graphs import random_graph, random_regular_graph
+from .synthetic import gaussian_blobs, random_boolean_dataset
+
+__all__ = [
+    "random_boolean_dataset",
+    "gaussian_blobs",
+    "DigitImages",
+    "binarize_images",
+    "scale_image",
+    "render_ascii",
+    "random_graph",
+    "random_regular_graph",
+]

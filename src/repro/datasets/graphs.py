@@ -1,0 +1,31 @@
+"""Random graph generators for the reduction benchmarks."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ValidationError
+
+
+def random_graph(rng: np.random.Generator, n: int, p: float = 0.5) -> nx.Graph:
+    """G(n, p) with nodes 0..n-1 and at least one edge."""
+    if n < 2:
+        raise ValidationError("need at least two nodes")
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    if g.number_of_edges() == 0:
+        g.add_edge(0, 1)
+    return g
+
+
+def random_regular_graph(rng: np.random.Generator, n: int, d: int) -> nx.Graph:
+    """A random d-regular graph (for the Lemma 2 embedding)."""
+    if n * d % 2 or d >= n:
+        raise ValidationError("need n*d even and d < n for a d-regular graph")
+    seed = int(rng.integers(0, 2**31 - 1))
+    return nx.random_regular_graph(d, n, seed=seed)

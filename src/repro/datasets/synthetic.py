@@ -1,0 +1,61 @@
+"""Synthetic point-cloud generators.
+
+:func:`random_boolean_dataset` reproduces the Section 9.1 workload:
+"uniformly random vectors in {0,1}^n, labeled according to independent
+Bernoulli variables of parameter p = 1/2".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..knn import Dataset
+
+
+def random_boolean_dataset(
+    rng: np.random.Generator,
+    n: int,
+    size: int,
+    *,
+    label_probability: float = 0.5,
+) -> Dataset:
+    """Uniform random {0,1}^n points with Bernoulli labels (§9.1).
+
+    ``size`` is the total ``|S+| + |S-|``.  Degenerate draws where one
+    class is empty are re-balanced by flipping one label, so the result
+    is always a usable two-class dataset.
+    """
+    if n < 1 or size < 2:
+        raise ValidationError("need n >= 1 and size >= 2")
+    if not 0 < label_probability < 1:
+        raise ValidationError("label_probability must be in (0, 1)")
+    points = rng.integers(0, 2, size=(size, n)).astype(float)
+    labels = rng.random(size) < label_probability
+    if labels.all():
+        labels[0] = False
+    elif not labels.any():
+        labels[0] = True
+    return Dataset(points[labels], points[~labels], discrete=True)
+
+
+def gaussian_blobs(
+    rng: np.random.Generator,
+    n: int,
+    size_per_class: int,
+    *,
+    separation: float = 3.0,
+    scale: float = 1.0,
+) -> Dataset:
+    """Two Gaussian clusters, one per class, ``separation`` apart.
+
+    The positive blob is centered at ``+separation/2`` on every axis and
+    the negative blob at ``-separation/2`` — the classic linearly
+    separable toy workload used for the Figure 2 style illustrations.
+    """
+    if size_per_class < 1:
+        raise ValidationError("need at least one point per class")
+    offset = np.full(n, separation / 2.0)
+    pos = rng.normal(size=(size_per_class, n)) * scale + offset
+    neg = rng.normal(size=(size_per_class, n)) * scale - offset
+    return Dataset(pos, neg)

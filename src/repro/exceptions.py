@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses separate user errors
+(invalid inputs, unsupported parameter combinations) from solver-side
+failures (infeasibility, resource limits), mirroring the split between
+"the question is malformed" and "the question is well-formed but the
+engine could not answer it".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input (dataset, vector, index set, parameter) is malformed."""
+
+
+class DimensionMismatchError(ValidationError):
+    """Vectors or datasets have incompatible dimensions."""
+
+
+class UnsupportedSettingError(ReproError, NotImplementedError):
+    """The requested (metric, k, problem) combination has no implementation.
+
+    The complexity landscape of the paper (Table 1) leaves some cells
+    intractable; for those we only provide exact solvers that may be
+    exponential.  Asking for a polynomial-time algorithm where none is
+    known raises this error rather than silently falling back.
+    """
+
+
+class SolverError(ReproError, RuntimeError):
+    """A solver failed for a reason other than infeasibility."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization/decision problem has no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The optimization problem is unbounded."""
+
+
+class ResourceLimitError(SolverError):
+    """A solver hit a configured conflict/node/time limit before finishing."""

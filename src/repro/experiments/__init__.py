@@ -1,0 +1,36 @@
+"""Experiment harness shared by the benchmark suite and the examples.
+
+:mod:`runner` provides timing sweeps with warm-up and repetition
+control; :mod:`figures` defines the workload series of the paper's
+Figures 5 and 6 (scaled to laptop-friendly sizes); :mod:`tables`
+renders Table 1 and the per-cell empirical scaling summaries.
+"""
+
+from __future__ import annotations
+
+from .runner import SweepResult, run_sweep, time_callable
+from .figures import (
+    FIGURE5_IQP,
+    FIGURE5_SAT,
+    FIGURE6_CF_L2,
+    FIGURE6_MSR_L1,
+    FigureSpec,
+    figure5_workload,
+    figure6_workload,
+)
+from .tables import render_results_table, render_table1
+
+__all__ = [
+    "time_callable",
+    "run_sweep",
+    "SweepResult",
+    "FigureSpec",
+    "FIGURE5_IQP",
+    "FIGURE5_SAT",
+    "FIGURE6_MSR_L1",
+    "FIGURE6_CF_L2",
+    "figure5_workload",
+    "figure6_workload",
+    "render_table1",
+    "render_results_table",
+]

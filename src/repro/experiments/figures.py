@@ -1,0 +1,124 @@
+"""Workload definitions for the paper's Figures 5 and 6.
+
+Each :class:`FigureSpec` mirrors one panel: the workload generator, the
+swept axis (feature count), the grouping axis (training-set size), and
+the solver under test.  The default grids are scaled down from the
+paper's (n up to 350, N up to 2000 on a laptop with Gurobi) to sizes
+that our pure-Python engines sweep in minutes while preserving the
+growth shape; pass a custom grid to run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..counterfactual import closest_counterfactual
+from ..abductive import minimal_sufficient_reason
+from ..datasets import DigitImages, random_boolean_dataset
+from ..knn import Dataset, KNNClassifier
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One benchmark panel: id, axes, and the task builder."""
+
+    figure_id: str
+    description: str
+    dimensions: tuple[int, ...]
+    sizes: tuple[int, ...]
+    make_task: Callable[[np.random.Generator, int, int], Callable[[], object]]
+
+    def grid(self):
+        for size in self.sizes:
+            for n in self.dimensions:
+                yield {"n": n, "N": size}
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: counterfactuals over {0,1}^n on uniform random data
+# ---------------------------------------------------------------------------
+
+
+def figure5_workload(
+    rng: np.random.Generator, n: int, size: int, *, method: str, **kwargs
+) -> Callable[[], object]:
+    """One Figure 5 measurement: closest Hamming counterfactual for a
+    fresh random query over a fresh random dataset."""
+    data = random_boolean_dataset(rng, n, size)
+    x = rng.integers(0, 2, size=n).astype(float)
+
+    def task():
+        return closest_counterfactual(data, 1, "hamming", x, method=method, **kwargs)
+
+    return task
+
+
+FIGURE5_IQP = FigureSpec(
+    figure_id="fig5a",
+    description="IQP (linearized MILP) runtimes for counterfactuals over {0,1}^n",
+    dimensions=(20, 40, 60, 80),
+    sizes=(40, 80, 120),
+    make_task=lambda rng, n, size: figure5_workload(rng, n, size, method="hamming-milp"),
+)
+
+FIGURE5_SAT = FigureSpec(
+    figure_id="fig5b",
+    description="SAT (guarded cardinality) runtimes for counterfactuals over {0,1}^n",
+    dimensions=(20, 40, 60, 80),
+    sizes=(20, 40, 60),
+    make_task=lambda rng, n, size: figure5_workload(rng, n, size, method="hamming-sat"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: explanations on digit images (the MNIST substitute)
+# ---------------------------------------------------------------------------
+
+
+def figure6_workload(
+    rng: np.random.Generator, side: int, size: int, *, task_kind: str
+) -> Callable[[], object]:
+    """One Figure 6 measurement on side x side digit images.
+
+    ``task_kind`` is ``"msr-l1"`` (minimal sufficient reason under l1,
+    Prop. 4 + greedy) or ``"cf-l2"`` (closest counterfactual, Thm. 2).
+    """
+    count = max(2, size // 2)
+    images = DigitImages.generate(rng, digits=(4, 9), count_per_digit=count, side=side)
+    data = images.to_dataset(positive_digit=4)
+    query = DigitImages.generate(rng, digits=(4,), count_per_digit=1, side=side)
+    x = query.flattened()[0]
+    if task_kind == "msr-l1":
+        def task():
+            return minimal_sufficient_reason(data, 1, "l1", x)
+    elif task_kind == "cf-l2":
+        def task():
+            return closest_counterfactual(data, 1, "l2", x)
+    else:
+        raise ValueError(f"unknown task_kind {task_kind!r}")
+    return task
+
+
+FIGURE6_MSR_L1 = FigureSpec(
+    figure_id="fig6a",
+    description="Minimal sufficient reason (l1) runtimes on digit images",
+    dimensions=(6, 8, 10),      # image side length (features = side^2)
+    sizes=(16, 24, 32),         # |S+| + |S-|
+    make_task=lambda rng, side, size: figure6_workload(rng, side, size, task_kind="msr-l1"),
+)
+
+FIGURE6_CF_L2 = FigureSpec(
+    figure_id="fig6b",
+    description="Counterfactual (l2) runtimes on digit images",
+    dimensions=(8, 12, 16, 20),
+    sizes=(50, 100, 150),
+    make_task=lambda rng, side, size: figure6_workload(rng, side, size, task_kind="cf-l2"),
+)
+
+ALL_FIGURES = {
+    spec.figure_id: spec
+    for spec in (FIGURE5_IQP, FIGURE5_SAT, FIGURE6_MSR_L1, FIGURE6_CF_L2)
+}

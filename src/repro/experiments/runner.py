@@ -1,0 +1,71 @@
+"""Timing sweeps: the minimal measurement core behind the benchmarks.
+
+pytest-benchmark handles the statistics in ``benchmarks/``; this module
+serves the examples and the standalone harness (``python -m repro``),
+where a figure is regenerated as a table of medians over a parameter
+grid.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+def time_callable(fn: Callable[[], object], *, repeats: int = 3) -> dict:
+    """Median/min/max wall-clock seconds of ``fn()`` over *repeats* runs."""
+    samples = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "median": float(np.median(samples)),
+        "min": float(min(samples)),
+        "max": float(max(samples)),
+        "repeats": len(samples),
+    }
+
+
+@dataclass
+class SweepResult:
+    """Rows of (parameters, timing) pairs collected by :func:`run_sweep`."""
+
+    name: str
+    rows: list[dict] = field(default_factory=list)
+
+    def add(self, params: dict, timing: dict) -> None:
+        self.rows.append({**params, **timing})
+
+    def series(self, x: str, group: str) -> dict:
+        """Group rows into ``{group_value: (xs, medians)}`` — a figure's lines."""
+        out: dict = {}
+        for row in self.rows:
+            key = row[group]
+            out.setdefault(key, ([], []))
+            out[key][0].append(row[x])
+            out[key][1].append(row["median"])
+        return out
+
+
+def run_sweep(
+    name: str,
+    grid: Iterable[dict],
+    make_task: Callable[[dict], Callable[[], object]],
+    *,
+    repeats: int = 3,
+    verbose: bool = False,
+) -> SweepResult:
+    """Time ``make_task(params)()`` for every parameter point of *grid*."""
+    result = SweepResult(name)
+    for params in grid:
+        task = make_task(params)
+        timing = time_callable(task, repeats=repeats)
+        result.add(params, timing)
+        if verbose:
+            rendered = ", ".join(f"{k}={v}" for k, v in params.items())
+            print(f"[{name}] {rendered}: {timing['median'] * 1000:.1f} ms")
+    return result

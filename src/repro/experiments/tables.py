@@ -1,0 +1,34 @@
+"""Table rendering: the paper's Table 1 and sweep-result tables."""
+
+from __future__ import annotations
+
+from ..complexity import render_table
+from .runner import SweepResult
+
+
+def render_table1() -> str:
+    """The complexity-results summary (paper Table 1)."""
+    return render_table()
+
+
+def render_results_table(result: SweepResult, *, x: str = "n", group: str = "N") -> str:
+    """A figure's data as fixed-width text: one line per series.
+
+    Mirrors how the paper's figures read: the swept dimension across the
+    columns, one row per training-set size, medians in milliseconds.
+    """
+    series = result.series(x, group)
+    xs = sorted({row[x] for row in result.rows})
+    header = [f"{group}\\{x}"] + [str(v) for v in xs]
+    lines = [result.name, "  ".join(f"{h:>10}" for h in header)]
+    for key in sorted(series):
+        xs_k, medians = series[key]
+        lookup = dict(zip(xs_k, medians))
+        cells = [f"{key:>10}"]
+        for v in xs:
+            if v in lookup:
+                cells.append(f"{lookup[v] * 1000:>8.1f}ms")
+            else:
+                cells.append(" " * 10)
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

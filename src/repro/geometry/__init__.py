@@ -1,0 +1,25 @@
+"""Polyhedral geometry for the continuous l2 setting (Section 5).
+
+The key fact the paper exploits is that under the l2-norm the set of
+points equidistant from two references ``a`` and ``c`` is a *hyperplane*
+(Figure 3), so every distance comparison ``d(x,a) <= d(x,c)`` is a
+halfspace in ``x``.  Combined with the Proposition-1 witness sets, the
+decision regions of the classifier decompose into polynomially many
+(possibly open) polyhedra — the structure every Section-5 algorithm
+walks over.
+"""
+
+from __future__ import annotations
+
+from .affine import AffineSubspace
+from .halfspace import Halfspace, bisector_halfspace
+from .polyhedron import Polyhedron
+from .regions import decision_region_polyhedra
+
+__all__ = [
+    "Halfspace",
+    "bisector_halfspace",
+    "Polyhedron",
+    "AffineSubspace",
+    "decision_region_polyhedra",
+]

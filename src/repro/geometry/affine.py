@@ -1,0 +1,71 @@
+"""Axis-aligned affine subspaces ``U(X, x)``.
+
+The sufficient-reason machinery works with the subspace of inputs that
+agree with a reference vector ``x`` on a component set ``X``:
+
+    U(X, x) = { y in R^n : y[i] = x[i] for every i in X }
+
+(Proposition 3).  The class exposes both representations used by the
+algorithms: equality constraints (to hand to an LP) and substitution
+(eliminating the pinned coordinates to shrink a system).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_index_set, as_vector
+
+
+class AffineSubspace:
+    """``{ y : y[i] = anchor[i] for i in fixed }`` over R^n."""
+
+    def __init__(self, anchor, fixed):
+        self.anchor = as_vector(anchor, name="anchor")
+        self.fixed = as_index_set(fixed, dimension=self.anchor.shape[0], name="fixed")
+        self.dimension = self.anchor.shape[0]
+        self.free = tuple(i for i in range(self.dimension) if i not in self.fixed)
+
+    @property
+    def codimension(self) -> int:
+        return len(self.fixed)
+
+    def equality_system(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(A_eq, b_eq)`` with one row per fixed coordinate."""
+        rows = sorted(self.fixed)
+        A = np.zeros((len(rows), self.dimension))
+        for r, i in enumerate(rows):
+            A[r, i] = 1.0
+        b = self.anchor[rows]
+        return A, b
+
+    def substitute(self, A: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Eliminate the fixed coordinates from ``A y <= b``.
+
+        Returns ``(A', b')`` over the free coordinates only, such that
+        ``A' z <= b'`` iff ``A y <= b`` for the y obtained by embedding z.
+        """
+        A = np.asarray(A, dtype=float).reshape(-1, self.dimension)
+        b = np.asarray(b, dtype=float).ravel()
+        fixed = sorted(self.fixed)
+        shift = A[:, fixed] @ self.anchor[fixed] if fixed else np.zeros(A.shape[0])
+        return A[:, list(self.free)], b - shift
+
+    def embed(self, z) -> np.ndarray:
+        """Lift a free-coordinate vector back into R^n."""
+        z = np.asarray(z, dtype=float).ravel()
+        if z.shape[0] != len(self.free):
+            raise ValueError(
+                f"expected {len(self.free)} free coordinates, got {z.shape[0]}"
+            )
+        y = self.anchor.copy()
+        y[list(self.free)] = z
+        return y
+
+    def contains(self, y, *, tol: float = 1e-12) -> bool:
+        yv = as_vector(y, name="y")
+        fixed = sorted(self.fixed)
+        return bool(np.all(np.abs(yv[fixed] - self.anchor[fixed]) <= tol))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AffineSubspace(R^{self.dimension}, fixed={sorted(self.fixed)})"

@@ -1,0 +1,58 @@
+"""Halfspaces and l2 bisector halfspaces.
+
+Section 5 of the paper: with the l2-norm, ``d(x, a) <= d(x, c)`` is the
+linear inequality ``(a - c)^T x >= 1/2 (a - c)^T (a + c)``, because the
+set of equidistant points is the hyperplane through the midpoint
+``(a + c)/2`` orthogonal to ``a - c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_vector
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """The constraint ``w . x <= b`` (strict when ``strict`` is True)."""
+
+    w: np.ndarray
+    b: float
+    strict: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "w", np.asarray(self.w, dtype=np.float64))
+        object.__setattr__(self, "b", float(self.b))
+
+    def contains(self, x, *, tol: float = 1e-9) -> bool:
+        value = float(np.dot(self.w, np.asarray(x, dtype=np.float64)))
+        if self.strict:
+            return value < self.b - tol
+        return value <= self.b + tol
+
+    def flipped(self) -> "Halfspace":
+        """The complementary halfspace ``w . x >= b`` as ``-w . x <= -b``.
+
+        The complement of a non-strict halfspace is strict and vice
+        versa.
+        """
+        return Halfspace(-self.w, -self.b, strict=not self.strict)
+
+
+def bisector_halfspace(a, c, *, strict: bool = False) -> Halfspace:
+    """Halfspace of points (weakly) l2-closer to *a* than to *c*.
+
+    Returns the constraint for ``d2(x, a) <= d2(x, c)`` (or ``<`` when
+    *strict*), in the ``w . x <= b`` convention:
+    ``(c - a)^T x <= 1/2 (c - a)^T (c + a)``.
+    """
+    av = as_vector(a, name="a")
+    cv = as_vector(c, name="c")
+    if av.shape != cv.shape:
+        raise ValueError(f"shape mismatch: {av.shape} vs {cv.shape}")
+    w = cv - av
+    b = 0.5 * float(np.dot(cv - av, cv + av))
+    return Halfspace(w, b, strict=strict)

@@ -1,0 +1,87 @@
+"""Decision regions of an l2 k-NN classifier as unions of polyhedra.
+
+By Proposition 1, ``{ x : f(x) = 1 }`` is the union, over witness pairs
+``(A, B)`` with ``A ⊆ S+`` of size ``(k+1)/2`` and ``B ⊆ S-`` of size at
+most ``(k-1)/2``, of the polyhedra
+
+    P(A, B) = { x : d2(x, a) <= d2(x, c)  for all a in A, c in S- \\ B }
+
+and ``{ x : f(x) = 0 }`` is the analogous union with the classes swapped
+and *strict* inequalities.  Each distance comparison is a halfspace
+(:func:`~repro.geometry.halfspace.bisector_halfspace`), so the union has
+at most ``|S|^(2k)`` members — polynomially many for fixed k.  This is
+the enumeration driving Proposition 3 and Theorem 2.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+import numpy as np
+
+from .._validation import check_odd_k
+from ..knn.dataset import Dataset
+from .halfspace import bisector_halfspace
+from .polyhedron import Polyhedron
+
+
+def decision_region_polyhedra(
+    dataset: Dataset, k: int, label: int
+) -> Iterator[Polyhedron]:
+    """Yield the Proposition-1 polyhedra covering ``{x : f^k(x) = label}``.
+
+    For ``label == 1`` the pieces are closed; for ``label == 0`` they are
+    open (strict constraints), reflecting the optimistic tie-breaking.
+    Multiplicities are expanded first.
+    """
+    check_odd_k(k)
+    if label not in (0, 1):
+        raise ValueError(f"label must be 0 or 1, got {label}")
+    expanded = dataset.expanded()
+    if label == 1:
+        winning, losing = expanded.positives, expanded.negatives
+        strict = False
+    else:
+        winning, losing = expanded.negatives, expanded.positives
+        strict = True
+    need = (k + 1) // 2
+    slack = (k - 1) // 2
+    n = dataset.dimension
+    n_win = winning.shape[0]
+    n_lose = losing.shape[0]
+    if n_win < need:
+        # The winning class can never reach a majority: empty region.
+        return
+    for A_idx in combinations(range(n_win), need):
+        A_pts = winning[list(A_idx)]
+        for b_size in range(min(slack, n_lose) + 1):
+            for B_idx in combinations(range(n_lose), b_size):
+                keep = np.ones(n_lose, dtype=bool)
+                keep[list(B_idx)] = False
+                rest = losing[keep]
+                halfspaces = [
+                    bisector_halfspace(a, c, strict=strict)
+                    for a in A_pts
+                    for c in rest
+                ]
+                yield Polyhedron(n, halfspaces)
+
+
+def count_region_polyhedra(dataset: Dataset, k: int, label: int) -> int:
+    """Number of pieces :func:`decision_region_polyhedra` will yield."""
+    from math import comb
+
+    check_odd_k(k)
+    expanded = dataset.expanded()
+    if label == 1:
+        n_win, n_lose = expanded.positives.shape[0], expanded.negatives.shape[0]
+    else:
+        n_win, n_lose = expanded.negatives.shape[0], expanded.positives.shape[0]
+    need = (k + 1) // 2
+    slack = (k - 1) // 2
+    if n_win < need:
+        return 0
+    return comb(n_win, need) * sum(
+        comb(n_lose, b) for b in range(min(slack, n_lose) + 1)
+    )

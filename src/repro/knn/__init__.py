@@ -1,0 +1,26 @@
+"""k-Nearest-Neighbor classification semantics (Section 2 of the paper).
+
+This package implements the exact classification function
+``f^k_{S+,S-}`` studied by the paper, including its *optimistic*
+tie-breaking rule, together with the witness-set characterization of
+Proposition 1 that most algorithms in the paper build on.
+"""
+
+from __future__ import annotations
+
+from .classifier import KNNClassifier
+from .dataset import Dataset
+from .certificates import Witness, find_witness, verify_witness
+from .multiclass import MultiClass1NN
+from .thinning import condense, relevant_points_1nn
+
+__all__ = [
+    "Dataset",
+    "KNNClassifier",
+    "Witness",
+    "find_witness",
+    "verify_witness",
+    "MultiClass1NN",
+    "condense",
+    "relevant_points_1nn",
+]

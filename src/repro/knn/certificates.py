@@ -1,0 +1,127 @@
+"""Witness sets for Proposition 1.
+
+Proposition 1 characterizes the classifier through two existential
+statements:
+
+(a) ``f(x) = 1``  iff there are ``A ⊆ S+`` with ``|A| = (k+1)/2`` and
+    ``B ⊆ S-`` with ``|B| <= (k-1)/2`` such that ``d(x,a) <= d(x,c)``
+    for every ``a ∈ A`` and ``c ∈ S- \\ B``;
+
+(b) ``f(x) = 0``  iff there are ``A ⊆ S-`` with ``|A| = (k+1)/2`` and
+    ``B ⊆ S+`` with ``|B| <= (k-1)/2`` such that ``d(x,a) < d(x,c)``
+    for every ``a ∈ A`` and ``c ∈ S+ \\ B``  (note the strict inequality).
+
+A :class:`Witness` materializes such a pair ``(A, B)`` as index arrays
+into the dataset's (multiplicity-expanded) positive/negative matrices.
+Witnesses are the atoms the polynomial-time algorithms of Sections 5–6
+enumerate, so producing and *verifying* them independently of the
+classifier is the backbone of our test strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_vector
+from ..exceptions import ValidationError
+from ..metrics import get_metric
+from .classifier import KNNClassifier
+from .dataset import Dataset
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A Proposition-1 certificate for the label of a point.
+
+    Attributes
+    ----------
+    label:
+        the certified classifier output (0 or 1).
+    A:
+        indices (into the expanded matrix of the *winning* class) of the
+        ``(k+1)/2`` points that reach the query first.
+    B:
+        indices (into the expanded matrix of the *losing* class) of up to
+        ``(k-1)/2`` points excused from the distance comparison.
+    """
+
+    label: int
+    A: tuple[int, ...]
+    B: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.label not in (0, 1):
+            raise ValidationError(f"label must be 0 or 1, got {self.label}")
+
+
+def _expanded_sides(dataset: Dataset) -> tuple[np.ndarray, np.ndarray]:
+    expanded = dataset.expanded()
+    return expanded.positives, expanded.negatives
+
+
+def find_witness(classifier: KNNClassifier, x) -> Witness:
+    """Construct a Proposition-1 witness for ``f(x)``.
+
+    The construction follows the ball-inflation proof: ``A`` is the
+    majority-many closest points of the winning class; ``B`` is every
+    losing-class point strictly inside (resp. not outside) that ball.
+    """
+    xv = as_vector(x, name="x")
+    label = classifier.classify(xv)
+    pos, neg = _expanded_sides(classifier.dataset)
+    metric = classifier.metric
+    need = classifier.majority
+    d_pos = metric.powers_to(pos, xv)
+    d_neg = metric.powers_to(neg, xv)
+    if label == 1:
+        order = np.argsort(d_pos, kind="stable")
+        A = order[:need]
+        radius = d_pos[A[-1]]
+        # Negatives strictly inside the ball are excused.
+        B = np.flatnonzero(d_neg < radius)
+    else:
+        order = np.argsort(d_neg, kind="stable")
+        A = order[:need]
+        radius = d_neg[A[-1]]
+        # Positives inside or on the boundary are excused (strict rule).
+        B = np.flatnonzero(d_pos <= radius)
+    witness = Witness(label=label, A=tuple(int(i) for i in A), B=tuple(int(i) for i in B))
+    if len(witness.B) > (classifier.k - 1) // 2:  # pragma: no cover - classifier bug guard
+        raise ValidationError("internal error: witness B exceeds (k-1)/2")
+    return witness
+
+
+def verify_witness(classifier: KNNClassifier, x, witness: Witness) -> bool:
+    """Check a witness against the Proposition-1 inequalities from scratch.
+
+    This verifier deliberately avoids the classifier's own ``r+/r-`` rule
+    so it can serve as an independent oracle in tests.
+    """
+    xv = as_vector(x, name="x")
+    pos, neg = _expanded_sides(classifier.dataset)
+    metric = classifier.metric
+    need = classifier.majority
+    slack = (classifier.k - 1) // 2
+    if len(set(witness.A)) != need or len(set(witness.B)) > slack:
+        return False
+    if witness.label == 1:
+        winning, losing = pos, neg
+    else:
+        winning, losing = neg, pos
+    if witness.A and max(witness.A) >= winning.shape[0]:
+        return False
+    if witness.B and max(witness.B) >= losing.shape[0]:
+        return False
+    d_win = metric.powers_to(winning, xv)
+    d_lose = metric.powers_to(losing, xv)
+    a_max = max(d_win[list(witness.A)]) if witness.A else -np.inf
+    keep = np.ones(losing.shape[0], dtype=bool)
+    keep[list(witness.B)] = False
+    rest = d_lose[keep]
+    if rest.size == 0:
+        return True
+    if witness.label == 1:
+        return bool(a_max <= rest.min())
+    return bool(a_max < rest.min())

@@ -1,0 +1,149 @@
+"""The optimistic k-NN classification function ``f^k_{S+,S-}``.
+
+The paper defines ``f(x) = 1`` iff there is a size-k subset ``T`` of
+``S+ ∪ S-`` whose majority is positive and whose members are all at
+distance ``<=`` every point outside ``T`` (the *optimistic* view of
+ties).  The proof of Proposition 1 gives the equivalent "ball inflation"
+rule used here:
+
+    grow a ball centered at x; classify positively iff (k+1)/2 positive
+    points fall inside no later than (k+1)/2 negative points do.
+
+Writing ``r+`` (resp. ``r-``) for the distance at which the ``(k+1)/2``-th
+positive (negative) point is reached — counting multiplicities, ``+inf``
+when that many points do not exist — we get ``f(x) = 1  iff  r+ <= r-``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_vector, check_odd_k
+from ..exceptions import ValidationError
+from ..metrics import Metric, get_metric
+from .dataset import Dataset
+
+_EPS_REL = 1e-12
+
+
+def _kth_smallest_with_multiplicity(
+    values: np.ndarray, multiplicities: np.ndarray, k: int
+) -> float:
+    """k-th smallest element (1-based) of *values* repeated per multiplicity.
+
+    Returns ``+inf`` when fewer than *k* elements exist in total.
+    """
+    if multiplicities.sum() < k:
+        return np.inf
+    order = np.argsort(values, kind="stable")
+    running = 0
+    for idx in order:
+        running += int(multiplicities[idx])
+        if running >= k:
+            return float(values[idx])
+    return np.inf  # pragma: no cover - unreachable given the sum check
+
+
+class KNNClassifier:
+    """Exact k-NN classifier with the paper's optimistic tie-breaking.
+
+    Parameters
+    ----------
+    dataset:
+        the labeled examples ``(S+, S-)``.
+    k:
+        positive odd integer; must not exceed ``len(dataset)``.
+    metric:
+        a :class:`~repro.metrics.Metric` or an alias accepted by
+        :func:`~repro.metrics.get_metric` (default Euclidean, or Hamming
+        when the dataset is discrete).
+    """
+
+    def __init__(self, dataset: Dataset, k: int = 1, metric=None):
+        if not isinstance(dataset, Dataset):
+            raise ValidationError("dataset must be a repro.knn.Dataset")
+        self.dataset = dataset
+        self.k = check_odd_k(k)
+        if len(dataset) < self.k:
+            raise ValidationError(
+                f"the dataset must contain at least k={self.k} points "
+                f"(has {len(dataset)})"
+            )
+        if metric is None:
+            metric = "hamming" if dataset.discrete else "l2"
+        self.metric: Metric = get_metric(metric)
+        if dataset.discrete and not self.metric.is_discrete:
+            # The paper also evaluates binarized data under continuous
+            # metrics, so this is allowed — just not the default.
+            pass
+
+    # -- distances ------------------------------------------------------
+
+    @property
+    def majority(self) -> int:
+        """``(k+1)/2``, the number of like-labeled neighbors needed to win."""
+        return (self.k + 1) // 2
+
+    def _radii(self, x: np.ndarray) -> tuple[float, float]:
+        """``(r+, r-)``: surrogate distances at which each side reaches majority."""
+        ds = self.dataset
+        need = self.majority
+        pos_d = self.metric.powers_to(ds.positives, x)
+        neg_d = self.metric.powers_to(ds.negatives, x)
+        r_pos = _kth_smallest_with_multiplicity(pos_d, ds.positive_multiplicities, need)
+        r_neg = _kth_smallest_with_multiplicity(neg_d, ds.negative_multiplicities, need)
+        return r_pos, r_neg
+
+    # -- classification --------------------------------------------------
+
+    def classify(self, x) -> int:
+        """Return ``f^k_{S+,S-}(x)`` as 0 or 1."""
+        xv = as_vector(x, name="x")
+        if xv.shape[0] != self.dataset.dimension:
+            raise ValidationError(
+                f"x has dimension {xv.shape[0]}, dataset has {self.dataset.dimension}"
+            )
+        r_pos, r_neg = self._radii(xv)
+        # Optimistic rule: ties favor the positive class.
+        return 1 if r_pos <= r_neg else 0
+
+    def classify_batch(self, points) -> np.ndarray:
+        """Vector of ``f(x)`` values for every row of *points*."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        return np.array([self.classify(p) for p in pts], dtype=np.int64)
+
+    def margin(self, x) -> float:
+        """Signed surrogate-distance margin ``r- − r+`` (positive ⇒ class 1).
+
+        The margin is expressed in the metric's monotone surrogate units
+        (squared distance for l2, p-th power for lp); its *sign* is what
+        carries meaning.  A margin of exactly 0 means the optimistic
+        tie-break decided the label.
+        """
+        xv = as_vector(x, name="x")
+        r_pos, r_neg = self._radii(xv)
+        if np.isinf(r_pos) and np.isinf(r_neg):  # pragma: no cover - excluded by k<=|S|
+            return 0.0
+        if np.isinf(r_pos):
+            return -np.inf
+        if np.isinf(r_neg):
+            return np.inf
+        return float(r_neg - r_pos)
+
+    def neighbors(self, x, *, k: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """The k nearest points and their boolean labels (multiplicity-expanded).
+
+        Ties at the boundary are broken arbitrarily (by index); use
+        :func:`~repro.knn.find_witness` for a certified neighbor set.
+        """
+        xv = as_vector(x, name="x")
+        k = self.k if k is None else int(k)
+        points, labels = self.dataset.all_points()
+        d = self.metric.powers_to(points, xv)
+        order = np.argsort(d, kind="stable")[:k]
+        return points[order], labels[order]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KNNClassifier(k={self.k}, metric={self.metric.name}, {self.dataset!r})"

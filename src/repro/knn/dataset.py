@@ -1,0 +1,178 @@
+"""Labeled point sets ``(S+, S-)`` with optional multiplicities.
+
+The paper's definitions take two subsets ``S+`` (positive examples) and
+``S-`` (negative examples) of ``M^n``.  Several hardness constructions
+(Theorems 3 and 5) are first stated with *multiplicities* — the same
+point occurring several times — and then de-duplicated; :class:`Dataset`
+supports both styles so the reductions can be implemented exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import (
+    as_boolean_matrix,
+    as_matrix,
+    check_multiplicities,
+)
+from ..exceptions import DimensionMismatchError, ValidationError
+
+
+class Dataset:
+    """Immutable container for positive and negative examples.
+
+    Parameters
+    ----------
+    positives, negatives:
+        2-D arrays (rows are points).  One of them may be empty, but not
+        both; empty sets are materialized with the right dimension.
+    positive_multiplicities, negative_multiplicities:
+        optional per-row counts (default 1 each).
+    discrete:
+        when True, entries are validated to be 0/1 (the paper's discrete
+        setting over the Boolean hypercube).
+    """
+
+    def __init__(
+        self,
+        positives,
+        negatives,
+        *,
+        positive_multiplicities: Sequence[int] | None = None,
+        negative_multiplicities: Sequence[int] | None = None,
+        discrete: bool = False,
+    ):
+        coerce = as_boolean_matrix if discrete else as_matrix
+        pos = coerce(positives, name="positives")
+        neg = coerce(negatives, name="negatives")
+        if pos.size == 0 and neg.size == 0:
+            raise ValidationError("dataset must contain at least one point")
+        if pos.size == 0:
+            pos = np.empty((0, neg.shape[1]))
+        if neg.size == 0:
+            neg = np.empty((0, pos.shape[1]))
+        if pos.shape[1] != neg.shape[1]:
+            raise DimensionMismatchError(
+                f"positives have dimension {pos.shape[1]}, negatives {neg.shape[1]}"
+            )
+        self._positives = pos
+        self._negatives = neg
+        self._positives.setflags(write=False)
+        self._negatives.setflags(write=False)
+        self._pos_mult = check_multiplicities(
+            positive_multiplicities, pos.shape[0], name="positive_multiplicities"
+        )
+        self._neg_mult = check_multiplicities(
+            negative_multiplicities, neg.shape[0], name="negative_multiplicities"
+        )
+        self.discrete = bool(discrete)
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_labeled(cls, points, labels, *, discrete: bool = False) -> "Dataset":
+        """Build a dataset from a point matrix and a 0/1 (or bool) label array."""
+        pts = as_matrix(points, name="points")
+        lab = np.asarray(labels).astype(bool).ravel()
+        if lab.shape[0] != pts.shape[0]:
+            raise ValidationError(
+                f"labels has length {lab.shape[0]}, expected {pts.shape[0]}"
+            )
+        return cls(pts[lab], pts[~lab], discrete=discrete)
+
+    # -- basic accessors ----------------------------------------------
+
+    @property
+    def positives(self) -> np.ndarray:
+        """Unique positive points, one row each (read-only view)."""
+        return self._positives
+
+    @property
+    def negatives(self) -> np.ndarray:
+        """Unique negative points, one row each (read-only view)."""
+        return self._negatives
+
+    @property
+    def positive_multiplicities(self) -> np.ndarray:
+        return self._pos_mult
+
+    @property
+    def negative_multiplicities(self) -> np.ndarray:
+        return self._neg_mult
+
+    @property
+    def dimension(self) -> int:
+        return self._positives.shape[1]
+
+    @property
+    def n_positive(self) -> int:
+        """Number of positive points, counting multiplicities."""
+        return int(self._pos_mult.sum())
+
+    @property
+    def n_negative(self) -> int:
+        """Number of negative points, counting multiplicities."""
+        return int(self._neg_mult.sum())
+
+    def __len__(self) -> int:
+        return self.n_positive + self.n_negative
+
+    @property
+    def has_multiplicities(self) -> bool:
+        return bool(np.any(self._pos_mult > 1) or np.any(self._neg_mult > 1))
+
+    # -- derived forms -------------------------------------------------
+
+    def expanded(self) -> "Dataset":
+        """Multiplicity-free dataset with repeated rows materialized."""
+        if not self.has_multiplicities:
+            return self
+        return Dataset(
+            np.repeat(self._positives, self._pos_mult, axis=0),
+            np.repeat(self._negatives, self._neg_mult, axis=0),
+            discrete=self.discrete,
+        )
+
+    def all_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(points, labels)`` with multiplicities expanded; labels are bool."""
+        expanded = self.expanded()
+        points = np.vstack([expanded._positives, expanded._negatives])
+        labels = np.concatenate(
+            [
+                np.ones(expanded._positives.shape[0], dtype=bool),
+                np.zeros(expanded._negatives.shape[0], dtype=bool),
+            ]
+        )
+        return points, labels
+
+    def swapped(self) -> "Dataset":
+        """Dataset with the roles of S+ and S- exchanged."""
+        return Dataset(
+            self._negatives,
+            self._positives,
+            positive_multiplicities=self._neg_mult,
+            negative_multiplicities=self._pos_mult,
+            discrete=self.discrete,
+        )
+
+    def restrict_dims(self, keep) -> "Dataset":
+        """Project every point to the listed coordinates (order preserved)."""
+        keep = np.asarray(list(keep), dtype=np.int64)
+        return Dataset(
+            self._positives[:, keep],
+            self._negatives[:, keep],
+            positive_multiplicities=self._pos_mult,
+            negative_multiplicities=self._neg_mult,
+            discrete=self.discrete,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "discrete" if self.discrete else "continuous"
+        return (
+            f"Dataset({tag}, n={self.dimension}, "
+            f"|S+|={self.n_positive}, |S-|={self.n_negative})"
+        )

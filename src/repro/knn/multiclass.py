@@ -1,0 +1,124 @@
+"""Multi-label explanations for 1-NN via label merging.
+
+The paper's final remarks observe that for ``k = 1`` the multi-label
+case reduces to the binary one: to explain why ``x`` was classified
+with label ``l``, merge all other labels into a single negative class
+— the explanation problems on the merged dataset coincide with the
+multi-label ones.  (For ``k >= 3`` the same trick fails and the
+complexity is open; this module therefore supports ``k = 1`` only.)
+
+:class:`MultiClass1NN` wraps an integer-labeled point set and exposes
+classification, sufficient reasons, and counterfactuals — either
+"change to anything else" or targeted "change to label t" (merge
+``S+ = class t`` instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_matrix, as_vector
+from ..exceptions import ValidationError
+from ..metrics import get_metric
+from .dataset import Dataset
+from .classifier import KNNClassifier
+
+
+class MultiClass1NN:
+    """1-NN over integer labels with merge-based formal explanations."""
+
+    def __init__(self, points, labels, metric=None):
+        self.points = as_matrix(points, name="points")
+        self.labels = np.asarray(labels, dtype=np.int64).ravel()
+        if self.labels.shape[0] != self.points.shape[0]:
+            raise ValidationError(
+                f"labels has length {self.labels.shape[0]}, "
+                f"expected {self.points.shape[0]}"
+            )
+        if self.points.shape[0] == 0:
+            raise ValidationError("need at least one training point")
+        self.classes = sorted(int(c) for c in np.unique(self.labels))
+        discrete_data = bool(np.all((self.points == 0) | (self.points == 1)))
+        if metric is None:
+            metric = "hamming" if discrete_data else "l2"
+        self.metric = get_metric(metric)
+        self._discrete = discrete_data and self.metric.is_discrete
+
+    @property
+    def dimension(self) -> int:
+        return self.points.shape[1]
+
+    def classify(self, x, *, favor: int | None = None) -> int:
+        """Label of the nearest point.
+
+        Distance ties break toward *favor* when given and present among
+        the tied candidates, else toward the smallest label.  The
+        *favor* rule is the multi-label counterpart of the paper's
+        optimistic tie-breaking: the merged binary problem "class l vs
+        rest" counts boundary points as class l, so explanations
+        produced through :meth:`merged` certify labels under
+        ``classify(x, favor=l)`` semantics.
+        """
+        xv = as_vector(x, name="x")
+        d = self.metric.powers_to(self.points, xv)
+        best = d.min()
+        candidates = self.labels[d <= best]
+        if favor is not None and int(favor) in candidates:
+            return int(favor)
+        return int(candidates.min())
+
+    def merged(self, positive_label: int) -> Dataset:
+        """The binary dataset ``class l`` vs everything else."""
+        if positive_label not in self.classes:
+            raise ValidationError(f"unknown label {positive_label}")
+        mask = self.labels == positive_label
+        if mask.all():
+            raise ValidationError("merging needs at least two distinct labels")
+        return Dataset(
+            self.points[mask], self.points[~mask], discrete=self._discrete
+        )
+
+    # -- explanations ---------------------------------------------------
+
+    def check_sufficient_reason(self, x, X) -> bool:
+        """Is X sufficient for x's multi-label classification?"""
+        from ..abductive import check_sufficient_reason
+
+        label = self.classify(x)
+        return bool(
+            check_sufficient_reason(self.merged(label), 1, self.metric, x, X)
+        )
+
+    def minimal_sufficient_reason(self, x) -> frozenset[int]:
+        from ..abductive import minimal_sufficient_reason
+
+        label = self.classify(x)
+        return minimal_sufficient_reason(self.merged(label), 1, self.metric, x)
+
+    def closest_counterfactual(self, x, *, target: int | None = None, **kwargs):
+        """Closest input with a different label (or with label *target*).
+
+        Untargeted: merge "predicted vs rest" and flip out of the
+        positive class.  Targeted: merge "target vs rest" and flip into
+        the positive class.  Targeted results are certified under the
+        optimistic semantics ``classify(y, favor=target)`` — the
+        returned point can sit exactly on the decision boundary, where
+        the merge rule awards it the target label.
+        """
+        from ..counterfactual import closest_counterfactual
+
+        label = self.classify(x)
+        if target is None:
+            data = self.merged(label)
+        else:
+            target = int(target)
+            if target == label:
+                raise ValidationError("x already has the target label")
+            data = self.merged(target)
+        return closest_counterfactual(data, 1, self.metric, x, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiClass1NN({len(self.classes)} classes, n={self.dimension}, "
+            f"{self.points.shape[0]} points, metric={self.metric.name})"
+        )

@@ -1,0 +1,45 @@
+"""Definition-based reference implementation of ``f^k_{S+,S-}``.
+
+The paper defines ``f(x) = 1`` iff **some** size-k subset ``T`` of
+``S+ ∪ S-`` has a positive majority and satisfies
+``d(x, y) <= d(x, z)`` for all ``y ∈ T`` and ``z ∉ T``.
+
+:func:`classify_by_definition` evaluates that existential statement by
+brute force over all ``C(|S|, k)`` subsets.  It is exponential in k and
+only usable on tiny datasets — which is exactly its purpose: it is the
+independent oracle against which the production classifier (the
+ball-inflation rule derived in Proposition 1) is validated.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from .._validation import as_vector, check_odd_k
+from ..metrics import get_metric
+from .dataset import Dataset
+
+
+def classify_by_definition(dataset: Dataset, k: int, metric, x) -> int:
+    """Evaluate the paper's raw optimistic k-NN definition by enumeration."""
+    k = check_odd_k(k)
+    metric = get_metric(metric)
+    xv = as_vector(x, name="x")
+    points, labels = dataset.all_points()
+    m = points.shape[0]
+    if m < k:
+        raise ValueError(f"need at least k={k} points, have {m}")
+    d = metric.powers_to(points, xv)
+    majority = (k + 1) // 2
+    for T in combinations(range(m), k):
+        T = list(T)
+        if int(labels[T].sum()) < majority:
+            continue
+        inside_max = d[T].max()
+        outside = np.ones(m, dtype=bool)
+        outside[T] = False
+        if not outside.any() or inside_max <= d[outside].min():
+            return 1
+    return 0

@@ -1,0 +1,175 @@
+"""Training-set thinning for nearest-neighbor classifiers.
+
+The paper's final remarks point at the line of work on *thinning* k-NN
+classifiers by removing redundant training points (Eppstein 2022,
+Flores-Velazco 2022, Rohrer & Weber 2023), noting it contributes to
+global interpretability and "might serve to speed up the computation of
+local explanations".  This module provides two classic reducers:
+
+* :func:`condense` — Hart's Condensed Nearest Neighbor: grow a subset
+  until every training point is classified correctly by 1-NN on the
+  subset (training-set-consistent, not boundary-exact);
+* :func:`relevant_points_1nn` — exact boundary-preserving reduction for
+  1-NN over l2 in the style of Eppstein's relevant points: a point is
+  kept iff deleting it changes the classifier *function* somewhere,
+  which we decide exactly with the library's own polyhedral machinery.
+
+The ablation benchmark ``bench_ablation_thinning.py`` measures the
+explanation-speedup claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_odd_k
+from ..exceptions import ValidationError
+from .classifier import KNNClassifier
+from .dataset import Dataset
+
+
+def condense(dataset: Dataset, *, k: int = 1, metric=None, max_passes: int = 50) -> Dataset:
+    """Hart's CNN: a subset on which k-NN classifies all training points
+    as the full classifier does.
+
+    Deterministic variant: points are scanned in index order, starting
+    from the first point of each class, and misclassified points are
+    absorbed until a clean pass.  The result is training-set-consistent
+    but may still differ from the full classifier off the training set.
+    """
+    check_odd_k(k)
+    if dataset.has_multiplicities:
+        dataset = dataset.expanded()
+    if metric is None:
+        metric = "hamming" if dataset.discrete else "l2"
+    full = KNNClassifier(dataset, k=k, metric=metric)
+    points, labels = dataset.all_points()
+    targets = full.classify_batch(points)
+
+    keep = np.zeros(points.shape[0], dtype=bool)
+    # Seed with the first point of each class (per the full classifier's
+    # own view of the training points, so contradictions cannot seed).
+    for label in (0, 1):
+        idx = np.flatnonzero(targets == label)
+        if idx.size:
+            keep[idx[0]] = True
+    if keep.sum() == 0:  # pragma: no cover - dataset is never empty
+        raise ValidationError("cannot condense an empty dataset")
+
+    # For k = 1 this is Hart's loop exactly (kept points always classify
+    # themselves correctly).  For k >= 3 even *kept* points can
+    # misclassify under the subset, so consistency is checked over all
+    # training points and further points are absorbed until every one
+    # classifies as the full model does (reaching the full set in the
+    # worst case, which is trivially consistent).
+    for _ in range(max_passes):
+        changed = False
+        subset = _subset_dataset(points, labels, keep)
+        clf = KNNClassifier(subset, k=k, metric=metric) if len(subset) >= k else None
+        for i in range(points.shape[0]):
+            predicted = clf.classify(points[i]) if clf is not None else -1
+            if predicted == targets[i]:
+                continue
+            if not keep[i]:
+                absorb = i
+            else:
+                # A kept point misclassifies: absorb some free point to
+                # shift the local vote (nearest free point to i).
+                free = np.flatnonzero(~keep)
+                if free.size == 0:
+                    continue
+                gaps = np.abs(points[free] - points[i]).sum(axis=1)
+                absorb = int(free[np.argmin(gaps)])
+            keep[absorb] = True
+            changed = True
+            subset = _subset_dataset(points, labels, keep)
+            clf = KNNClassifier(subset, k=k, metric=metric) if len(subset) >= k else None
+        if not changed:
+            break
+    return _subset_dataset(points, labels, keep)
+
+
+def _subset_dataset(points: np.ndarray, labels: np.ndarray, keep: np.ndarray) -> Dataset:
+    pos = points[keep & labels]
+    neg = points[keep & ~labels]
+    return Dataset(pos, neg, discrete=bool(np.all((points == 0) | (points == 1))))
+
+
+def relevant_points_1nn(dataset: Dataset) -> Dataset:
+    """Exact function-preserving reduction for 1-NN under l2.
+
+    A training point is *irrelevant* when deleting it leaves the
+    classifier function ``f^1`` unchanged on all of R^n.  Under the
+    optimistic tie-breaking semantics this is decidable exactly with the
+    library's own polyhedral machinery:
+
+    * a **positive** point ``i`` is relevant iff for some remaining
+      negative ``j`` the region "``i`` weakly closest overall, ``j``
+      strictly closer than every other positive" is non-empty — every
+      point of that region classifies 1 with ``i`` present and 0 after
+      its deletion (and completeness follows because the flipped query's
+      weakly-closest positive must have been ``i``);
+    * a **negative** point ``i`` is relevant iff for some remaining
+      positive ``j`` the region "``i`` strictly closer than every
+      positive, ``j`` weakly closer than every other negative" is
+      non-empty, by the mirrored argument.
+
+    Each deletion of an irrelevant point preserves the function exactly,
+    so greedily deleting until a fixpoint yields a subset whose 1-NN
+    classifier equals the original everywhere.
+    """
+    if dataset.has_multiplicities:
+        dataset = dataset.expanded()
+    points, labels = dataset.all_points()
+    n = points.shape[1]
+    active = list(range(points.shape[0]))
+
+    from ..geometry.halfspace import bisector_halfspace
+    from ..geometry.polyhedron import Polyhedron
+
+    def is_relevant(i: int, pool: list[int]) -> bool:
+        others = [t for t in pool if t != i]
+        if not others:
+            return True
+        same = [t for t in others if labels[t] == labels[i]]
+        opposite = [t for t in others if labels[t] != labels[i]]
+        if not opposite:
+            # All remaining points share i's label: f is constant with
+            # or without i.
+            return False
+        for j in opposite:
+            halfspaces = []
+            if labels[i]:
+                # i positive: weakly closest overall; j strictly beats
+                # every remaining positive after the deletion.
+                for t in others:
+                    halfspaces.append(bisector_halfspace(points[i], points[t]))
+                for s in same:
+                    halfspaces.append(
+                        bisector_halfspace(points[j], points[s], strict=True)
+                    )
+            else:
+                # i negative: strictly beats every positive; j weakly
+                # beats every remaining negative after the deletion.
+                for s in opposite:
+                    halfspaces.append(
+                        bisector_halfspace(points[i], points[s], strict=True)
+                    )
+                for t in same:
+                    halfspaces.append(bisector_halfspace(points[j], points[t]))
+            if not Polyhedron(n, halfspaces).is_empty():
+                return True
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for i in list(active):
+            if len(active) <= 1:
+                break
+            if not is_relevant(i, active):
+                active.remove(i)
+                changed = True
+    keep = np.zeros(points.shape[0], dtype=bool)
+    keep[active] = True
+    return _subset_dataset(points, labels, keep)

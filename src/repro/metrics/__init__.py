@@ -1,0 +1,62 @@
+"""Metric-space families from Section 2 of the paper.
+
+The paper studies two families ``(M, D)``:
+
+* the **continuous** setting ``(R, D_p)`` where ``d_n`` is the lp-norm
+  distance on ``R^n`` for a fixed integer ``p >= 1``; and
+* the **discrete** setting ``({0,1}, D_H)`` where ``d_n`` is the Hamming
+  distance on ``{0,1}^n``.
+
+:class:`Metric` is the shared interface; :func:`get_metric` resolves the
+user-facing string/objects into concrete metric instances.
+"""
+
+from __future__ import annotations
+
+from .base import Metric
+from .hamming import HammingMetric
+from .lp import L1Metric, L2Metric, LInfMetric, LpMetric
+
+__all__ = [
+    "Metric",
+    "LpMetric",
+    "L1Metric",
+    "L2Metric",
+    "LInfMetric",
+    "HammingMetric",
+    "get_metric",
+]
+
+_ALIASES = {
+    "l1": L1Metric,
+    "manhattan": L1Metric,
+    "l2": L2Metric,
+    "euclidean": L2Metric,
+    "linf": LInfMetric,
+    "chebyshev": LInfMetric,
+    "hamming": HammingMetric,
+    "discrete": HammingMetric,
+}
+
+
+def get_metric(metric) -> Metric:
+    """Resolve *metric* into a :class:`Metric` instance.
+
+    Accepts a :class:`Metric` (returned as-is), one of the string aliases
+    ``"l1" | "manhattan" | "l2" | "euclidean" | "linf" | "chebyshev" |
+    "hamming" | "discrete" | "lp:<p>"``, or an integer ``p`` (meaning the
+    lp metric).
+    """
+    if isinstance(metric, Metric):
+        return metric
+    if isinstance(metric, int):
+        return LpMetric(metric)
+    if isinstance(metric, str):
+        key = metric.strip().lower()
+        if key in _ALIASES:
+            return _ALIASES[key]()
+        if key.startswith("lp:"):
+            return LpMetric(int(key[3:]))
+        if key.startswith("l") and key[1:].isdigit():
+            return LpMetric(int(key[1:]))
+    raise ValueError(f"unknown metric specification: {metric!r}")

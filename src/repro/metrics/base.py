@@ -1,0 +1,65 @@
+"""Abstract base class for metrics used by the k-NN explanation machinery."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .._validation import as_matrix, as_vector
+
+
+class Metric(abc.ABC):
+    """A distance function ``d_n`` defined uniformly for every dimension n.
+
+    Subclasses implement :meth:`distances_to`, the vectorized primitive the
+    rest of the library builds on.  Comparisons between distances in the
+    paper's algorithms are often done on *monotone surrogates* (e.g. the
+    p-th power of the lp distance, or the squared Euclidean distance) to
+    keep arithmetic exact on rational inputs; :meth:`powers_to` exposes
+    that surrogate.
+    """
+
+    #: human-readable identifier, e.g. ``"l2"`` or ``"hamming"``
+    name: str = "abstract"
+
+    #: True when the metric's natural domain is the Boolean hypercube
+    is_discrete: bool = False
+
+    @abc.abstractmethod
+    def distances_to(self, points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Distances from every row of *points* to the vector *x*."""
+
+    def powers_to(self, points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Monotone surrogate of :meth:`distances_to` (default: identity).
+
+        Two distances compare identically under the surrogate; subclasses
+        override this to avoid roots (lp) while preserving order.
+        """
+        return self.distances_to(points, x)
+
+    def distance(self, x, y) -> float:
+        """Distance between two single vectors."""
+        xv = as_vector(x, name="x")
+        yv = as_vector(y, name="y")
+        if xv.shape != yv.shape:
+            raise ValueError(f"shape mismatch: {xv.shape} vs {yv.shape}")
+        return float(self.distances_to(yv.reshape(1, -1), xv)[0])
+
+    def pairwise(self, points_a, points_b) -> np.ndarray:
+        """Full (len(a), len(b)) distance matrix."""
+        a = as_matrix(points_a, name="points_a")
+        b = as_matrix(points_b, name="points_b")
+        out = np.empty((a.shape[0], b.shape[0]), dtype=np.float64)
+        for i in range(a.shape[0]):
+            out[i] = self.distances_to(b, a[i])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.name == getattr(other, "name", None)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))

@@ -1,0 +1,22 @@
+"""Hamming metric over {0,1}^n (the paper's discrete setting)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Metric
+
+
+class HammingMetric(Metric):
+    """Number of differing components between two Boolean vectors.
+
+    Vectors are represented as float arrays with entries in {0.0, 1.0}; the
+    distance computation ``sum |x_i - y_i|`` is exact for such inputs, so
+    Hamming distances are always integral floats.
+    """
+
+    name = "hamming"
+    is_discrete = True
+
+    def distances_to(self, points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return np.abs(points - x).sum(axis=1)

@@ -1,0 +1,73 @@
+"""lp-norm metrics over R^n (the paper's continuous setting ``(R, D_p)``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Metric
+
+
+class LpMetric(Metric):
+    """Distance induced by the lp-norm for an integer ``p >= 1``.
+
+    The paper's continuous results are stated for integer ``p > 0``; the
+    tractability landscape differs sharply between ``p = 2`` (convex
+    quadratic machinery applies, Section 5) and ``p = 1`` (Section 6).
+    ``p = math.inf`` is additionally supported for completeness as
+    :class:`LInfMetric` even though the paper does not analyze it.
+    """
+
+    def __init__(self, p: int):
+        if isinstance(p, float) and np.isinf(p):
+            self.p = np.inf
+        else:
+            p = int(p)
+            if p < 1:
+                raise ValueError(f"lp metric requires p >= 1, got {p}")
+            self.p = p
+        self.name = "linf" if self.p is np.inf else f"l{self.p}"
+
+    def distances_to(self, points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        diff = np.abs(points - x)
+        if self.p is np.inf:
+            return diff.max(axis=1) if diff.size else np.zeros(len(points))
+        if self.p == 1:
+            return diff.sum(axis=1)
+        if self.p == 2:
+            return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return np.power(np.power(diff, self.p).sum(axis=1), 1.0 / self.p)
+
+    def powers_to(self, points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """p-th power of the distance — exact on integer data, same order."""
+        diff = np.abs(points - x)
+        if self.p is np.inf:
+            return diff.max(axis=1) if diff.size else np.zeros(len(points))
+        if self.p == 1:
+            return diff.sum(axis=1)
+        if self.p == 2:
+            return np.einsum("ij,ij->i", diff, diff)
+        return np.power(diff, self.p).sum(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LpMetric(p={self.p})"
+
+
+class L1Metric(LpMetric):
+    """Manhattan distance (Section 6 of the paper)."""
+
+    def __init__(self):
+        super().__init__(1)
+
+
+class L2Metric(LpMetric):
+    """Euclidean distance (Section 5 of the paper)."""
+
+    def __init__(self):
+        super().__init__(2)
+
+
+class LInfMetric(LpMetric):
+    """Chebyshev distance; provided as an extension beyond the paper."""
+
+    def __init__(self):
+        super().__init__(np.inf)

@@ -1,0 +1,22 @@
+"""Nearest-neighbor search substrate.
+
+The paper's experiments rely on a fast NN library (FAISS) for the inner
+loop of the Proposition 4 minimal-sufficient-reason algorithm.  This
+package provides the offline equivalents:
+
+* :class:`BruteForceIndex` — vectorized exact search, any metric;
+* :class:`KDTreeIndex` — a from-scratch KD-tree, exact for lp metrics
+  (and Hamming, which embeds into l1 on the hypercube).
+
+Both share the :class:`NNIndex` interface: ``query(x, k)`` returns the
+``k`` smallest distances and their point indices, with deterministic
+index-order tie-breaking so results are reproducible across backends.
+"""
+
+from __future__ import annotations
+
+from .base import NNIndex, build_index
+from .brute import BruteForceIndex
+from .kdtree import KDTreeIndex
+
+__all__ = ["NNIndex", "BruteForceIndex", "KDTreeIndex", "build_index"]

@@ -1,0 +1,77 @@
+"""Common interface for exact nearest-neighbor indexes."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .._validation import as_matrix, as_vector
+from ..exceptions import ValidationError
+from ..metrics import Metric, get_metric
+
+
+class NNIndex(abc.ABC):
+    """Exact k-nearest-neighbor index over a fixed point set.
+
+    Ties in distance are broken by point index (smallest first), so every
+    conforming implementation returns identical results.
+    """
+
+    def __init__(self, points, metric="l2"):
+        self.points = as_matrix(points, name="points")
+        if self.points.shape[0] == 0:
+            raise ValidationError("cannot index an empty point set")
+        self.metric: Metric = get_metric(metric)
+
+    @property
+    def size(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        return self.points.shape[1]
+
+    def _check_query(self, x, k: int) -> tuple[np.ndarray, int]:
+        xv = as_vector(x, name="x")
+        if xv.shape[0] != self.dimension:
+            raise ValidationError(
+                f"query has dimension {xv.shape[0]}, index has {self.dimension}"
+            )
+        k = int(k)
+        if not 1 <= k <= self.size:
+            raise ValidationError(f"k must be in [1, {self.size}], got {k}")
+        return xv, k
+
+    @abc.abstractmethod
+    def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(distances, indices)`` of the k nearest points to x."""
+
+    def nearest(self, x) -> tuple[float, int]:
+        """Distance and index of the single nearest point."""
+        d, i = self.query(x, 1)
+        return float(d[0]), int(i[0])
+
+
+def build_index(points, metric="l2", *, prefer: str = "auto") -> NNIndex:
+    """Pick a backend for the given workload.
+
+    ``prefer`` may be ``"brute"``, ``"kdtree"`` or ``"auto"``.  The
+    automatic rule uses the KD-tree only in low dimensions, where its
+    pruning wins; in high dimensions (the paper's regime of hundreds of
+    features) brute force is faster — the classic curse-of-dimensionality
+    behavior, measured in ``benchmarks/bench_ablation_nn_index.py``.
+    """
+    from .brute import BruteForceIndex
+    from .kdtree import KDTreeIndex
+
+    if prefer == "brute":
+        return BruteForceIndex(points, metric)
+    if prefer == "kdtree":
+        return KDTreeIndex(points, metric)
+    if prefer != "auto":
+        raise ValidationError(f"prefer must be 'auto', 'brute' or 'kdtree', got {prefer!r}")
+    pts = as_matrix(points, name="points")
+    if pts.shape[1] <= 8 and pts.shape[0] >= 64:
+        return KDTreeIndex(pts, metric)
+    return BruteForceIndex(pts, metric)

@@ -1,0 +1,132 @@
+"""A from-scratch KD-tree supporting exact lp and Hamming queries.
+
+The tree stores axis-aligned splits at the median of the widest-spread
+coordinate.  Queries use branch-and-bound: a subtree is visited only when
+the distance from the query to the subtree's bounding box can still beat
+the current k-th best.  For any lp metric (p >= 1, including infinity)
+the box lower bound is the lp norm of the per-coordinate gaps, which is a
+valid lower bound on the distance to every point in the box; Hamming
+distance on {0,1}^n coincides with l1 there, so it is handled the same
+way.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics import HammingMetric, LpMetric
+from ..exceptions import ValidationError
+from .base import NNIndex
+
+_LEAF_SIZE = 16
+
+
+@dataclass
+class _Node:
+    """A KD-tree node; leaves carry point indices, inner nodes a split."""
+
+    indices: np.ndarray | None = None  # leaf payload
+    axis: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    lo: np.ndarray = field(default_factory=lambda: np.empty(0))
+    hi: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indices is not None
+
+
+class KDTreeIndex(NNIndex):
+    """Exact k-NN via a median-split KD-tree (build O(m log m))."""
+
+    def __init__(self, points, metric="l2"):
+        super().__init__(points, metric)
+        if isinstance(self.metric, HammingMetric):
+            self._p = 1  # Hamming == l1 on {0,1}^n
+        elif isinstance(self.metric, LpMetric):
+            self._p = self.metric.p
+        else:  # pragma: no cover - no other metric classes exist today
+            raise ValidationError(
+                f"KDTreeIndex supports lp/Hamming metrics, got {self.metric.name}"
+            )
+        self._root = self._build(np.arange(self.size))
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self, indices: np.ndarray) -> _Node:
+        pts = self.points[indices]
+        lo = pts.min(axis=0)
+        hi = pts.max(axis=0)
+        if indices.shape[0] <= _LEAF_SIZE or np.all(lo == hi):
+            return _Node(indices=np.sort(indices), lo=lo, hi=hi)
+        axis = int(np.argmax(hi - lo))
+        values = pts[:, axis]
+        threshold = float(np.median(values))
+        mask = values <= threshold
+        # A median of few distinct values can put everything on one side;
+        # fall back to a strict split around the midpoint.
+        if mask.all() or not mask.any():
+            threshold = float((lo[axis] + hi[axis]) / 2.0)
+            mask = values <= threshold
+            if mask.all() or not mask.any():  # pragma: no cover - lo<hi ensures a split
+                return _Node(indices=np.sort(indices), lo=lo, hi=hi)
+        node = _Node(axis=axis, threshold=threshold, lo=lo, hi=hi)
+        node.left = self._build(indices[mask])
+        node.right = self._build(indices[~mask])
+        return node
+
+    # -- queries ----------------------------------------------------------
+
+    def _box_gap_power(self, node: _Node, x: np.ndarray) -> float:
+        """Lower bound (in surrogate units) on d(x, any point in the box)."""
+        gap = np.maximum(node.lo - x, 0.0) + np.maximum(x - node.hi, 0.0)
+        if self._p is np.inf:
+            return float(gap.max()) if gap.size else 0.0
+        if self._p == 1:
+            return float(gap.sum())
+        return float(np.power(gap, self._p).sum())
+
+    def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        xv, k = self._check_query(x, k)
+        # Max-heap of the k best candidates as (-surrogate, -index): popping
+        # removes the worst candidate, and among equal distances the larger
+        # index, matching index-order tie-breaking.
+        best: list[tuple[float, int]] = []
+
+        def consider_leaf(node: _Node):
+            pts = self.points[node.indices]
+            d = self.metric.powers_to(pts, xv)
+            for dist, idx in zip(d, node.indices):
+                item = (-float(dist), -int(idx))
+                if len(best) < k:
+                    heapq.heappush(best, item)
+                elif item > best[0]:
+                    heapq.heapreplace(best, item)
+
+        def bound() -> float:
+            return -best[0][0] if len(best) == k else np.inf
+
+        def visit(node: _Node):
+            if self._box_gap_power(node, xv) > bound():
+                return
+            if node.is_leaf:
+                consider_leaf(node)
+                return
+            if xv[node.axis] <= node.threshold:
+                near, far = node.left, node.right
+            else:
+                near, far = node.right, node.left
+            visit(near)
+            if self._box_gap_power(far, xv) <= bound():
+                visit(far)
+
+        visit(self._root)
+        ordered = sorted((-neg_d, -neg_i) for neg_d, neg_i in best)
+        indices = np.array([i for _, i in ordered], dtype=np.int64)
+        distances = self.metric.distances_to(self.points[indices], xv)
+        return distances, indices

@@ -1,0 +1,52 @@
+"""Executable versions of every hardness reduction in the paper.
+
+Hardness proofs are constructive: each one maps instances of a known
+hard problem to explanation-problem instances whose answers coincide.
+This package implements those constructions as code, for three reasons:
+
+* they are the paper's main technical artifacts, so reproducing the
+  paper means reproducing them;
+* they are *testable* — running the source problem's exact solver and
+  the explanation machinery on both sides of a reduction checks the
+  paper's correctness arguments on concrete instances;
+* they generate structured hard instances for the benchmark suite.
+
+Modules (paper result → module):
+
+* Theorem 1 (Vertex Cover → Minimum-SR, discrete & continuous) —
+  :mod:`vertex_cover`;
+* Theorem 3 / Lemmas 1–3 (k-clique → counterfactual, l2) — :mod:`clique`;
+* Theorem 4 (half-value knapsack → counterfactual, l1) — :mod:`knapsack`;
+* Theorem 5 (partition → Check-SR, l1, k >= 3) — :mod:`partition`;
+* Theorem 6 / Proposition 5 (p-BMCF → counterfactual, Hamming) —
+  :mod:`bmcf`;
+* Theorem 7 (Vertex Cover → Check-SR, Hamming, k >= 3) —
+  :mod:`check_sr_discrete`;
+* Theorems 8–9 (interdiction → Minimum-SR, Hamming, k >= 3) —
+  :mod:`interdiction`;
+* exact solvers for the source problems — :mod:`oracles`.
+"""
+
+from __future__ import annotations
+
+from . import (
+    bmcf,
+    check_sr_discrete,
+    clique,
+    interdiction,
+    knapsack,
+    oracles,
+    partition,
+    vertex_cover,
+)
+
+__all__ = [
+    "vertex_cover",
+    "clique",
+    "knapsack",
+    "partition",
+    "bmcf",
+    "check_sr_discrete",
+    "interdiction",
+    "oracles",
+]

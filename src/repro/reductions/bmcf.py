@@ -1,0 +1,142 @@
+"""Theorem 6 / Proposition 5: the p-BMCF chain to Hamming counterfactuals.
+
+``p-Boolean Matrix Column Flipping`` (p-BMCF): given an ``m x n``
+Boolean matrix B and a budget ``l``, is there a column set T with
+``|T| <= l`` such that after flipping the columns of T at least
+``m - p`` rows have weight at most ``|T| - 1``?
+
+* Proposition 5 reduces (relaxed) Vertex Cover to p-BMCF: B is the
+  transposed incidence matrix extended with an all-ones column, and the
+  budget becomes ``l + 1``.
+* Theorem 6 reduces p-BMCF to ``k``-Counterfactual Explanation over the
+  Hamming cube with ``k = 2p + 1``: rows of B (padded with ``p + 1``
+  zeros) become S+, the ``p + 1`` shifted unit vectors become S-, and
+  ``x`` is the all-ones vector.
+
+Reproduction note (off-by-one in the paper's Theorem 6).  Working out
+the distances of the construction exactly, a flip set ``T`` changes the
+classification iff at least ``m - p`` rows reach weight ``<= |T|`` —
+not ``<= |T| - 1`` as the paper's backward direction claims (its final
+display drops a unit).  The counterfactual instance therefore decides
+the *weak* BMCF variant (:func:`repro.reductions.oracles.weak_bmcf_exists`).
+The end-to-end hardness chain is unaffected: every matrix produced by
+the Proposition 5 reduction has all row weights odd (two incidence 1s
+plus the all-ones column), and since ``weight_T(row) ≡ weight(row) +
+|T| (mod 2)``, the boundary case ``weight_T = |T|`` can never occur, so
+the weak and strict variants coincide on exactly the instances the
+hardness proof uses.  :func:`bmcf_to_cf_hamming` checks this parity
+precondition and exposes ``strict_equivalent`` on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..knn import Dataset
+from .knapsack import CounterfactualInstance
+from .oracles import check_graph
+
+
+@dataclass(frozen=True)
+class BMCFInstance:
+    """A p-BMCF decision instance."""
+
+    matrix: np.ndarray
+    budget: int
+    p: int
+
+
+def vertex_cover_to_bmcf(graph: nx.Graph, budget: int, p: int = 0) -> BMCFInstance:
+    """Proposition 5: (relaxed) Vertex Cover → p-BMCF.
+
+    For ``p = 0`` this encodes plain Vertex Cover; for ``p > 0`` the
+    relaxed variant "cover all but p edges", which Proposition 5 makes
+    hard by padding the graph with p isolated edges (the caller can use
+    :func:`pad_graph_with_isolated_edges`).
+    """
+    check_graph(graph)
+    if graph.number_of_edges() == 0:
+        raise ValidationError("the construction needs at least one edge")
+    n = graph.number_of_nodes()
+    edges = list(graph.edges)
+    incidence = np.zeros((len(edges), n), dtype=np.int64)
+    for row, (u, v) in enumerate(edges):
+        incidence[row, [u, v]] = 1
+    matrix = np.hstack([incidence, np.ones((len(edges), 1), dtype=np.int64)])
+    return BMCFInstance(matrix=matrix, budget=int(budget) + 1, p=int(p))
+
+
+def pad_graph_with_isolated_edges(graph: nx.Graph, p: int) -> nx.Graph:
+    """Append p fresh disjoint edges (the Prop. 5 hardness padding)."""
+    check_graph(graph)
+    padded = graph.copy()
+    base = graph.number_of_nodes()
+    for i in range(int(p)):
+        padded.add_edge(base + 2 * i, base + 2 * i + 1)
+    return padded
+
+
+def rows_all_odd(matrix) -> bool:
+    """True when every row weight is odd (the parity precondition)."""
+    return bool(np.all(np.asarray(matrix).sum(axis=1) % 2 == 1))
+
+
+def bmcf_to_cf_hamming(
+    instance: BMCFInstance, *, require_odd_rows: bool = True
+) -> CounterfactualInstance:
+    """Theorem 6: p-BMCF → (2p+1)-Counterfactual Explanation({0,1}, D_H).
+
+    Preconditions from the proof (checked): no repeated rows, every row
+    has at least two 0s, and at least ``p + 1`` rows.  By default the
+    parity precondition (all row weights odd) is enforced too, under
+    which the counterfactual answer equals the strict p-BMCF answer;
+    pass ``require_odd_rows=False`` to build the instance anyway, in
+    which case it decides the weak variant (see the module docstring).
+    """
+    B = np.asarray(instance.matrix, dtype=np.int64)
+    m, n = B.shape
+    p = int(instance.p)
+    if m <= p:
+        raise ValidationError(f"need more than p={p} rows, have {m}")
+    if len({tuple(row) for row in B}) != m:
+        raise ValidationError("the construction requires distinct rows")
+    if np.any((B == 0).sum(axis=1) < 2):
+        raise ValidationError("every row must contain at least two 0s")
+    if require_odd_rows and not rows_all_odd(B):
+        raise ValidationError(
+            "even row weights make the instance decide only the weak BMCF "
+            "variant (see the module docstring); pass require_odd_rows=False "
+            "to accept that"
+        )
+    dim = n + p + 1
+    positives = [np.concatenate([row, np.zeros(p + 1)]) for row in B.astype(float)]
+    negatives = []
+    for j in range(1, p + 2):
+        point = np.zeros(dim)
+        point[n + j - 1] = 1.0
+        negatives.append(point)
+    dataset = Dataset(positives, negatives, discrete=True)
+    return CounterfactualInstance(
+        dataset=dataset,
+        x=np.ones(dim),
+        k=2 * p + 1,
+        metric="hamming",
+        radius=float(instance.budget),
+    )
+
+
+def bmcf_solution_to_counterfactual(
+    instance: BMCFInstance, T, cf_instance: CounterfactualInstance
+) -> np.ndarray:
+    """The forward map of Theorem 6: clear the flipped columns of x."""
+    T = sorted(set(int(i) for i in T))
+    n = instance.matrix.shape[1]
+    if any(not 0 <= i < n for i in T):
+        raise ValidationError("T must index columns of the matrix")
+    y = np.array(cf_instance.x, dtype=float)
+    y[T] = 0.0
+    return y

@@ -1,0 +1,116 @@
+"""Theorem 7: Vertex Cover → complement of k-Check-SR({0,1}, D_H), k >= 3.
+
+For a graph G with n vertices and a cover budget q constrained to
+``n/2 <= q <= n - 2``, the construction works over dimension
+``n + (k+1)/2 + (2q - n)``, writing vectors as concatenations
+``(w, gamma, t)``:
+
+    S- = { (y_j, beta, 1...1) : edge j, beta in {0,1}^(k+1)/2 \\ {0} }
+    S+ = { (0...0, alpha_1, 1...1) } ∪
+         { (1...1, alpha_h, 0...0) : h = 2..(k+1)/2 }
+
+with ``alpha_h`` the one-hot vectors.  Then the *empty* set fails to be
+a sufficient reason for ``x = 0`` iff G has a vertex cover of size <= q.
+
+The budget normalizations the proof allows (q >= n/2 via the join-nodes
+padding, q <= n - 2 trivially) are provided as helpers.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import networkx as nx
+import numpy as np
+
+from .._validation import check_odd_k
+from ..exceptions import ValidationError
+from ..knn import Dataset
+from .oracles import check_graph
+from .partition import CheckSRInstance
+
+
+def normalize_cover_budget(graph: nx.Graph, q: int) -> tuple[nx.Graph, int]:
+    """Transform (G, q) so that ``n/2 <= q <= n - 2`` preserving the answer.
+
+    If ``q < n/2``: add ``n - 2q`` fresh nodes joined to every original
+    node and ask for covers of size ``n - q`` (the proof of Theorem 7).
+    Instances with ``q > n - 2`` are trivial yes-instances and rejected
+    here — callers should special-case them.
+    """
+    check_graph(graph)
+    n = graph.number_of_nodes()
+    q = int(q)
+    if q >= n - 1:
+        raise ValidationError(
+            f"q={q} >= n-1={n - 1} is a trivial yes-instance; no construction needed"
+        )
+    if 2 * q >= n:
+        return graph, q
+    padded = graph.copy()
+    fresh = range(n, n + (n - 2 * q))
+    for new in fresh:
+        for old in range(n):
+            padded.add_edge(new, old)
+    return padded, n - q
+
+
+def vertex_cover_to_check_sr_hamming(graph: nx.Graph, q: int, k: int = 3) -> CheckSRInstance:
+    """The Theorem 7 construction (requires ``n/2 <= q <= n - 2``)."""
+    check_graph(graph)
+    k = check_odd_k(k)
+    if k < 3:
+        raise ValidationError("the Theorem 7 construction needs k >= 3")
+    n = graph.number_of_nodes()
+    q = int(q)
+    if not (n / 2 <= q <= n - 2):
+        raise ValidationError(
+            f"q={q} outside [n/2, n-2] = [{n / 2}, {n - 2}]; "
+            "use normalize_cover_budget first"
+        )
+    edges = list(graph.edges)
+    if not edges:
+        raise ValidationError("the construction needs at least one edge")
+    half = (k + 1) // 2
+    tail = 2 * q - n
+    dim = n + half + tail
+    negatives = []
+    for u, v in edges:
+        y = np.zeros(n)
+        y[[u, v]] = 1.0
+        for beta in product((0.0, 1.0), repeat=half):
+            if not any(beta):
+                continue
+            negatives.append(np.concatenate([y, beta, np.ones(tail)]))
+    positives = []
+    alpha = np.zeros(half)
+    alpha[0] = 1.0
+    positives.append(np.concatenate([np.zeros(n), alpha, np.ones(tail)]))
+    for h in range(1, half):
+        alpha = np.zeros(half)
+        alpha[h] = 1.0
+        positives.append(np.concatenate([np.ones(n), alpha, np.zeros(tail)]))
+    dataset = Dataset(positives, negatives, discrete=True)
+    return CheckSRInstance(
+        dataset=dataset,
+        x=np.zeros(dim),
+        X=frozenset(),
+        k=k,
+        metric="hamming",
+    )
+
+
+def cover_to_counterexample(graph: nx.Graph, cover, instance: CheckSRInstance) -> np.ndarray:
+    """The forward map (property 1 in the proof): covers flip the label.
+
+    A vertex cover C of size exactly q yields ``z = (w_C, 0, 0)`` with
+    ``w_C[i] = 0`` iff ``i in C``, classified 1 although ``f(x) = 0``.
+    """
+    check_graph(graph)
+    cover = set(int(i) for i in cover)
+    n = graph.number_of_nodes()
+    z = np.zeros(instance.x.shape[0])
+    for i in range(n):
+        if i not in cover:
+            z[i] = 1.0
+    return z

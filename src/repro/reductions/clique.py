@@ -1,0 +1,137 @@
+"""Theorem 3 / Lemmas 1–3: k-clique in regular graphs → CF(R, D_2).
+
+The reduction shows W[1]-hardness of ``k``-Counterfactual Explanation
+under the l2 metric with k as the parameter:
+
+* **Lemma 2** embeds a d-regular graph on n nodes into ``{0,1}^m`` with
+  ``m = n^2 + n + d - 5`` such that every vector has Hamming weight
+  ``2(n + d - 3)``, adjacent nodes sit at Hamming distance
+  ``2(n + d - 3)`` and non-adjacent ones at ``2(n + d - 1)``;
+* **Lemma 3** pins the minimum radius ``r(x_1..x_k)`` at which a point
+  can be weakly closer to k chosen dataset points than to the origin:
+  ``alpha * sqrt(k / (2(k+1)))`` for a perfect simplex (a clique),
+  strictly more otherwise;
+* **Theorem 3** finishes with the all-zero query point x = 0 carrying
+  multiplicity k as S-, the embedded nodes as S+, and the rational
+  radius ``R = (n + d - 3) k`` obtained by duplicating every coordinate
+  ``T = (n + d - 3) k (k + 1)`` times.
+
+Our :class:`~repro.knn.Dataset` supports multiplicities natively, so
+the construction is implemented in the paper's cleaner multiplicity
+form (the paper's extra de-multiplication gadget exists only because
+its model forbids repeated points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..knn import Dataset
+from .knapsack import CounterfactualInstance
+from .oracles import check_graph
+
+
+def embed_regular_graph(graph: nx.Graph) -> np.ndarray:
+    """The Lemma 2 embedding of a d-regular graph into ``{0,1}^m``.
+
+    Returns an ``(n, m)`` 0/1 matrix, one row per node, with
+    ``m = n^2 + n + d - 5``.  Requires ``n + d >= 5``.
+    """
+    check_graph(graph)
+    n = graph.number_of_nodes()
+    degrees = {deg for _, deg in graph.degree}
+    if len(degrees) != 1:
+        raise ValidationError("the Lemma 2 embedding needs a regular graph")
+    d = degrees.pop()
+    if n + d < 5:
+        raise ValidationError(f"need n + d >= 5 for the padding; got n={n}, d={d}")
+    m = n * n + n + d - 5
+    vectors = np.zeros((n, m))
+    for u in range(n):
+        for block in range(n):
+            base = block * n
+            if block == u:
+                for neighbor in graph.neighbors(u):
+                    vectors[u, base + neighbor] = 1.0
+            else:
+                vectors[u, base + u] = 1.0
+        vectors[u, n * n :] = 1.0  # n + d - 5 shared padding ones
+    return vectors
+
+
+@dataclass(frozen=True)
+class CliqueCFInstance(CounterfactualInstance):
+    """The Theorem 3 instance, with the source parameters attached."""
+
+    clique_size: int = 0
+    duplication: int = 1
+
+
+def clique_to_cf_l2(graph: nx.Graph, k: int) -> CliqueCFInstance:
+    """Theorem 3: does G have a k-clique?  ⟺  CF within R for (2k-1)-NN.
+
+    Every coordinate of the Lemma 2 embedding is repeated
+    ``T = (n + d - 3) k (k + 1)`` times so that the critical radius
+    ``R = (n + d - 3) k`` is an integer, making the decision threshold
+    exact.
+    """
+    check_graph(graph)
+    k = int(k)
+    if k < 2:
+        raise ValidationError("the reduction is stated for clique size k >= 2")
+    vectors = embed_regular_graph(graph)
+    n = graph.number_of_nodes()
+    d = next(deg for _, deg in graph.degree)
+    T = (n + d - 3) * k * (k + 1)
+    expanded = np.repeat(vectors, T, axis=1)
+    dim = expanded.shape[1]
+    dataset = Dataset(
+        positives=expanded,
+        negatives=[np.zeros(dim)],
+        negative_multiplicities=[k],
+    )
+    return CliqueCFInstance(
+        dataset=dataset,
+        x=np.zeros(dim),
+        k=2 * k - 1,
+        metric="l2",
+        radius=float((n + d - 3) * k),
+        clique_size=k,
+        duplication=T,
+    )
+
+
+def clique_to_counterfactual(instance: CliqueCFInstance, clique) -> np.ndarray:
+    """The forward map (Lemma 3a): the simplex center of mass.
+
+    For a k-clique ``x_1..x_k`` the point ``(x_1 + ... + x_k) / (k + 1)``
+    is equidistant from 0 and every clique vector, at distance exactly
+    ``alpha * sqrt(k / (2(k+1)))`` = the instance radius.
+    """
+    clique = sorted(set(int(v) for v in clique))
+    if len(clique) != instance.clique_size:
+        raise ValidationError(
+            f"expected a clique of size {instance.clique_size}, got {len(clique)}"
+        )
+    points = instance.dataset.positives[clique]
+    return points.sum(axis=0) / (instance.clique_size + 1)
+
+
+def simplex_radius(alpha: float, k: int) -> float:
+    """Lemma 3a's value ``alpha * sqrt(k / (2(k+1)))``."""
+    return float(alpha) * sqrt(k / (2.0 * (k + 1)))
+
+
+def non_clique_radius_lower_bound(alpha: float, beta: float, k: int) -> float:
+    """Lemma 3b's bound ``alpha * sqrt(k / (2 (k + 1 - delta)))``.
+
+    ``delta = (beta^2 - alpha^2) / (k alpha^2)`` accounts for at least
+    one pair sitting at the larger distance beta.
+    """
+    delta = (beta * beta - alpha * alpha) / (k * alpha * alpha)
+    return float(alpha) * sqrt(k / (2.0 * (k + 1 - delta)))

@@ -1,0 +1,79 @@
+"""Theorems 8–9: interdiction problems → k-Minimum-SR({0,1}, D_H), k >= 3.
+
+Theorem 9 reduces Independent-Set-Interdiction (Rutenburg 1994,
+Sigma2p-complete) to the paper's ∃∀-Vertex-Cover problem: "is there
+S, |S| <= p, such that no superset of S of size <= q covers G?" — the
+map is simply ``(G, p, q) -> (G, p, |V| - q)``.
+
+Theorem 8 then reduces ∃∀-Vertex-Cover (with ``n/2 <= q <= n - 2``) to
+Minimum Sufficient Reason over the Theorem 7 dataset: a sufficient
+reason of size <= p exists iff the ∃∀ instance is a yes-instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .._validation import check_odd_k
+from ..exceptions import ValidationError
+from ..knn import Dataset
+from .check_sr_discrete import vertex_cover_to_check_sr_hamming
+from .oracles import check_graph
+from .vertex_cover import MSRInstance
+
+
+@dataclass(frozen=True)
+class ExistsForallVCInstance:
+    """An ∃∀-Vertex-Cover instance (Theorem 9's target problem)."""
+
+    graph: nx.Graph
+    p: int
+    q: int
+
+
+def interdiction_to_exists_forall_vc(
+    graph: nx.Graph, p: int, q: int
+) -> ExistsForallVCInstance:
+    """Theorem 9: Independent-Set-Interdiction (G, p, q) → ∃∀-VC (G, p, n - q).
+
+    Correctness rests on tau(G, S) = |S| + tau(G - S) and
+    alpha + tau = n on the induced subgraph.
+    """
+    check_graph(graph)
+    n = graph.number_of_nodes()
+    p, q = int(p), int(q)
+    if not (0 < p and 0 < q):
+        raise ValidationError("p and q must be positive")
+    return ExistsForallVCInstance(graph=graph, p=p, q=n - q)
+
+
+def exists_forall_vc_to_msr(instance: ExistsForallVCInstance, k: int = 3) -> MSRInstance:
+    """Theorem 8: ∃∀-VC (with n/2 <= q <= n - 2) → k-Minimum-SR (k >= 3).
+
+    The dataset is exactly the Theorem 7 construction for (G, q); the
+    budget becomes p.
+    """
+    k = check_odd_k(k)
+    if k < 3:
+        raise ValidationError("the Theorem 8 construction needs k >= 3")
+    check = vertex_cover_to_check_sr_hamming(instance.graph, instance.q, k=k)
+    return MSRInstance(
+        dataset=check.dataset,
+        x=check.x,
+        k=k,
+        metric="hamming",
+        budget=int(instance.p),
+    )
+
+
+def blocking_set_to_sufficient_reason(S) -> frozenset[int]:
+    """The forward map of Theorem 8: the blocking vertex set *is* the SR.
+
+    Vertex i of G corresponds to coordinate i of the dataset, so the
+    set S itself (as coordinate indices) is the claimed sufficient
+    reason for x = 0.
+    """
+    return frozenset(int(i) for i in S)

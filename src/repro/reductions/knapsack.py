@@ -1,0 +1,133 @@
+"""Theorem 4: half-value knapsack → 1-Counterfactual Explanation(R, D_1).
+
+Given items with weights ``w_i``, values ``v_i`` and capacity ``W``, the
+construction uses singleton classes
+
+    S+ = { g },  g_i = w_i
+    S- = { h },  h_i = w_i - gamma * v_i,   gamma = 1 / (2 max v_i)
+
+with ``x = 0`` and radius ``W``.  Then some subset of total weight <= W
+reaches half the total value iff x admits a counterfactual within l1
+distance W.
+
+The module also provides the padding that lifts the instance from k = 1
+to any odd k with ``|S+| = |S-| = (k+1)/2`` (the collinear padding
+points plus one extra coordinate at height ``M = 10 (l + k)``), and the
+classic partition → half-value-knapsack step the paper cites for
+hardness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_odd_k
+from ..exceptions import ValidationError
+from ..knn import Dataset
+
+
+@dataclass(frozen=True)
+class CounterfactualInstance:
+    """A Counterfactual-Explanation decision instance from a reduction."""
+
+    dataset: Dataset
+    x: np.ndarray
+    k: int
+    metric: str
+    radius: float
+
+
+def _validate_items(weights, values):
+    weights = [int(w) for w in weights]
+    values = [int(v) for v in values]
+    if len(weights) != len(values) or not weights:
+        raise ValidationError("need equal-length, non-empty weight/value lists")
+    if any(w <= 0 for w in weights) or any(v <= 0 for v in values):
+        raise ValidationError("weights and values must be positive integers")
+    return weights, values
+
+
+def knapsack_to_cf_l1(weights, values, capacity: int) -> CounterfactualInstance:
+    """The Theorem 4 construction for k = 1 (singleton classes)."""
+    weights, values = _validate_items(weights, values)
+    capacity = int(capacity)
+    if capacity <= 0:
+        raise ValidationError("capacity must be positive")
+    gamma = 1.0 / (2.0 * max(values))
+    g = np.array(weights, dtype=float)
+    h = g - gamma * np.array(values, dtype=float)
+    dataset = Dataset([g], [h])
+    return CounterfactualInstance(
+        dataset=dataset,
+        x=np.zeros(len(weights)),
+        k=1,
+        metric="l1",
+        radius=float(capacity),
+    )
+
+
+def knapsack_to_cf_l1_general_k(
+    weights, values, capacity: int, k: int
+) -> CounterfactualInstance:
+    """Theorem 4's lift to odd k with ``|S+| = |S-| = (k+1)/2``.
+
+    Padding points ``p_j = (j, 0, ..., 0)`` for ``j = 1..k-1`` (first
+    half positive, second half negative) sit so close to the radius-W
+    ball that they always fill the first ``k-1`` neighbor slots with a
+    balanced vote; a final coordinate at height ``M = 10 (l + k)`` for
+    ``g`` and ``h`` keeps the original comparison decisive.
+    """
+    k = check_odd_k(k)
+    base = knapsack_to_cf_l1(weights, values, capacity)
+    if k == 1:
+        return base
+    n = len(weights)
+    M = 10.0 * (base.radius + k)
+    g = np.append(base.dataset.positives[0], M)
+    h = np.append(base.dataset.negatives[0], M)
+    positives = [g]
+    negatives = [h]
+    for j in range(1, k):
+        pad = np.zeros(n + 1)
+        pad[0] = float(j)
+        if j <= (k - 1) // 2:
+            positives.append(pad)
+        else:
+            negatives.append(pad)
+    dataset = Dataset(positives, negatives)
+    return CounterfactualInstance(
+        dataset=dataset,
+        x=np.zeros(n + 1),
+        k=k,
+        metric="l1",
+        radius=base.radius,
+    )
+
+
+def knapsack_solution_to_counterfactual(weights, values, capacity, subset) -> np.ndarray:
+    """The forward map of Theorem 4: put chosen items at their weights."""
+    weights, values = _validate_items(weights, values)
+    subset = set(int(i) for i in subset)
+    y = np.zeros(len(weights))
+    for i in subset:
+        y[i] = float(weights[i])
+    return y
+
+
+def partition_to_half_value_knapsack(values):
+    """The classic step the paper cites: partition → half-value knapsack.
+
+    With weights = values and capacity = total // 2, at least half the
+    value fits iff the values split evenly: any subset within the weight
+    budget has value <= floor(total / 2), with equality exactly at a
+    perfect split.
+    """
+    values = [int(v) for v in values]
+    if any(v <= 0 for v in values):
+        raise ValidationError("partition uses positive integers")
+    total = sum(values)
+    if total < 2:
+        raise ValidationError("partition needs total value >= 2")
+    return values, values, total // 2

@@ -1,0 +1,196 @@
+"""Exact solvers for the source problems of the hardness reductions.
+
+Each oracle is deliberately implemented with a *different* technique
+from the reduction target it validates (dynamic programming, MILP,
+networkx enumeration), so agreement across a reduction is meaningful
+evidence of correctness rather than the same code agreeing with itself.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..solvers.milp import MILPModel
+
+
+def check_graph(graph: nx.Graph) -> nx.Graph:
+    """Validate a simple undirected graph with integer nodes 0..n-1."""
+    if not isinstance(graph, nx.Graph) or graph.is_directed():
+        raise ValidationError("expected an undirected networkx Graph")
+    n = graph.number_of_nodes()
+    if sorted(graph.nodes) != list(range(n)):
+        raise ValidationError("graph nodes must be exactly 0..n-1")
+    return graph
+
+
+def minimum_vertex_cover_size(graph: nx.Graph) -> int:
+    """Exact minimum vertex cover via MILP."""
+    check_graph(graph)
+    if graph.number_of_edges() == 0:
+        return 0
+    model = MILPModel("vertex-cover")
+    pick = {v: model.add_binary(f"v{v}") for v in graph.nodes}
+    for u, v in graph.edges:
+        model.add_constraint({pick[u]: 1, pick[v]: 1}, ">=", 1)
+    model.set_objective({p: 1 for p in pick.values()})
+    result = model.solve()
+    return int(round(result.objective))
+
+
+def has_vertex_cover(graph: nx.Graph, size: int) -> bool:
+    """Is there a vertex cover of at most *size* nodes?"""
+    return minimum_vertex_cover_size(graph) <= size
+
+
+def maximum_clique_size(graph: nx.Graph) -> int:
+    """Exact maximum clique by complement vertex cover duality."""
+    check_graph(graph)
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0
+    complement = nx.complement(graph)
+    complement.add_nodes_from(range(n))
+    # max clique = n - min vertex cover of the complement.
+    return n - minimum_vertex_cover_size(complement)
+
+
+def has_k_clique(graph: nx.Graph, k: int) -> bool:
+    return maximum_clique_size(graph) >= int(k)
+
+
+def partition_exists(values) -> bool:
+    """Is there T with sum(T) == sum(not T)?  Subset-sum DP."""
+    values = [int(v) for v in values]
+    if any(v <= 0 for v in values):
+        raise ValidationError("partition instances use positive integers")
+    total = sum(values)
+    if total % 2:
+        return False
+    target = total // 2
+    reachable = np.zeros(target + 1, dtype=bool)
+    reachable[0] = True
+    for v in values:
+        if v <= target:
+            reachable[v:] = reachable[v:] | reachable[:-v]
+    return bool(reachable[target])
+
+
+def half_value_knapsack_exists(weights, values, capacity) -> bool:
+    """Can items of total weight <= capacity reach half the total value?
+
+    The variant of knapsack Theorem 4 reduces from: maximize value under
+    the weight budget (classic DP over weights) and compare with half
+    the total value.
+    """
+    weights = [int(w) for w in weights]
+    values = [int(v) for v in values]
+    capacity = int(capacity)
+    if len(weights) != len(values):
+        raise ValidationError("weights and values must have equal length")
+    if any(w <= 0 for w in weights) or any(v <= 0 for v in values):
+        raise ValidationError("knapsack instances use positive integers")
+    if capacity <= 0:
+        raise ValidationError("knapsack capacity must be positive")
+    best = np.full(capacity + 1, -1, dtype=np.int64)
+    best[0] = 0
+    for w, v in zip(weights, values):
+        w = min(w, capacity + 1)
+        if w <= capacity:
+            shifted = best[:-w] + v
+            improved = np.maximum(best[w:], np.where(best[:-w] >= 0, shifted, -1))
+            best[w:] = improved
+    total = sum(values)
+    return bool(2 * best.max() >= total)
+
+
+def bmcf_exists(matrix: np.ndarray, budget: int, p: int) -> bool:
+    """Brute-force p-Boolean-Matrix-Column-Flipping decision.
+
+    Is there a column set T, |T| <= budget, such that after flipping the
+    columns of T at least ``rows - p`` rows have weight <= |T| - 1?
+    Exponential in the number of columns; used only on tiny instances.
+    """
+    matrix = np.asarray(matrix)
+    m, n = matrix.shape
+    budget = int(budget)
+    for size in range(0, min(budget, n) + 1):
+        for T in combinations(range(n), size):
+            flipped = matrix.copy()
+            for col in T:
+                flipped[:, col] = 1 - flipped[:, col]
+            light_rows = int((flipped.sum(axis=1) <= size - 1).sum())
+            if light_rows >= m - p:
+                return True
+    return False
+
+
+def independent_set_interdiction_exists(graph: nx.Graph, p: int, q: int) -> bool:
+    """Brute force: is there S, |S| <= p, meeting every independent set of size >= q?
+
+    Equivalently alpha(G[V \\ S]) < q.  Exponential; tiny instances only.
+    """
+    check_graph(graph)
+    nodes = list(graph.nodes)
+    for size in range(min(p, len(nodes)) + 1):
+        for S in combinations(nodes, size):
+            rest = graph.subgraph([v for v in nodes if v not in S])
+            # alpha(H) = |V(H)| - tau(H): independent sets complement covers.
+            alpha = (
+                rest.number_of_nodes() - minimum_vertex_cover_size(_relabel(rest))
+                if rest.number_of_nodes()
+                else 0
+            )
+            if alpha < q:
+                return True
+    return False
+
+
+def exists_forall_vertex_cover(graph: nx.Graph, p: int, q: int) -> bool:
+    """Brute force for the paper's ∃∀-Vertex-Cover problem (Theorem 9).
+
+    Is there S, |S| <= p, such that *no* superset of S of size <= q is a
+    vertex cover?
+    """
+    check_graph(graph)
+    nodes = list(graph.nodes)
+    for size in range(min(p, len(nodes)) + 1):
+        for S in combinations(nodes, size):
+            S = set(S)
+            # tau(G, S) = |S| + tau(G[V \ S]) (observation 2 in Thm 9).
+            rest = graph.subgraph([v for v in nodes if v not in S])
+            tau_rest = minimum_vertex_cover_size(_relabel(rest))
+            if len(S) + tau_rest > q:
+                return True
+    return False
+
+
+def _relabel(graph: nx.Graph) -> nx.Graph:
+    """Relabel arbitrary nodes to 0..n-1 (the oracles' input convention)."""
+    return nx.convert_node_labels_to_integers(graph)
+
+
+def weak_bmcf_exists(matrix: np.ndarray, budget: int, p: int) -> bool:
+    """The <=|T| variant of p-BMCF (see the reproduction note in bmcf.py).
+
+    Identical to :func:`bmcf_exists` except rows must reach weight at
+    most ``|T|`` instead of ``|T| - 1``.  This is the condition the
+    Theorem 6 dataset actually decides; the two variants coincide on
+    matrices whose row weights are all odd (a parity argument), which
+    the Proposition 5 output always satisfies.
+    """
+    matrix = np.asarray(matrix)
+    m, n = matrix.shape
+    budget = int(budget)
+    for size in range(0, min(budget, n) + 1):
+        for T in combinations(range(n), size):
+            flipped = matrix.copy()
+            for col in T:
+                flipped[:, col] = 1 - flipped[:, col]
+            light_rows = int((flipped.sum(axis=1) <= size).sum())
+            if light_rows >= m - p:
+                return True
+    return False

@@ -1,0 +1,124 @@
+"""Theorem 5: partition → complement of k-Check-SR(R, D_1), k >= 3.
+
+Given positive integers ``v_1..v_n``, the multiplicity form of the
+construction uses the three points
+
+    alpha = 0            labeled 1, multiplicity 1
+    beta  = 2v           labeled 1, multiplicity (k-1)/2
+    gamma = v            labeled 0, multiplicity (k+1)/2
+
+where ``v = (v_1, ..., v_n)``; then the *empty* coordinate set fails to
+be a sufficient reason for ``x = 0`` exactly when the partition
+instance is solvable.
+
+The multiplicity-free form appends ``k + 1`` one-hot auxiliary
+coordinates (one per dataset point, including clones) and asks about
+the coordinate set ``X = {auxiliary coordinates}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_odd_k
+from ..exceptions import ValidationError
+from ..knn import Dataset
+
+
+@dataclass(frozen=True)
+class CheckSRInstance:
+    """A Check-Sufficient-Reason decision instance from a reduction.
+
+    The reduction answers are *complemented*: X is a sufficient reason
+    iff the source partition instance has **no** solution.
+    """
+
+    dataset: Dataset
+    x: np.ndarray
+    X: frozenset[int]
+    k: int
+    metric: str
+
+
+def _validate_values(values):
+    values = [int(v) for v in values]
+    if not values or any(v <= 0 for v in values):
+        raise ValidationError("partition instances use positive integers")
+    return values
+
+
+def partition_to_check_sr_l1_multiplicity(values, k: int = 3) -> CheckSRInstance:
+    """The multiplicity form (X = empty set)."""
+    values = _validate_values(values)
+    k = check_odd_k(k)
+    if k < 3:
+        raise ValidationError("the Theorem 5 construction needs k >= 3")
+    v = np.array(values, dtype=float)
+    dataset = Dataset(
+        positives=[np.zeros(len(values)), 2.0 * v],
+        negatives=[v],
+        positive_multiplicities=[1, (k - 1) // 2],
+        negative_multiplicities=[(k + 1) // 2],
+    )
+    return CheckSRInstance(
+        dataset=dataset,
+        x=np.zeros(len(values)),
+        X=frozenset(),
+        k=k,
+        metric="l1",
+    )
+
+
+def partition_to_check_sr_l1(values, k: int = 3) -> CheckSRInstance:
+    """The multiplicity-free form with one-hot auxiliary coordinates.
+
+    Point ``i`` of the dataset (in the order alpha, beta-clones,
+    gamma-clones) gets a 1 in auxiliary coordinate ``i``; the question
+    is whether the auxiliary coordinate set is a sufficient reason for
+    the all-zero vector.
+    """
+    values = _validate_values(values)
+    k = check_odd_k(k)
+    if k < 3:
+        raise ValidationError("the Theorem 5 construction needs k >= 3")
+    v = np.array(values, dtype=float)
+    n = len(values)
+    total_points = k + 1
+    positives = []
+    negatives = []
+    body = [("pos", np.zeros(n))]
+    body += [("pos", 2.0 * v)] * ((k - 1) // 2)
+    body += [("neg", v)] * ((k + 1) // 2)
+    for index, (side, payload) in enumerate(body):
+        point = np.zeros(total_points + n)
+        point[index] = 1.0
+        point[total_points:] = payload
+        if side == "pos":
+            positives.append(point)
+        else:
+            negatives.append(point)
+    dataset = Dataset(positives, negatives)
+    return CheckSRInstance(
+        dataset=dataset,
+        x=np.zeros(total_points + n),
+        X=frozenset(range(total_points)),
+        k=k,
+        metric="l1",
+    )
+
+
+def partition_solution_to_counterexample(values, subset, instance: CheckSRInstance) -> np.ndarray:
+    """The forward map: a perfect split T gives the flipping point y.
+
+    ``y_i = 2 v_i`` for ``i`` in T, else 0 (auxiliary coordinates stay
+    0); the proof shows f(y) = 1 while f(x) = 0.
+    """
+    values = _validate_values(values)
+    subset = set(int(i) for i in subset)
+    y = np.array(instance.x, dtype=float)
+    offset = y.shape[0] - len(values)
+    for i in subset:
+        y[offset + i] = 2.0 * values[i]
+    return y

@@ -1,0 +1,114 @@
+"""Theorem 1: Vertex Cover → k-Minimum Sufficient Reason.
+
+Discrete construction (k = 1): over ``{0,1}^n`` with one coordinate per
+vertex, take ``x = 0``; each edge contributes its incidence vector to
+``S-``, and the two vectors obtained by clearing one endpoint ("guards")
+to ``S+``.  Then vertex covers of size <= l correspond exactly to
+sufficient reasons of size <= l.
+
+Continuous construction (every odd k, every lp): each edge vector is
+cloned ``(k+1)/2`` times at heights ``1 + eps_h`` with
+``1/2 > eps_1 > ... > eps_(k+1)/2 > 0``, and the guards are cloned
+accordingly (endpoint lowered from ``1 + eps_h`` to ``eps_h``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .._validation import check_odd_k
+from ..exceptions import ValidationError
+from ..knn import Dataset
+from .oracles import check_graph
+
+
+@dataclass(frozen=True)
+class MSRInstance:
+    """A Minimum-SR instance produced by a reduction.
+
+    ``budget`` is the size bound carried over from the source instance
+    (the reduction is answer-preserving: SR of size <= budget exists iff
+    the source was a yes-instance).
+    """
+
+    dataset: Dataset
+    x: np.ndarray
+    k: int
+    metric: str
+    budget: int
+
+
+def vertex_cover_to_msr_discrete(graph: nx.Graph, budget: int) -> MSRInstance:
+    """The Theorem 1(1) construction for k = 1 over the Hamming cube."""
+    check_graph(graph)
+    n = graph.number_of_nodes()
+    edges = list(graph.edges)
+    if not edges:
+        raise ValidationError("the construction needs at least one edge")
+    negatives = []
+    positives = []
+    for u, v in edges:
+        y = np.zeros(n)
+        y[[u, v]] = 1.0
+        negatives.append(y)
+        for endpoint in sorted((u, v)):
+            guard = y.copy()
+            guard[endpoint] = 0.0
+            positives.append(guard)
+    dataset = Dataset(positives, negatives, discrete=True)
+    return MSRInstance(
+        dataset=dataset,
+        x=np.zeros(n),
+        k=1,
+        metric="hamming",
+        budget=int(budget),
+    )
+
+
+def vertex_cover_to_msr_continuous(
+    graph: nx.Graph, budget: int, k: int = 1, p: int = 2
+) -> MSRInstance:
+    """The Theorem 1(2) construction for any odd k and lp metric.
+
+    The epsilon ladder is ``eps_h = 1 / (2 * (h + 1))``, which satisfies
+    the proof's requirement ``1/2 > eps_1 > ... > eps_(k+1)/2 > 0``.
+    """
+    check_graph(graph)
+    k = check_odd_k(k)
+    if p < 1:
+        raise ValidationError(f"lp metric needs p >= 1, got {p}")
+    n = graph.number_of_nodes()
+    edges = list(graph.edges)
+    if not edges:
+        raise ValidationError("the construction needs at least one edge")
+    levels = (k + 1) // 2
+    eps = [1.0 / (2.0 * (h + 2)) for h in range(levels)]  # eps_1 = 1/4 > ...
+    negatives = []
+    positives = []
+    for u, v in edges:
+        for h in range(levels):
+            y = np.zeros(n)
+            y[[u, v]] = 1.0 + eps[h]
+            negatives.append(y)
+            for endpoint in sorted((u, v)):
+                guard = y.copy()
+                guard[endpoint] = eps[h]
+                positives.append(guard)
+    dataset = Dataset(positives, negatives)
+    return MSRInstance(
+        dataset=dataset,
+        x=np.zeros(n),
+        k=k,
+        metric=f"l{p}",
+        budget=int(budget),
+    )
+
+
+def sufficient_reason_is_vertex_cover(graph: nx.Graph, X) -> bool:
+    """The backward direction of Theorem 1: does X cover every edge?"""
+    check_graph(graph)
+    X = set(int(i) for i in X)
+    return all(u in X or v in X for u, v in graph.edges)

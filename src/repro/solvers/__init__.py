@@ -1,0 +1,27 @@
+"""Generic optimization/decision substrates.
+
+The paper's algorithms reduce explanation problems to:
+
+* linear programming (Proposition 3, strict systems via the max-epsilon
+  trick) — :mod:`repro.solvers.lp`;
+* convex quadratic programming (Theorem 2) — :mod:`repro.solvers.qp`;
+* integer (quadratic, linearized) programming (Section 9) —
+  :mod:`repro.solvers.milp`;
+* SAT with native cardinality constraints (Section 9.2) —
+  :mod:`repro.solvers.sat`.
+
+All four engines are implemented here so the library runs fully offline;
+the MILP layer can optionally delegate to scipy's HiGHS backend.
+"""
+
+from __future__ import annotations
+
+from .lp import LPResult, feasible_point_strict, solve_lp
+from .qp import project_onto_polyhedron
+
+__all__ = [
+    "LPResult",
+    "solve_lp",
+    "feasible_point_strict",
+    "project_onto_polyhedron",
+]

@@ -1,0 +1,333 @@
+"""Mixed-integer linear programming: model builder and two engines.
+
+The paper's Section 9 solves the NP-hard explanation problems with an
+IQP handed to Gurobi.  Over binary variables the quadratic objective
+``sum (x_i - y_i)^2`` is *linear* (``y_i^2 = y_i``), so the whole
+pipeline reduces to MILP.  This module provides:
+
+* :class:`MILPModel` — a small modeling layer (variables, linear
+  constraints, min/max objective);
+* a from-scratch **branch & bound** engine (best-first on LP relaxation
+  bounds computed by scipy's HiGHS, most-fractional branching, rounding
+  heuristic for incumbents);
+* a bridge to :func:`scipy.optimize.milp` (HiGHS branch & cut), used as
+  the fast engine and as an independent cross-check in tests.
+
+Both engines return the same :class:`MILPResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import LinearConstraint, linprog
+from scipy.optimize import milp as scipy_milp
+
+from ..exceptions import (
+    InfeasibleError,
+    ResourceLimitError,
+    SolverError,
+    UnboundedError,
+    ValidationError,
+)
+
+_INT_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Var:
+    """Handle to a model variable (index into the solution vector)."""
+
+    index: int
+    name: str
+    integer: bool
+
+
+@dataclass
+class _Constraint:
+    coeffs: dict[int, float]
+    lo: float
+    hi: float
+
+
+@dataclass(frozen=True)
+class MILPResult:
+    """Solution of a MILP: status, variable values, objective value."""
+
+    status: str
+    x: np.ndarray
+    objective: float
+    nodes: int = 0
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def value(self, var: Var) -> float:
+        return float(self.x[var.index])
+
+
+class MILPModel:
+    """Incrementally built MILP: ``min/max c.x`` s.t. linear constraints.
+
+    Variables are continuous or integer with per-variable bounds; use
+    :meth:`add_binary` for 0/1 variables.  Constraints are expressed as
+    coefficient dictionaries over :class:`Var` handles.
+    """
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self._vars: list[Var] = []
+        self._lb: list[float] = []
+        self._ub: list[float] = []
+        self._constraints: list[_Constraint] = []
+        self._objective: dict[int, float] = {}
+        self._obj_constant = 0.0
+        self._maximize = False
+
+    # -- variables ------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str | None = None,
+        *,
+        lb: float = -np.inf,
+        ub: float = np.inf,
+        integer: bool = False,
+    ) -> Var:
+        if lb > ub:
+            raise ValidationError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Var(len(self._vars), name or f"x{len(self._vars)}", integer)
+        self._vars.append(var)
+        self._lb.append(float(lb))
+        self._ub.append(float(ub))
+        return var
+
+    def add_binary(self, name: str | None = None) -> Var:
+        return self.add_var(name, lb=0.0, ub=1.0, integer=True)
+
+    def add_vars(self, count: int, prefix: str = "x", **kwargs) -> list[Var]:
+        return [self.add_var(f"{prefix}[{i}]", **kwargs) for i in range(count)]
+
+    @property
+    def n_vars(self) -> int:
+        return len(self._vars)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._constraints)
+
+    # -- constraints ------------------------------------------------------
+
+    @staticmethod
+    def _as_coeffs(coeffs) -> dict[int, float]:
+        out: dict[int, float] = {}
+        for var, value in coeffs.items():
+            idx = var.index if isinstance(var, Var) else int(var)
+            out[idx] = out.get(idx, 0.0) + float(value)
+        return out
+
+    def add_constraint(self, coeffs, sense: str, rhs: float):
+        """Add ``sum coeffs[v] * v  (sense)  rhs`` with sense in {<=, >=, ==}."""
+        rhs = float(rhs)
+        cmap = self._as_coeffs(coeffs)
+        if sense == "<=":
+            lo, hi = -np.inf, rhs
+        elif sense == ">=":
+            lo, hi = rhs, np.inf
+        elif sense == "==":
+            lo, hi = rhs, rhs
+        else:
+            raise ValidationError(f"sense must be one of <=, >=, ==; got {sense!r}")
+        self._constraints.append(_Constraint(cmap, lo, hi))
+
+    def set_objective(self, coeffs, *, constant: float = 0.0, maximize: bool = False):
+        self._objective = self._as_coeffs(coeffs)
+        self._obj_constant = float(constant)
+        self._maximize = bool(maximize)
+
+    # -- matrix assembly -------------------------------------------------
+
+    def _assemble(self):
+        n = self.n_vars
+        c = np.zeros(n)
+        for idx, value in self._objective.items():
+            c[idx] = value
+        if self._maximize:
+            c = -c
+        rows_ub, b_ub, rows_eq, b_eq = [], [], [], []
+        for con in self._constraints:
+            row = np.zeros(n)
+            for idx, value in con.coeffs.items():
+                row[idx] = value
+            if con.lo == con.hi:
+                rows_eq.append(row)
+                b_eq.append(con.lo)
+            else:
+                if np.isfinite(con.hi):
+                    rows_ub.append(row)
+                    b_ub.append(con.hi)
+                if np.isfinite(con.lo):
+                    rows_ub.append(-row)
+                    b_ub.append(-con.lo)
+        A_ub = np.array(rows_ub).reshape(-1, n)
+        A_eq = np.array(rows_eq).reshape(-1, n)
+        return c, A_ub, np.array(b_ub), A_eq, np.array(b_eq)
+
+    # -- solving -------------------------------------------------------
+
+    def solve(self, *, engine: str = "scipy", **kwargs) -> MILPResult:
+        """Solve with ``engine`` in {"scipy", "bnb"}.
+
+        ``scipy`` delegates to HiGHS branch & cut; ``bnb`` runs the pure
+        Python branch & bound (kwargs: ``node_limit``).
+        """
+        if engine == "scipy":
+            result = self._solve_scipy()
+        elif engine == "bnb":
+            result = _BranchAndBound(self, **kwargs).solve()
+        else:
+            raise ValidationError(f"unknown engine {engine!r}")
+        return result
+
+    def _signed(self, objective: float) -> float:
+        return -objective if self._maximize else objective
+
+    def _solve_scipy(self) -> MILPResult:
+        c, A_ub, b_ub, A_eq, b_eq = self._assemble()
+        constraints = []
+        if A_ub.shape[0]:
+            constraints.append(LinearConstraint(A_ub, -np.inf, b_ub))
+        if A_eq.shape[0]:
+            constraints.append(LinearConstraint(A_eq, b_eq, b_eq))
+        integrality = np.array([1 if v.integer else 0 for v in self._vars])
+        from scipy.optimize import Bounds
+
+        res = scipy_milp(
+            c,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=Bounds(np.array(self._lb), np.array(self._ub)),
+        )
+        if res.status == 2:
+            return MILPResult("infeasible", np.full(self.n_vars, np.nan), np.nan)
+        if res.status == 3:
+            return MILPResult("unbounded", np.full(self.n_vars, np.nan), -np.inf)
+        if not res.success:  # pragma: no cover - engine trouble
+            raise SolverError(f"scipy milp failed: {res.message}")
+        objective = self._signed(float(res.fun)) + self._obj_constant
+        return MILPResult("optimal", np.asarray(res.x), objective)
+
+
+class _BranchAndBound:
+    """Best-first branch & bound over HiGHS LP relaxations."""
+
+    def __init__(self, model: MILPModel, node_limit: int = 200_000):
+        self.model = model
+        self.node_limit = int(node_limit)
+        self.c, self.A_ub, self.b_ub, self.A_eq, self.b_eq = model._assemble()
+        self.int_indices = [v.index for v in model._vars if v.integer]
+
+    def _lp(self, lb: np.ndarray, ub: np.ndarray):
+        res = linprog(
+            self.c,
+            A_ub=self.A_ub if self.A_ub.shape[0] else None,
+            b_ub=self.b_ub if self.A_ub.shape[0] else None,
+            A_eq=self.A_eq if self.A_eq.shape[0] else None,
+            b_eq=self.b_eq if self.A_eq.shape[0] else None,
+            bounds=list(zip(lb, ub)),
+            method="highs",
+        )
+        if res.status == 2:
+            return None
+        if res.status == 3:
+            raise UnboundedError("LP relaxation is unbounded")
+        if not res.success:  # pragma: no cover
+            raise SolverError(f"LP relaxation failed: {res.message}")
+        return float(res.fun), np.asarray(res.x)
+
+    def _most_fractional(self, x: np.ndarray) -> int | None:
+        best, best_gap = None, _INT_TOL
+        for idx in self.int_indices:
+            gap = abs(x[idx] - round(x[idx]))
+            if gap > best_gap:
+                best, best_gap = idx, gap
+        return best
+
+    def _rounded_candidate(self, x: np.ndarray) -> np.ndarray | None:
+        """Round integer variables; return the point if it stays feasible."""
+        cand = x.copy()
+        for idx in self.int_indices:
+            cand[idx] = round(cand[idx])
+        if self.A_ub.shape[0] and np.any(self.A_ub @ cand > self.b_ub + 1e-7):
+            return None
+        if self.A_eq.shape[0] and np.any(np.abs(self.A_eq @ cand - self.b_eq) > 1e-7):
+            return None
+        lb = np.array(self.model._lb)
+        ub = np.array(self.model._ub)
+        if np.any(cand < lb - 1e-9) or np.any(cand > ub + 1e-9):
+            return None
+        return cand
+
+    def solve(self) -> MILPResult:
+        model = self.model
+        lb0 = np.array(model._lb)
+        ub0 = np.array(model._ub)
+        root = self._lp(lb0, ub0)
+        if root is None:
+            return MILPResult("infeasible", np.full(model.n_vars, np.nan), np.nan)
+        incumbent_x: np.ndarray | None = None
+        incumbent_val = np.inf
+        counter = itertools.count()
+        heap = [(root[0], next(counter), lb0, ub0, root[1])]
+        nodes = 0
+        while heap:
+            bound, _, lb, ub, x_relax = heapq.heappop(heap)
+            if bound >= incumbent_val - 1e-9:
+                continue
+            nodes += 1
+            if nodes > self.node_limit:
+                raise ResourceLimitError(
+                    f"branch & bound exceeded {self.node_limit} nodes"
+                )
+            branch_var = self._most_fractional(x_relax)
+            if branch_var is None:
+                # Integral relaxation: new incumbent.
+                if bound < incumbent_val:
+                    incumbent_val = bound
+                    incumbent_x = x_relax
+                continue
+            rounded = self._rounded_candidate(x_relax)
+            if rounded is not None:
+                val = float(self.c @ rounded)
+                if val < incumbent_val:
+                    incumbent_val, incumbent_x = val, rounded
+            value = x_relax[branch_var]
+            for lo_add, hi_add in (
+                (None, np.floor(value)),
+                (np.ceil(value), None),
+            ):
+                lb_child, ub_child = lb.copy(), ub.copy()
+                if hi_add is not None:
+                    ub_child[branch_var] = min(ub_child[branch_var], hi_add)
+                if lo_add is not None:
+                    lb_child[branch_var] = max(lb_child[branch_var], lo_add)
+                if lb_child[branch_var] > ub_child[branch_var]:
+                    continue
+                child = self._lp(lb_child, ub_child)
+                if child is None or child[0] >= incumbent_val - 1e-9:
+                    continue
+                heapq.heappush(
+                    heap, (child[0], next(counter), lb_child, ub_child, child[1])
+                )
+        if incumbent_x is None:
+            return MILPResult("infeasible", np.full(model.n_vars, np.nan), np.nan, nodes)
+        # Snap integer variables exactly.
+        x = incumbent_x.copy()
+        for idx in self.int_indices:
+            x[idx] = round(x[idx])
+        objective = model._signed(incumbent_val) + model._obj_constant
+        return MILPResult("optimal", x, objective, nodes)

@@ -1,0 +1,115 @@
+"""Formula builder: named variables, clauses, cardinality constraints.
+
+:class:`CNFBuilder` collects a formula once and can instantiate fresh
+:class:`~repro.solvers.sat.solver.SATSolver` instances from it (the
+bound-minimization searches solve a sequence of closely related
+formulas).  It can also serialize to a KNF-style text format — the
+"klauses" extension of DIMACS CNF used by cardinality-cadical, where a
+cardinality constraint line reads ``k <bound> <lits...> 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...exceptions import ValidationError
+from .solver import SATSolver
+from .types import CardinalityConstraint
+
+
+@dataclass
+class CNFBuilder:
+    """Accumulates variables, clauses and cardinality constraints."""
+
+    num_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+    cards: list[CardinalityConstraint] = field(default_factory=list)
+    _names: dict[str, int] = field(default_factory=dict)
+
+    # -- variables --------------------------------------------------------
+
+    def new_var(self, name: str | None = None) -> int:
+        self.num_vars += 1
+        if name is not None:
+            if name in self._names:
+                raise ValidationError(f"variable name {name!r} already used")
+            self._names[name] = self.num_vars
+        return self.num_vars
+
+    def new_vars(self, count: int, prefix: str | None = None) -> list[int]:
+        return [
+            self.new_var(None if prefix is None else f"{prefix}[{i}]")
+            for i in range(count)
+        ]
+
+    def var(self, name: str) -> int:
+        return self._names[name]
+
+    # -- constraints --------------------------------------------------------
+
+    def add_clause(self, lits) -> None:
+        lits = tuple(int(l) for l in lits)
+        if any(l == 0 or abs(l) > self.num_vars for l in lits):
+            raise ValidationError(f"clause {lits} uses undeclared variables")
+        self.clauses.append(lits)
+
+    def add_at_least(self, lits, bound: int, guard: int | None = None) -> None:
+        """``guard -> sum(lits) >= bound``."""
+        lits = list(lits)
+        bound = int(bound)
+        if bound <= 0:
+            return
+        if bound == 1 and guard is None:
+            self.add_clause(lits)
+            return
+        if bound == 1:
+            self.add_clause([-guard] + lits)
+            return
+        self.cards.append(CardinalityConstraint(tuple(lits), bound, guard))
+
+    def add_at_most(self, lits, bound: int, guard: int | None = None) -> None:
+        """``guard -> sum(lits) <= bound``."""
+        lits = list(lits)
+        self.add_at_least([-l for l in lits], len(lits) - int(bound), guard)
+
+    def add_exactly(self, lits, bound: int) -> None:
+        self.add_at_least(lits, bound)
+        self.add_at_most(lits, bound)
+
+    # -- instantiation ----------------------------------------------------
+
+    def build_solver(self, *, conflict_limit: int | None = None) -> SATSolver:
+        solver = SATSolver(self.num_vars, conflict_limit=conflict_limit)
+        for clause in self.clauses:
+            solver.add_clause(clause)
+        for card in self.cards:
+            # Over-long bounds were rejected at construction; re-add raw.
+            solver.add_cardinality(card.lits, card.bound, card.guard)
+        return solver
+
+    def solve(self, *, conflict_limit: int | None = None):
+        """Convenience: build a solver and run it once."""
+        return self.build_solver(conflict_limit=conflict_limit).solve()
+
+    # -- serialization -------------------------------------------------------
+
+    def to_knf(self) -> str:
+        """KNF text: header + clause lines + ``k <bound> <lits> 0`` lines.
+
+        Guarded constraints are written with the guard negation prefixed,
+        matching the guarded-klause convention.
+        """
+        lines = [f"p knf {self.num_vars} {len(self.clauses) + len(self.cards)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        for card in self.cards:
+            body = " ".join(str(l) for l in card.lits)
+            if card.guard is None:
+                lines.append(f"k {card.bound} {body} 0")
+            else:
+                lines.append(f"k {card.bound} g {-card.guard} {body} 0")
+        return "\n".join(lines) + "\n"
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.clauses) + len(self.cards)

@@ -1,0 +1,90 @@
+"""KNF text-format parsing and model enumeration utilities.
+
+``CNFBuilder.to_knf`` serializes a formula in the klauses extension of
+DIMACS CNF; :func:`from_knf` parses it back, giving a round-trippable
+interchange format (useful for exporting instances to an external
+cardinality-aware solver, the paper's cardinality-cadical being the
+reference tool).
+
+:func:`enumerate_models` lists satisfying assignments by iterative
+blocking — the standard ALL-SAT loop — over a restricted projection set
+of variables.  The test suite uses it to compare whole solution *sets*
+against brute-force enumeration, a stronger check than single-model
+agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ...exceptions import ValidationError
+from .cnf import CNFBuilder
+
+
+def from_knf(text: str) -> CNFBuilder:
+    """Parse the output of :meth:`CNFBuilder.to_knf`.
+
+    Accepted lines: a ``p knf <vars> <constraints>`` header, clause
+    lines (literals terminated by 0), cardinality lines
+    ``k <bound> [g <neg-guard>] <lits...> 0``, and ``c ...`` comments.
+    """
+    builder: CNFBuilder | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "knf":
+                raise ValidationError(f"line {lineno}: bad header {line!r}")
+            builder = CNFBuilder()
+            builder.new_vars(int(parts[2]))
+            continue
+        if builder is None:
+            raise ValidationError(f"line {lineno}: constraint before header")
+        tokens = line.split()
+        if tokens[-1] != "0":
+            raise ValidationError(f"line {lineno}: missing terminating 0")
+        tokens = tokens[:-1]
+        if tokens and tokens[0] == "k":
+            bound = int(tokens[1])
+            guard = None
+            rest = tokens[2:]
+            if rest and rest[0] == "g":
+                guard = -int(rest[1])  # serialized as the negated guard
+                rest = rest[2:]
+            builder.add_at_least([int(t) for t in rest], bound, guard=guard)
+        else:
+            builder.add_clause([int(t) for t in tokens])
+    if builder is None:
+        raise ValidationError("no 'p knf' header found")
+    return builder
+
+
+def enumerate_models(
+    builder: CNFBuilder,
+    *,
+    over: Sequence[int] | None = None,
+    limit: int = 10_000,
+) -> Iterator[dict[int, bool]]:
+    """Yield satisfying assignments, distinct on the *over* variables.
+
+    Each found model is blocked by a clause negating its projection onto
+    *over* (default: all variables), and the formula is re-solved until
+    UNSAT.  ``limit`` bounds the number of models (a safety valve — the
+    count can be exponential).
+    """
+    over = list(over) if over is not None else list(range(1, builder.num_vars + 1))
+    blocked: list[list[int]] = []
+    produced = 0
+    while produced < limit:
+        probe = builder.build_solver()
+        for clause in blocked:
+            probe.add_clause(clause)
+        model = probe.solve()
+        if model is None:
+            return
+        yield model
+        produced += 1
+        blocked.append([(-v if model[v] else v) for v in over])
+    raise ValidationError(f"model enumeration exceeded the limit of {limit}")

@@ -1,0 +1,62 @@
+"""Bound-minimization drivers over repeated SAT calls.
+
+The paper's closest-counterfactual pipeline adds a cardinality
+constraint ``d_H(x, y) <= t`` and searches the smallest feasible ``t``
+"by doing a binary search over the parameter (or a linear search if the
+answer is expected to be small)" (Section 9.2).  Both strategies are
+implemented here over an abstract feasibility oracle so they can be
+ablation-benchmarked against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from ...exceptions import ValidationError
+
+T = TypeVar("T")
+
+
+def minimize_bound(
+    feasible: Callable[[int], T | None],
+    lo: int,
+    hi: int,
+    *,
+    strategy: str = "binary",
+) -> tuple[int, T] | None:
+    """Smallest ``t`` in ``[lo, hi]`` with ``feasible(t)`` not None.
+
+    *feasible* must be monotone (feasible at t implies feasible at every
+    t' >= t), which holds for distance-bounded explanation queries.
+    Returns ``(t, witness)`` or None when even ``hi`` is infeasible.
+
+    ``strategy`` is ``"binary"`` (O(log range) oracle calls) or
+    ``"linear"`` (ascending scan from *lo* — fewer calls when the
+    optimum is tiny, the common case for counterfactuals).
+    """
+    lo, hi = int(lo), int(hi)
+    if lo > hi:
+        raise ValidationError(f"empty search range [{lo}, {hi}]")
+    if strategy == "linear":
+        for t in range(lo, hi + 1):
+            witness = feasible(t)
+            if witness is not None:
+                return t, witness
+        return None
+    if strategy != "binary":
+        raise ValidationError(f"strategy must be 'binary' or 'linear', got {strategy!r}")
+    best: tuple[int, T] | None = None
+    witness = feasible(hi)
+    if witness is None:
+        return None
+    best = (hi, witness)
+    low, high = lo, hi - 1
+    while low <= high:
+        mid = (low + high) // 2
+        witness = feasible(mid)
+        if witness is not None:
+            best = (mid, witness)
+            high = mid - 1
+        else:
+            low = mid + 1
+    return best

@@ -1,0 +1,397 @@
+"""A CDCL SAT solver with native cardinality-constraint propagation.
+
+The clause engine is a classic MiniSat-style CDCL loop:
+
+* two-watched-literal unit propagation;
+* first-UIP conflict analysis producing an asserting learnt clause;
+* VSIDS variable activities (heap with lazy rescoring) + phase saving;
+* Luby-sequence restarts.
+
+On top of it, cardinality constraints ``guard -> sum(lits) >= bound``
+propagate with the *counter* method (the same device cardinality-cadical
+uses for its "klauses"): the solver tracks how many literals of each
+constraint are false; once that count reaches ``len(lits) - bound`` all
+remaining literals are implied, and one more falsification is a
+conflict.  Guards let a constraint be switched off by a single literal,
+which is exactly the shape of the paper's Section 9.2 encoding.
+
+Every propagation carries an explicit reason clause, so learnt clauses
+derived across cardinality constraints are sound by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ...exceptions import ResourceLimitError, ValidationError
+from .types import CardinalityConstraint, check_literal, var_of
+
+_TRUE = 1
+_FALSE = -1
+_UNASSIGNED = 0
+
+Model = dict[int, bool]
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,..."""
+    # MiniSat's closed-form walk: find the subsequence containing i, then
+    # recurse into it.
+    size, seq = 1, 0
+    while size < i:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i - 1:
+        size = (size - 1) // 2
+        seq -= 1
+        i = ((i - 1) % size) + 1
+    return 1 << seq
+
+
+class SATSolver:
+    """Single-shot CDCL solver over ``num_vars`` variables.
+
+    Add all clauses and cardinality constraints first, then call
+    :meth:`solve` once.  (The searches in :mod:`.search` rebuild the
+    solver per bound, which is cheap relative to solving.)
+    """
+
+    def __init__(self, num_vars: int, *, conflict_limit: int | None = None):
+        if num_vars < 0:
+            raise ValidationError("num_vars must be non-negative")
+        self.num_vars = int(num_vars)
+        self.conflict_limit = conflict_limit
+        n = self.num_vars + 1
+        self._assign = [_UNASSIGNED] * n
+        self._level = [0] * n
+        self._reason: list[list[int] | None] = [None] * n
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._watches: dict[int, list[list[int]]] = {}
+        self._card_occ: dict[int, list[CardinalityConstraint]] = {}
+        self._guard_occ: dict[int, list[CardinalityConstraint]] = {}
+        self._cards: list[CardinalityConstraint] = []
+        self._activity = [0.0] * n
+        self._act_inc = 1.0
+        self._phase = [False] * n
+        self._order: list[tuple[float, int]] = []  # lazy max-heap (-activity, var)
+        self._unsat = False
+        self._n_clauses = 0
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        for v in range(1, n):
+            heapq.heappush(self._order, (0.0, v))
+
+    # -- values -----------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self._assign[var_of(lit)]
+        return v if lit > 0 else -v
+
+    # -- construction ------------------------------------------------------
+
+    def add_clause(self, lits) -> None:
+        """Add a disjunction of literals."""
+        if self._trail_lim:
+            raise ValidationError("clauses must be added before solving")
+        seen: dict[int, int] = {}
+        clause: list[int] = []
+        for lit in lits:
+            lit = check_literal(lit, self.num_vars)
+            v = var_of(lit)
+            if v in seen:
+                if seen[v] != lit:
+                    return  # tautology: v and -v both present
+                continue
+            if self._value(lit) == _TRUE:
+                return  # already satisfied at level 0
+            if self._value(lit) == _FALSE:
+                continue  # falsified at level 0: drop the literal
+            seen[v] = lit
+            clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+            elif self._propagate() is not None:
+                self._unsat = True
+            return
+        self._n_clauses += 1
+        self._watch(clause)
+
+    def add_cardinality(self, lits, bound: int, guard: int | None = None) -> None:
+        """Add ``guard -> sum(true literals) >= bound`` (guard optional)."""
+        if self._trail_lim:
+            raise ValidationError("constraints must be added before solving")
+        lits = [check_literal(l, self.num_vars) for l in lits]
+        if guard is not None:
+            guard = check_literal(guard, self.num_vars)
+        if bound > len(lits):
+            # Unsatisfiable unless escaped by the guard.
+            if guard is None:
+                self._unsat = True
+            else:
+                self.add_clause([-guard])
+            return
+        constraint = CardinalityConstraint(tuple(lits), int(bound), guard)
+        if constraint.is_trivial():
+            return
+        self._cards.append(constraint)
+        for lit in constraint.lits:
+            self._card_occ.setdefault(-lit, []).append(constraint)
+            if self._value(lit) == _FALSE:
+                constraint.n_false += 1
+        if guard is not None:
+            self._guard_occ.setdefault(guard, []).append(constraint)
+        if self._card_check(constraint) is not None or (
+            self._propagate() is not None
+        ):
+            self._unsat = True
+
+    def add_at_most(self, lits, bound: int, guard: int | None = None) -> None:
+        """``guard -> sum(true literals) <= bound`` via literal negation."""
+        lits = list(lits)
+        self.add_cardinality([-l for l in lits], len(lits) - int(bound), guard)
+
+    # -- trail ----------------------------------------------------------
+
+    def _enqueue(self, lit: int, reason: list[int] | None) -> bool:
+        value = self._value(lit)
+        if value == _TRUE:
+            return True
+        if value == _FALSE:
+            return False
+        v = var_of(lit)
+        self._assign[v] = _TRUE if lit > 0 else _FALSE
+        self._level[v] = len(self._trail_lim)
+        self._reason[v] = reason
+        self._trail.append(lit)
+        # Literal -lit just became false; constraints containing -lit are
+        # registered under the key lit (= -(-lit)).
+        for c in self._card_occ.get(lit, ()):
+            c.n_false += 1
+        return True
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[i]
+            v = var_of(lit)
+            self._phase[v] = lit > 0
+            self._assign[v] = _UNASSIGNED
+            self._reason[v] = None
+            for c in self._card_occ.get(lit, ()):
+                c.n_false -= 1
+            heapq.heappush(self._order, (-self._activity[v], v))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # -- propagation ---------------------------------------------------------
+
+    def _watch(self, clause: list[int]) -> None:
+        self._watches.setdefault(clause[0], []).append(clause)
+        self._watches.setdefault(clause[1], []).append(clause)
+
+    def _propagate(self) -> list[int] | None:
+        """Exhaust unit propagation; return a conflict clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            conflict = self._propagate_clauses(-lit)
+            if conflict is not None:
+                return conflict
+            for c in self._card_occ.get(lit, ()):
+                conflict = self._card_check(c)
+                if conflict is not None:
+                    return conflict
+            for c in self._guard_occ.get(lit, ()):
+                conflict = self._card_check(c)
+                if conflict is not None:
+                    return conflict
+        return None
+
+    def _propagate_clauses(self, false_lit: int) -> list[int] | None:
+        watchlist = self._watches.get(false_lit)
+        if not watchlist:
+            return None
+        i = 0
+        while i < len(watchlist):
+            clause = watchlist[i]
+            # Normalize: the false literal sits at position 1.
+            if clause[0] == false_lit:
+                clause[0], clause[1] = clause[1], clause[0]
+            first = clause[0]
+            if self._value(first) == _TRUE:
+                i += 1
+                continue
+            # Look for a replacement watch.
+            found = False
+            for j in range(2, len(clause)):
+                if self._value(clause[j]) != _FALSE:
+                    clause[1], clause[j] = clause[j], clause[1]
+                    self._watches.setdefault(clause[1], []).append(clause)
+                    watchlist[i] = watchlist[-1]
+                    watchlist.pop()
+                    found = True
+                    break
+            if found:
+                continue
+            # Unit or conflicting.
+            if not self._enqueue(first, clause):
+                return clause
+            i += 1
+        return None
+
+    def _card_check(self, c: CardinalityConstraint) -> list[int] | None:
+        """Counter-based propagation; return a conflict clause or None."""
+        guard_value = _TRUE if c.guard is None else self._value(c.guard)
+        if guard_value == _FALSE:
+            return None
+        slack = c.slack_capacity - c.n_false
+        if slack < 0:
+            falsified = [l for l in c.lits if self._value(l) == _FALSE]
+            if guard_value == _TRUE:
+                clause = falsified if c.guard is None else falsified + [-c.guard]
+                return clause
+            # Guard unassigned: the constraint forces the guard off.
+            reason = [-c.guard] + falsified
+            if not self._enqueue(-c.guard, reason):  # pragma: no cover - guard was checked unassigned
+                return reason
+            return None
+        if slack == 0 and guard_value == _TRUE:
+            falsified = None
+            for lit in c.lits:
+                if self._value(lit) == _UNASSIGNED:
+                    if falsified is None:
+                        falsified = [l for l in c.lits if self._value(l) == _FALSE]
+                    reason = [lit] + falsified
+                    if c.guard is not None:
+                        reason.append(-c.guard)
+                    if not self._enqueue(lit, reason):  # pragma: no cover
+                        return reason
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+
+    def _bump(self, v: int) -> None:
+        self._activity[v] += self._act_inc
+        if self._activity[v] > 1e100:
+            for u in range(1, self.num_vars + 1):
+                self._activity[u] *= 1e-100
+            self._act_inc *= 1e-100
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis: returns (learnt clause, backtrack level)."""
+        current = len(self._trail_lim)
+        learnt: list[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p: int | None = None
+        reason = conflict
+        idx = len(self._trail) - 1
+        while True:
+            start = 0 if p is None else 1  # skip the implied literal itself
+            for q in reason[start:]:
+                v = var_of(q)
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self._level[v] == current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[var_of(self._trail[idx])]:
+                idx -= 1
+            p = self._trail[idx]
+            idx -= 1
+            seen[var_of(p)] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var_of(p)]
+            assert reason is not None and reason[0] == p
+        learnt.insert(0, -p)
+        if len(learnt) == 1:
+            return learnt, 0
+        back = max(self._level[var_of(q)] for q in learnt[1:])
+        # Put a literal of the backtrack level in watch position 1.
+        for j in range(1, len(learnt)):
+            if self._level[var_of(learnt[j])] == back:
+                learnt[1], learnt[j] = learnt[j], learnt[1]
+                break
+        return learnt, back
+
+    # -- decisions ------------------------------------------------------------
+
+    def _decide(self) -> int | None:
+        while self._order:
+            act, v = heapq.heappop(self._order)
+            if self._assign[v] == _UNASSIGNED and -act == self._activity[v]:
+                return v if self._phase[v] else -v
+            if self._assign[v] == _UNASSIGNED:
+                heapq.heappush(self._order, (-self._activity[v], v))
+        for v in range(1, self.num_vars + 1):  # heap exhausted by staleness
+            if self._assign[v] == _UNASSIGNED:
+                return v if self._phase[v] else -v
+        return None
+
+    # -- main loop -------------------------------------------------------------
+
+    def solve(self) -> Model | None:
+        """Return a satisfying assignment ``{var: bool}`` or None (UNSAT)."""
+        if self._unsat:
+            return None
+        restart_base = 64
+        restart_count = 1
+        conflicts_until_restart = restart_base * luby(restart_count)
+        local_conflicts = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                local_conflicts += 1
+                if (
+                    self.conflict_limit is not None
+                    and self.conflicts > self.conflict_limit
+                ):
+                    raise ResourceLimitError(
+                        f"SAT solver exceeded {self.conflict_limit} conflicts"
+                    )
+                if not self._trail_lim:
+                    return None  # conflict at level 0: UNSAT
+                learnt, back = self._analyze(conflict)
+                self._cancel_until(back)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):  # pragma: no cover
+                        return None
+                else:
+                    self._watch(learnt)
+                    self._n_clauses += 1
+                    enqueued = self._enqueue(learnt[0], learnt)
+                    assert enqueued
+                self._act_inc /= 0.95
+                continue
+            if local_conflicts >= conflicts_until_restart:
+                self.restarts += 1
+                restart_count += 1
+                conflicts_until_restart = restart_base * luby(restart_count)
+                local_conflicts = 0
+                self._cancel_until(0)
+                continue
+            decision = self._decide()
+            if decision is None:
+                return {
+                    v: self._assign[v] == _TRUE for v in range(1, self.num_vars + 1)
+                }
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)

@@ -1,0 +1,71 @@
+"""Core SAT types: DIMACS-style literals and cardinality constraints.
+
+A literal is a non-zero integer: ``v`` for the positive literal of
+variable ``v >= 1`` and ``-v`` for its negation — the convention of the
+DIMACS CNF format and of every mainstream solver API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...exceptions import ValidationError
+
+
+def neg(lit: int) -> int:
+    """The negation of a literal."""
+    return -lit
+
+
+def var_of(lit: int) -> int:
+    """The variable index of a literal."""
+    return lit if lit > 0 else -lit
+
+
+def check_literal(lit: int, num_vars: int) -> int:
+    lit = int(lit)
+    if lit == 0 or var_of(lit) > num_vars:
+        raise ValidationError(
+            f"literal {lit} out of range for a formula with {num_vars} variables"
+        )
+    return lit
+
+
+@dataclass
+class CardinalityConstraint:
+    """``guard -> (sum of true literals in lits) >= bound``.
+
+    With ``guard is None`` the constraint is unconditional.  "At most"
+    constraints are expressed by negating the literals:
+    ``sum(lits) <= k  ==  sum(neg lits) >= len(lits) - k``.
+
+    The counter fields are runtime state owned by the solver.
+    """
+
+    lits: tuple[int, ...]
+    bound: int
+    guard: int | None = None
+    # -- solver state (counter-based propagation) --
+    n_false: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        self.lits = tuple(int(l) for l in self.lits)
+        if len(set(var_of(l) for l in self.lits)) != len(self.lits):
+            raise ValidationError(
+                "cardinality constraint literals must be over distinct variables"
+            )
+        if self.bound < 0:
+            raise ValidationError(f"cardinality bound must be >= 0, got {self.bound}")
+        if self.bound > len(self.lits):
+            raise ValidationError(
+                f"cardinality bound {self.bound} exceeds {len(self.lits)} literals "
+                "(trivially unsatisfiable; encode that as a unit clause on the guard)"
+            )
+
+    @property
+    def slack_capacity(self) -> int:
+        """How many of the literals may go false before the bound is tight."""
+        return len(self.lits) - self.bound
+
+    def is_trivial(self) -> bool:
+        return self.bound == 0

@@ -1,0 +1,73 @@
+"""Test-only helpers: random instance generators and brute-force oracles."""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+
+import numpy as np
+
+from repro.knn import Dataset, KNNClassifier
+from repro.metrics import get_metric
+
+
+def random_discrete_dataset(
+    rng: np.random.Generator, n: int, m_pos: int, m_neg: int
+) -> Dataset:
+    """Random boolean dataset; rows may repeat across classes."""
+    pos = rng.integers(0, 2, size=(m_pos, n)).astype(float)
+    neg = rng.integers(0, 2, size=(m_neg, n)).astype(float)
+    return Dataset(pos, neg, discrete=True)
+
+
+def random_continuous_dataset(
+    rng: np.random.Generator, n: int, m_pos: int, m_neg: int, *, integer: bool = False
+) -> Dataset:
+    if integer:
+        pos = rng.integers(-4, 5, size=(m_pos, n)).astype(float)
+        neg = rng.integers(-4, 5, size=(m_neg, n)).astype(float)
+    else:
+        pos = rng.normal(size=(m_pos, n))
+        neg = rng.normal(size=(m_neg, n))
+    return Dataset(pos, neg)
+
+
+def brute_force_sufficient_reason_discrete(
+    clf: KNNClassifier, x: np.ndarray, X: set[int]
+) -> bool:
+    """Exhaustively check whether X is a sufficient reason over {0,1}^n."""
+    n = clf.dataset.dimension
+    free = [i for i in range(n) if i not in X]
+    base = clf.classify(x)
+    y = np.array(x, dtype=float)
+    for bits in product([0.0, 1.0], repeat=len(free)):
+        y[free] = bits
+        if clf.classify(y) != base:
+            return False
+    return True
+
+
+def brute_force_min_sufficient_reason_discrete(
+    clf: KNNClassifier, x: np.ndarray
+) -> int:
+    """Cardinality of a minimum sufficient reason, by subset enumeration."""
+    n = clf.dataset.dimension
+    for size in range(n + 1):
+        for X in combinations(range(n), size):
+            if brute_force_sufficient_reason_discrete(clf, x, set(X)):
+                return size
+    return n  # pragma: no cover - the full set is always sufficient
+
+
+def brute_force_closest_counterfactual_discrete(
+    clf: KNNClassifier, x: np.ndarray
+) -> tuple[np.ndarray | None, float]:
+    """Closest Hamming counterfactual by exhaustive hypercube search."""
+    n = clf.dataset.dimension
+    base = clf.classify(x)
+    best, best_d = None, np.inf
+    for bits in product([0.0, 1.0], repeat=n):
+        y = np.array(bits)
+        d = float(np.abs(y - x).sum())
+        if d < best_d and clf.classify(y) != base:
+            best, best_d = y, d
+    return best, best_d

@@ -1,0 +1,76 @@
+"""Tests for the approximate Minimum-SR heuristics (future-work item)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abductive import check_sufficient_reason, minimum_sufficient_reason
+from repro.abductive.approximate import (
+    approximate_minimum_sufficient_reason,
+    impact_order,
+)
+from repro.knn import Dataset
+
+from .helpers import random_discrete_dataset
+
+
+class TestImpactOrder:
+    def test_permutation_of_all_components(self, rng):
+        data = random_discrete_dataset(rng, 6, 3, 3)
+        order = impact_order(data, 1, "hamming", np.zeros(6))
+        assert sorted(order) == list(range(6))
+
+    def test_one_class_dataset(self):
+        data = Dataset([[0.0, 1.0], [1.0, 1.0]], [], discrete=True)
+        assert impact_order(data, 1, "hamming", np.zeros(2)) == [0, 1]
+
+
+class TestApproximation:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15)
+    def test_output_is_sufficient(self, seed):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 5, 3, 3)
+        x = rng.integers(0, 2, size=5).astype(float)
+        result = approximate_minimum_sufficient_reason(data, 1, "hamming", x, restarts=3)
+        assert check_sufficient_reason(data, 1, "hamming", x, result.X)
+        assert result.size == len(result.X)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=12)
+    def test_upper_bounds_exact_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 5, 3, 3)
+        x = rng.integers(0, 2, size=5).astype(float)
+        exact = minimum_sufficient_reason(data, 1, "hamming", x, method="milp")
+        approx = approximate_minimum_sufficient_reason(data, 1, "hamming", x, restarts=6)
+        assert approx.size >= exact.size
+        # Quality check: with restarts, the gap stays small on tiny data.
+        assert approx.size <= exact.size + 2
+
+    def test_example_2_heuristic_finds_the_singleton(self):
+        """On the paper's Example 2, the impact order alone finds {2}."""
+        positives = [[0, 1, 1], [1, 0, 1], [1, 1, 1]]
+        negatives = [
+            [a, b, c]
+            for a in (0, 1)
+            for b in (0, 1)
+            for c in (0, 1)
+            if [a, b, c] not in positives
+        ]
+        data = Dataset(positives, negatives, discrete=True)
+        result = approximate_minimum_sufficient_reason(
+            data, 1, "hamming", np.zeros(3), restarts=4
+        )
+        assert result.size == 1
+
+    def test_l2_setting(self, rng):
+        from .helpers import random_continuous_dataset
+
+        data = random_continuous_dataset(rng, 4, 3, 3)
+        x = rng.normal(size=4)
+        result = approximate_minimum_sufficient_reason(data, 1, "l2", x, restarts=2)
+        assert check_sufficient_reason(data, 1, "l2", x, result.X)

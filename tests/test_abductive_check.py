@@ -1,0 +1,208 @@
+"""Tests for k-Check Sufficient Reason across all settings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abductive import check_sufficient_reason
+from repro.exceptions import UnsupportedSettingError, ValidationError
+from repro.knn import Dataset, KNNClassifier
+
+from .helpers import (
+    brute_force_sufficient_reason_discrete,
+    random_continuous_dataset,
+    random_discrete_dataset,
+)
+
+
+class TestBasics:
+    def test_full_set_always_sufficient(self, rng):
+        data = random_discrete_dataset(rng, 4, 3, 3)
+        x = rng.integers(0, 2, size=4).astype(float)
+        assert check_sufficient_reason(data, 1, "hamming", x, range(4))
+
+    def test_empty_set_sufficient_iff_constant(self):
+        # All points positive: f is constant 1, empty set suffices.
+        data = Dataset([[0.0, 0.0], [1.0, 1.0]], [])
+        assert check_sufficient_reason(data, 1, "l2", [0.5, 0.5], [])
+
+    def test_counterexample_is_valid(self, rng):
+        data = random_discrete_dataset(rng, 4, 3, 3)
+        x = rng.integers(0, 2, size=4).astype(float)
+        clf = KNNClassifier(data, k=1, metric="hamming")
+        result = check_sufficient_reason(data, 1, "hamming", x, [])
+        if not result:
+            y = result.counterexample
+            assert y is not None
+            assert clf.classify(y) != clf.classify(x)
+
+    def test_dimension_mismatch(self, rng):
+        data = random_discrete_dataset(rng, 4, 2, 2)
+        with pytest.raises(ValidationError):
+            check_sufficient_reason(data, 1, "hamming", [0.0], [0])
+
+    def test_bad_index(self, rng):
+        data = random_discrete_dataset(rng, 3, 2, 2)
+        with pytest.raises(ValidationError):
+            check_sufficient_reason(data, 1, "hamming", [0.0, 0.0, 0.0], [5])
+
+    def test_unsupported_setting(self, rng):
+        data = random_continuous_dataset(rng, 3, 3, 3)
+        x = rng.normal(size=3)
+        with pytest.raises(UnsupportedSettingError):
+            check_sufficient_reason(data, 3, "l1", x, [0])
+
+    def test_method_validation(self, rng):
+        data = random_discrete_dataset(rng, 3, 2, 2)
+        x = np.zeros(3)
+        with pytest.raises(ValidationError):
+            check_sufficient_reason(data, 1, "hamming", x, [], method="l2")
+        with pytest.raises(ValidationError):
+            check_sufficient_reason(data, 3, "hamming", x, [], method="hamming-k1")
+        with pytest.raises(ValidationError):
+            check_sufficient_reason(data, 1, "hamming", x, [], method="magic")
+
+    def test_paper_example_2(self):
+        """Example 2: S+ = {011, 101, 111}, x = 000; {0,1} and {2} are SRs."""
+        positives = [[0, 1, 1], [1, 0, 1], [1, 1, 1]]
+        negatives = [
+            [a, b, c]
+            for a in (0, 1)
+            for b in (0, 1)
+            for c in (0, 1)
+            if [a, b, c] not in positives
+        ]
+        data = Dataset(positives, negatives, discrete=True)
+        x = np.zeros(3)
+        assert check_sufficient_reason(data, 1, "hamming", x, {0, 1})
+        assert check_sufficient_reason(data, 1, "hamming", x, {2})
+        assert not check_sufficient_reason(data, 1, "hamming", x, {0})
+        assert not check_sufficient_reason(data, 1, "hamming", x, {1})
+        assert not check_sufficient_reason(data, 1, "hamming", x, set())
+
+
+class TestHammingK1AgainstBruteForce:
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(1, 5),
+        m_pos=st.integers(1, 4),
+        m_neg=st.integers(1, 4),
+    )
+    @settings(max_examples=60)
+    def test_agreement(self, seed, n, m_pos, m_neg):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, m_pos, m_neg)
+        clf = KNNClassifier(data, k=1, metric="hamming")
+        x = rng.integers(0, 2, size=n).astype(float)
+        X = set(
+            int(i) for i in rng.choice(n, size=rng.integers(0, n + 1), replace=False)
+        )
+        expected = brute_force_sufficient_reason_discrete(clf, x, X)
+        got = check_sufficient_reason(data, 1, "hamming", x, X, method="hamming-k1")
+        assert bool(got) == expected
+        # The brute-force method must agree too.
+        brute = check_sufficient_reason(data, 1, "hamming", x, X, method="brute")
+        assert bool(brute) == expected
+
+
+class TestDiscreteK3BruteMethod:
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(2, 4),
+        m_pos=st.integers(2, 4),
+        m_neg=st.integers(2, 4),
+    )
+    @settings(max_examples=30)
+    def test_brute_matches_oracle(self, seed, n, m_pos, m_neg):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, m_pos, m_neg)
+        if len(data) < 3:
+            return
+        clf = KNNClassifier(data, k=3, metric="hamming")
+        x = rng.integers(0, 2, size=n).astype(float)
+        X = set(int(i) for i in rng.choice(n, size=rng.integers(0, n), replace=False))
+        expected = brute_force_sufficient_reason_discrete(clf, x, X)
+        got = check_sufficient_reason(data, 3, "hamming", x, X)  # auto -> brute
+        assert bool(got) == expected
+
+
+class TestL2Checker:
+    def _brute_check_l2(self, data, k, x, X, rng, attempts=3000):
+        """Randomized refutation search: returns False if a counterexample
+        is found (sound only for the negative direction)."""
+        clf = KNNClassifier(data, k=k, metric="l2")
+        label = clf.classify(x)
+        free = [i for i in range(data.dimension) if i not in X]
+        if not free:
+            return True
+        y = np.array(x, dtype=float)
+        for _ in range(attempts):
+            y[free] = rng.normal(size=len(free)) * 3
+            if clf.classify(y) != label:
+                return False
+        return True
+
+    @given(
+        seed=st.integers(0, 100_000),
+        k=st.sampled_from([1, 3]),
+        n=st.integers(1, 3),
+        m_pos=st.integers(1, 3),
+        m_neg=st.integers(1, 3),
+    )
+    @settings(max_examples=30)
+    def test_l2_check_consistency(self, seed, k, n, m_pos, m_neg):
+        rng = np.random.default_rng(seed)
+        data = random_continuous_dataset(rng, n, m_pos, m_neg)
+        if len(data) < k:
+            return
+        clf = KNNClassifier(data, k=k, metric="l2")
+        x = rng.normal(size=n)
+        X = set(int(i) for i in rng.choice(n, size=rng.integers(0, n + 1), replace=False))
+        result = check_sufficient_reason(data, k, "l2", x, X)
+        if result.is_sufficient:
+            # Randomized search must fail to refute a certified yes.
+            assert self._brute_check_l2(data, k, x, X, rng, attempts=500)
+        else:
+            # The counterexample must agree with x on X and either flip
+            # the label outright or sit on an exact classification tie
+            # (a boundary counterexample of a closed region, where the
+            # optimistic semantics flips it but floats may disagree).
+            y = result.counterexample
+            np.testing.assert_allclose(y[sorted(X)], x[sorted(X)], atol=1e-7)
+            flipped = clf.classify(y) != clf.classify(x)
+            assert flipped or abs(clf.margin(y)) < 1e-7
+
+
+class TestL1K1Checker:
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(1, 4),
+        m_pos=st.integers(1, 4),
+        m_neg=st.integers(1, 4),
+    )
+    @settings(max_examples=40)
+    def test_l1_matches_discrete_brute_on_boolean_data(self, seed, n, m_pos, m_neg):
+        # On {0,1} data, l1 distance == Hamming distance, and counterexamples
+        # over R^n exist iff they exist over {0,1}^n for k=1 (the projection
+        # candidates are themselves boolean).  This gives an exact oracle.
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, m_pos, m_neg)
+        clf = KNNClassifier(data, k=1, metric="hamming")
+        x = rng.integers(0, 2, size=n).astype(float)
+        X = set(int(i) for i in rng.choice(n, size=rng.integers(0, n + 1), replace=False))
+        expected = brute_force_sufficient_reason_discrete(clf, x, X)
+        got = check_sufficient_reason(data, 1, "l1", x, X, method="l1-k1")
+        assert bool(got) == expected
+
+    def test_l1_continuous_counterexample_valid(self, rng):
+        data = random_continuous_dataset(rng, 3, 4, 4)
+        clf = KNNClassifier(data, k=1, metric="l1")
+        x = rng.normal(size=3)
+        result = check_sufficient_reason(data, 1, "l1", x, [0])
+        if not result:
+            y = result.counterexample
+            assert clf.classify(y) != clf.classify(x)
+            assert y[0] == pytest.approx(x[0])

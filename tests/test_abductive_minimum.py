@@ -1,0 +1,118 @@
+"""Tests for minimum sufficient reasons (brute / MILP / SAT pipelines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abductive import check_sufficient_reason, minimum_sufficient_reason
+from repro.exceptions import UnsupportedSettingError, ValidationError
+from repro.knn import Dataset, KNNClassifier
+
+from .helpers import (
+    brute_force_min_sufficient_reason_discrete,
+    random_continuous_dataset,
+    random_discrete_dataset,
+)
+
+
+class TestBrute:
+    def test_example_2_minimum_is_singleton(self):
+        positives = [[0, 1, 1], [1, 0, 1], [1, 1, 1]]
+        negatives = [
+            [a, b, c]
+            for a in (0, 1)
+            for b in (0, 1)
+            for c in (0, 1)
+            if [a, b, c] not in positives
+        ]
+        data = Dataset(positives, negatives, discrete=True)
+        result = minimum_sufficient_reason(data, 1, "hamming", np.zeros(3), method="brute")
+        assert result.size == 1
+        assert result.X == frozenset({2})
+
+    def test_l2_brute(self, rng):
+        data = random_continuous_dataset(rng, 3, 2, 2)
+        x = rng.normal(size=3)
+        result = minimum_sufficient_reason(data, 1, "l2", x, method="brute")
+        assert check_sufficient_reason(data, 1, "l2", x, result.X)
+
+    def test_dimension_guard(self, rng):
+        data = random_discrete_dataset(rng, 20, 3, 3)
+        with pytest.raises(ValidationError):
+            minimum_sufficient_reason(
+                data, 1, "hamming", np.zeros(20), method="brute", max_brute_dimension=8
+            )
+
+
+@pytest.mark.parametrize("method", ["milp", "sat"])
+class TestExactPipelines:
+    def test_example_2(self, method):
+        positives = [[0, 1, 1], [1, 0, 1], [1, 1, 1]]
+        negatives = [
+            [a, b, c]
+            for a in (0, 1)
+            for b in (0, 1)
+            for c in (0, 1)
+            if [a, b, c] not in positives
+        ]
+        data = Dataset(positives, negatives, discrete=True)
+        result = minimum_sufficient_reason(data, 1, "hamming", np.zeros(3), method=method)
+        assert result.size == 1
+
+    def test_one_class_dataset(self, method):
+        data = Dataset([[0.0, 1.0], [1.0, 1.0]], [], discrete=True)
+        result = minimum_sufficient_reason(data, 1, "hamming", np.zeros(2), method=method)
+        assert result.size == 0
+
+    def test_unsupported_setting(self, method, rng):
+        data = random_continuous_dataset(rng, 3, 2, 2)
+        with pytest.raises(UnsupportedSettingError):
+            minimum_sufficient_reason(data, 1, "l2", np.zeros(3), method=method)
+        disc = random_discrete_dataset(rng, 3, 2, 2)
+        with pytest.raises(UnsupportedSettingError):
+            minimum_sufficient_reason(disc, 3, "hamming", np.zeros(3), method=method)
+
+
+class TestPipelinesMatchBruteForce:
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(1, 5),
+        m_pos=st.integers(1, 3),
+        m_neg=st.integers(1, 3),
+    )
+    @settings(max_examples=25)
+    def test_milp_optimal_size(self, seed, n, m_pos, m_neg):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, m_pos, m_neg)
+        clf = KNNClassifier(data, k=1, metric="hamming")
+        x = rng.integers(0, 2, size=n).astype(float)
+        expected = brute_force_min_sufficient_reason_discrete(clf, x)
+        result = minimum_sufficient_reason(data, 1, "hamming", x, method="milp")
+        assert result.size == expected
+        assert check_sufficient_reason(data, 1, "hamming", x, result.X)
+
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(1, 4),
+        m_pos=st.integers(1, 3),
+        m_neg=st.integers(1, 3),
+    )
+    @settings(max_examples=15)
+    def test_sat_optimal_size(self, seed, n, m_pos, m_neg):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, m_pos, m_neg)
+        clf = KNNClassifier(data, k=1, metric="hamming")
+        x = rng.integers(0, 2, size=n).astype(float)
+        expected = brute_force_min_sufficient_reason_discrete(clf, x)
+        result = minimum_sufficient_reason(data, 1, "hamming", x, method="sat")
+        assert result.size == expected
+        assert check_sufficient_reason(data, 1, "hamming", x, result.X)
+
+    def test_auto_picks_milp_for_discrete(self, rng):
+        data = random_discrete_dataset(rng, 4, 2, 2)
+        x = rng.integers(0, 2, size=4).astype(float)
+        result = minimum_sufficient_reason(data, 1, "hamming", x)
+        assert result.method == "milp"

@@ -1,0 +1,103 @@
+"""Tests for Proposition-1 witnesses (repro.knn.certificates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knn import Dataset, KNNClassifier, Witness, find_witness, verify_witness
+
+from .helpers import random_continuous_dataset, random_discrete_dataset
+
+
+class TestWitnessConstruction:
+    def test_positive_witness(self):
+        data = Dataset([[0.0], [1.0]], [[5.0]])
+        clf = KNNClassifier(data, k=3)
+        w = find_witness(clf, [0.0])
+        assert w.label == 1
+        assert len(w.A) == 2  # (k+1)/2
+        assert verify_witness(clf, [0.0], w)
+
+    def test_negative_witness(self):
+        data = Dataset([[5.0]], [[0.0], [1.0]])
+        clf = KNNClassifier(data, k=3)
+        w = find_witness(clf, [0.0])
+        assert w.label == 0
+        assert verify_witness(clf, [0.0], w)
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(Exception):
+            Witness(label=2, A=(0,), B=())
+
+    def test_verify_rejects_wrong_indices(self):
+        data = Dataset([[0.0]], [[5.0]])
+        clf = KNNClassifier(data, k=1)
+        bad = Witness(label=1, A=(7,), B=())
+        assert not verify_witness(clf, [0.0], bad)
+
+    def test_verify_rejects_oversized_b(self):
+        data = Dataset([[0.0]], [[5.0], [6.0]])
+        clf = KNNClassifier(data, k=1)
+        bad = Witness(label=1, A=(0,), B=(0, 1))  # |B| > (k-1)/2 = 0
+        assert not verify_witness(clf, [0.0], bad)
+
+    def test_verify_rejects_false_claim(self):
+        data = Dataset([[0.0]], [[5.0]])
+        clf = KNNClassifier(data, k=1)
+        # Claim x=4.9 is positive with no excused negatives: false, the
+        # negative at 5.0 is strictly closer than the positive at 0.0.
+        bad = Witness(label=1, A=(0,), B=())
+        assert not verify_witness(clf, [4.9], bad)
+
+
+class TestWitnessProperty:
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 4),
+        m_pos=st.integers(1, 5),
+        m_neg=st.integers(1, 5),
+        k=st.sampled_from([1, 3, 5]),
+        discrete=st.booleans(),
+    )
+    @settings(max_examples=80)
+    def test_found_witness_always_verifies(self, seed, n, m_pos, m_neg, k, discrete):
+        if m_pos + m_neg < k:
+            return
+        rng = np.random.default_rng(seed)
+        if discrete:
+            data = random_discrete_dataset(rng, n, m_pos, m_neg)
+            metric = "hamming"
+            x = rng.integers(0, 2, size=n).astype(float)
+        else:
+            data = random_continuous_dataset(rng, n, m_pos, m_neg, integer=True)
+            metric = "l2"
+            x = rng.integers(-4, 5, size=n).astype(float)
+        clf = KNNClassifier(data, k=k, metric=metric)
+        w = find_witness(clf, x)
+        assert w.label == clf.classify(x)
+        assert verify_witness(clf, x, w)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.sampled_from([1, 3]),
+    )
+    @settings(max_examples=40)
+    def test_witness_with_multiplicities(self, seed, k):
+        rng = np.random.default_rng(seed)
+        pos = rng.normal(size=(2, 2))
+        neg = rng.normal(size=(2, 2))
+        data = Dataset(
+            pos,
+            neg,
+            positive_multiplicities=rng.integers(1, 3, size=2),
+            negative_multiplicities=rng.integers(1, 3, size=2),
+        )
+        if len(data) < k:
+            return
+        clf = KNNClassifier(data, k=k)
+        x = rng.normal(size=2)
+        w = find_witness(clf, x)
+        assert verify_witness(clf, x, w)

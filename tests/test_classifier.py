@@ -1,0 +1,151 @@
+"""Tests for the optimistic k-NN classifier against the raw definition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.knn import Dataset, KNNClassifier
+from repro.knn.reference import classify_by_definition
+
+from .helpers import random_continuous_dataset, random_discrete_dataset
+
+
+class TestBasics:
+    def test_1nn_simple(self):
+        data = Dataset([[0.0, 0.0]], [[10.0, 10.0]])
+        clf = KNNClassifier(data, k=1)
+        assert clf.classify([1, 1]) == 1
+        assert clf.classify([9, 9]) == 0
+
+    def test_3nn_majority(self):
+        data = Dataset([[0.0], [0.1], [10.0]], [[5.0], [5.1], [5.2]])
+        clf = KNNClassifier(data, k=3, metric="l1")
+        assert clf.classify([0.0]) == 1
+        assert clf.classify([5.0]) == 0
+
+    def test_optimistic_tie_goes_positive(self):
+        # x is equidistant from one positive and one negative point.
+        data = Dataset([[1.0]], [[-1.0]])
+        clf = KNNClassifier(data, k=1)
+        assert clf.classify([0.0]) == 1
+
+    def test_even_k_rejected(self):
+        data = Dataset([[0.0]], [[1.0]])
+        with pytest.raises(ValidationError):
+            KNNClassifier(data, k=2)
+
+    def test_k_larger_than_dataset_rejected(self):
+        data = Dataset([[0.0]], [[1.0]])
+        with pytest.raises(ValidationError):
+            KNNClassifier(data, k=3)
+
+    def test_wrong_dimension_rejected(self):
+        clf = KNNClassifier(Dataset([[0.0]], [[1.0]]), k=1)
+        with pytest.raises(ValidationError):
+            clf.classify([0.0, 1.0])
+
+    def test_all_positive_dataset(self):
+        data = Dataset([[0.0], [1.0], [2.0]], [])
+        clf = KNNClassifier(data, k=3)
+        assert clf.classify([5.0]) == 1
+
+    def test_all_negative_dataset(self):
+        data = Dataset([], [[0.0], [1.0], [2.0]])
+        clf = KNNClassifier(data, k=3)
+        assert clf.classify([5.0]) == 0
+
+    def test_minority_positive_side(self):
+        # Only one positive point but k=3: positives can never reach the
+        # (k+1)/2 = 2 majority, so everything is negative.
+        data = Dataset([[0.0]], [[10.0], [11.0]])
+        clf = KNNClassifier(data, k=3)
+        assert clf.classify([0.0]) == 0
+
+    def test_classify_batch(self):
+        data = Dataset([[0.0]], [[10.0]])
+        clf = KNNClassifier(data, k=1)
+        np.testing.assert_array_equal(clf.classify_batch([[1.0], [9.0]]), [1, 0])
+
+    def test_margin_sign_matches_label(self):
+        data = Dataset([[0.0, 0.0]], [[4.0, 0.0]])
+        clf = KNNClassifier(data, k=1)
+        assert clf.margin([1.0, 0.0]) > 0
+        assert clf.margin([3.0, 0.0]) < 0
+        assert clf.margin([2.0, 0.0]) == 0.0
+        assert clf.classify([2.0, 0.0]) == 1  # tie -> positive
+
+    def test_neighbors(self):
+        data = Dataset([[0.0], [1.0]], [[5.0]])
+        clf = KNNClassifier(data, k=3)
+        pts, labels = clf.neighbors([0.0])
+        assert pts.shape == (3, 1)
+        assert labels[:2].all() and not labels[2]
+
+
+class TestMultiplicityClassification:
+    def test_multiplicity_wins_majority(self):
+        # The negative point at 0 has multiplicity 3 >= (k+1)/2 for k=5.
+        data = Dataset(
+            [[1.0], [2.0], [3.0]],
+            [[0.0]],
+            negative_multiplicities=[3],
+        )
+        clf = KNNClassifier(data, k=5)
+        assert clf.classify([0.0]) == 0
+
+    def test_matches_expanded_dataset(self, rng):
+        for _ in range(20):
+            pos = rng.normal(size=(3, 2))
+            neg = rng.normal(size=(2, 2))
+            pm = rng.integers(1, 4, size=3)
+            nm = rng.integers(1, 4, size=2)
+            d = Dataset(pos, neg, positive_multiplicities=pm, negative_multiplicities=nm)
+            k = min(5, len(d) if len(d) % 2 else len(d) - 1)
+            clf_mult = KNNClassifier(d, k=k)
+            clf_flat = KNNClassifier(d.expanded(), k=k)
+            x = rng.normal(size=2)
+            assert clf_mult.classify(x) == clf_flat.classify(x)
+
+
+class TestAgainstDefinition:
+    """The production rule must agree with the paper's raw definition."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 4),
+        m_pos=st.integers(0, 4),
+        m_neg=st.integers(0, 4),
+        k=st.sampled_from([1, 3]),
+    )
+    @settings(max_examples=60)
+    def test_discrete(self, seed, n, m_pos, m_neg, k):
+        if m_pos + m_neg < max(k, 1):
+            return
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, m_pos, m_neg)
+        clf = KNNClassifier(data, k=k, metric="hamming")
+        x = rng.integers(0, 2, size=n).astype(float)
+        assert clf.classify(x) == classify_by_definition(data, k, "hamming", x)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 3),
+        m_pos=st.integers(0, 4),
+        m_neg=st.integers(0, 4),
+        k=st.sampled_from([1, 3, 5]),
+        metric=st.sampled_from(["l1", "l2", "lp:3"]),
+    )
+    @settings(max_examples=60)
+    def test_continuous_integer_points(self, seed, n, m_pos, m_neg, k, metric):
+        # Integer coordinates make ties common, stressing the optimistic rule.
+        if m_pos + m_neg < k:
+            return
+        rng = np.random.default_rng(seed)
+        data = random_continuous_dataset(rng, n, m_pos, m_neg, integer=True)
+        clf = KNNClassifier(data, k=k, metric=metric)
+        x = rng.integers(-4, 5, size=n).astype(float)
+        assert clf.classify(x) == classify_by_definition(data, k, metric, x)

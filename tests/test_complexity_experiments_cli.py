@@ -1,0 +1,115 @@
+"""Tests for the complexity registry, experiment harness, and CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.complexity import ENTRIES, Problem, Space, lookup, render_table
+from repro.experiments.figures import ALL_FIGURES, figure5_workload, figure6_workload
+from repro.experiments.runner import SweepResult, run_sweep, time_callable
+from repro.experiments.tables import render_results_table, render_table1
+
+
+class TestComplexityRegistry:
+    def test_every_cell_resolvable(self):
+        for problem in Problem:
+            for space in Space:
+                for k in (1, 3):
+                    entry = lookup(problem, space, k)
+                    assert entry.complexity
+                    assert entry.provenance
+
+    def test_table1_paper_values(self):
+        """Spot-check the registry against the paper's Table 1."""
+        assert lookup(Problem.COUNTERFACTUAL, Space.L2, 5).complexity == "P"
+        assert lookup(Problem.COUNTERFACTUAL, Space.L1, 1).complexity == "NP-complete"
+        assert lookup(Problem.CHECK_SR, Space.L1, 3).complexity == "coNP-complete"
+        assert lookup(Problem.CHECK_SR, Space.HAMMING, 1).complexity == "P"
+        assert lookup(Problem.MINIMUM_SR, Space.HAMMING, 3).complexity == "Sigma2p-complete"
+        assert "open" in lookup(Problem.MINIMUM_SR, Space.L1, 3).complexity
+
+    def test_render_table_mentions_all_spaces(self):
+        table = render_table()
+        for space in Space:
+            assert space.value in table
+        assert "Theorem 2" in table
+        assert table == render_table1()
+
+    def test_entries_have_solver_pointers(self):
+        for entry in ENTRIES:
+            assert entry.solver.startswith("repro.")
+
+
+class TestRunner:
+    def test_time_callable(self):
+        timing = time_callable(lambda: sum(range(1000)), repeats=2)
+        assert timing["repeats"] == 2
+        assert timing["min"] <= timing["median"] <= timing["max"]
+
+    def test_run_sweep_and_series(self):
+        grid = [{"n": n, "N": N} for n in (1, 2) for N in (10, 20)]
+        result = run_sweep("demo", grid, lambda p: (lambda: p["n"] * p["N"]), repeats=1)
+        assert len(result.rows) == 4
+        series = result.series("n", "N")
+        assert set(series) == {10, 20}
+        assert series[10][0] == [1, 2]
+
+    def test_render_results_table(self):
+        result = SweepResult("demo")
+        result.add({"n": 1, "N": 10}, {"median": 0.001, "min": 0.001, "max": 0.001, "repeats": 1})
+        result.add({"n": 2, "N": 10}, {"median": 0.002, "min": 0.002, "max": 0.002, "repeats": 1})
+        text = render_results_table(result)
+        assert "demo" in text
+        assert "1.0ms" in text and "2.0ms" in text
+
+
+class TestFigureWorkloads:
+    def test_all_figures_registered(self):
+        assert set(ALL_FIGURES) == {"fig5a", "fig5b", "fig6a", "fig6b"}
+        for spec in ALL_FIGURES.values():
+            grid = list(spec.grid())
+            assert grid and all("n" in p and "N" in p for p in grid)
+
+    def test_figure5_task_runs(self, rng):
+        task = figure5_workload(rng, 8, 10, method="hamming-milp")
+        result = task()
+        assert result.found
+
+    def test_figure5_sat_task_runs(self, rng):
+        task = figure5_workload(rng, 8, 10, method="hamming-sat")
+        assert task().found
+
+    def test_figure6_tasks_run(self, rng):
+        msr = figure6_workload(rng, 6, 8, task_kind="msr-l1")()
+        assert isinstance(msr, frozenset)
+        cf = figure6_workload(rng, 6, 8, task_kind="cf-l2")()
+        assert cf.found
+
+    def test_figure6_bad_kind(self, rng):
+        with pytest.raises(ValueError):
+            figure6_workload(rng, 6, 8, task_kind="nope")
+
+
+class TestCLI:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "(R, D_2)" in out
+
+    def test_explain(self, capsys):
+        assert main(["explain", "--dimension", "6", "--size", "12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal sufficient reason" in out
+        assert "counterfactual" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig9z"]) == 2
+
+    def test_figure_tiny_run(self, capsys):
+        # Shrink the grid by monkey-free means: run the smallest figure with
+        # one repeat; fig6a's smallest cells are fast enough for a test.
+        assert main(["figure", "fig6a", "--repeats", "1", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6a" in out

@@ -1,0 +1,235 @@
+"""Tests for counterfactual explanations across metrics and pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counterfactual import closest_counterfactual, exists_counterfactual
+from repro.exceptions import UnsupportedSettingError, ValidationError
+from repro.knn import Dataset, KNNClassifier
+
+from .helpers import (
+    brute_force_closest_counterfactual_discrete,
+    random_continuous_dataset,
+    random_discrete_dataset,
+)
+
+HAMMING_METHODS = ["hamming-milp", "hamming-sat", "hamming-brute"]
+
+
+class TestDispatch:
+    def test_metric_method_mismatch(self, rng):
+        data = random_discrete_dataset(rng, 3, 2, 2)
+        with pytest.raises(ValidationError):
+            closest_counterfactual(data, 1, "hamming", np.zeros(3), method="l2-qp")
+        with pytest.raises(ValidationError):
+            closest_counterfactual(data, 1, "l2", np.zeros(3), method="hamming-sat")
+
+    def test_unknown_method(self, rng):
+        data = random_discrete_dataset(rng, 3, 2, 2)
+        with pytest.raises(ValidationError):
+            closest_counterfactual(data, 1, "hamming", np.zeros(3), method="oracle")
+
+    def test_unsupported_metric(self, rng):
+        data = random_continuous_dataset(rng, 3, 2, 2)
+        with pytest.raises(UnsupportedSettingError):
+            closest_counterfactual(data, 1, "lp:3", np.zeros(3))
+
+    def test_sat_rejects_k3(self, rng):
+        data = random_discrete_dataset(rng, 3, 3, 3)
+        with pytest.raises(UnsupportedSettingError):
+            closest_counterfactual(data, 3, "hamming", np.zeros(3), method="hamming-sat")
+
+
+class TestL2:
+    def test_two_point_line(self):
+        # Positive at 0, negative at 4: boundary at 2.  From x=1 the
+        # closest counterfactual sits just past 2 (open target region).
+        data = Dataset([[0.0]], [[4.0]])
+        result = closest_counterfactual(data, 1, "l2", [1.0])
+        assert result.found
+        assert result.label_from == 1
+        assert result.infimum == pytest.approx(1.0, abs=1e-6)
+        assert result.distance == pytest.approx(1.0, rel=1e-4)
+        clf = KNNClassifier(data, k=1, metric="l2")
+        assert clf.classify(result.y) == 0
+
+    def test_flip_into_closed_region_attained(self):
+        # From the negative side, the target region (label 1) is closed:
+        # the midpoint itself classifies positive (optimistic tie).
+        data = Dataset([[0.0]], [[4.0]])
+        result = closest_counterfactual(data, 1, "l2", [3.0])
+        assert result.found
+        assert result.distance == pytest.approx(1.0, abs=1e-8)
+        assert result.infimum == pytest.approx(result.distance, abs=1e-8)
+
+    def test_one_class_data_has_no_counterfactual(self):
+        data = Dataset([[0.0, 0.0], [1.0, 1.0]], [])
+        result = closest_counterfactual(data, 1, "l2", [0.0, 0.0])
+        assert not result.found
+        assert not exists_counterfactual(data, 1, "l2", [0.0, 0.0], 100.0)
+
+    def test_counterfactual_always_flips(self, rng):
+        for k in (1, 3):
+            data = random_continuous_dataset(rng, 3, 4, 4)
+            clf = KNNClassifier(data, k=k, metric="l2")
+            x = rng.normal(size=3)
+            result = closest_counterfactual(data, k, "l2", x)
+            assert result.found
+            assert clf.classify(result.y) != clf.classify(x)
+            assert result.infimum <= result.distance + 1e-9
+
+    @given(seed=st.integers(0, 50_000))
+    @settings(max_examples=25)
+    def test_no_closer_counterfactual_exists(self, seed):
+        """Random probing cannot beat the reported infimum."""
+        rng = np.random.default_rng(seed)
+        data = random_continuous_dataset(rng, 2, 3, 3)
+        clf = KNNClassifier(data, k=1, metric="l2")
+        x = rng.normal(size=2)
+        result = closest_counterfactual(data, 1, "l2", x)
+        label = clf.classify(x)
+        for _ in range(300):
+            radius = result.infimum * rng.uniform(0.0, 0.999)
+            direction = rng.normal(size=2)
+            direction /= np.linalg.norm(direction)
+            probe = x + radius * direction
+            assert clf.classify(probe) == label
+
+    def test_exists_radius_decision(self):
+        data = Dataset([[0.0]], [[4.0]])
+        assert exists_counterfactual(data, 1, "l2", [1.0], 1.5)
+        assert not exists_counterfactual(data, 1, "l2", [1.0], 0.5)
+        # Exactly at the infimum of an open region: No (strict rule).
+        assert not exists_counterfactual(data, 1, "l2", [1.0], 1.0 - 1e-9)
+
+
+class TestL1:
+    def test_two_point_line(self):
+        data = Dataset([[0.0, 0.0]], [[4.0, 0.0]])
+        result = closest_counterfactual(data, 1, "l1", [1.0, 0.0])
+        assert result.found
+        assert result.distance == pytest.approx(1.0, rel=1e-3)
+        clf = KNNClassifier(data, k=1, metric="l1")
+        assert clf.classify(result.y) == 0
+
+    def test_flip_to_positive_non_strict(self):
+        data = Dataset([[0.0, 0.0]], [[4.0, 0.0]])
+        result = closest_counterfactual(data, 1, "l1", [3.0, 0.0])
+        assert result.distance == pytest.approx(1.0, abs=1e-6)
+
+    def test_agrees_with_hamming_on_boolean_data(self, rng):
+        # On {0,1}^n with integer-coordinate optima, l1 and Hamming
+        # counterfactual distances coincide.
+        for _ in range(5):
+            data = random_discrete_dataset(rng, 4, 3, 3)
+            x = rng.integers(0, 2, size=4).astype(float)
+            clf_h = KNNClassifier(data, k=1, metric="hamming")
+            ref, dist = brute_force_closest_counterfactual_discrete(clf_h, x)
+            result = closest_counterfactual(data, 1, "l1", x)
+            if ref is None:
+                assert not result.found
+            else:
+                assert result.found
+                assert result.distance <= dist + 1e-6
+                clf_l1 = KNNClassifier(data, k=1, metric="l1")
+                assert clf_l1.classify(result.y) != clf_l1.classify(x)
+
+    def test_k3(self, rng):
+        data = random_continuous_dataset(rng, 2, 3, 3)
+        clf = KNNClassifier(data, k=3, metric="l1")
+        x = rng.normal(size=2)
+        result = closest_counterfactual(data, 3, "l1", x)
+        assert result.found
+        assert clf.classify(result.y) != clf.classify(x)
+
+
+@pytest.mark.parametrize("method", HAMMING_METHODS)
+class TestHammingPipelines:
+    def test_single_flip(self, method):
+        data = Dataset([[0, 0, 0]], [[1, 0, 0]], discrete=True)
+        result = closest_counterfactual(data, 1, "hamming", [0.0, 0.0, 0.0], method=method)
+        assert result.found
+        assert result.distance == 1.0
+
+    def test_one_class(self, method):
+        data = Dataset([[0, 1], [1, 0]], [], discrete=True)
+        result = closest_counterfactual(data, 1, "hamming", [0.0, 0.0], method=method)
+        assert not result.found
+
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(1, 5),
+        m_pos=st.integers(1, 3),
+        m_neg=st.integers(1, 3),
+    )
+    @settings(max_examples=20)
+    def test_matches_brute_force(self, method, seed, n, m_pos, m_neg):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, m_pos, m_neg)
+        clf = KNNClassifier(data, k=1, metric="hamming")
+        x = rng.integers(0, 2, size=n).astype(float)
+        ref, ref_dist = brute_force_closest_counterfactual_discrete(clf, x)
+        result = closest_counterfactual(data, 1, "hamming", x, method=method)
+        if ref is None:
+            assert not result.found
+        else:
+            assert result.found
+            assert result.distance == ref_dist
+            assert clf.classify(result.y) != clf.classify(x)
+
+
+class TestHammingK3:
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(2, 4),
+    )
+    @settings(max_examples=15)
+    def test_enumerated_milp_matches_brute(self, seed, n):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, 3, 3)
+        clf = KNNClassifier(data, k=3, metric="hamming")
+        x = rng.integers(0, 2, size=n).astype(float)
+        milp = closest_counterfactual(data, 3, "hamming", x, method="hamming-milp")
+        brute = closest_counterfactual(data, 3, "hamming", x, method="hamming-brute")
+        assert milp.found == brute.found
+        if brute.found:
+            assert milp.distance == brute.distance
+            assert clf.classify(milp.y) != clf.classify(x)
+
+    def test_guarded_formulation_rejects_k3(self, rng):
+        data = random_discrete_dataset(rng, 3, 3, 3)
+        with pytest.raises(ValidationError):
+            closest_counterfactual(
+                data, 3, "hamming", np.zeros(3), method="hamming-milp", formulation="guarded"
+            )
+
+
+class TestSATLinearVsBinary:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15)
+    def test_strategies_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 4, 2, 2)
+        x = rng.integers(0, 2, size=4).astype(float)
+        a = closest_counterfactual(data, 1, "hamming", x, method="hamming-sat", strategy="binary")
+        b = closest_counterfactual(data, 1, "hamming", x, method="hamming-sat", strategy="linear")
+        assert a.found == b.found
+        if a.found:
+            assert a.distance == b.distance
+
+
+class TestPaperFigure2Geometry:
+    def test_counterfactual_lies_on_bisector_midpoint(self):
+        """With one positive and one negative point, the closest l2
+        counterfactual from the positive side is (just past) the foot of
+        the perpendicular onto the bisector hyperplane."""
+        data = Dataset([[0.0, 0.0]], [[2.0, 2.0]])
+        x = np.array([0.5, 0.0])
+        result = closest_counterfactual(data, 1, "l2", x)
+        # Bisector: x0 + x1 = 2; distance from (0.5, 0) is |0.5-2|/sqrt(2).
+        expected = abs(0.5 + 0.0 - 2.0) / np.sqrt(2.0)
+        assert result.infimum == pytest.approx(expected, abs=1e-7)

@@ -1,0 +1,77 @@
+"""Last-line cross-validation: independent pipelines must agree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.counterfactual import closest_counterfactual
+from repro.knn import KNNClassifier
+from repro.knn.thinning import condense
+
+from .helpers import random_discrete_dataset
+
+
+class TestFormulationAgreement:
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 6))
+    @settings(max_examples=20)
+    def test_guarded_vs_enumerated_milp_k1(self, seed, n):
+        """The paper's single guarded model and the per-witness-pair
+        enumeration are different MILPs for the same optimum."""
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, n, 3, 3)
+        x = rng.integers(0, 2, size=n).astype(float)
+        guarded = closest_counterfactual(
+            data, 1, "hamming", x, method="hamming-milp", formulation="guarded"
+        )
+        enumerated = closest_counterfactual(
+            data, 1, "hamming", x, method="hamming-milp", formulation="enumerated"
+        )
+        assert guarded.found == enumerated.found
+        if guarded.found:
+            assert guarded.distance == enumerated.distance
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15)
+    def test_milp_engines_agree_on_counterfactuals(self, seed):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 5, 2, 2)
+        x = rng.integers(0, 2, size=5).astype(float)
+        a = closest_counterfactual(data, 1, "hamming", x, method="hamming-milp", engine="scipy")
+        b = closest_counterfactual(data, 1, "hamming", x, method="hamming-milp", engine="bnb")
+        assert a.found == b.found
+        if a.found:
+            assert a.distance == b.distance
+
+
+class TestCondenseK3:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=10)
+    def test_training_set_consistency_k3(self, seed):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 4, 5, 5)
+        thin = condense(data, k=3, metric="hamming")
+        if len(thin) < 3:
+            return  # degenerate shrink below k; nothing to check
+        full = KNNClassifier(data, k=3, metric="hamming")
+        reduced = KNNClassifier(thin, k=3, metric="hamming")
+        points, _ = data.all_points()
+        for p in points:
+            assert full.classify(p) == reduced.classify(p)
+
+
+class TestInfimumInvariants:
+    @given(seed=st.integers(0, 100_000), k=st.sampled_from([1, 3]))
+    @settings(max_examples=20)
+    def test_infimum_never_exceeds_distance(self, seed, k):
+        from repro.datasets import gaussian_blobs
+
+        rng = np.random.default_rng(seed)
+        data = gaussian_blobs(rng, 2, 4, separation=2.0)
+        x = rng.normal(size=2)
+        result = closest_counterfactual(data, k, "l2", x)
+        assert result.found
+        assert result.infimum <= result.distance + 1e-9
+        assert result.distance <= result.infimum * (1 + 1e-4) + 1e-6

@@ -1,0 +1,106 @@
+"""Tests for repro.knn.Dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, ValidationError
+from repro.knn import Dataset
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = Dataset([[0, 0], [1, 1]], [[2, 2]])
+        assert d.dimension == 2
+        assert d.n_positive == 2
+        assert d.n_negative == 1
+        assert len(d) == 3
+
+    def test_empty_positive_side(self):
+        d = Dataset([], [[1, 2, 3]])
+        assert d.positives.shape == (0, 3)
+        assert d.n_positive == 0
+
+    def test_empty_negative_side(self):
+        d = Dataset([[1, 2]], [])
+        assert d.negatives.shape == (0, 2)
+
+    def test_both_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset([], [])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            Dataset([[1, 2]], [[1, 2, 3]])
+
+    def test_discrete_validation(self):
+        Dataset([[0, 1]], [[1, 0]], discrete=True)
+        with pytest.raises(ValidationError):
+            Dataset([[0, 0.5]], [[1, 0]], discrete=True)
+
+    def test_rows_are_read_only(self):
+        d = Dataset([[0, 0]], [[1, 1]])
+        with pytest.raises(ValueError):
+            d.positives[0, 0] = 9.0
+
+    def test_from_labeled(self):
+        pts = [[0, 0], [1, 1], [2, 2]]
+        d = Dataset.from_labeled(pts, [1, 0, 1])
+        assert d.n_positive == 2
+        assert d.n_negative == 1
+        np.testing.assert_array_equal(d.negatives, [[1, 1]])
+
+    def test_from_labeled_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Dataset.from_labeled([[0, 0]], [1, 0])
+
+
+class TestMultiplicities:
+    def test_counts(self):
+        d = Dataset(
+            [[0, 0]],
+            [[1, 1]],
+            positive_multiplicities=[3],
+            negative_multiplicities=[2],
+        )
+        assert d.n_positive == 3
+        assert d.n_negative == 2
+        assert d.has_multiplicities
+
+    def test_expanded(self):
+        d = Dataset([[0.0]], [[1.0]], positive_multiplicities=[2])
+        e = d.expanded()
+        assert e.positives.shape == (2, 1)
+        assert not e.has_multiplicities
+
+    def test_expanded_is_identity_without_multiplicities(self):
+        d = Dataset([[0.0]], [[1.0]])
+        assert d.expanded() is d
+
+    def test_invalid_multiplicity_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset([[0.0]], [[1.0]], positive_multiplicities=[0])
+        with pytest.raises(ValidationError):
+            Dataset([[0.0]], [[1.0]], positive_multiplicities=[1, 1])
+
+
+class TestDerivedForms:
+    def test_all_points(self):
+        d = Dataset([[0.0]], [[1.0]], negative_multiplicities=[2])
+        pts, labels = d.all_points()
+        assert pts.shape == (3, 1)
+        assert labels.sum() == 1
+
+    def test_swapped(self):
+        d = Dataset([[0, 0]], [[1, 1], [2, 2]])
+        s = d.swapped()
+        assert s.n_positive == 2
+        assert s.n_negative == 1
+        np.testing.assert_array_equal(s.negatives, d.positives)
+
+    def test_restrict_dims(self):
+        d = Dataset([[1, 2, 3]], [[4, 5, 6]])
+        r = d.restrict_dims([2, 0])
+        np.testing.assert_array_equal(r.positives, [[3, 1]])
+        np.testing.assert_array_equal(r.negatives, [[6, 4]])

@@ -1,0 +1,140 @@
+"""Tests for the data substrate (synthetic points, digits, graphs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    DigitImages,
+    binarize_images,
+    gaussian_blobs,
+    random_boolean_dataset,
+    random_graph,
+    random_regular_graph,
+    render_ascii,
+    scale_image,
+)
+from repro.exceptions import ValidationError
+from repro.knn import KNNClassifier
+
+
+class TestRandomBoolean:
+    def test_shapes_and_values(self, rng):
+        data = random_boolean_dataset(rng, n=10, size=40)
+        assert data.dimension == 10
+        assert len(data) == 40
+        assert data.discrete
+
+    def test_both_classes_nonempty(self, rng):
+        for _ in range(20):
+            data = random_boolean_dataset(rng, 3, 2)
+            assert data.n_positive >= 1 and data.n_negative >= 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            random_boolean_dataset(rng, 0, 10)
+        with pytest.raises(ValidationError):
+            random_boolean_dataset(rng, 3, 1)
+        with pytest.raises(ValidationError):
+            random_boolean_dataset(rng, 3, 10, label_probability=1.5)
+
+
+class TestBlobs:
+    def test_separated_blobs_classify_well(self, rng):
+        data = gaussian_blobs(rng, 2, 30, separation=8.0)
+        clf = KNNClassifier(data, k=3)
+        assert clf.classify([4.0, 4.0]) == 1
+        assert clf.classify([-4.0, -4.0]) == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            gaussian_blobs(rng, 2, 0)
+
+
+class TestDigits:
+    def test_generation_shape(self, rng):
+        imgs = DigitImages.generate(rng, digits=(4, 9), count_per_digit=5, side=12)
+        assert imgs.images.shape == (10, 12, 12)
+        assert imgs.side == 12
+        assert set(imgs.labels) == {4, 9}
+        assert imgs.images.min() >= 0.0 and imgs.images.max() <= 1.0
+
+    def test_digits_are_separable(self, rng):
+        """1-NN on held-out digit images should be nearly perfect — the
+        generator must produce class-clustered data like MNIST."""
+        train = DigitImages.generate(rng, (4, 9), count_per_digit=25, side=12)
+        test = DigitImages.generate(rng, (4, 9), count_per_digit=10, side=12)
+        data = train.to_dataset(positive_digit=4)
+        clf = KNNClassifier(data, k=1, metric="l2")
+        predictions = clf.classify_batch(test.flattened())
+        accuracy = (predictions == (test.labels == 4)).mean()
+        assert accuracy >= 0.9
+
+    def test_binarized_dataset_is_discrete(self, rng):
+        imgs = DigitImages.generate(rng, (4, 9), count_per_digit=3, side=8)
+        data = imgs.to_dataset(4, binarized=True)
+        assert data.discrete
+
+    def test_single_digit_rejected(self, rng):
+        imgs = DigitImages.generate(rng, (4,), count_per_digit=3, side=8)
+        with pytest.raises(ValidationError):
+            imgs.to_dataset(4)
+        with pytest.raises(ValidationError):
+            imgs.to_dataset(9)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ValidationError):
+            DigitImages.generate(rng, (10,), count_per_digit=1, side=8)
+        with pytest.raises(ValidationError):
+            DigitImages.generate(rng, (4,), count_per_digit=0, side=8)
+        with pytest.raises(ValidationError):
+            DigitImages.generate(rng, (4,), count_per_digit=1, side=2)
+
+    @given(side=st.integers(4, 20))
+    @settings(max_examples=10)
+    def test_any_side_length(self, side):
+        rng = np.random.default_rng(side)
+        imgs = DigitImages.generate(rng, (7,), count_per_digit=1, side=side)
+        assert imgs.images.shape == (1, side, side)
+        assert imgs.images.max() > 0.3  # strokes actually visible
+
+    def test_binarize(self):
+        images = np.array([[[0.2, 0.7], [0.5, 0.4]]])
+        out = binarize_images(images)
+        np.testing.assert_array_equal(out, [[[0.0, 1.0], [1.0, 0.0]]])
+
+    def test_scale_image(self):
+        img = np.arange(16, dtype=float).reshape(4, 4)
+        up = scale_image(img, 8)
+        assert up.shape == (8, 8)
+        assert up[0, 0] == img[0, 0] and up[-1, -1] == img[-1, -1]
+        down = scale_image(img, 2)
+        assert down.shape == (2, 2)
+        with pytest.raises(ValidationError):
+            scale_image(np.zeros(5), 2)
+
+    def test_render_ascii(self):
+        art = render_ascii(np.array([[0.0, 1.0], [0.5, 0.0]]))
+        lines = art.split("\n")
+        assert len(lines) == 2 and len(lines[0]) == 2
+        assert lines[0][0] == " " and lines[0][1] == "@"
+        # Flat vectors are reshaped automatically.
+        art_flat = render_ascii(np.zeros(9))
+        assert len(art_flat.split("\n")) == 3
+
+
+class TestGraphs:
+    def test_random_graph_has_edges(self, rng):
+        g = random_graph(rng, 5, p=0.0)
+        assert g.number_of_edges() == 1  # forced edge
+        with pytest.raises(ValidationError):
+            random_graph(rng, 1)
+
+    def test_random_regular(self, rng):
+        g = random_regular_graph(rng, 6, 3)
+        assert all(d == 3 for _, d in g.degree)
+        with pytest.raises(ValidationError):
+            random_regular_graph(rng, 5, 3)  # odd n*d

@@ -1,0 +1,122 @@
+"""Edge-case and failure-injection tests across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, KNNClassifier
+from repro.exceptions import (
+    InfeasibleError,
+    ResourceLimitError,
+    UnboundedError,
+    ValidationError,
+)
+from repro.knn.reference import classify_by_definition
+from repro.solvers.milp import MILPModel
+from repro.solvers.sat import SATSolver
+
+
+class TestReferenceClassifier:
+    def test_requires_k_points(self):
+        data = Dataset([[0.0]], [[1.0]])
+        with pytest.raises(ValueError):
+            classify_by_definition(data, 3, "l2", [0.0])
+
+    def test_tie_goes_positive(self):
+        data = Dataset([[1.0]], [[-1.0]])
+        assert classify_by_definition(data, 1, "l2", [0.0]) == 1
+
+    def test_multiplicities_expanded(self):
+        data = Dataset([[1.0]], [[0.0]], negative_multiplicities=[2])
+        assert classify_by_definition(data, 3, "l2", [0.0]) == 0
+
+
+class TestMILPEdges:
+    def test_unbounded_bnb(self):
+        m = MILPModel()
+        x = m.add_var(integer=True)  # free integer
+        m.set_objective({x: 1})
+        with pytest.raises(UnboundedError):
+            m.solve(engine="bnb")
+
+    def test_unbounded_scipy(self):
+        m = MILPModel()
+        x = m.add_var()
+        m.set_objective({x: 1})
+        res = m.solve(engine="scipy")
+        assert res.status == "unbounded"
+
+    def test_node_limit(self):
+        # A knapsack-style instance with an intentionally tiny node budget.
+        m = MILPModel()
+        xs = [m.add_binary() for _ in range(12)]
+        m.add_constraint({x: w for x, w in zip(xs, [3, 5, 7, 9, 11, 13, 2, 4, 6, 8, 10, 12])}, "<=", 30)
+        m.set_objective({x: v for x, v in zip(xs, [4, 6, 8, 9, 12, 13, 3, 5, 7, 8, 11, 13])}, maximize=True)
+        with pytest.raises(ResourceLimitError):
+            m.solve(engine="bnb", node_limit=1)
+
+    def test_no_objective_feasibility_check(self):
+        m = MILPModel()
+        x = m.add_binary()
+        m.add_constraint({x: 1}, ">=", 1)
+        res = m.solve()
+        assert res.optimal
+        assert res.value(x) == 1
+
+    def test_empty_model(self):
+        m = MILPModel()
+        m.add_var(lb=0, ub=1)
+        res = m.solve()
+        assert res.optimal
+        assert res.objective == 0.0
+
+
+class TestSATStatistics:
+    def test_counters_advance(self):
+        s = SATSolver(6)
+        # A small unsatisfiable pigeonhole to force conflicts.
+        v = {(p, h): p * 2 + h + 1 for p in range(3) for h in range(2)}
+        for p in range(3):
+            s.add_clause([v[p, 0], v[p, 1]])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        assert s.solve() is None
+        assert s.conflicts > 0
+        assert s.propagations > 0
+
+    def test_zero_vars(self):
+        s = SATSolver(0)
+        assert s.solve() == {}
+
+    def test_adding_after_solve_rejected(self):
+        s = SATSolver(2)
+        s.add_clause([1, 2])
+        s.solve()
+        # After solving, the trail has decisions; further adds are refused.
+        if s._trail_lim:
+            with pytest.raises(ValidationError):
+                s.add_clause([-1])
+
+
+class TestDegenerateDatasets:
+    def test_same_point_in_both_classes(self):
+        # The same vector positive and negative: the optimistic rule makes
+        # the tie go positive everywhere near it.
+        data = Dataset([[0.0, 0.0]], [[0.0, 0.0]])
+        clf = KNNClassifier(data, k=1, metric="l2")
+        assert clf.classify([0.0, 0.0]) == 1
+        assert clf.classify([5.0, 5.0]) == 1
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(Exception):
+            Dataset(np.empty((1, 0)), np.empty((1, 0)))
+        # (a 0-dimensional dataset has no usable geometry)
+
+    def test_single_point_dataset(self):
+        data = Dataset([[1.0, 2.0]], [])
+        clf = KNNClassifier(data, k=1)
+        assert clf.classify([0.0, 0.0]) == 1
+        assert clf.margin([0.0, 0.0]) == np.inf

@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = {
+    "quickstart.py": [],
+    "digits_counterfactual.py": ["--side", "8", "--per-digit", "8"],
+    "voronoi_counterfactual.py": ["--points-per-class", "4"],
+    "bisector_geometry.py": [],
+    "hardness_gallery.py": [],
+    "multiclass_digits.py": [],
+}
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["minimal sufficient reason", "counterfactual decision"],
+    "digits_counterfactual.py": ["closest counterfactual flips", "difference map"],
+    "voronoi_counterfactual.py": ["flip: 0 (expect 0)"],
+    "bisector_geometry.py": ["0 mismatches"],
+    "hardness_gallery.py": ["Theorem 1", "Theorem 3", "Theorem 4"],
+    "multiclass_digits.py": ["classified as digit", "targeted counterfactual"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(SCRIPTS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *SCRIPTS[script]],
+        capture_output=True,
+        text=True,
+        timeout=280,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, f"{script}: missing {marker!r}"

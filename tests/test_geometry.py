@@ -1,0 +1,177 @@
+"""Tests for halfspaces, polyhedra, affine subspaces, and decision regions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AffineSubspace,
+    Halfspace,
+    Polyhedron,
+    bisector_halfspace,
+    decision_region_polyhedra,
+)
+from repro.geometry.regions import count_region_polyhedra
+from repro.knn import Dataset, KNNClassifier
+
+
+class TestBisector:
+    def test_midpoint_on_boundary(self):
+        h = bisector_halfspace([0.0, 0.0], [2.0, 0.0])
+        mid = np.array([1.0, 0.0])
+        assert np.isclose(h.w @ mid, h.b)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 5),
+    )
+    @settings(max_examples=50)
+    def test_halfspace_matches_distance_comparison(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a, c, x = rng.normal(size=(3, n)) * 3
+        if np.allclose(a, c):
+            return
+        h = bisector_halfspace(a, c)
+        closer_to_a = np.linalg.norm(x - a) <= np.linalg.norm(x - c) + 1e-12
+        assert h.contains(x, tol=1e-7) == closer_to_a or np.isclose(
+            np.linalg.norm(x - a), np.linalg.norm(x - c)
+        )
+
+    def test_strict_flag(self):
+        h = bisector_halfspace([0.0], [2.0], strict=True)
+        assert h.strict
+        assert not h.contains([1.0])  # boundary excluded
+        assert h.contains([0.5])
+
+    def test_flipped_complements(self):
+        h = Halfspace(np.array([1.0]), 1.0)
+        f = h.flipped()
+        assert f.strict
+        assert h.contains([0.5]) and not f.contains([0.5])
+        assert not h.contains([1.5]) and f.contains([1.5])
+
+
+class TestPolyhedron:
+    def test_box_contains(self):
+        # 0 <= x <= 1 in each of 2 dims.
+        hs = [
+            Halfspace(np.array([1.0, 0.0]), 1.0),
+            Halfspace(np.array([-1.0, 0.0]), 0.0),
+            Halfspace(np.array([0.0, 1.0]), 1.0),
+            Halfspace(np.array([0.0, -1.0]), 0.0),
+        ]
+        p = Polyhedron(2, hs)
+        assert p.contains([0.5, 0.5])
+        assert not p.contains([1.5, 0.5])
+        point = p.find_point()
+        assert point is not None and p.contains(point)
+
+    def test_empty_polyhedron(self):
+        hs = [Halfspace(np.array([1.0]), 0.0), Halfspace(np.array([-1.0]), -1.0)]
+        p = Polyhedron(1, hs)  # x <= 0 and x >= 1
+        assert p.is_empty()
+
+    def test_strictly_empty_but_closure_nonempty(self):
+        # x < 0 and x >= 0: empty, but the closure {x <= 0, x >= 0} = {0}.
+        hs = [Halfspace(np.array([1.0]), 0.0, strict=True), Halfspace(np.array([-1.0]), 0.0)]
+        p = Polyhedron(1, hs)
+        assert p.is_empty()
+        assert not p.closure().is_empty()
+
+    def test_find_point_respects_strictness(self):
+        hs = [
+            Halfspace(np.array([1.0]), 1.0, strict=True),
+            Halfspace(np.array([-1.0]), 0.0),
+        ]
+        p = Polyhedron(1, hs)  # 0 <= x < 1
+        point = p.find_point()
+        assert point is not None
+        assert 0.0 - 1e-9 <= point[0] < 1.0
+
+    def test_find_point_with_equalities(self):
+        hs = [Halfspace(np.array([1.0, 1.0]), 1.0)]
+        p = Polyhedron(2, hs)
+        A_eq = np.array([[1.0, 0.0]])
+        point = p.find_point(A_eq, np.array([5.0]))
+        # x0 = 5 forces x1 <= -4, which is feasible.
+        assert point is not None
+        assert point[0] == pytest.approx(5.0)
+        assert point.sum() <= 1.0 + 1e-9
+        # An equality clashing with a strict constraint is infeasible.
+        strict = Polyhedron(2, [Halfspace(np.array([1.0, 0.0]), 5.0, strict=True)])
+        assert strict.find_point(A_eq, np.array([5.0])) is None
+
+    def test_intersect(self):
+        p1 = Polyhedron(1, [Halfspace(np.array([1.0]), 1.0)])
+        p2 = Polyhedron(1, [Halfspace(np.array([-1.0]), 0.0)])
+        inter = p1.intersect(p2)
+        assert inter.n_constraints == 2
+        assert inter.contains([0.5])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Polyhedron(2, [Halfspace(np.array([1.0]), 0.0)])
+
+
+class TestAffineSubspace:
+    def test_equality_system(self):
+        u = AffineSubspace([1.0, 2.0, 3.0], [0, 2])
+        A, b = u.equality_system()
+        assert A.shape == (2, 3)
+        np.testing.assert_array_equal(b, [1.0, 3.0])
+
+    def test_substitute_and_embed_roundtrip(self):
+        u = AffineSubspace([1.0, 2.0, 3.0], [1])
+        A = np.array([[1.0, 1.0, 1.0], [0.0, 2.0, -1.0]])
+        b = np.array([10.0, 0.0])
+        A_sub, b_sub = u.substitute(A, b)
+        assert A_sub.shape == (2, 2)
+        z = np.array([0.5, -0.5])
+        y = u.embed(z)
+        np.testing.assert_allclose(A_sub @ z - b_sub, A @ y - b)
+
+    def test_contains(self):
+        u = AffineSubspace([1.0, 2.0], [0])
+        assert u.contains([1.0, 99.0])
+        assert not u.contains([1.1, 2.0])
+
+    def test_embed_wrong_size(self):
+        u = AffineSubspace([1.0, 2.0], [0])
+        with pytest.raises(ValueError):
+            u.embed([1.0, 2.0])
+
+
+class TestDecisionRegions:
+    def _check_cover(self, dataset, k, points):
+        """Region polyhedra must cover exactly the points of each label."""
+        clf = KNNClassifier(dataset, k=k, metric="l2")
+        for label in (0, 1):
+            pieces = list(decision_region_polyhedra(dataset, k, label))
+            assert len(pieces) == count_region_polyhedra(dataset, k, label)
+            for x in points:
+                inside = any(p.contains(x) for p in pieces)
+                assert inside == (clf.classify(x) == label), (x, label)
+
+    def test_k1_cover(self, rng):
+        data = Dataset(rng.normal(size=(3, 2)), rng.normal(size=(3, 2)))
+        pts = rng.normal(size=(40, 2)) * 2
+        self._check_cover(data, 1, pts)
+
+    def test_k3_cover(self, rng):
+        data = Dataset(rng.normal(size=(3, 2)), rng.normal(size=(3, 2)))
+        pts = rng.normal(size=(25, 2)) * 2
+        self._check_cover(data, 3, pts)
+
+    def test_k3_with_minority_positive_class(self, rng):
+        # |S+| = 1 < (k+1)/2: the positive region is empty.
+        data = Dataset(rng.normal(size=(1, 2)), rng.normal(size=(4, 2)))
+        assert list(decision_region_polyhedra(data, 3, 1)) == []
+        assert count_region_polyhedra(data, 3, 1) == 0
+
+    def test_region_count_formula(self):
+        data = Dataset(np.zeros((4, 2)), np.ones((3, 2)))
+        # k=3: C(4,2) * (C(3,0)+C(3,1)) = 6 * 4 = 24
+        assert count_region_polyhedra(data, 3, 1) == 24

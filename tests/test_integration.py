@@ -1,0 +1,156 @@
+"""Cross-module integration tests: full pipelines on realistic data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Dataset,
+    KNNClassifier,
+    check_sufficient_reason,
+    closest_counterfactual,
+    exists_counterfactual,
+    find_witness,
+    is_minimal_sufficient_reason,
+    minimal_sufficient_reason,
+    minimum_sufficient_reason,
+    verify_witness,
+)
+from repro.datasets import DigitImages, gaussian_blobs, random_boolean_dataset
+
+from .helpers import random_discrete_dataset
+
+
+class TestDigitsPipeline:
+    """The Figure 1 / Figure 6 workload, end to end."""
+
+    @pytest.fixture(scope="class")
+    def digits(self):
+        rng = np.random.default_rng(42)
+        images = DigitImages.generate(rng, digits=(4, 9), count_per_digit=10, side=8)
+        binary = images.to_dataset(positive_digit=4, binarized=True)
+        gray = images.to_dataset(positive_digit=4)
+        query = DigitImages.generate(rng, digits=(4,), count_per_digit=1, side=8)
+        x_gray = query.flattened()[0]
+        x_bin = (x_gray >= 0.5).astype(float)
+        return binary, gray, x_bin, x_gray
+
+    def test_binary_counterfactual_pipelines_agree(self, digits):
+        binary, _, x_bin, _ = digits
+        milp = closest_counterfactual(binary, 1, "hamming", x_bin, method="hamming-milp")
+        sat = closest_counterfactual(binary, 1, "hamming", x_bin, method="hamming-sat")
+        assert milp.found and sat.found
+        assert milp.distance == sat.distance
+        clf = KNNClassifier(binary, k=1, metric="hamming")
+        assert clf.classify(milp.y) != clf.classify(x_bin)
+        assert clf.classify(sat.y) != clf.classify(x_bin)
+
+    def test_minimal_sr_on_gray_digits(self, digits):
+        _, gray, _, x_gray = digits
+        X = minimal_sufficient_reason(gray, 1, "l1", x_gray)
+        assert is_minimal_sufficient_reason(gray, 1, "l1", x_gray, X)
+        # The reason should be much smaller than the 64 pixels.
+        assert len(X) < 64
+
+    def test_l2_counterfactual_on_gray_digits(self, digits):
+        _, gray, _, x_gray = digits
+        result = closest_counterfactual(gray, 1, "l2", x_gray)
+        assert result.found
+        clf = KNNClassifier(gray, k=1, metric="l2")
+        assert clf.classify(result.y) != clf.classify(x_gray)
+        assert result.distance < np.linalg.norm(x_gray) + 10  # sane magnitude
+
+
+class TestExplanationRelationships:
+    """Structural relations the theory guarantees between explanation kinds."""
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=20)
+    def test_minimum_size_at_most_minimal_size(self, seed):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 5, 3, 3)
+        x = rng.integers(0, 2, size=5).astype(float)
+        minimal = minimal_sufficient_reason(data, 1, "hamming", x)
+        minimum = minimum_sufficient_reason(data, 1, "hamming", x)
+        assert minimum.size <= len(minimal)
+        assert check_sufficient_reason(data, 1, "hamming", x, minimum.X)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15)
+    def test_counterfactual_bounds_radius_decision(self, seed):
+        """exists(r) must be monotone in r and consistent with the optimum."""
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 5, 3, 3)
+        x = rng.integers(0, 2, size=5).astype(float)
+        best = closest_counterfactual(data, 1, "hamming", x, method="hamming-brute")
+        if not best.found:
+            return
+        assert exists_counterfactual(data, 1, "hamming", x, best.distance)
+        if best.distance > 1:
+            assert not exists_counterfactual(data, 1, "hamming", x, best.distance - 1)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15)
+    def test_witness_for_counterfactual(self, seed):
+        """Every counterfactual's label carries a Proposition-1 certificate."""
+        rng = np.random.default_rng(seed)
+        data = gaussian_blobs(rng, 3, 5, separation=2.0)
+        clf = KNNClassifier(data, k=3, metric="l2")
+        x = rng.normal(size=3)
+        result = closest_counterfactual(data, 3, "l2", x)
+        assert result.found
+        w = find_witness(clf, result.y)
+        assert w.label != clf.classify(x)
+        assert verify_witness(clf, result.y, w)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=10)
+    def test_sr_counterexample_is_itself_explainable(self, seed):
+        """A counterexample to sufficiency admits its own counterfactual
+        back across the boundary at distance 0 from... sanity loop."""
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 4, 3, 3)
+        x = rng.integers(0, 2, size=4).astype(float)
+        clf = KNNClassifier(data, k=1, metric="hamming")
+        verdict = check_sufficient_reason(data, 1, "hamming", x, [0])
+        if verdict:
+            return
+        y = verdict.counterexample
+        # The counterexample is a counterfactual within Hamming distance n.
+        assert clf.classify(y) != clf.classify(x)
+        assert exists_counterfactual(data, 1, "hamming", x, float(data.dimension))
+
+
+class TestScaleSmoke:
+    """Paper-scale shapes at reduced size: hundreds of features still work."""
+
+    def test_hamming_counterfactual_200_features(self):
+        rng = np.random.default_rng(0)
+        data = random_boolean_dataset(rng, 200, 60)
+        x = rng.integers(0, 2, size=200).astype(float)
+        result = closest_counterfactual(data, 1, "hamming", x, method="hamming-milp")
+        assert result.found
+        clf = KNNClassifier(data, k=1, metric="hamming")
+        assert clf.classify(result.y) != clf.classify(x)
+
+    def test_minimal_sr_100_features(self):
+        rng = np.random.default_rng(1)
+        data = random_boolean_dataset(rng, 100, 80)
+        x = rng.integers(0, 2, size=100).astype(float)
+        X = minimal_sufficient_reason(data, 1, "hamming", x)
+        assert check_sufficient_reason(data, 1, "hamming", x, X)
+
+    def test_l2_counterfactual_k5(self):
+        # The witness enumeration is n^O(k): C(|S|, 3) * sum C(|S|, <=2)
+        # pieces for k = 5, so the class size must stay small (5 per
+        # class is ~160 pieces; 20 per class would be ~240k).
+        rng = np.random.default_rng(2)
+        data = gaussian_blobs(rng, 10, 5, separation=2.0)
+        x = rng.normal(size=10)
+        result = closest_counterfactual(data, 5, "l2", x)
+        assert result.found
+        clf = KNNClassifier(data, k=5, metric="l2")
+        assert clf.classify(result.y) != clf.classify(x)

@@ -1,0 +1,149 @@
+"""Unit and property tests for repro.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import ValidationError
+from repro.metrics import (
+    HammingMetric,
+    L1Metric,
+    L2Metric,
+    LInfMetric,
+    LpMetric,
+    get_metric,
+)
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+vectors = hnp.arrays(np.float64, st.integers(1, 6), elements=finite_floats)
+
+
+def paired_vectors():
+    return st.integers(1, 6).flatmap(
+        lambda n: st.tuples(
+            hnp.arrays(np.float64, n, elements=finite_floats),
+            hnp.arrays(np.float64, n, elements=finite_floats),
+            hnp.arrays(np.float64, n, elements=finite_floats),
+        )
+    )
+
+
+class TestGetMetric:
+    @pytest.mark.parametrize(
+        "spec, cls",
+        [
+            ("l1", L1Metric),
+            ("manhattan", L1Metric),
+            ("l2", L2Metric),
+            ("euclidean", L2Metric),
+            ("linf", LInfMetric),
+            ("chebyshev", LInfMetric),
+            ("hamming", HammingMetric),
+            ("discrete", HammingMetric),
+        ],
+    )
+    def test_aliases(self, spec, cls):
+        assert isinstance(get_metric(spec), cls)
+
+    def test_integer_spec_gives_lp(self):
+        m = get_metric(3)
+        assert isinstance(m, LpMetric)
+        assert m.p == 3
+
+    def test_lp_prefix_spec(self):
+        assert get_metric("lp:4").p == 4
+        assert get_metric("l5").p == 5
+
+    def test_metric_instance_passthrough(self):
+        m = L2Metric()
+        assert get_metric(m) is m
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError):
+            get_metric("cosine")
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            LpMetric(0)
+
+
+class TestKnownValues:
+    def test_l1_example(self):
+        assert get_metric("l1").distance([0, 0], [3, -4]) == 7.0
+
+    def test_l2_example(self):
+        assert get_metric("l2").distance([0, 0], [3, 4]) == 5.0
+
+    def test_l3_example(self):
+        d = get_metric(3).distance([0, 0], [1, 1])
+        assert d == pytest.approx(2 ** (1 / 3))
+
+    def test_linf_example(self):
+        assert get_metric("linf").distance([0, 0], [3, -4]) == 4.0
+
+    def test_hamming_example(self):
+        assert get_metric("hamming").distance([0, 1, 1, 0], [1, 1, 0, 0]) == 2.0
+
+    def test_pairwise_shape_and_values(self):
+        m = L2Metric()
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0], [1.0, 1.0], [0.0, 0.0]])
+        d = m.pairwise(a, b)
+        assert d.shape == (2, 3)
+        assert d[0, 2] == 0.0
+        assert d[1, 1] == 1.0
+
+
+class TestMetricAxioms:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "lp:3", "linf"])
+    @given(data=paired_vectors())
+    def test_axioms_continuous(self, metric, data):
+        x, y, z = data
+        m = get_metric(metric)
+        dxy = m.distance(x, y)
+        assert dxy >= 0
+        assert m.distance(x, x) == pytest.approx(0, abs=1e-9)
+        assert dxy == pytest.approx(m.distance(y, x), rel=1e-9, abs=1e-9)
+        assert m.distance(x, z) <= dxy + m.distance(y, z) + 1e-7
+
+    @given(data=paired_vectors())
+    def test_powers_is_monotone_surrogate(self, data):
+        x, y, z = data
+        for spec in ("l1", "l2", "lp:3"):
+            m = get_metric(spec)
+            pts = np.vstack([y, z])
+            d = m.distances_to(pts, x)
+            s = m.powers_to(pts, x)
+            # Same order relation between the two candidate points.
+            assert (d[0] < d[1] - 1e-12) == (s[0] < s[1] - 1e-12) or np.isclose(
+                d[0], d[1], rtol=1e-9
+            )
+
+    @given(
+        n=st.integers(1, 8),
+        data=st.data(),
+    )
+    def test_hamming_axioms(self, n, data):
+        bits = st.lists(st.sampled_from([0.0, 1.0]), min_size=n, max_size=n)
+        x = np.array(data.draw(bits))
+        y = np.array(data.draw(bits))
+        m = HammingMetric()
+        d = m.distance(x, y)
+        assert d == int(d)
+        assert 0 <= d <= n
+        assert m.distance(x, x) == 0
+        assert d == m.distance(y, x)
+
+
+class TestValidation:
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            L2Metric().distance([np.nan, 0], [0, 0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            L2Metric().distance([1, 2], [1, 2, 3])

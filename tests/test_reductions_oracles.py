@@ -1,0 +1,198 @@
+"""Tests for the exact source-problem solvers in reductions.oracles."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.reductions import oracles
+
+
+def random_graph(rng, n, p=0.5):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+class TestVertexCover:
+    def test_triangle(self):
+        g = nx.cycle_graph(3)
+        assert oracles.minimum_vertex_cover_size(g) == 2
+        assert oracles.has_vertex_cover(g, 2)
+        assert not oracles.has_vertex_cover(g, 1)
+
+    def test_star(self):
+        g = nx.star_graph(4)  # center 0
+        assert oracles.minimum_vertex_cover_size(g) == 1
+
+    def test_empty_graph(self):
+        g = nx.empty_graph(4)
+        assert oracles.minimum_vertex_cover_size(g) == 0
+
+    def test_bad_nodes_rejected(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ValidationError):
+            oracles.minimum_vertex_cover_size(g)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 7))
+    @settings(max_examples=25)
+    def test_matches_brute_force(self, seed, n):
+        from itertools import combinations
+
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n)
+        expected = n
+        for size in range(n + 1):
+            if any(
+                all(u in C or v in C for u, v in g.edges)
+                for C in (set(c) for c in combinations(range(n), size))
+            ):
+                expected = size
+                break
+        assert oracles.minimum_vertex_cover_size(g) == expected
+
+
+class TestClique:
+    def test_known_graphs(self):
+        assert oracles.maximum_clique_size(nx.complete_graph(5)) == 5
+        assert oracles.maximum_clique_size(nx.cycle_graph(5)) == 2
+        assert oracles.maximum_clique_size(nx.cycle_graph(3)) == 3
+        assert oracles.maximum_clique_size(nx.empty_graph(3)) == 1
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 7))
+    @settings(max_examples=25)
+    def test_matches_networkx_enumeration(self, seed, n):
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n)
+        expected = max((len(c) for c in nx.find_cliques(g)), default=1)
+        assert oracles.maximum_clique_size(g) == expected
+
+
+class TestPartition:
+    @pytest.mark.parametrize(
+        "values, expected",
+        [
+            ([1, 1], True),
+            ([1, 2, 3], True),
+            ([2, 3], False),
+            ([5], False),
+            ([3, 3, 3], False),
+            ([1, 5, 6], True),
+        ],
+    )
+    def test_known_cases(self, values, expected):
+        assert oracles.partition_exists(values) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            oracles.partition_exists([0, 1])
+
+    @given(values=st.lists(st.integers(1, 12), min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_matches_brute_force(self, values):
+        from itertools import combinations
+
+        total = sum(values)
+        expected = total % 2 == 0 and any(
+            sum(c) * 2 == total
+            for size in range(len(values) + 1)
+            for c in combinations(values, size)
+        )
+        assert oracles.partition_exists(values) == expected
+
+
+class TestKnapsack:
+    def test_simple(self):
+        # Items (w=2, v=5), (w=3, v=4): total value 9, capacity 2 -> 5 >= 4.5.
+        assert oracles.half_value_knapsack_exists([2, 3], [5, 4], 2)
+        # Capacity 1: nothing fits, 0 < 4.5.
+        assert not oracles.half_value_knapsack_exists([2, 3], [5, 4], 1)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            oracles.half_value_knapsack_exists([1], [1, 2], 1)
+        with pytest.raises(ValidationError):
+            oracles.half_value_knapsack_exists([0], [1], 1)
+        with pytest.raises(ValidationError):
+            oracles.half_value_knapsack_exists([1], [1], 0)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 7),
+    )
+    @settings(max_examples=40)
+    def test_matches_brute_force(self, seed, n):
+        from itertools import combinations
+
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(1, 8, size=n).tolist()
+        values = rng.integers(1, 8, size=n).tolist()
+        capacity = int(rng.integers(1, sum(weights) + 1))
+        total = sum(values)
+        expected = any(
+            sum(weights[i] for i in c) <= capacity
+            and 2 * sum(values[i] for i in c) >= total
+            for size in range(n + 1)
+            for c in combinations(range(n), size)
+        )
+        assert oracles.half_value_knapsack_exists(weights, values, capacity) == expected
+
+
+class TestBMCF:
+    def test_trivial_yes(self):
+        # One row [1, 0]; flipping column 0 gives weight 0 <= |T|-1 = 0.
+        matrix = np.array([[1, 0]])
+        assert oracles.bmcf_exists(matrix, budget=1, p=0)
+
+    def test_budget_zero(self):
+        matrix = np.array([[0, 1]])
+        # |T| = 0 requires weight <= -1: impossible.
+        assert not oracles.bmcf_exists(matrix, budget=0, p=0)
+
+    def test_p_relaxation(self):
+        matrix = np.array([[1, 0, 0], [1, 1, 1]])
+        # Flipping column 0 leaves row 0 at weight 0 <= |T| - 1 but row 1
+        # at weight 2: good enough with p = 1, not with p = 0.
+        assert oracles.bmcf_exists(matrix, budget=1, p=1)
+        assert not oracles.bmcf_exists(matrix, budget=1, p=0)
+
+
+class TestInterdictionOracles:
+    def test_triangle_interdiction(self):
+        g = nx.cycle_graph(3)
+        # alpha(triangle) = 1; any independent set of size >= 1 is a node;
+        # to hit all of them S must contain all 3 nodes.
+        assert not oracles.independent_set_interdiction_exists(g, 2, 1)
+        assert oracles.independent_set_interdiction_exists(g, 3, 1)
+        # Size >= 2 independent sets do not exist at all: S = empty works.
+        assert oracles.independent_set_interdiction_exists(g, 1, 2)
+
+    def test_exists_forall_vc(self):
+        g = nx.path_graph(3)  # edges (0,1), (1,2); tau = 1 ({1})
+        # q = 1: can we force covers > 1?  Pick S = {0}: any cover containing
+        # 0 of size <= 1 is {0}, which misses (1,2). Yes.
+        assert oracles.exists_forall_vertex_cover(g, 1, 1)
+        # q = 2: supersets of any single node of size <= 2 can always cover
+        # (add node 1 or the missing endpoint). With p = 1, No.
+        assert not oracles.exists_forall_vertex_cover(g, 1, 2)
+
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 5))
+    @settings(max_examples=15)
+    def test_theorem9_equivalence(self, seed, n):
+        """ISI(G, p, q) == ∃∀-VC(G, p, n - q) — Theorem 9's map."""
+        rng = np.random.default_rng(seed)
+        g = random_graph(rng, n)
+        p = int(rng.integers(1, n + 1))
+        q = int(rng.integers(1, n + 1))
+        isi = oracles.independent_set_interdiction_exists(g, p, q)
+        efvc = oracles.exists_forall_vertex_cover(g, p, n - q)
+        assert isi == efvc

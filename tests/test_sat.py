@@ -1,0 +1,308 @@
+"""Tests for the CDCL SAT solver with cardinality constraints.
+
+The core validation is a fuzz loop: random CNF + cardinality formulas
+are solved both by the CDCL engine and by brute-force enumeration of
+all assignments, and the SAT/UNSAT verdicts (plus model validity) must
+agree.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ResourceLimitError, ValidationError
+from repro.solvers.sat import CNFBuilder, SATSolver, minimize_bound
+from repro.solvers.sat.solver import luby
+
+
+def brute_force_satisfiable(num_vars, clauses, cards):
+    """Exhaustive model search; cards are (lits, bound, guard) triples."""
+    for bits in product([False, True], repeat=num_vars):
+        def val(lit):
+            return bits[abs(lit) - 1] ^ (lit < 0)
+
+        if not all(any(val(l) for l in clause) for clause in clauses):
+            continue
+        ok = True
+        for lits, bound, guard in cards:
+            if guard is not None and not val(guard):
+                continue
+            if sum(val(l) for l in lits) < bound:
+                ok = False
+                break
+        if ok:
+            return bits
+    return None
+
+
+def check_model(model, clauses, cards):
+    def val(lit):
+        return model[abs(lit)] ^ (lit < 0)
+
+    for clause in clauses:
+        assert any(val(l) for l in clause), f"clause {clause} violated"
+    for lits, bound, guard in cards:
+        if guard is not None and not val(guard):
+            continue
+        assert sum(val(l) for l in lits) >= bound, f"card {(lits, bound, guard)} violated"
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestClauses:
+    def test_trivial_sat(self):
+        s = SATSolver(2)
+        s.add_clause([1, 2])
+        model = s.solve()
+        assert model is not None
+        assert model[1] or model[2]
+
+    def test_unit_propagation_chain(self):
+        s = SATSolver(3)
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        model = s.solve()
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_simple_unsat(self):
+        s = SATSolver(1)
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve() is None
+
+    def test_pigeonhole_2_into_1(self):
+        # Two pigeons, one hole: p1h1, p2h1, not both.
+        s = SATSolver(2)
+        s.add_clause([1])
+        s.add_clause([2])
+        s.add_clause([-1, -2])
+        assert s.solve() is None
+
+    def test_tautology_is_dropped(self):
+        s = SATSolver(1)
+        s.add_clause([1, -1])
+        assert s.solve() is not None
+
+    def test_empty_clause_unsat(self):
+        s = SATSolver(1)
+        s.add_clause([])
+        assert s.solve() is None
+
+    def test_bad_literal(self):
+        s = SATSolver(1)
+        with pytest.raises(ValidationError):
+            s.add_clause([0])
+        with pytest.raises(ValidationError):
+            s.add_clause([5])
+
+    def test_conflict_limit(self):
+        # A hard pigeonhole instance (5 pigeons, 4 holes) with a tiny budget.
+        builder = CNFBuilder()
+        holes = 4
+        pigeons = 5
+        v = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                v[p, h] = builder.new_var()
+        for p in range(pigeons):
+            builder.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    builder.add_clause([-v[p1, h], -v[p2, h]])
+        with pytest.raises(ResourceLimitError):
+            builder.solve(conflict_limit=3)
+
+
+class TestCardinality:
+    def test_at_least(self):
+        s = SATSolver(3)
+        s.add_cardinality([1, 2, 3], 2)
+        model = s.solve()
+        assert sum(model.values()) >= 2
+
+    def test_at_most(self):
+        s = SATSolver(3)
+        s.add_at_most([1, 2, 3], 1)
+        s.add_clause([1])
+        model = s.solve()
+        assert model[1] and not model[2] and not model[3]
+
+    def test_exactly_via_builder(self):
+        b = CNFBuilder()
+        xs = b.new_vars(5)
+        b.add_exactly(xs, 3)
+        model = b.solve()
+        assert sum(model[x] for x in xs) == 3
+
+    def test_conflict_between_cards(self):
+        s = SATSolver(3)
+        s.add_cardinality([1, 2, 3], 2)  # >= 2 true
+        s.add_at_most([1, 2, 3], 1)  # <= 1 true
+        assert s.solve() is None
+
+    def test_guard_escapes_constraint(self):
+        s = SATSolver(4)
+        # guard 4 -> at least 3 of {1,2,3}; force 1 false.
+        s.add_cardinality([1, 2, 3], 3, guard=4)
+        s.add_clause([-1])
+        model = s.solve()
+        assert model is not None
+        if model[4]:  # pragma: no cover - solver picks the easy escape
+            assert model[1] and model[2] and model[3]
+        # Now force the guard: becomes UNSAT.
+        s2 = SATSolver(4)
+        s2.add_cardinality([1, 2, 3], 3, guard=4)
+        s2.add_clause([-1])
+        s2.add_clause([4])
+        assert s2.solve() is None
+
+    def test_bound_equal_length_forces_all(self):
+        s = SATSolver(3)
+        s.add_cardinality([1, -2, 3], 3)
+        model = s.solve()
+        assert model == {1: True, 2: False, 3: True}
+
+    def test_bound_exceeding_length(self):
+        s = SATSolver(2)
+        s.add_cardinality([1, 2], 3)
+        assert s.solve() is None
+        # With a guard it just kills the guard instead.
+        s2 = SATSolver(3)
+        s2.add_cardinality([1, 2], 3, guard=3)
+        model = s2.solve()
+        assert model is not None and not model[3]
+
+    def test_duplicate_vars_rejected(self):
+        s = SATSolver(2)
+        with pytest.raises(ValidationError):
+            s.add_cardinality([1, 1], 1)
+
+
+class TestFuzzAgainstBruteForce:
+    @given(
+        seed=st.integers(0, 1_000_000),
+        num_vars=st.integers(1, 7),
+        n_clauses=st.integers(0, 12),
+        n_cards=st.integers(0, 3),
+    )
+    @settings(max_examples=120)
+    def test_random_formulas(self, seed, num_vars, n_clauses, n_cards):
+        rng = np.random.default_rng(seed)
+        clauses = []
+        for _ in range(n_clauses):
+            width = int(rng.integers(1, min(4, num_vars) + 1))
+            vs = rng.choice(num_vars, size=width, replace=False) + 1
+            clauses.append([int(v) * (1 if rng.random() < 0.5 else -1) for v in vs])
+        cards = []
+        for _ in range(n_cards):
+            width = int(rng.integers(1, num_vars + 1))
+            vs = rng.choice(num_vars, size=width, replace=False) + 1
+            lits = tuple(int(v) * (1 if rng.random() < 0.5 else -1) for v in vs)
+            bound = int(rng.integers(0, width + 1))
+            guard = None
+            if rng.random() < 0.4:
+                g = int(rng.integers(1, num_vars + 1))
+                if g not in [abs(l) for l in lits]:
+                    guard = g * (1 if rng.random() < 0.5 else -1)
+            cards.append((lits, bound, guard))
+        solver = SATSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        for lits, bound, guard in cards:
+            solver.add_cardinality(lits, bound, guard)
+        model = solver.solve()
+        reference = brute_force_satisfiable(num_vars, clauses, cards)
+        if reference is None:
+            assert model is None
+        else:
+            assert model is not None
+            check_model(model, clauses, cards)
+
+
+class TestCNFBuilder:
+    def test_named_variables(self):
+        b = CNFBuilder()
+        x = b.new_var("x")
+        assert b.var("x") == x
+        with pytest.raises(ValidationError):
+            b.new_var("x")
+
+    def test_undeclared_variable_rejected(self):
+        b = CNFBuilder()
+        b.new_var()
+        with pytest.raises(ValidationError):
+            b.add_clause([2])
+
+    def test_at_least_one_becomes_clause(self):
+        b = CNFBuilder()
+        xs = b.new_vars(3)
+        b.add_at_least(xs, 1)
+        assert len(b.clauses) == 1 and len(b.cards) == 0
+
+    def test_knf_dump(self):
+        b = CNFBuilder()
+        xs = b.new_vars(3)
+        g = b.new_var()
+        b.add_clause([xs[0], -xs[1]])
+        b.add_at_least(xs, 2, guard=g)
+        text = b.to_knf()
+        assert text.startswith("p knf 4 2")
+        assert "k 2 g -4 1 2 3 0" in text
+
+    def test_builder_reusable(self):
+        b = CNFBuilder()
+        xs = b.new_vars(2)
+        b.add_clause([xs[0]])
+        m1 = b.solve()
+        m2 = b.solve()
+        assert m1[xs[0]] and m2[xs[0]]
+
+
+class TestMinimizeBound:
+    @pytest.mark.parametrize("strategy", ["binary", "linear"])
+    def test_finds_threshold(self, strategy):
+        calls = []
+
+        def feasible(t):
+            calls.append(t)
+            return "ok" if t >= 7 else None
+
+        result = minimize_bound(feasible, 0, 20, strategy=strategy)
+        assert result == (7, "ok")
+
+    @pytest.mark.parametrize("strategy", ["binary", "linear"])
+    def test_all_infeasible(self, strategy):
+        assert minimize_bound(lambda t: None, 0, 5, strategy=strategy) is None
+
+    def test_lo_feasible(self):
+        assert minimize_bound(lambda t: t, 3, 9) == (3, 3)
+
+    def test_empty_range(self):
+        with pytest.raises(ValidationError):
+            minimize_bound(lambda t: t, 5, 4)
+
+    def test_bad_strategy(self):
+        with pytest.raises(ValidationError):
+            minimize_bound(lambda t: t, 0, 1, strategy="galloping")
+
+    @given(threshold=st.integers(0, 30), hi=st.integers(0, 30))
+    @settings(max_examples=40)
+    def test_strategies_agree(self, threshold, hi):
+        def feasible(t):
+            return t if t >= threshold else None
+
+        a = minimize_bound(feasible, 0, hi, strategy="binary")
+        b = minimize_bound(feasible, 0, hi, strategy="linear")
+        assert a == b

@@ -1,0 +1,129 @@
+"""Tests for KNF round-tripping and model enumeration."""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.solvers.sat import CNFBuilder
+from repro.solvers.sat.io import enumerate_models, from_knf
+
+
+def brute_force_models(builder: CNFBuilder):
+    """All satisfying assignments by exhaustive enumeration."""
+    models = set()
+    n = builder.num_vars
+    for bits in product([False, True], repeat=n):
+        def val(lit):
+            return bits[abs(lit) - 1] ^ (lit < 0)
+
+        if not all(any(val(l) for l in clause) for clause in builder.clauses):
+            continue
+        ok = True
+        for card in builder.cards:
+            if card.guard is not None and not val(card.guard):
+                continue
+            if sum(val(l) for l in card.lits) < card.bound:
+                ok = False
+                break
+        if ok:
+            models.add(bits)
+    return models
+
+
+class TestKNFRoundTrip:
+    def _random_builder(self, rng, num_vars):
+        builder = CNFBuilder()
+        xs = builder.new_vars(num_vars)
+        for _ in range(int(rng.integers(1, 6))):
+            width = int(rng.integers(1, num_vars + 1))
+            chosen = rng.choice(num_vars, size=width, replace=False)
+            builder.add_clause(
+                [int(xs[i]) * (1 if rng.random() < 0.5 else -1) for i in chosen]
+            )
+        for _ in range(int(rng.integers(0, 3))):
+            width = int(rng.integers(2, num_vars + 1))
+            chosen = rng.choice(num_vars, size=width, replace=False)
+            lits = [int(xs[i]) * (1 if rng.random() < 0.5 else -1) for i in chosen]
+            bound = int(rng.integers(2, width + 1))
+            guard = None
+            leftover = [xs[i] for i in range(num_vars) if i not in chosen]
+            if leftover and rng.random() < 0.5:
+                guard = int(leftover[0])
+            builder.add_at_least(lits, bound, guard=guard)
+        return builder
+
+    @given(seed=st.integers(0, 100_000), num_vars=st.integers(2, 6))
+    @settings(max_examples=30)
+    def test_roundtrip_preserves_models(self, seed, num_vars):
+        rng = np.random.default_rng(seed)
+        original = self._random_builder(rng, num_vars)
+        parsed = from_knf(original.to_knf())
+        assert parsed.num_vars == original.num_vars
+        assert brute_force_models(parsed) == brute_force_models(original)
+
+    def test_parse_errors(self):
+        with pytest.raises(ValidationError):
+            from_knf("1 2 0\n")  # constraint before header
+        with pytest.raises(ValidationError):
+            from_knf("p cnf 2 1\n1 2 0\n")  # wrong format tag
+        with pytest.raises(ValidationError):
+            from_knf("p knf 2 1\n1 2\n")  # missing terminator
+        with pytest.raises(ValidationError):
+            from_knf("c only comments\n")
+
+    def test_comments_ignored(self):
+        builder = from_knf("c hello\np knf 2 1\nc mid\n1 -2 0\n")
+        assert builder.num_vars == 2
+        assert builder.clauses == [(1, -2)]
+
+
+class TestEnumeration:
+    def test_enumerates_all_models(self):
+        builder = CNFBuilder()
+        xs = builder.new_vars(3)
+        builder.add_at_least(xs, 2)
+        models = list(enumerate_models(builder))
+        projections = {tuple(m[v] for v in xs) for m in models}
+        assert projections == {
+            bits for bits in product([False, True], repeat=3) if sum(bits) >= 2
+        }
+
+    def test_projection_variables(self):
+        builder = CNFBuilder()
+        a, b = builder.new_vars(2)
+        builder.add_clause([a, b])
+        models = list(enumerate_models(builder, over=[a]))
+        # Distinct on `a` only: at most one model per value of a.
+        values = [m[a] for m in models]
+        assert len(values) == len(set(values))
+
+    def test_unsat_yields_nothing(self):
+        builder = CNFBuilder()
+        (a,) = builder.new_vars(1)
+        builder.add_clause([a])
+        builder.add_clause([-a])
+        assert list(enumerate_models(builder)) == []
+
+    def test_limit_guard(self):
+        builder = CNFBuilder()
+        builder.new_vars(4)  # unconstrained: 16 models
+        with pytest.raises(ValidationError):
+            list(enumerate_models(builder, limit=3))
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15)
+    def test_enumeration_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        builder = TestKNFRoundTrip()._random_builder(rng, 4)
+        expected = brute_force_models(builder)
+        got = {
+            tuple(m[v] for v in range(1, 5))
+            for m in enumerate_models(builder)
+        }
+        assert got == expected

@@ -1,0 +1,152 @@
+"""Tests for the MILP modeling layer and both engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.solvers.milp import MILPModel
+
+ENGINES = ["scipy", "bnb"]
+
+
+def knapsack_model(values, weights, capacity):
+    m = MILPModel("knapsack")
+    take = [m.add_binary(f"take[{i}]") for i in range(len(values))]
+    m.add_constraint({t: w for t, w in zip(take, weights)}, "<=", capacity)
+    m.set_objective({t: v for t, v in zip(take, values)}, maximize=True)
+    return m, take
+
+
+class TestModelBuilding:
+    def test_bad_bounds(self):
+        m = MILPModel()
+        with pytest.raises(ValidationError):
+            m.add_var(lb=2, ub=1)
+
+    def test_bad_sense(self):
+        m = MILPModel()
+        x = m.add_var()
+        with pytest.raises(ValidationError):
+            m.add_constraint({x: 1.0}, "<", 0.0)
+
+    def test_unknown_engine(self):
+        m = MILPModel()
+        m.add_var(lb=0, ub=1)
+        with pytest.raises(ValidationError):
+            m.solve(engine="gurobi")
+
+    def test_coefficients_merge(self):
+        m = MILPModel()
+        x = m.add_var(lb=0, ub=10)
+        # x + x <= 4  ->  x <= 2
+        m.add_constraint({x: 1.0, x.index: 1.0}, "<=", 4.0)
+        m.set_objective({x: 1.0}, maximize=True)
+        assert m.solve().objective == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEngines:
+    def test_pure_lp(self, engine):
+        m = MILPModel()
+        x = m.add_var(lb=0)
+        y = m.add_var(lb=0)
+        m.add_constraint({x: 1, y: 2}, "<=", 4)
+        m.add_constraint({x: 3, y: 1}, "<=", 6)
+        m.set_objective({x: 1, y: 1}, maximize=True)
+        res = m.solve(engine=engine)
+        assert res.optimal
+        assert res.objective == pytest.approx(2.8)
+
+    def test_knapsack(self, engine):
+        m, take = knapsack_model([10, 13, 7, 8], [3, 4, 2, 3], 6)
+        res = m.solve(engine=engine)
+        assert res.optimal
+        # Enumerate all 2^4 subsets to get the true optimum.
+        best = 0
+        vals, ws = [10, 13, 7, 8], [3, 4, 2, 3]
+        for mask in range(16):
+            w = sum(ws[i] for i in range(4) if mask >> i & 1)
+            v = sum(vals[i] for i in range(4) if mask >> i & 1)
+            if w <= 6:
+                best = max(best, v)
+        assert res.objective == pytest.approx(best)
+
+    def test_infeasible(self, engine):
+        m = MILPModel()
+        x = m.add_binary()
+        m.add_constraint({x: 1}, ">=", 2)
+        res = m.solve(engine=engine)
+        assert res.status == "infeasible"
+
+    def test_equality_constraints(self, engine):
+        m = MILPModel()
+        x = m.add_var(lb=0, ub=10, integer=True)
+        y = m.add_var(lb=0, ub=10, integer=True)
+        m.add_constraint({x: 1, y: 1}, "==", 7)
+        m.set_objective({x: 1, y: 3})
+        res = m.solve(engine=engine)
+        assert res.optimal
+        assert res.objective == pytest.approx(7.0)  # x=7, y=0
+        assert res.value(x) == pytest.approx(7)
+
+    def test_objective_constant_and_value(self, engine):
+        m = MILPModel()
+        x = m.add_binary("x")
+        m.set_objective({x: -1}, constant=5.0)
+        res = m.solve(engine=engine)
+        assert res.objective == pytest.approx(4.0)
+        assert res.value(x) == pytest.approx(1.0)
+
+    def test_integer_forces_worse_objective(self, engine):
+        # LP optimum is fractional (x = 1.5); MILP must settle for 1.
+        m = MILPModel()
+        x = m.add_var(lb=0, integer=True)
+        m.add_constraint({x: 2}, "<=", 3)
+        m.set_objective({x: 1}, maximize=True)
+        res = m.solve(engine=engine)
+        assert res.objective == pytest.approx(1.0)
+
+
+class TestEnginesAgree:
+    @given(
+        seed=st.integers(0, 100_000),
+        n=st.integers(1, 7),
+    )
+    @settings(max_examples=30)
+    def test_random_knapsacks(self, seed, n):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(1, 20, size=n).tolist()
+        weights = rng.integers(1, 10, size=n).tolist()
+        capacity = int(max(1, rng.integers(1, max(2, sum(weights)))))
+        m1, _ = knapsack_model(values, weights, capacity)
+        m2, _ = knapsack_model(values, weights, capacity)
+        r1 = m1.solve(engine="scipy")
+        r2 = m2.solve(engine="bnb")
+        assert r1.status == r2.status == "optimal"
+        assert r1.objective == pytest.approx(r2.objective)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=20)
+    def test_random_set_cover(self, seed):
+        rng = np.random.default_rng(seed)
+        n_sets, n_items = 6, 5
+        membership = rng.integers(0, 2, size=(n_sets, n_items))
+        # Make sure every item is coverable.
+        for j in range(n_items):
+            if membership[:, j].sum() == 0:
+                membership[rng.integers(0, n_sets), j] = 1
+        results = []
+        for engine in ENGINES:
+            m = MILPModel("setcover")
+            pick = [m.add_binary(f"s{i}") for i in range(n_sets)]
+            for j in range(n_items):
+                m.add_constraint(
+                    {pick[i]: 1 for i in range(n_sets) if membership[i, j]}, ">=", 1
+                )
+            m.set_objective({p: 1 for p in pick})
+            results.append(m.solve(engine=engine))
+        assert results[0].objective == pytest.approx(results[1].objective)

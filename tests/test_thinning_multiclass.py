@@ -1,0 +1,148 @@
+"""Tests for the final-remarks extensions: thinning and multi-label."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.knn import Dataset, KNNClassifier
+from repro.knn.multiclass import MultiClass1NN
+from repro.knn.thinning import condense, relevant_points_1nn
+
+from .helpers import random_continuous_dataset, random_discrete_dataset
+
+
+class TestCondense:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=20)
+    def test_training_set_consistency(self, seed):
+        rng = np.random.default_rng(seed)
+        data = random_discrete_dataset(rng, 5, 6, 6)
+        thin = condense(data, k=1, metric="hamming")
+        assert len(thin) <= len(data)
+        full = KNNClassifier(data, k=1, metric="hamming")
+        reduced = KNNClassifier(thin, k=1, metric="hamming")
+        points, _ = data.all_points()
+        for p in points:
+            assert full.classify(p) == reduced.classify(p)
+
+    def test_separated_blobs_condense_hard(self, rng):
+        # Widely separated classes condense to very few points.
+        pos = rng.normal(size=(30, 2)) + 10
+        neg = rng.normal(size=(30, 2)) - 10
+        data = Dataset(pos, neg)
+        thin = condense(data, k=1, metric="l2")
+        assert len(thin) <= 6
+
+    def test_multiplicities_expanded(self):
+        data = Dataset([[0.0]], [[1.0]], positive_multiplicities=[3])
+        thin = condense(data)
+        assert not thin.has_multiplicities
+
+
+class TestRelevantPoints:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=15)
+    def test_function_preserved_on_random_probes(self, seed):
+        rng = np.random.default_rng(seed)
+        data = random_continuous_dataset(rng, 2, 4, 4)
+        thin = relevant_points_1nn(data)
+        assert len(thin) <= len(data)
+        full = KNNClassifier(data, k=1, metric="l2")
+        reduced = KNNClassifier(thin, k=1, metric="l2")
+        for _ in range(200):
+            x = rng.normal(size=2) * 3
+            assert full.classify(x) == reduced.classify(x)
+
+    def test_interior_points_removed(self, rng):
+        # A positive point buried deep inside its own class is irrelevant.
+        pos = np.array([[0.0, 0.0], [0.1, 0.0], [-0.1, 0.0], [0.0, 0.1]])
+        neg = np.array([[10.0, 10.0]])
+        data = Dataset(pos, neg)
+        thin = relevant_points_1nn(data)
+        assert thin.n_positive < 4
+
+    def test_one_class_collapses(self, rng):
+        data = Dataset(rng.normal(size=(5, 2)), [])
+        thin = relevant_points_1nn(data)
+        assert len(thin) == 1  # constant function needs one point
+
+    def test_explanations_agree_after_thinning(self, rng):
+        """The motivating claim: explanations computed on the thinned set
+        match those on the full set (the function is identical)."""
+        from repro.counterfactual import closest_counterfactual
+
+        data = random_continuous_dataset(rng, 2, 5, 5)
+        thin = relevant_points_1nn(data)
+        x = rng.normal(size=2)
+        full_cf = closest_counterfactual(data, 1, "l2", x)
+        thin_cf = closest_counterfactual(thin, 1, "l2", x)
+        assert full_cf.infimum == pytest.approx(thin_cf.infimum, abs=1e-7)
+
+
+class TestMultiClass:
+    def _three_class(self):
+        points = np.array(
+            [[0.0, 0.0], [0.5, 0.0], [10.0, 0.0], [10.5, 0.0], [0.0, 10.0], [0.0, 10.5]]
+        )
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        return MultiClass1NN(points, labels)
+
+    def test_classify(self):
+        clf = self._three_class()
+        assert clf.classify([0.1, 0.1]) == 0
+        assert clf.classify([10.2, 0.0]) == 1
+        assert clf.classify([0.0, 9.0]) == 2
+
+    def test_tie_breaks_to_smallest_label(self):
+        clf = MultiClass1NN([[0.0], [2.0]], [2, 1])
+        assert clf.classify([1.0]) == 1
+
+    def test_label_validation(self):
+        with pytest.raises(ValidationError):
+            MultiClass1NN([[0.0]], [0, 1])
+        clf = self._three_class()
+        with pytest.raises(ValidationError):
+            clf.merged(99)
+
+    def test_sufficient_reason_roundtrip(self):
+        clf = self._three_class()
+        x = np.array([0.1, 0.1])
+        X = clf.minimal_sufficient_reason(x)
+        assert clf.check_sufficient_reason(x, X)
+
+    def test_untargeted_counterfactual(self):
+        clf = self._three_class()
+        x = np.array([0.1, 0.1])
+        result = clf.closest_counterfactual(x)
+        assert result.found
+        assert clf.classify(result.y) != 0
+
+    def test_targeted_counterfactual(self):
+        clf = self._three_class()
+        x = np.array([0.1, 0.1])
+        result = clf.closest_counterfactual(x, target=2)
+        assert result.found
+        # Boundary optima carry the target label under the optimistic
+        # merge semantics (favor=target); a point nudged past the
+        # boundary carries it unconditionally.
+        assert clf.classify(result.y, favor=2) == 2
+        deeper = result.y + (result.y - x) * 1e-6
+        assert clf.classify(deeper) == 2
+        with pytest.raises(ValidationError):
+            clf.closest_counterfactual(x, target=0)
+
+    def test_discrete_multiclass(self, rng):
+        points = rng.integers(0, 2, size=(12, 5)).astype(float)
+        labels = rng.integers(0, 3, size=12)
+        # Ensure all three classes appear.
+        labels[:3] = [0, 1, 2]
+        clf = MultiClass1NN(points, labels)
+        x = rng.integers(0, 2, size=5).astype(float)
+        label = clf.classify(x)
+        result = clf.closest_counterfactual(x)
+        if result.found:
+            assert clf.classify(result.y) != label
