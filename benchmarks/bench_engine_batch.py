@@ -1,0 +1,124 @@
+"""Micro-benchmark: QueryEngine batch classification vs the per-point loop.
+
+The seed computed ``classify_batch`` as ``[classify(p) for p in points]``,
+re-deriving two distance vectors (one per class) per query through a
+Python-level loop.  The :class:`~repro.knn.QueryEngine` replaces that
+with one broadcast surrogate matrix plus a row-wise partial sort.  This
+benchmark measures both implementations on the acceptance workload —
+5,000 training points x 64 dimensions under l2 — and records the
+speedup; the engine must win by at least 10x.
+
+Run directly for a quick report::
+
+    PYTHONPATH=src python benchmarks/bench_engine_batch.py
+
+or through pytest-benchmark for statistics::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_batch.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.knn import Dataset, QueryEngine
+from repro.knn.engine import _kth_smallest_with_multiplicity
+
+N_TRAIN = 5_000
+N_DIM = 64
+N_QUERIES = 200
+MIN_SPEEDUP = 10.0
+
+
+def _workload(rng: np.random.Generator):
+    points = rng.normal(size=(N_TRAIN, N_DIM))
+    labels = rng.integers(0, 2, size=N_TRAIN).astype(bool)
+    data = Dataset(points[labels], points[~labels])
+    queries = rng.normal(size=(N_QUERIES, N_DIM))
+    return data, queries
+
+
+def _classify_batch_seed_loop(data: Dataset, metric, queries: np.ndarray, k: int) -> np.ndarray:
+    """The seed's per-point path: one Python iteration (and two distance
+    vectors) per query — kept here verbatim as the baseline."""
+    need = (k + 1) // 2
+    out = np.empty(queries.shape[0], dtype=np.int64)
+    for i, x in enumerate(queries):
+        pos_d = metric.powers_to(data.positives, x)
+        neg_d = metric.powers_to(data.negatives, x)
+        r_pos = _kth_smallest_with_multiplicity(pos_d, data.positive_multiplicities, need)
+        r_neg = _kth_smallest_with_multiplicity(neg_d, data.negative_multiplicities, need)
+        out[i] = 1 if r_pos <= r_neg else 0
+    return out
+
+
+def _measure(fn, *, repeats: int = 3) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def report_speedup(seed: int = 20250601) -> dict:
+    """Time both paths once and return the measurements."""
+    rng = np.random.default_rng(seed)
+    data, queries = _workload(rng)
+    engine = QueryEngine(data, "l2")
+    looped = _measure(lambda: _classify_batch_seed_loop(data, engine.metric, queries, 3))
+    batched = _measure(lambda: engine.classify_batch(queries, 3))
+    expected = _classify_batch_seed_loop(data, engine.metric, queries, 3)
+    np.testing.assert_array_equal(engine.classify_batch(queries, 3), expected)
+    return {
+        "looped_s": looped,
+        "batched_s": batched,
+        "speedup": looped / batched,
+        "queries": N_QUERIES,
+        "train": N_TRAIN,
+        "dim": N_DIM,
+    }
+
+
+def test_engine_batch_speedup(benchmark, rng):
+    """pytest-benchmark entry: batched timing + the >= 10x acceptance gate."""
+    data, queries = _workload(rng)
+    engine = QueryEngine(data, "l2")
+    benchmark(lambda: engine.classify_batch(queries, 3))
+    looped = _measure(lambda: _classify_batch_seed_loop(data, engine.metric, queries, 3))
+    batched = _measure(lambda: engine.classify_batch(queries, 3))
+    speedup = looped / batched
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched classification is only {speedup:.1f}x faster than the "
+        f"per-point loop (required: {MIN_SPEEDUP:.0f}x)"
+    )
+
+
+def test_engine_batch_matches_loop(rng):
+    data, queries = _workload(rng)
+    engine = QueryEngine(data, "l2")
+    np.testing.assert_array_equal(
+        engine.classify_batch(queries, 3),
+        _classify_batch_seed_loop(data, engine.metric, queries, 3),
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    stats = report_speedup()
+    print(
+        f"classify_batch on {stats['queries']} queries x "
+        f"{stats['train']} train points x {stats['dim']} dims (l2, k=3):\n"
+        f"  per-point loop : {stats['looped_s'] * 1000:9.1f} ms\n"
+        f"  QueryEngine    : {stats['batched_s'] * 1000:9.1f} ms\n"
+        f"  speedup        : {stats['speedup']:9.1f}x"
+    )
+    if stats["speedup"] < MIN_SPEEDUP:
+        sys.exit(
+            f"FAIL: speedup {stats['speedup']:.1f}x is below the "
+            f"{MIN_SPEEDUP:.0f}x acceptance gate"
+        )

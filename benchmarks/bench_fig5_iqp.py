@@ -11,7 +11,6 @@ constraints).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.counterfactual import closest_counterfactual

@@ -15,8 +15,6 @@ Run:  python examples/hardness_gallery.py
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
-
 from repro import exists_counterfactual, minimum_sufficient_reason
 from repro.reductions import bmcf, clique, knapsack, oracles, vertex_cover
 

@@ -6,6 +6,14 @@ semantics, polynomial-time explanation algorithms for every tractable
 cell of the paper's Table 1, SAT/MILP pipelines for the intractable
 cells, and executable versions of every hardness reduction.
 
+Every pipeline runs on one shared primitive: the
+:class:`~repro.knn.QueryEngine`, a vectorized batch query core that
+owns a (dataset, metric) pair and serves broadcast distance matrices,
+Proposition-1 radii, batched classification/margins, and an LRU cache
+of per-query distance vectors.  Classifiers and explanation calls can
+share an engine (``engine=`` / ``query_engine=``) so repeated queries
+never recompute a distance.
+
 Quickstart
 ----------
 >>> import numpy as np
@@ -14,6 +22,8 @@ Quickstart
 >>> clf = KNNClassifier(data, k=1, metric="l2")
 >>> clf.classify([0.5, 0.5])
 1
+>>> clf.classify_batch([[0.5, 0.5], [3.5, 3.5]]).tolist()
+[1, 0]
 """
 
 from __future__ import annotations
@@ -40,7 +50,14 @@ from .counterfactual import (
     closest_counterfactual,
     exists_counterfactual,
 )
-from .knn import Dataset, KNNClassifier, Witness, find_witness, verify_witness
+from .knn import (
+    Dataset,
+    KNNClassifier,
+    QueryEngine,
+    Witness,
+    find_witness,
+    verify_witness,
+)
 from .metrics import (
     HammingMetric,
     L1Metric,
@@ -58,6 +75,7 @@ __all__ = [
     # knn
     "Dataset",
     "KNNClassifier",
+    "QueryEngine",
     "Witness",
     "find_witness",
     "verify_witness",

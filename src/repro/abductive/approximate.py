@@ -27,7 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._validation import as_vector, check_odd_k
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from ..metrics import get_metric
 from .minimal import minimal_sufficient_reason
 
@@ -41,7 +42,9 @@ class ApproximateMSRResult:
     restarts_used: int
 
 
-def impact_order(dataset: Dataset, k: int, metric, x) -> list[int]:
+def impact_order(
+    dataset: Dataset, k: int, metric, x, *, engine: QueryEngine | None = None
+) -> list[int]:
     """Removal order for the greedy: least label-critical features first.
 
     Features where x agrees with the average opposite-class value are
@@ -51,8 +54,8 @@ def impact_order(dataset: Dataset, k: int, metric, x) -> list[int]:
     """
     metric = get_metric(metric)
     xv = as_vector(x, name="x")
-    clf = KNNClassifier(dataset, k=k, metric=metric)
-    label = clf.classify(xv)
+    engine = as_engine(dataset, metric, engine)
+    label = engine.classify(xv, k)
     expanded = dataset.expanded()
     opposite = expanded.negatives if label == 1 else expanded.positives
     if opposite.shape[0] == 0:
@@ -71,19 +74,24 @@ def approximate_minimum_sufficient_reason(
     restarts: int = 8,
     seed: int | None = 0,
     method: str = "auto",
+    engine: QueryEngine | None = None,
 ) -> ApproximateMSRResult:
     """Polynomial-time upper bound on the minimum sufficient reason.
 
     Runs the greedy under the impact order, then under ``restarts``
     shuffled orders, keeping the smallest result.  Each greedy run costs
     ``n + |X|`` sufficiency checks, so the whole search stays polynomial
-    whenever checking is (Table 1's P cells).
+    whenever checking is (Table 1's P cells).  One
+    :class:`~repro.knn.QueryEngine` is shared across every restart.
     """
     check_odd_k(k)
     xv = as_vector(x, name="x")
     rng = np.random.default_rng(seed)
+    engine = as_engine(dataset, get_metric(metric), engine)
     best = minimal_sufficient_reason(
-        dataset, k, metric, xv, order=impact_order(dataset, k, metric, xv), method=method
+        dataset, k, metric, xv,
+        order=impact_order(dataset, k, metric, xv, engine=engine),
+        method=method, engine=engine,
     )
     used = 0
     n = dataset.dimension
@@ -92,7 +100,7 @@ def approximate_minimum_sufficient_reason(
             break  # cannot do better than a singleton (or empty) reason
         order = list(rng.permutation(n))
         candidate = minimal_sufficient_reason(
-            dataset, k, metric, xv, order=order, method=method
+            dataset, k, metric, xv, order=order, method=method, engine=engine
         )
         if len(candidate) < len(best):
             best = candidate

@@ -24,15 +24,18 @@ the answer is negative, so callers can independently verify the verdict.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
 
 import numpy as np
 
 from .._validation import as_index_set, as_vector, check_odd_k
 from ..exceptions import UnsupportedSettingError, ValidationError
 from ..geometry import AffineSubspace, decision_region_polyhedra
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from ..metrics import get_metric
+
+#: how many hypercube candidates the brute checker classifies per batch
+_BRUTE_BATCH = 8192
 
 
 @dataclass(frozen=True)
@@ -59,6 +62,7 @@ def check_sufficient_reason(
     X,
     *,
     method: str = "auto",
+    engine: QueryEngine | None = None,
 ) -> CheckResult:
     """Decide whether *X* is a sufficient reason for *x* w.r.t. ``f^k``.
 
@@ -66,6 +70,10 @@ def check_sufficient_reason(
     polynomial algorithm for the (metric, k) cell and raises
     :class:`UnsupportedSettingError` on intractable cells; ``"l2"``,
     ``"l1-k1"``, ``"hamming-k1"`` and ``"brute"`` force a specific one.
+
+    ``engine`` optionally shares a :class:`~repro.knn.QueryEngine` over
+    the same (dataset, metric) pair — the greedy callers pass one so the
+    query's distance vector is computed once across all their checks.
     """
     k = check_odd_k(k)
     metric = get_metric(metric)
@@ -75,6 +83,7 @@ def check_sufficient_reason(
             f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
         )
     X = as_index_set(X, dimension=dataset.dimension, name="X")
+    engine = as_engine(dataset, metric, engine)
     if method == "auto":
         if metric.name == "l2":
             method = "l2"
@@ -92,21 +101,21 @@ def check_sufficient_reason(
     if method == "l2":
         if metric.name != "l2":
             raise ValidationError("method 'l2' requires the l2 metric")
-        return _check_l2(dataset, k, xv, X)
+        return _check_l2(dataset, k, xv, X, engine)
     if method == "l1-k1":
         if metric.name != "l1" or k != 1:
             raise ValidationError("method 'l1-k1' requires the l1 metric and k=1")
-        return _check_projection_candidates(dataset, k, metric, xv, X)
+        return _check_projection_candidates(dataset, xv, X, engine)
     if method == "hamming-k1":
         if metric.name != "hamming" or k != 1:
             raise ValidationError("method 'hamming-k1' requires Hamming and k=1")
-        return _check_projection_candidates(dataset, k, metric, xv, X)
+        return _check_projection_candidates(dataset, xv, X, engine)
     if method == "brute":
         if not metric.is_discrete:
             raise UnsupportedSettingError(
                 "brute-force Check-SR only enumerates the Boolean hypercube"
             )
-        return _check_brute_discrete(dataset, k, metric, xv, X)
+        return _check_brute_discrete(dataset, k, xv, X, engine)
     raise ValidationError(f"unknown method {method!r}")
 
 
@@ -115,12 +124,13 @@ def check_sufficient_reason(
 # ---------------------------------------------------------------------------
 
 
-def _check_l2(dataset: Dataset, k: int, x: np.ndarray, X: frozenset[int]) -> CheckResult:
+def _check_l2(
+    dataset: Dataset, k: int, x: np.ndarray, X: frozenset[int], engine: QueryEngine
+) -> CheckResult:
     from ..geometry.polyhedron import Polyhedron
     from ..geometry.halfspace import Halfspace
 
-    clf = KNNClassifier(dataset, k=k, metric="l2")
-    label = clf.classify(x)
+    label = engine.classify(x, k)
     subspace = AffineSubspace(x, X)
     A_eq, b_eq = subspace.equality_system()
     eq = (A_eq, b_eq) if A_eq.shape[0] else (None, None)
@@ -149,7 +159,7 @@ def _check_l2(dataset: Dataset, k: int, x: np.ndarray, X: frozenset[int]) -> Che
 
 
 def _check_projection_candidates(
-    dataset: Dataset, k: int, metric, x: np.ndarray, X: frozenset[int]
+    dataset: Dataset, x: np.ndarray, X: frozenset[int], engine: QueryEngine
 ) -> CheckResult:
     """Shared shape of the l1 and Hamming k=1 checkers.
 
@@ -157,18 +167,19 @@ def _check_projection_candidates(
     projections ``y_X`` (x on X, an opposite-class point elsewhere)
     flips the classifier — the triangle-inequality argument of
     Proposition 4 (l1) and the flipping argument of Proposition 6
-    (Hamming).
+    (Hamming).  All candidates are classified in one batched call.
     """
-    clf = KNNClassifier(dataset, k=1, metric=metric)
-    label = clf.classify(x)
+    label = engine.classify(x, 1)
     expanded = dataset.expanded()
     opposite = expanded.negatives if label == 1 else expanded.positives
+    if opposite.shape[0] == 0:
+        return CheckResult(True)
     fixed = sorted(X)
-    for source in opposite:
-        candidate = source.copy()
-        candidate[fixed] = x[fixed]
-        if clf.classify(candidate) != label:
-            return CheckResult(False, counterexample=candidate)
+    candidates = opposite.copy()
+    candidates[:, fixed] = x[fixed]
+    flipped = np.flatnonzero(engine.classify_batch(candidates, 1) != label)
+    if flipped.size:
+        return CheckResult(False, counterexample=candidates[flipped[0]])
     return CheckResult(True)
 
 
@@ -178,19 +189,33 @@ def _check_projection_candidates(
 
 
 def _check_brute_discrete(
-    dataset: Dataset, k: int, metric, x: np.ndarray, X: frozenset[int]
+    dataset: Dataset, k: int, x: np.ndarray, X: frozenset[int], engine: QueryEngine
 ) -> CheckResult:
-    clf = KNNClassifier(dataset, k=k, metric=metric)
-    label = clf.classify(x)
-    free = [i for i in range(dataset.dimension) if i not in X]
-    if len(free) > 22:
+    """Exhaustive check over the free coordinates, in batched blocks.
+
+    Candidates are enumerated in the same lexicographic order as
+    ``itertools.product((0, 1), ...)`` over the free coordinates (first
+    free coordinate varies slowest), so the returned counterexample is
+    the same one the sequential scan would find first.
+    """
+    label = engine.classify(x, k)
+    free = np.array(
+        [i for i in range(dataset.dimension) if i not in X], dtype=np.int64
+    )
+    if free.size > 22:
         raise ValidationError(
-            f"brute-force Check-SR would enumerate 2^{len(free)} points; "
+            f"brute-force Check-SR would enumerate 2^{free.size} points; "
             "restrict X or use a polynomial setting"
         )
-    candidate = x.copy()
-    for bits in product((0.0, 1.0), repeat=len(free)):
-        candidate[free] = bits
-        if clf.classify(candidate) != label:
-            return CheckResult(False, counterexample=candidate.copy())
+    if free.size == 0:
+        return CheckResult(True)
+    total = 1 << free.size
+    shifts = free.size - 1 - np.arange(free.size)
+    for start in range(0, total, _BRUTE_BATCH):
+        counters = np.arange(start, min(start + _BRUTE_BATCH, total), dtype=np.int64)
+        candidates = np.broadcast_to(x, (counters.size, x.size)).copy()
+        candidates[:, free] = ((counters[:, None] >> shifts) & 1).astype(np.float64)
+        flipped = np.flatnonzero(engine.classify_batch(candidates, k) != label)
+        if flipped.size:
+            return CheckResult(False, counterexample=candidates[flipped[0]])
     return CheckResult(True)

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-import numpy as np
-
 from .._validation import as_index_set, as_vector, check_odd_k
 from ..exceptions import ValidationError
-from ..knn import Dataset
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from .check import check_sufficient_reason
 
 
@@ -28,6 +27,7 @@ def minimal_sufficient_reason(
     start: Iterable[int] | None = None,
     order: Sequence[int] | None = None,
     method: str = "auto",
+    engine: QueryEngine | None = None,
 ) -> frozenset[int]:
     """Compute an inclusion-minimal sufficient reason for *x*.
 
@@ -43,15 +43,22 @@ def minimal_sufficient_reason(
         descending index.
     method:
         forwarded to :func:`~repro.abductive.check.check_sufficient_reason`.
+    engine:
+        optional shared :class:`~repro.knn.QueryEngine`; one is built
+        here (and reused across all ``n`` sufficiency checks, caching
+        the query's distance vector) when not given.
     """
     check_odd_k(k)
     xv = as_vector(x, name="x")
     n = dataset.dimension
+    engine = as_engine(dataset, metric, engine)
     if start is None:
         current = set(range(n))
     else:
         current = set(as_index_set(start, dimension=n, name="start"))
-        verdict = check_sufficient_reason(dataset, k, metric, xv, current, method=method)
+        verdict = check_sufficient_reason(
+            dataset, k, metric, xv, current, method=method, engine=engine
+        )
         if not verdict:
             raise ValidationError(
                 "start is not a sufficient reason; cannot shrink it into one"
@@ -64,7 +71,9 @@ def minimal_sufficient_reason(
             raise ValidationError("order must enumerate every component of start")
     for i in candidates:
         current.discard(i)
-        verdict = check_sufficient_reason(dataset, k, metric, xv, current, method=method)
+        verdict = check_sufficient_reason(
+            dataset, k, metric, xv, current, method=method, engine=engine
+        )
         if not verdict:
             current.add(i)
     return frozenset(current)
@@ -78,6 +87,7 @@ def is_minimal_sufficient_reason(
     X,
     *,
     method: str = "auto",
+    engine: QueryEngine | None = None,
 ) -> bool:
     """``k-Minimal Sufficient Reason``: is *X* sufficient and minimal?
 
@@ -86,9 +96,12 @@ def is_minimal_sufficient_reason(
     """
     xv = as_vector(x, name="x")
     X = as_index_set(X, dimension=dataset.dimension, name="X")
-    if not check_sufficient_reason(dataset, k, metric, xv, X, method=method):
+    engine = as_engine(dataset, metric, engine)
+    if not check_sufficient_reason(dataset, k, metric, xv, X, method=method, engine=engine):
         return False
     for i in X:
-        if check_sufficient_reason(dataset, k, metric, xv, X - {i}, method=method):
+        if check_sufficient_reason(
+            dataset, k, metric, xv, X - {i}, method=method, engine=engine
+        ):
             return False
     return True

@@ -36,7 +36,8 @@ import numpy as np
 
 from .._validation import as_vector, check_odd_k
 from ..exceptions import UnsupportedSettingError, ValidationError
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from ..metrics import get_metric
 from ..solvers.milp import MILPModel
 from ..solvers.sat import CNFBuilder, minimize_bound
@@ -60,11 +61,13 @@ def minimum_sufficient_reason(
     *,
     method: str = "auto",
     max_brute_dimension: int = 18,
+    engine: QueryEngine | None = None,
 ) -> MinimumSRResult:
     """Compute a sufficient reason of minimum cardinality.
 
     ``method``: ``"auto"`` (MILP for the discrete k=1 cell, brute force
-    elsewhere), ``"milp"``, ``"sat"``, or ``"brute"``.
+    elsewhere), ``"milp"``, ``"sat"``, or ``"brute"``.  ``engine``
+    optionally shares a :class:`~repro.knn.QueryEngine` across calls.
     """
     k = check_odd_k(k)
     metric = get_metric(metric)
@@ -73,10 +76,11 @@ def minimum_sufficient_reason(
         raise ValidationError(
             f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
         )
+    engine = as_engine(dataset, metric, engine)
     if method == "auto":
         method = "milp" if (metric.name == "hamming" and k == 1) else "brute"
     if method == "brute":
-        return _minimum_brute(dataset, k, metric, xv, max_brute_dimension)
+        return _minimum_brute(dataset, k, metric, xv, max_brute_dimension, engine)
     if method in ("milp", "sat"):
         if metric.name != "hamming" or k != 1:
             raise UnsupportedSettingError(
@@ -84,8 +88,8 @@ def minimum_sufficient_reason(
                 f"with k=1; got metric={metric.name}, k={k}"
             )
         if method == "milp":
-            return _minimum_milp_hamming_k1(dataset, xv)
-        return _minimum_sat_hamming_k1(dataset, xv)
+            return _minimum_milp_hamming_k1(dataset, xv, engine)
+        return _minimum_sat_hamming_k1(dataset, xv, engine)
     raise ValidationError(f"unknown method {method!r}")
 
 
@@ -95,7 +99,8 @@ def minimum_sufficient_reason(
 
 
 def _minimum_brute(
-    dataset: Dataset, k: int, metric, x: np.ndarray, max_dimension: int
+    dataset: Dataset, k: int, metric, x: np.ndarray, max_dimension: int,
+    engine: QueryEngine,
 ) -> MinimumSRResult:
     n = dataset.dimension
     if n > max_dimension:
@@ -105,7 +110,7 @@ def _minimum_brute(
         )
     for size in range(n + 1):
         for X in combinations(range(n), size):
-            if check_sufficient_reason(dataset, k, metric, x, X):
+            if check_sufficient_reason(dataset, k, metric, x, X, engine=engine):
                 return MinimumSRResult(frozenset(X), size, "brute")
     raise AssertionError("the full component set is always sufficient")  # pragma: no cover
 
@@ -115,7 +120,7 @@ def _minimum_brute(
 # ---------------------------------------------------------------------------
 
 
-def _projection_facts(dataset: Dataset, x: np.ndarray):
+def _projection_facts(dataset: Dataset, x: np.ndarray, engine: QueryEngine):
     """Group the data the encodings need.
 
     Returns ``(label, sources, winners, rivals)`` where *sources* are the
@@ -125,8 +130,7 @@ def _projection_facts(dataset: Dataset, x: np.ndarray):
     ``label == 1`` a winner must be weakly closer than every rival; for
     ``label == 0`` strictly closer (optimistic ties favor 1).
     """
-    clf = KNNClassifier(dataset, k=1, metric="hamming")
-    label = clf.classify(x)
+    label = engine.classify(x, 1)
     expanded = dataset.expanded()
     if label == 1:
         sources = expanded.negatives
@@ -153,8 +157,10 @@ def _distance_coefficients(x, o, z):
     return int(from_o.sum()), from_x - from_o
 
 
-def _minimum_milp_hamming_k1(dataset: Dataset, x: np.ndarray) -> MinimumSRResult:
-    label, sources, winners, rivals, margin = _projection_facts(dataset, x)
+def _minimum_milp_hamming_k1(
+    dataset: Dataset, x: np.ndarray, engine: QueryEngine
+) -> MinimumSRResult:
+    label, sources, winners, rivals, margin = _projection_facts(dataset, x, engine)
     n = dataset.dimension
     if winners.shape[0] == 0:
         # One-class data: f is constant, the empty set explains everything.
@@ -182,12 +188,14 @@ def _minimum_milp_hamming_k1(dataset: Dataset, x: np.ndarray) -> MinimumSRResult
     if not result.optimal:  # pragma: no cover - full set is always feasible
         raise UnsupportedSettingError("minimum-SR MILP unexpectedly infeasible")
     X = frozenset(i for i in range(n) if round(result.value(keep[i])) == 1)
-    _assert_sufficient(dataset, x, X)
+    _assert_sufficient(dataset, x, X, engine)
     return MinimumSRResult(X, len(X), "milp")
 
 
-def _minimum_sat_hamming_k1(dataset: Dataset, x: np.ndarray) -> MinimumSRResult:
-    label, sources, winners, rivals, margin = _projection_facts(dataset, x)
+def _minimum_sat_hamming_k1(
+    dataset: Dataset, x: np.ndarray, engine: QueryEngine
+) -> MinimumSRResult:
+    label, sources, winners, rivals, margin = _projection_facts(dataset, x, engine)
     n = dataset.dimension
     if winners.shape[0] == 0:
         return MinimumSRResult(frozenset(), 0, "sat")
@@ -256,12 +264,14 @@ def _minimum_sat_hamming_k1(dataset: Dataset, x: np.ndarray) -> MinimumSRResult:
     found = minimize_bound(feasible, 0, n, strategy="binary")
     assert found is not None, "the full component set is always sufficient"
     size, X = found
-    _assert_sufficient(dataset, x, X)
+    _assert_sufficient(dataset, x, X, engine)
     return MinimumSRResult(X, len(X), "sat")
 
 
-def _assert_sufficient(dataset: Dataset, x: np.ndarray, X: frozenset[int]) -> None:
-    verdict = check_sufficient_reason(dataset, 1, "hamming", x, X)
+def _assert_sufficient(
+    dataset: Dataset, x: np.ndarray, X: frozenset[int], engine: QueryEngine
+) -> None:
+    verdict = check_sufficient_reason(dataset, 1, "hamming", x, X, engine=engine)
     if not verdict:  # pragma: no cover - encoding bug guard
         raise AssertionError(
             f"solver returned X={sorted(X)} which is not a sufficient reason"

@@ -26,6 +26,7 @@ from .datasets import random_boolean_dataset
 from .experiments.figures import ALL_FIGURES
 from .experiments.runner import run_sweep
 from .experiments.tables import render_results_table, render_table1
+from .knn import QueryEngine
 
 
 def _cmd_table1(_args) -> int:
@@ -55,12 +56,15 @@ def _cmd_explain(args) -> int:
     rng = np.random.default_rng(args.seed)
     data = random_boolean_dataset(rng, args.dimension, args.size)
     x = rng.integers(0, 2, size=args.dimension).astype(float)
+    engine = QueryEngine(data, "hamming")
     print(f"dataset: {data!r}")
     print(f"query x: {x.astype(int).tolist()}")
-    msr = minimal_sufficient_reason(data, 1, "hamming", x)
+    msr = minimal_sufficient_reason(data, 1, "hamming", x, engine=engine)
     print(f"minimal sufficient reason ({len(msr)} of {args.dimension} features): "
           f"{sorted(msr)}")
-    cf = closest_counterfactual(data, 1, "hamming", x, method="hamming-milp")
+    cf = closest_counterfactual(
+        data, 1, "hamming", x, method="hamming-milp", query_engine=engine
+    )
     if cf.found:
         flipped = sorted(int(i) for i in np.flatnonzero(cf.y != x))
         print(f"closest counterfactual flips {int(cf.distance)} feature(s): {flipped}")

@@ -63,19 +63,32 @@ class CounterfactualResult:
 
 
 def closest_counterfactual(
-    dataset: Dataset, k: int, metric, x, *, method: str = "auto", **kwargs
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    *,
+    method: str = "auto",
+    query_engine=None,
+    **kwargs,
 ) -> CounterfactualResult:
     """Compute a (near-)closest counterfactual explanation for *x*.
 
     ``method``: ``"auto"`` dispatches on the metric (l2 → QP, l1 → MILP,
     hamming → MILP); ``"l2-qp"``, ``"l1-milp"``, ``"hamming-milp"``,
     ``"hamming-sat"``, ``"hamming-brute"`` force a pipeline.
+
+    ``query_engine`` optionally shares a :class:`~repro.knn.QueryEngine`
+    over (dataset, metric) so repeated calls reuse its distance cache
+    (``engine=`` in the kwargs still selects the MILP backend).
     """
     from . import brute, hamming_milp, hamming_sat, l1, l2, lp_general
 
     k = check_odd_k(k)
     metric = get_metric(metric)
     xv = as_vector(x, name="x")
+    if query_engine is not None:
+        kwargs["query_engine"] = query_engine
     if xv.shape[0] != dataset.dimension:
         raise ValidationError(
             f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
@@ -128,7 +141,15 @@ def closest_counterfactual(
 
 
 def exists_counterfactual(
-    dataset: Dataset, k: int, metric, x, radius: float, *, method: str = "auto", **kwargs
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    radius: float,
+    *,
+    method: str = "auto",
+    rtol: float = 1e-9,
+    **kwargs,
 ) -> bool:
     """``k-Counterfactual Explanation``: is there a counterfactual within *radius*?
 
@@ -136,12 +157,18 @@ def exists_counterfactual(
     target regions the decision uses the strict-infimum rule of
     Theorem 2 (Yes iff the infimum is strictly below the radius or is
     attained within it).
+
+    ``rtol`` absorbs solver roundoff in the attained-distance branch:
+    MILP/QP engines work to ~1e-7 feasibility, so an optimum that is
+    *exactly* the radius (the generic case for reduction instances) can
+    come back a few ulps above it.  Set ``rtol=0`` for the raw
+    comparison.
     """
     radius = check_positive(radius, name="radius")
     result = closest_counterfactual(dataset, k, metric, x, method=method, **kwargs)
     if not result.found:
         return False
-    if result.distance <= radius:
+    if result.distance <= radius + rtol * max(1.0, abs(radius)):
         return True
     return result.infimum < radius
 

@@ -4,18 +4,27 @@ Enumerates flip sets in order of increasing size, so the first hit *is*
 the closest counterfactual.  Exponential — usable up to roughly n = 20
 with small answers — and therefore the ground-truth oracle for the MILP
 and SAT pipelines in tests and benchmark sanity checks.
+
+Candidates are classified in batched blocks through the shared
+:class:`~repro.knn.QueryEngine`, preserving the sequential enumeration
+order (the first flipped candidate returned is the one the per-point
+scan would have found).
 """
 
 from __future__ import annotations
 
-from itertools import combinations
+from itertools import combinations, islice
 
 import numpy as np
 
 from .._validation import check_odd_k
 from ..exceptions import ValidationError
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from . import CounterfactualResult
+
+#: how many flip sets are materialized and classified per batch
+_BATCH = 4096
 
 
 def closest_counterfactual_hamming_brute(
@@ -25,37 +34,48 @@ def closest_counterfactual_hamming_brute(
     *,
     max_distance: int | None = None,
     max_enumeration: int = 2_000_000,
+    query_engine: QueryEngine | None = None,
 ) -> CounterfactualResult:
     """Closest Hamming counterfactual by distance-ordered enumeration."""
     check_odd_k(k)
-    clf = KNNClassifier(dataset, k=k, metric="hamming")
-    label = clf.classify(x)
+    engine = as_engine(dataset, "hamming", query_engine)
+    label = engine.classify(x, k)
     n = dataset.dimension
     hi = n if max_distance is None else min(n, int(max_distance))
     enumerated = 0
-    candidate = x.copy()
     for t in range(1, hi + 1):
-        for flips in combinations(range(n), t):
-            enumerated += 1
-            if enumerated > max_enumeration:
+        combos = combinations(range(n), t)
+        while True:
+            block = list(islice(combos, _BATCH))
+            if not block:
+                break
+            # Enforce the enumeration budget exactly: candidates past the
+            # limit are never classified, and the limit trips only if no
+            # earlier candidate flipped.
+            allowed = max_enumeration - enumerated
+            over_budget = len(block) > allowed
+            if over_budget:
+                block = block[:allowed]
+            enumerated += len(block)
+            if block:
+                flips = np.array(block, dtype=np.int64)
+                candidates = np.broadcast_to(x, (flips.shape[0], n)).copy()
+                rows = np.arange(flips.shape[0])[:, None]
+                candidates[rows, flips] = 1.0 - candidates[rows, flips]
+                hit = np.flatnonzero(engine.classify_batch(candidates, k) != label)
+                if hit.size:
+                    return CounterfactualResult(
+                        y=candidates[hit[0]].copy(),
+                        distance=float(t),
+                        infimum=float(t),
+                        label_from=label,
+                        method="hamming-brute",
+                    )
+            if over_budget:
                 raise ValidationError(
                     f"brute-force enumeration exceeded {max_enumeration} candidates; "
                     "lower max_distance or use the MILP/SAT pipelines"
                 )
-            flips = list(flips)
-            candidate[flips] = 1.0 - candidate[flips]
-            flipped = clf.classify(candidate) != label
-            if flipped:
-                y = candidate.copy()
-                candidate[flips] = 1.0 - candidate[flips]
-                return CounterfactualResult(
-                    y=y,
-                    distance=float(t),
-                    infimum=float(t),
-                    label_from=label,
-                    method="hamming-brute",
-                )
-            candidate[flips] = 1.0 - candidate[flips]
     return CounterfactualResult(
         y=None, distance=np.inf, infimum=np.inf, label_from=label, method="hamming-brute"
     )

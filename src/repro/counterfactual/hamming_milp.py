@@ -26,7 +26,8 @@ import numpy as np
 
 from .._validation import check_odd_k
 from ..exceptions import ValidationError
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from ..solvers.milp import MILPModel
 from . import CounterfactualResult
 from .l1 import _witness_pairs
@@ -46,8 +47,13 @@ def closest_counterfactual_hamming_milp(
     *,
     formulation: str = "auto",
     engine: str = "scipy",
+    query_engine: QueryEngine | None = None,
 ) -> CounterfactualResult:
-    """Closest Hamming counterfactual through the linearized IQP."""
+    """Closest Hamming counterfactual through the linearized IQP.
+
+    ``engine`` names the MILP backend; ``query_engine`` optionally
+    shares a :class:`~repro.knn.QueryEngine` for the k-NN side.
+    """
     check_odd_k(k)
     if formulation == "auto":
         formulation = "guarded" if k == 1 else "enumerated"
@@ -55,8 +61,8 @@ def closest_counterfactual_hamming_milp(
         raise ValidationError("the guarded formulation covers k = 1 only")
     if formulation not in ("guarded", "enumerated"):
         raise ValidationError(f"unknown formulation {formulation!r}")
-    clf = KNNClassifier(dataset, k=k, metric="hamming")
-    label = clf.classify(x)
+    knn = as_engine(dataset, "hamming", query_engine)
+    label = knn.classify(x, k)
     target = 1 - label
     expanded = dataset.expanded()
     if target == 1:

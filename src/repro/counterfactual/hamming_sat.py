@@ -27,7 +27,8 @@ import numpy as np
 
 from .._validation import check_odd_k
 from ..exceptions import UnsupportedSettingError
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from ..solvers.sat import CNFBuilder, minimize_bound
 from . import CounterfactualResult
 
@@ -75,6 +76,7 @@ def closest_counterfactual_hamming_sat(
     *,
     strategy: str = "binary",
     conflict_limit: int | None = None,
+    query_engine: QueryEngine | None = None,
 ) -> CounterfactualResult:
     """Closest Hamming counterfactual by SAT + bound search (k = 1)."""
     check_odd_k(k)
@@ -83,8 +85,8 @@ def closest_counterfactual_hamming_sat(
             "the Section 9.2 SAT encoding targets k = 1; use hamming-milp "
             "with the enumerated formulation for k >= 3"
         )
-    clf = KNNClassifier(dataset, k=1, metric="hamming")
-    label = clf.classify(x)
+    knn = as_engine(dataset, "hamming", query_engine)
+    label = knn.classify(x, 1)
     expanded = dataset.expanded()
     if label == 1:
         winning, losing, margin = expanded.negatives, expanded.positives, 1

@@ -29,7 +29,8 @@ from itertools import combinations
 import numpy as np
 
 from .._validation import check_odd_k
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from ..solvers.milp import MILPModel
 from . import CounterfactualResult
 
@@ -49,12 +50,21 @@ def _witness_pairs(n_win: int, n_lose: int, k: int):
 
 
 def closest_counterfactual_l1(
-    dataset: Dataset, k: int, x: np.ndarray, *, engine: str = "scipy"
+    dataset: Dataset,
+    k: int,
+    x: np.ndarray,
+    *,
+    engine: str = "scipy",
+    query_engine: QueryEngine | None = None,
 ) -> CounterfactualResult:
-    """Closest l1 counterfactual by a MILP per witness pair."""
+    """Closest l1 counterfactual by a MILP per witness pair.
+
+    ``engine`` names the MILP backend; ``query_engine`` optionally
+    shares a :class:`~repro.knn.QueryEngine` for the k-NN side.
+    """
     check_odd_k(k)
-    clf = KNNClassifier(dataset, k=k, metric="l1")
-    label = clf.classify(x)
+    knn = as_engine(dataset, "l1", query_engine)
+    label = knn.classify(x, k)
     target = 1 - label
     expanded = dataset.expanded()
     if target == 1:
@@ -87,7 +97,7 @@ def closest_counterfactual_l1(
             )
             if y_val is not None and d_val < best_d:
                 best_y, best_d = y_val, d_val
-        if best_y is None or clf.classify(best_y) == target:
+        if best_y is None or knn.classify(best_y, k) == target:
             break
     if best_y is None:
         return CounterfactualResult(

@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import InfeasibleError, SolverError
+from ..exceptions import InfeasibleError
 from ..geometry import decision_region_polyhedra
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from ..solvers.lp import feasible_point_strict
 from ..solvers.qp import project_onto_polyhedron
 from . import CounterfactualResult
@@ -36,11 +37,11 @@ _NUDGE_STEPS = 60
 
 
 def closest_counterfactual_l2(
-    dataset: Dataset, k: int, x: np.ndarray
+    dataset: Dataset, k: int, x: np.ndarray, *, query_engine: QueryEngine | None = None
 ) -> CounterfactualResult:
     """Closest l2 counterfactual via per-piece convex QP."""
-    clf = KNNClassifier(dataset, k=k, metric="l2")
-    label = clf.classify(x)
+    knn = as_engine(dataset, "l2", query_engine)
+    label = knn.classify(x, k)
     target = 1 - label
     candidates: list[tuple[float, np.ndarray, np.ndarray | None]] = []
     for piece in decision_region_polyhedra(dataset, k, target):
@@ -60,7 +61,7 @@ def closest_counterfactual_l2(
     candidates.sort(key=lambda item: item[0])
     for sq, y, interior in candidates:
         infimum = float(np.sqrt(sq))
-        if clf.classify(y) == target:
+        if knn.classify(y, k) == target:
             return CounterfactualResult(
                 y=y,
                 distance=float(np.linalg.norm(y - x)),
@@ -70,7 +71,7 @@ def closest_counterfactual_l2(
             )
         if interior is None:
             continue  # boundary-only piece that float arithmetic rejects
-        nudged = _nudge_toward_interior(clf, target, y, interior)
+        nudged = _nudge_toward_interior(knn, k, target, y, interior)
         if nudged is not None:
             return CounterfactualResult(
                 y=nudged,
@@ -85,7 +86,7 @@ def closest_counterfactual_l2(
 
 
 def _nudge_toward_interior(
-    clf: KNNClassifier, target: int, boundary: np.ndarray, interior: np.ndarray
+    knn: QueryEngine, k: int, target: int, boundary: np.ndarray, interior: np.ndarray
 ) -> np.ndarray | None:
     """Slide from the boundary projection toward a strict interior point.
 
@@ -99,7 +100,7 @@ def _nudge_toward_interior(
     t = 1e-9
     for _ in range(_NUDGE_STEPS):
         candidate = (1.0 - t) * boundary + t * interior
-        if clf.classify(candidate) == target:
+        if knn.classify(candidate, k) == target:
             return candidate
         if t >= 1.0:
             break

@@ -23,7 +23,8 @@ from scipy.optimize import minimize
 
 from .._validation import check_odd_k
 from ..exceptions import ValidationError
-from ..knn import Dataset, KNNClassifier
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import as_engine
 from ..metrics import LpMetric, get_metric
 from . import CounterfactualResult
 from .l1 import _witness_pairs
@@ -37,6 +38,7 @@ def closest_counterfactual_lp_heuristic(
     *,
     margin: float = 1e-7,
     max_pairs: int = 200,
+    query_engine: QueryEngine | None = None,
 ) -> CounterfactualResult:
     """Best verified counterfactual found by multi-start local search.
 
@@ -48,9 +50,9 @@ def closest_counterfactual_lp_heuristic(
     metric = get_metric(f"lp:{p}")
     if not isinstance(metric, LpMetric) or metric.p in (1, 2):
         raise ValidationError("use the exact l1/l2 pipelines for p in {1, 2}")
-    clf = KNNClassifier(dataset, k=k, metric=metric)
+    knn = as_engine(dataset, metric, query_engine)
     x = np.asarray(x, dtype=float)
-    label = clf.classify(x)
+    label = knn.classify(x, k)
     target = 1 - label
     expanded = dataset.expanded()
     if target == 1:
@@ -93,7 +95,7 @@ def closest_counterfactual_lp_heuristic(
             if not res.success:
                 continue
             candidate = np.asarray(res.x)
-            if clf.classify(candidate) != target:
+            if knn.classify(candidate, k) != target:
                 continue  # verification failed: reject silently
             d = float(metric.distance(candidate, x))
             if d < best_d:

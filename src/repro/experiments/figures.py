@@ -10,7 +10,7 @@ growth shape; pass a custom grid to run closer to paper scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -18,7 +18,7 @@ import numpy as np
 from ..counterfactual import closest_counterfactual
 from ..abductive import minimal_sufficient_reason
 from ..datasets import DigitImages, random_boolean_dataset
-from ..knn import Dataset, KNNClassifier
+from ..knn import QueryEngine
 
 
 @dataclass(frozen=True)
@@ -46,12 +46,19 @@ def figure5_workload(
     rng: np.random.Generator, n: int, size: int, *, method: str, **kwargs
 ) -> Callable[[], object]:
     """One Figure 5 measurement: closest Hamming counterfactual for a
-    fresh random query over a fresh random dataset."""
+    fresh random query over a fresh random dataset.
+
+    All repeats share one :class:`~repro.knn.QueryEngine`, so the sweep
+    measures the solver, not redundant distance recomputation.
+    """
     data = random_boolean_dataset(rng, n, size)
     x = rng.integers(0, 2, size=n).astype(float)
+    engine = QueryEngine(data, "hamming")
 
     def task():
-        return closest_counterfactual(data, 1, "hamming", x, method=method, **kwargs)
+        return closest_counterfactual(
+            data, 1, "hamming", x, method=method, query_engine=engine, **kwargs
+        )
 
     return task
 
@@ -92,11 +99,15 @@ def figure6_workload(
     query = DigitImages.generate(rng, digits=(4,), count_per_digit=1, side=side)
     x = query.flattened()[0]
     if task_kind == "msr-l1":
+        engine = QueryEngine(data, "l1")
+
         def task():
-            return minimal_sufficient_reason(data, 1, "l1", x)
+            return minimal_sufficient_reason(data, 1, "l1", x, engine=engine)
     elif task_kind == "cf-l2":
+        engine = QueryEngine(data, "l2")
+
         def task():
-            return closest_counterfactual(data, 1, "l2", x)
+            return closest_counterfactual(data, 1, "l2", x, query_engine=engine)
     else:
         raise ValueError(f"unknown task_kind {task_kind!r}")
     return task

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from .classifier import KNNClassifier
 from .dataset import Dataset
+from .engine import QueryEngine
 from .certificates import Witness, find_witness, verify_witness
 from .multiclass import MultiClass1NN
 from .thinning import condense, relevant_points_1nn
@@ -17,6 +18,7 @@ from .thinning import condense, relevant_points_1nn
 __all__ = [
     "Dataset",
     "KNNClassifier",
+    "QueryEngine",
     "Witness",
     "find_witness",
     "verify_witness",

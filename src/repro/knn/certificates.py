@@ -26,7 +26,6 @@ import numpy as np
 
 from .._validation import as_vector
 from ..exceptions import ValidationError
-from ..metrics import get_metric
 from .classifier import KNNClassifier
 from .dataset import Dataset
 

@@ -12,36 +12,24 @@ rule used here:
 Writing ``r+`` (resp. ``r-``) for the distance at which the ``(k+1)/2``-th
 positive (negative) point is reached — counting multiplicities, ``+inf``
 when that many points do not exist — we get ``f(x) = 1  iff  r+ <= r-``.
+
+All distance work is delegated to a :class:`~repro.knn.QueryEngine`,
+which batches and caches the underlying surrogate-distance vectors; a
+classifier is a thin ``k``-binding view over an engine, and several
+classifiers (or explanation pipelines) can share one engine.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
 from .._validation import as_vector, check_odd_k
 from ..exceptions import ValidationError
-from ..metrics import Metric, get_metric
+from ..metrics import Metric
 from .dataset import Dataset
-
-_EPS_REL = 1e-12
-
-
-def _kth_smallest_with_multiplicity(
-    values: np.ndarray, multiplicities: np.ndarray, k: int
-) -> float:
-    """k-th smallest element (1-based) of *values* repeated per multiplicity.
-
-    Returns ``+inf`` when fewer than *k* elements exist in total.
-    """
-    if multiplicities.sum() < k:
-        return np.inf
-    order = np.argsort(values, kind="stable")
-    running = 0
-    for idx in order:
-        running += int(multiplicities[idx])
-        if running >= k:
-            return float(values[idx])
-    return np.inf  # pragma: no cover - unreachable given the sum check
+from .engine import QueryEngine, as_engine
 
 
 class KNNClassifier:
@@ -57,9 +45,19 @@ class KNNClassifier:
         a :class:`~repro.metrics.Metric` or an alias accepted by
         :func:`~repro.metrics.get_metric` (default Euclidean, or Hamming
         when the dataset is discrete).
+    engine:
+        an existing :class:`QueryEngine` over the same dataset to share
+        its distance cache; *metric* must be None or match the engine's.
     """
 
-    def __init__(self, dataset: Dataset, k: int = 1, metric=None):
+    def __init__(
+        self,
+        dataset: Dataset,
+        k: int = 1,
+        metric=None,
+        *,
+        engine: QueryEngine | None = None,
+    ):
         if not isinstance(dataset, Dataset):
             raise ValidationError("dataset must be a repro.knn.Dataset")
         self.dataset = dataset
@@ -69,13 +67,19 @@ class KNNClassifier:
                 f"the dataset must contain at least k={self.k} points "
                 f"(has {len(dataset)})"
             )
-        if metric is None:
-            metric = "hamming" if dataset.discrete else "l2"
-        self.metric: Metric = get_metric(metric)
+        self.engine = as_engine(dataset, metric, engine)
+        self.metric: Metric = self.engine.metric
         if dataset.discrete and not self.metric.is_discrete:
             # The paper also evaluates binarized data under continuous
             # metrics, so this is allowed — just not the default.
-            pass
+            warnings.warn(
+                f"continuous metric {self.metric.name!r} over a discrete "
+                "dataset; this is supported (the paper evaluates binarized "
+                "data under lp metrics) but not the default — pass "
+                "metric='hamming' for the discrete setting",
+                UserWarning,
+                stacklevel=2,
+            )
 
     # -- distances ------------------------------------------------------
 
@@ -86,33 +90,17 @@ class KNNClassifier:
 
     def _radii(self, x: np.ndarray) -> tuple[float, float]:
         """``(r+, r-)``: surrogate distances at which each side reaches majority."""
-        ds = self.dataset
-        need = self.majority
-        pos_d = self.metric.powers_to(ds.positives, x)
-        neg_d = self.metric.powers_to(ds.negatives, x)
-        r_pos = _kth_smallest_with_multiplicity(pos_d, ds.positive_multiplicities, need)
-        r_neg = _kth_smallest_with_multiplicity(neg_d, ds.negative_multiplicities, need)
-        return r_pos, r_neg
+        return self.engine.radii(x, self.k)
 
     # -- classification --------------------------------------------------
 
     def classify(self, x) -> int:
         """Return ``f^k_{S+,S-}(x)`` as 0 or 1."""
-        xv = as_vector(x, name="x")
-        if xv.shape[0] != self.dataset.dimension:
-            raise ValidationError(
-                f"x has dimension {xv.shape[0]}, dataset has {self.dataset.dimension}"
-            )
-        r_pos, r_neg = self._radii(xv)
-        # Optimistic rule: ties favor the positive class.
-        return 1 if r_pos <= r_neg else 0
+        return self.engine.classify(x, self.k)
 
     def classify_batch(self, points) -> np.ndarray:
-        """Vector of ``f(x)`` values for every row of *points*."""
-        pts = np.asarray(points, dtype=np.float64)
-        if pts.ndim == 1:
-            pts = pts.reshape(1, -1)
-        return np.array([self.classify(p) for p in pts], dtype=np.int64)
+        """Vector of ``f(x)`` values for every row of *points* (batched)."""
+        return self.engine.classify_batch(points, self.k)
 
     def margin(self, x) -> float:
         """Signed surrogate-distance margin ``r- − r+`` (positive ⇒ class 1).
@@ -123,14 +111,11 @@ class KNNClassifier:
         tie-break decided the label.
         """
         xv = as_vector(x, name="x")
-        r_pos, r_neg = self._radii(xv)
-        if np.isinf(r_pos) and np.isinf(r_neg):  # pragma: no cover - excluded by k<=|S|
-            return 0.0
-        if np.isinf(r_pos):
-            return -np.inf
-        if np.isinf(r_neg):
-            return np.inf
-        return float(r_neg - r_pos)
+        return self.engine.margin(xv, self.k)
+
+    def margins_batch(self, points) -> np.ndarray:
+        """Vector of signed surrogate margins for every row of *points*."""
+        return self.engine.margins_batch(points, self.k)
 
     def neighbors(self, x, *, k: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         """The k nearest points and their boolean labels (multiplicity-expanded).
@@ -138,12 +123,7 @@ class KNNClassifier:
         Ties at the boundary are broken arbitrarily (by index); use
         :func:`~repro.knn.find_witness` for a certified neighbor set.
         """
-        xv = as_vector(x, name="x")
-        k = self.k if k is None else int(k)
-        points, labels = self.dataset.all_points()
-        d = self.metric.powers_to(points, xv)
-        order = np.argsort(d, kind="stable")[:k]
-        return points[order], labels[order]
+        return self.engine.neighbors(x, self.k if k is None else int(k))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"KNNClassifier(k={self.k}, metric={self.metric.name}, {self.dataset!r})"

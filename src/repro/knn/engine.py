@@ -1,0 +1,302 @@
+"""The shared vectorized query core behind every explanation pipeline.
+
+Every algorithm in the library — classification, abductive sufficient
+reasons, counterfactual search over l1/l2/lp/Hamming — reduces to one
+primitive: ranked (surrogate) distances from a query point to the
+labeled sets ``S+`` and ``S-``.  :class:`QueryEngine` owns a
+``(dataset, metric)`` pair and serves that primitive two ways:
+
+* **batched** — :meth:`powers_matrix`, :meth:`radii_batch`,
+  :meth:`classify_batch` and :meth:`margins_batch` evaluate whole query
+  matrices through the metric's broadcast kernels
+  (:meth:`~repro.metrics.Metric.powers_matrix`), with no Python-level
+  per-row loop; query rows are processed in memory-capped blocks;
+* **cached** — the single-point entry points (:meth:`powers`,
+  :meth:`radii`, :meth:`classify`, :meth:`margin`, :meth:`neighbors`)
+  share an LRU cache of per-query distance vectors, so the inner loops
+  of the greedy sufficient-reason algorithms and the brute/SAT
+  counterfactual searches, which re-classify the same query point many
+  times, never recompute a distance vector.
+
+The ``(r+, r-)`` radii implement the ball-inflation rule of
+Proposition 1: ``r+`` (``r-``) is the surrogate distance at which the
+``(k+1)/2``-th positive (negative) point is reached, counting
+multiplicities, ``+inf`` when that many points do not exist, and
+``f(x) = 1 iff r+ <= r-`` (optimistic ties favor the positive class).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from .._validation import as_matrix, as_vector, check_odd_k
+from ..exceptions import ValidationError
+from ..metrics import Metric, get_metric
+from .dataset import Dataset
+
+#: cap on the number of float64 elements of a (block, dataset) surrogate
+#: matrix held at once while reducing radii for a batch of queries.
+_BLOCK_ELEMENTS = 1 << 22
+
+
+def _kth_smallest_with_multiplicity(
+    values: np.ndarray, multiplicities: np.ndarray, k: int
+) -> float:
+    """k-th smallest element (1-based) of *values* repeated per multiplicity.
+
+    Returns ``+inf`` when fewer than *k* elements exist in total.
+    """
+    if multiplicities.sum() < k:
+        return np.inf
+    order = np.argsort(values, kind="stable")
+    running = 0
+    for idx in order:
+        running += int(multiplicities[idx])
+        if running >= k:
+            return float(values[idx])
+    return np.inf  # pragma: no cover - unreachable given the sum check
+
+
+def _kth_smallest_batch(
+    values: np.ndarray, multiplicities: np.ndarray, k: int, *, plain: bool
+) -> np.ndarray:
+    """Row-wise k-th smallest with multiplicities for a (q, m) matrix.
+
+    *plain* marks the (common) multiplicity-free case, where a partial
+    sort suffices; otherwise a stable full sort plus a cumulative sum of
+    multiplicities reproduces :func:`_kth_smallest_with_multiplicity`
+    exactly.
+    """
+    q = values.shape[0]
+    if values.shape[1] == 0 or multiplicities.sum() < k:
+        return np.full(q, np.inf)
+    if plain:
+        return np.partition(values, k - 1, axis=1)[:, k - 1]
+    order = np.argsort(values, axis=1, kind="stable")
+    running = np.cumsum(multiplicities[order], axis=1)
+    first = np.argmax(running >= k, axis=1)
+    picked = np.take_along_axis(order, first[:, None], axis=1)[:, 0]
+    return values[np.arange(q), picked]
+
+
+class QueryEngine:
+    """Vectorized, cached batch query primitives over ``(dataset, metric)``.
+
+    Parameters
+    ----------
+    dataset:
+        the labeled examples ``(S+, S-)``.
+    metric:
+        a :class:`~repro.metrics.Metric` or an alias accepted by
+        :func:`~repro.metrics.get_metric` (default Euclidean, or Hamming
+        when the dataset is discrete).
+    cache_size:
+        number of per-query surrogate-distance vectors kept in the LRU
+        cache (0 disables caching).
+    """
+
+    def __init__(self, dataset: Dataset, metric=None, *, cache_size: int = 1024):
+        if not isinstance(dataset, Dataset):
+            raise ValidationError("dataset must be a repro.knn.Dataset")
+        if metric is None:
+            metric = "hamming" if dataset.discrete else "l2"
+        self.dataset = dataset
+        self.metric: Metric = get_metric(metric)
+        self._pos = dataset.positives
+        self._neg = dataset.negatives
+        self._pos_mult = dataset.positive_multiplicities
+        self._neg_mult = dataset.negative_multiplicities
+        self._pos_plain = bool(np.all(self._pos_mult == 1))
+        self._neg_plain = bool(np.all(self._neg_mult == 1))
+        self._all = np.vstack([self._pos, self._neg])
+        self._all.setflags(write=False)
+        self._cache: OrderedDict[bytes, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._cache_size = max(0, int(cache_size))
+        self._hits = 0
+        self._misses = 0
+
+    # -- distances ------------------------------------------------------
+
+    def powers(self, x) -> tuple[np.ndarray, np.ndarray]:
+        """Cached surrogate-distance vectors ``(to S+, to S-)`` for one query.
+
+        The returned arrays are read-only views owned by the cache.
+        """
+        xv = self._check_query(x)
+        key = xv.tobytes()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self._misses += 1
+        pos_d = self.metric.powers_to(self._pos, xv)
+        neg_d = self.metric.powers_to(self._neg, xv)
+        pos_d.setflags(write=False)
+        neg_d.setflags(write=False)
+        if self._cache_size:
+            self._cache[key] = (pos_d, neg_d)
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return pos_d, neg_d
+
+    def powers_matrix(self, points) -> np.ndarray:
+        """``(q, |S+| + |S-|)`` surrogate matrix, positives first.
+
+        One vectorized kernel call per memory-capped row block; row ``i``
+        agrees with ``np.concatenate(self.powers(points[i]))`` — bit for
+        bit on integer-valued data, up to roundoff on general floats
+        (see :meth:`~repro.metrics.Metric.powers_matrix`).
+        """
+        pts = self._check_queries(points)
+        return self.metric.powers_matrix(pts, self._all)
+
+    def distances_matrix(self, points) -> np.ndarray:
+        """``(q, |S+| + |S-|)`` true-distance matrix, positives first."""
+        pts = self._check_queries(points)
+        return self.metric.distances_matrix(pts, self._all)
+
+    # -- radii (Proposition 1 ball inflation) ---------------------------
+
+    def radii(self, x, k: int) -> tuple[float, float]:
+        """``(r+, r-)`` for one query, served from the distance cache."""
+        need = self._need(k)
+        pos_d, neg_d = self.powers(x)
+        r_pos = _kth_smallest_with_multiplicity(pos_d, self._pos_mult, need)
+        r_neg = _kth_smallest_with_multiplicity(neg_d, self._neg_mult, need)
+        return r_pos, r_neg
+
+    def radii_batch(self, points, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(r+, r-)`` arrays for every row of *points*."""
+        need = self._need(k)
+        pts = self._check_queries(points)
+        q = pts.shape[0]
+        m_pos = self._pos.shape[0]
+        r_pos = np.empty(q)
+        r_neg = np.empty(q)
+        cols = max(1, self._all.shape[0])
+        rows = max(1, _BLOCK_ELEMENTS // cols)
+        for start in range(0, q, rows):
+            block = slice(start, min(start + rows, q))
+            powers = self.metric.powers_matrix(pts[block], self._all)
+            r_pos[block] = _kth_smallest_batch(
+                powers[:, :m_pos], self._pos_mult, need, plain=self._pos_plain
+            )
+            r_neg[block] = _kth_smallest_batch(
+                powers[:, m_pos:], self._neg_mult, need, plain=self._neg_plain
+            )
+        return r_pos, r_neg
+
+    # -- classification and margins -------------------------------------
+
+    def classify(self, x, k: int) -> int:
+        """``f^k_{S+,S-}(x)`` as 0 or 1 (cached single-query path)."""
+        r_pos, r_neg = self.radii(x, k)
+        return 1 if r_pos <= r_neg else 0
+
+    def classify_batch(self, points, k: int) -> np.ndarray:
+        """Vector of ``f(x)`` values for every row of *points*."""
+        r_pos, r_neg = self.radii_batch(points, k)
+        return (r_pos <= r_neg).astype(np.int64)
+
+    def margin(self, x, k: int) -> float:
+        """Signed surrogate margin ``r- − r+`` (positive ⇒ class 1)."""
+        r_pos, r_neg = self.radii(x, k)
+        if np.isinf(r_pos) and np.isinf(r_neg):
+            return 0.0
+        if np.isinf(r_pos):
+            return -np.inf
+        if np.isinf(r_neg):
+            return np.inf
+        return float(r_neg - r_pos)
+
+    def margins_batch(self, points, k: int) -> np.ndarray:
+        """Vector of signed surrogate margins for every row of *points*."""
+        r_pos, r_neg = self.radii_batch(points, k)
+        with np.errstate(invalid="ignore"):
+            margins = r_neg - r_pos
+        margins[np.isinf(r_pos) & np.isinf(r_neg)] = 0.0
+        return margins
+
+    # -- neighbors -------------------------------------------------------
+
+    def neighbors(self, x, k: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """The k nearest points and their boolean labels (multiplicity-expanded).
+
+        Ties at the boundary are broken by expanded index (positives
+        first), matching :meth:`Dataset.all_points` ordering.
+        """
+        xv = self._check_query(x)
+        k = 1 if k is None else int(k)
+        pos_d, neg_d = self.powers(xv)
+        d = np.concatenate(
+            [np.repeat(pos_d, self._pos_mult), np.repeat(neg_d, self._neg_mult)]
+        )
+        points, labels = self.dataset.all_points()
+        order = np.argsort(d, kind="stable")[:k]
+        return points[order], labels[order]
+
+    # -- cache bookkeeping ----------------------------------------------
+
+    def cache_info(self) -> dict:
+        """``{hits, misses, size, max_size}`` of the per-query LRU cache."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._cache),
+            "max_size": self._cache_size,
+        }
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
+
+    # -- validation helpers ----------------------------------------------
+
+    def _need(self, k: int) -> int:
+        """``(k+1)/2`` after validating k against the dataset size."""
+        k = check_odd_k(k)
+        if len(self.dataset) < k:
+            raise ValidationError(
+                f"the dataset must contain at least k={k} points "
+                f"(has {len(self.dataset)})"
+            )
+        return (k + 1) // 2
+
+    def _check_query(self, x) -> np.ndarray:
+        xv = as_vector(x, name="x")
+        if xv.shape[0] != self.dataset.dimension:
+            raise ValidationError(
+                f"x has dimension {xv.shape[0]}, dataset has {self.dataset.dimension}"
+            )
+        return np.ascontiguousarray(xv)
+
+    def _check_queries(self, points) -> np.ndarray:
+        pts = as_matrix(points, name="points", dimension=self.dataset.dimension)
+        return pts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryEngine(metric={self.metric.name}, {self.dataset!r})"
+
+
+def as_engine(dataset: Dataset, metric, engine: QueryEngine | None) -> QueryEngine:
+    """Resolve the optional ``engine=`` argument of the pipeline entry points.
+
+    Returns *engine* after checking it serves the same dataset and
+    metric; builds a fresh one when None.
+    """
+    if engine is None:
+        return QueryEngine(dataset, metric)
+    if not isinstance(engine, QueryEngine):
+        raise ValidationError("engine must be a repro.knn.QueryEngine")
+    if engine.dataset is not dataset:
+        raise ValidationError("engine was built for a different dataset")
+    if metric is not None and engine.metric.name != get_metric(metric).name:
+        raise ValidationError(
+            f"engine uses metric {engine.metric.name!r}, "
+            f"the call requested {get_metric(metric).name!r}"
+        )
+    return engine

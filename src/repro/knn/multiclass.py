@@ -21,7 +21,6 @@ from .._validation import as_matrix, as_vector
 from ..exceptions import ValidationError
 from ..metrics import get_metric
 from .dataset import Dataset
-from .classifier import KNNClassifier
 
 
 class MultiClass1NN:

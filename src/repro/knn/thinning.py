@@ -42,6 +42,7 @@ def condense(dataset: Dataset, *, k: int = 1, metric=None, max_passes: int = 50)
         dataset = dataset.expanded()
     if metric is None:
         metric = "hamming" if dataset.discrete else "l2"
+    discrete = dataset.discrete
     full = KNNClassifier(dataset, k=k, metric=metric)
     points, labels = dataset.all_points()
     targets = full.classify_batch(points)
@@ -62,13 +63,26 @@ def condense(dataset: Dataset, *, k: int = 1, metric=None, max_passes: int = 50)
     # training points and further points are absorbed until every one
     # classifies as the full model does (reaching the full set in the
     # worst case, which is trivially consistent).
+    #
+    # Training points are classified in batched calls: one full batch at
+    # the start of each pass, then — after every absorption changes the
+    # subset — one batch over just the not-yet-scanned tail, whose stale
+    # predictions are the only ones still read.  `predicted[j]` therefore
+    # always reflects the classifier the sequential scan would see on
+    # reaching point j, at the seed's O(n) classifications per pass.
+    def _batch_predictions(keep_mask: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        subset = _subset_dataset(points, labels, keep_mask, discrete=discrete)
+        if len(subset) < k:
+            return np.full(queries.shape[0], -1, dtype=np.int64)
+        clf = KNNClassifier(subset, k=k, metric=metric)
+        return clf.classify_batch(queries)
+
+    m = points.shape[0]
     for _ in range(max_passes):
         changed = False
-        subset = _subset_dataset(points, labels, keep)
-        clf = KNNClassifier(subset, k=k, metric=metric) if len(subset) >= k else None
-        for i in range(points.shape[0]):
-            predicted = clf.classify(points[i]) if clf is not None else -1
-            if predicted == targets[i]:
+        predicted = _batch_predictions(keep, points)
+        for i in range(m):
+            if predicted[i] == targets[i]:
                 continue
             if not keep[i]:
                 absorb = i
@@ -82,17 +96,21 @@ def condense(dataset: Dataset, *, k: int = 1, metric=None, max_passes: int = 50)
                 absorb = int(free[np.argmin(gaps)])
             keep[absorb] = True
             changed = True
-            subset = _subset_dataset(points, labels, keep)
-            clf = KNNClassifier(subset, k=k, metric=metric) if len(subset) >= k else None
+            if i + 1 < m:
+                predicted[i + 1:] = _batch_predictions(keep, points[i + 1:])
         if not changed:
             break
-    return _subset_dataset(points, labels, keep)
+    return _subset_dataset(points, labels, keep, discrete=discrete)
 
 
-def _subset_dataset(points: np.ndarray, labels: np.ndarray, keep: np.ndarray) -> Dataset:
+def _subset_dataset(
+    points: np.ndarray, labels: np.ndarray, keep: np.ndarray, *, discrete: bool | None = None
+) -> Dataset:
     pos = points[keep & labels]
     neg = points[keep & ~labels]
-    return Dataset(pos, neg, discrete=bool(np.all((points == 0) | (points == 1))))
+    if discrete is None:
+        discrete = bool(np.all((points == 0) | (points == 1)))
+    return Dataset(pos, neg, discrete=discrete)
 
 
 def relevant_points_1nn(dataset: Dataset) -> Dataset:

@@ -20,3 +20,22 @@ class HammingMetric(Metric):
 
     def distances_to(self, points: np.ndarray, x: np.ndarray) -> np.ndarray:
         return np.abs(points - x).sum(axis=1)
+
+    def _powers_block(self, block: np.ndarray, points: np.ndarray) -> np.ndarray:
+        # On {0,1} vectors, |a - b| = a + b - 2ab componentwise, so the
+        # whole matrix reduces to one BLAS matmul; every intermediate is
+        # an exactly representable integer, so this matches the
+        # difference-based kernel bit for bit.  Non-Boolean inputs (the
+        # metric is occasionally applied to unvalidated queries) fall
+        # back to broadcasting the difference tensor.
+        if _is_boolean(block) and _is_boolean(points):
+            return (
+                block.sum(axis=1)[:, None]
+                + points.sum(axis=1)[None, :]
+                - 2.0 * (block @ points.T)
+            )
+        return np.abs(block[:, None, :] - points[None, :, :]).sum(axis=2)
+
+
+def _is_boolean(values: np.ndarray) -> bool:
+    return bool(np.all((values == 0.0) | (values == 1.0)))

@@ -15,11 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import networkx as nx
-import numpy as np
 
 from .._validation import check_odd_k
 from ..exceptions import ValidationError
-from ..knn import Dataset
 from .check_sr_discrete import vertex_cover_to_check_sr_hamming
 from .oracles import check_graph
 from .vertex_cover import MSRInstance

@@ -27,7 +27,6 @@ from scipy.optimize import LinearConstraint, linprog
 from scipy.optimize import milp as scipy_milp
 
 from ..exceptions import (
-    InfeasibleError,
     ResourceLimitError,
     SolverError,
     UnboundedError,

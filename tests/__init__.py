@@ -1,0 +1,1 @@
+"""Test package marker: lets test modules use ``from .helpers import ...``."""

@@ -7,7 +7,6 @@ from itertools import combinations, product
 import numpy as np
 
 from repro.knn import Dataset, KNNClassifier
-from repro.metrics import get_metric
 
 
 def random_discrete_dataset(

@@ -7,7 +7,6 @@ import pytest
 
 from repro import Dataset, KNNClassifier
 from repro.exceptions import (
-    InfeasibleError,
     ResourceLimitError,
     UnboundedError,
     ValidationError,

@@ -6,13 +6,12 @@ import math
 from itertools import product
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.counterfactual.hamming_milp import _hamming_terms
 from repro.counterfactual.hamming_sat import add_distance_bound, build_flip_encoding
-from repro.knn import Dataset, KNNClassifier
+from repro.knn import KNNClassifier
 
 from .helpers import random_discrete_dataset
 

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import (
-    Dataset,
     KNNClassifier,
     check_sufficient_reason,
     closest_counterfactual,
