@@ -8,6 +8,13 @@ benchmark measures both implementations on the acceptance workload —
 5,000 training points x 64 dimensions under l2 — and records the
 speedup; the engine must win by at least 10x.
 
+The measurement core lives in :mod:`repro.experiments.bench` (the same
+numbers the ``bench-baseline`` CI job tracks); this file adds the
+pytest-benchmark entry points and the CI gate.  Shared runners are
+noisy, so the gate takes the best of up to ``MAX_ATTEMPTS`` full
+measurements before declaring failure, and reports the measured ratio
+in the GitHub job summary when one is available.
+
 Run directly for a quick report::
 
     PYTHONPATH=src python benchmarks/bench_engine_batch.py
@@ -19,18 +26,21 @@ or through pytest-benchmark for statistics::
 
 from __future__ import annotations
 
-import time
+import os
 
 import numpy as np
-import pytest
 
+from repro.experiments.bench import classify_batch_loop, gated_best, measure_engine_batch
 from repro.knn import Dataset, QueryEngine
-from repro.knn.engine import _kth_smallest_with_multiplicity
 
 N_TRAIN = 5_000
 N_DIM = 64
 N_QUERIES = 200
 MIN_SPEEDUP = 10.0
+#: full re-measurements allowed before the gate declares failure
+#: (best-of-3 retry: one noisy neighbor on a shared runner must not
+#: fail the job when a clean rerun clears the bar).
+MAX_ATTEMPTS = 3
 
 
 def _workload(rng: np.random.Generator):
@@ -41,46 +51,32 @@ def _workload(rng: np.random.Generator):
     return data, queries
 
 
-def _classify_batch_seed_loop(data: Dataset, metric, queries: np.ndarray, k: int) -> np.ndarray:
-    """The seed's per-point path: one Python iteration (and two distance
-    vectors) per query — kept here verbatim as the baseline."""
-    need = (k + 1) // 2
-    out = np.empty(queries.shape[0], dtype=np.int64)
-    for i, x in enumerate(queries):
-        pos_d = metric.powers_to(data.positives, x)
-        neg_d = metric.powers_to(data.negatives, x)
-        r_pos = _kth_smallest_with_multiplicity(pos_d, data.positive_multiplicities, need)
-        r_neg = _kth_smallest_with_multiplicity(neg_d, data.negative_multiplicities, need)
-        out[i] = 1 if r_pos <= r_neg else 0
-    return out
-
-
-def _measure(fn, *, repeats: int = 3) -> float:
-    best = np.inf
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def report_speedup(seed: int = 20250601) -> dict:
     """Time both paths once and return the measurements."""
-    rng = np.random.default_rng(seed)
-    data, queries = _workload(rng)
-    engine = QueryEngine(data, "l2")
-    looped = _measure(lambda: _classify_batch_seed_loop(data, engine.metric, queries, 3))
-    batched = _measure(lambda: engine.classify_batch(queries, 3))
-    expected = _classify_batch_seed_loop(data, engine.metric, queries, 3)
-    np.testing.assert_array_equal(engine.classify_batch(queries, 3), expected)
-    return {
-        "looped_s": looped,
-        "batched_s": batched,
-        "speedup": looped / batched,
-        "queries": N_QUERIES,
-        "train": N_TRAIN,
-        "dim": N_DIM,
-    }
+    return measure_engine_batch(seed=seed, repeats=3)
+
+
+def gated_speedup(seed: int = 20250601, *, attempts: int = MAX_ATTEMPTS) -> dict:
+    """Best-of-*attempts* measurement against the 10x gate."""
+    return gated_best(
+        measure_engine_batch, threshold=MIN_SPEEDUP, attempts=attempts, seed=seed
+    )
+
+
+def _write_job_summary(stats: dict) -> None:
+    """Append the measured ratio to the GitHub job summary, if present."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    verdict = "pass" if stats["speedup"] >= MIN_SPEEDUP else "FAIL"
+    with open(summary_path, "a") as handle:
+        handle.write(
+            f"### Batch-engine speedup gate: {verdict}\n\n"
+            f"measured **{stats['speedup']:.1f}x** (required {MIN_SPEEDUP:.0f}x, "
+            f"best of {stats['attempts']} attempt(s); looped "
+            f"{stats['looped_s'] * 1000:.1f} ms, batched "
+            f"{stats['batched_s'] * 1000:.1f} ms)\n"
+        )
 
 
 def test_engine_batch_speedup(benchmark, rng):
@@ -88,12 +84,11 @@ def test_engine_batch_speedup(benchmark, rng):
     data, queries = _workload(rng)
     engine = QueryEngine(data, "l2")
     benchmark(lambda: engine.classify_batch(queries, 3))
-    looped = _measure(lambda: _classify_batch_seed_loop(data, engine.metric, queries, 3))
-    batched = _measure(lambda: engine.classify_batch(queries, 3))
-    speedup = looped / batched
-    assert speedup >= MIN_SPEEDUP, (
-        f"batched classification is only {speedup:.1f}x faster than the "
-        f"per-point loop (required: {MIN_SPEEDUP:.0f}x)"
+    stats = gated_speedup()
+    assert stats["speedup"] >= MIN_SPEEDUP, (
+        f"batched classification is only {stats['speedup']:.1f}x faster than the "
+        f"per-point loop after {stats['attempts']} attempts "
+        f"(required: {MIN_SPEEDUP:.0f}x)"
     )
 
 
@@ -102,23 +97,25 @@ def test_engine_batch_matches_loop(rng):
     engine = QueryEngine(data, "l2")
     np.testing.assert_array_equal(
         engine.classify_batch(queries, 3),
-        _classify_batch_seed_loop(data, engine.metric, queries, 3),
+        classify_batch_loop(data, engine.metric, queries, 3),
     )
 
 
 if __name__ == "__main__":
     import sys
 
-    stats = report_speedup()
+    stats = gated_speedup()
+    _write_job_summary(stats)
     print(
         f"classify_batch on {stats['queries']} queries x "
         f"{stats['train']} train points x {stats['dim']} dims (l2, k=3):\n"
         f"  per-point loop : {stats['looped_s'] * 1000:9.1f} ms\n"
         f"  QueryEngine    : {stats['batched_s'] * 1000:9.1f} ms\n"
-        f"  speedup        : {stats['speedup']:9.1f}x"
+        f"  speedup        : {stats['speedup']:9.1f}x "
+        f"(best of {stats['attempts']} attempt(s))"
     )
     if stats["speedup"] < MIN_SPEEDUP:
         sys.exit(
             f"FAIL: speedup {stats['speedup']:.1f}x is below the "
-            f"{MIN_SPEEDUP:.0f}x acceptance gate"
+            f"{MIN_SPEEDUP:.0f}x acceptance gate after {stats['attempts']} attempts"
         )

@@ -39,7 +39,9 @@ def main() -> None:
     args = parser.parse_args()
 
     rng = np.random.default_rng(args.seed)
-    train = DigitImages.generate(rng, digits=(4, 9), count_per_digit=args.per_digit, side=args.side)
+    train = DigitImages.generate(
+        rng, digits=(4, 9), count_per_digit=args.per_digit, side=args.side
+    )
     data = train.to_dataset(positive_digit=4, binarized=True)
     clf = KNNClassifier(data, k=1, metric="hamming")
 

@@ -7,15 +7,22 @@ Subcommands
 ``figure <id>``
     regenerate one of the paper's runtime figures as a text table
     (``fig5a``, ``fig5b``, ``fig6a``, ``fig6b``), with optional
-    ``--repeats`` and ``--seed``;
+    ``--repeats``, ``--seed``, ``--workers`` (process-pool grid
+    sharding) and ``--json`` (sweep rows as JSON);
 ``explain``
     run an explanation query on a randomly generated dataset — a smoke
-    test showing the three pipelines end to end.
+    test showing the three pipelines end to end (``--backend`` selects
+    the engine's index backend);
+``bench``
+    measure the headline benchmark workloads and optionally gate them
+    against a committed baseline — the CI ``bench-baseline`` job runs
+    ``bench --json BENCH_pr.json --baseline benchmarks/BENCH_baseline.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -23,10 +30,12 @@ import numpy as np
 from .abductive import minimal_sufficient_reason
 from .counterfactual import closest_counterfactual
 from .datasets import random_boolean_dataset
-from .experiments.figures import ALL_FIGURES
+from .experiments import bench
+from .experiments.figures import ALL_FIGURES, FigureSweepTask
 from .experiments.runner import run_sweep
 from .experiments.tables import render_results_table, render_table1
 from .knn import QueryEngine
+from .knn.engine import BACKENDS
 
 
 def _cmd_table1(_args) -> int:
@@ -39,16 +48,19 @@ def _cmd_figure(args) -> int:
     if spec is None:
         print(f"unknown figure {args.figure_id!r}; choose from {sorted(ALL_FIGURES)}")
         return 2
-    rng = np.random.default_rng(args.seed)
     result = run_sweep(
         f"{spec.figure_id}: {spec.description}",
         spec.grid(),
-        lambda params: spec.make_task(rng, params["n"], params["N"]),
+        FigureSweepTask(args.figure_id, args.seed),
         repeats=args.repeats,
         verbose=True,
+        workers=args.workers,
     )
     print()
     print(render_results_table(result))
+    if args.json:
+        result.save_json(args.json)
+        print(f"\nwrote sweep rows to {args.json}")
     return 0
 
 
@@ -56,8 +68,9 @@ def _cmd_explain(args) -> int:
     rng = np.random.default_rng(args.seed)
     data = random_boolean_dataset(rng, args.dimension, args.size)
     x = rng.integers(0, 2, size=args.dimension).astype(float)
-    engine = QueryEngine(data, "hamming")
+    engine = QueryEngine(data, "hamming", backend=args.backend)
     print(f"dataset: {data!r}")
+    print(f"engine backend: {engine.backend}")
     print(f"query x: {x.astype(int).tolist()}")
     msr = minimal_sufficient_reason(data, 1, "hamming", x, engine=engine)
     print(f"minimal sufficient reason ({len(msr)} of {args.dimension} features): "
@@ -70,6 +83,44 @@ def _cmd_explain(args) -> int:
         print(f"closest counterfactual flips {int(cf.distance)} feature(s): {flipped}")
     else:
         print("no counterfactual exists (single-class data)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    payload = bench.collect(
+        seed=args.seed,
+        repeats=args.repeats,
+        workers=args.workers,
+        workloads=args.workloads or None,
+    )
+    baseline = bench.load_json(args.baseline) if args.baseline else None
+    failures: list[str] = []
+    if baseline is not None:
+        # Best-of-3 re-measurement before a failure is final: the
+        # committed baseline comes from another machine, so the gate
+        # absorbs one-off shared-runner noise (updates payload in place,
+        # so the saved artifact shows the gated numbers).
+        failures = bench.compare_with_retry(
+            payload, baseline, max_regression=args.max_regression
+        )
+    report = bench.render_report(payload, baseline=baseline)
+    print(report)
+    if args.json:
+        bench.save_json(payload, args.json)
+        print(f"\nwrote benchmark payload to {args.json}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write("### Benchmark headlines\n\n" + report + "\n")
+    if baseline is not None:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"\nregression gate passed (headline within "
+            f"{args.max_regression:.0%} of baseline)"
+        )
     return 0
 
 
@@ -86,18 +137,55 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("figure_id", help="fig5a | fig5b | fig6a | fig6b")
     fig.add_argument("--repeats", type=int, default=3)
     fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers sharding the sweep grid (default 1, serial)",
+    )
+    fig.add_argument("--json", metavar="PATH", help="also write sweep rows as JSON")
 
     explain = sub.add_parser("explain", help="explain a random query end to end")
     explain.add_argument("--dimension", type=int, default=12)
     explain.add_argument("--size", type=int, default=30)
     explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help="QueryEngine index backend (default: auto)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="measure benchmark headlines, optionally gate vs a baseline"
+    )
+    bench_p.add_argument("--json", metavar="PATH", help="write the BENCH payload here")
+    bench_p.add_argument(
+        "--baseline", metavar="PATH",
+        help="gate the headline against this committed BENCH_*.json",
+    )
+    bench_p.add_argument(
+        "--max-regression", type=float, default=bench.DEFAULT_MAX_REGRESSION,
+        help="tolerated relative headline-speedup drop (default 0.25)",
+    )
+    bench_p.add_argument("--repeats", type=int, default=3)
+    bench_p.add_argument("--seed", type=int, default=20250601)
+    bench_p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers sharding the workloads (default 1, serial)",
+    )
+    bench_p.add_argument(
+        "--workloads", nargs="*", metavar="NAME",
+        help=f"subset of workloads to run (default: all of {sorted(bench.WORKLOADS)})",
+    )
 
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"table1": _cmd_table1, "figure": _cmd_figure, "explain": _cmd_explain}
+    handlers = {
+        "table1": _cmd_table1,
+        "figure": _cmd_figure,
+        "explain": _cmd_explain,
+        "bench": _cmd_bench,
+    }
     return handlers[args.command](args)
 
 

@@ -1,9 +1,11 @@
 """Experiment harness shared by the benchmark suite and the examples.
 
-:mod:`runner` provides timing sweeps with warm-up and repetition
-control; :mod:`figures` defines the workload series of the paper's
-Figures 5 and 6 (scaled to laptop-friendly sizes); :mod:`tables`
-renders Table 1 and the per-cell empirical scaling summaries.
+:mod:`runner` provides timing sweeps with repetition control, optional
+process-pool sharding of grid points, and JSON serialization;
+:mod:`figures` defines the workload series of the paper's Figures 5 and
+6 (scaled to laptop-friendly sizes); :mod:`tables` renders Table 1 and
+the per-cell empirical scaling summaries; :mod:`bench` measures the
+headline speedups the CI benchmark-baseline gate tracks.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from .figures import (
     FIGURE6_CF_L2,
     FIGURE6_MSR_L1,
     FigureSpec,
+    FigureSweepTask,
     figure5_workload,
     figure6_workload,
 )
@@ -25,6 +28,7 @@ __all__ = [
     "run_sweep",
     "SweepResult",
     "FigureSpec",
+    "FigureSweepTask",
     "FIGURE5_IQP",
     "FIGURE5_SAT",
     "FIGURE6_MSR_L1",

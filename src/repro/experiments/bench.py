@@ -1,0 +1,323 @@
+"""Headline benchmark harness behind ``python -m repro bench`` and CI.
+
+Measures a small set of *headline* workloads — the numbers the ROADMAP
+tracks over time — and serializes them as ``BENCH_*.json``:
+
+* ``engine_batch`` — :meth:`QueryEngine.classify_batch` against the
+  seed's per-point classification loop (l2, 5000 x 64); the *headline*
+  whose speedup the CI ``bench-baseline`` job gates against the
+  committed ``benchmarks/BENCH_baseline.json``;
+* ``hamming_bitpack`` — the bit-packed popcount backend against the
+  dense Gram kernel on binary Hamming data (5000 x 128), asserted
+  bit-identical;
+* ``kdtree_lowdim`` — per-query KD-tree search against per-query brute
+  force at dimension 3, where the tree's pruning wins.
+
+Speedup *ratios* (not wall-clock seconds) are what the gate compares:
+ratios are stable across runner hardware, absolute times are not.  Each
+workload re-times both of its contestants in the same process, so a
+slow runner slows both sides.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..knn import Dataset, QueryEngine
+from ..knn.engine import _kth_smallest_with_multiplicity
+from ..neighbors import BruteForceIndex, KDTreeIndex
+
+#: JSON schema version of the BENCH_*.json payload.
+BENCH_SCHEMA = 1
+
+#: the workload whose speedup the regression gate compares.
+HEADLINE = "engine_batch"
+
+#: default tolerated relative drop of a gated speedup (25%).
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def best_of(fn, *, repeats: int = 3) -> float:
+    """Best (minimum) wall-clock seconds of ``fn()`` over *repeats* runs."""
+    best = np.inf
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def classify_batch_loop(data: Dataset, metric, queries: np.ndarray, k: int) -> np.ndarray:
+    """The seed's per-point classification path: one Python iteration (and
+    two distance vectors) per query — kept verbatim as the baseline the
+    engine-batch headline is measured against."""
+    need = (k + 1) // 2
+    out = np.empty(queries.shape[0], dtype=np.int64)
+    for i, x in enumerate(queries):
+        pos_d = metric.powers_to(data.positives, x)
+        neg_d = metric.powers_to(data.negatives, x)
+        r_pos = _kth_smallest_with_multiplicity(pos_d, data.positive_multiplicities, need)
+        r_neg = _kth_smallest_with_multiplicity(neg_d, data.negative_multiplicities, need)
+        out[i] = 1 if r_pos <= r_neg else 0
+    return out
+
+
+def _labeled_workload(rng, n_train: int, n_dim: int, n_queries: int, *, binary: bool):
+    if binary:
+        points = rng.integers(0, 2, size=(n_train, n_dim)).astype(float)
+        queries = rng.integers(0, 2, size=(n_queries, n_dim)).astype(float)
+    else:
+        points = rng.normal(size=(n_train, n_dim))
+        queries = rng.normal(size=(n_queries, n_dim))
+    labels = rng.integers(0, 2, size=n_train).astype(bool)
+    return Dataset(points[labels], points[~labels]), queries
+
+
+def measure_engine_batch(seed: int = 20250601, repeats: int = 3) -> dict:
+    """Headline: batched engine classification vs the per-point loop."""
+    rng = np.random.default_rng(seed)
+    data, queries = _labeled_workload(rng, 5_000, 64, 200, binary=False)
+    engine = QueryEngine(data, "l2", backend="dense")
+    looped = best_of(
+        lambda: classify_batch_loop(data, engine.metric, queries, 3), repeats=repeats
+    )
+    batched = best_of(lambda: engine.classify_batch(queries, 3), repeats=repeats)
+    np.testing.assert_array_equal(
+        engine.classify_batch(queries, 3),
+        classify_batch_loop(data, engine.metric, queries, 3),
+    )
+    return {
+        "looped_s": looped,
+        "batched_s": batched,
+        "speedup": looped / batched,
+        "queries": 200,
+        "train": 5_000,
+        "dim": 64,
+        "metric": "l2",
+        "k": 3,
+    }
+
+
+def measure_hamming_bitpack(seed: int = 20250601, repeats: int = 3) -> dict:
+    """Bit-packed popcount backend vs the dense Gram kernel (binary data).
+
+    Classifications are asserted bit-identical before timing — the
+    backend contract the parity suite enforces more broadly.
+    """
+    rng = np.random.default_rng(seed)
+    data, queries = _labeled_workload(rng, 5_000, 128, 200, binary=True)
+    dense = QueryEngine(data, "hamming", backend="dense")
+    bitpack = QueryEngine(data, "hamming", backend="bitpack")
+    np.testing.assert_array_equal(
+        dense.classify_batch(queries, 3), bitpack.classify_batch(queries, 3)
+    )
+    dense_s = best_of(lambda: dense.classify_batch(queries, 3), repeats=repeats)
+    bitpack_s = best_of(lambda: bitpack.classify_batch(queries, 3), repeats=repeats)
+    return {
+        "dense_s": dense_s,
+        "bitpack_s": bitpack_s,
+        "speedup": dense_s / bitpack_s,
+        "queries": 200,
+        "train": 5_000,
+        "dim": 128,
+        "metric": "hamming",
+        "k": 3,
+    }
+
+
+def measure_kdtree_lowdim(seed: int = 20250601, repeats: int = 3) -> dict:
+    """Per-query KD-tree search vs per-query brute force at dimension 3."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(4_000, 3))
+    queries = rng.normal(size=(50, 3))
+    brute = BruteForceIndex(points, "l2")
+    tree = KDTreeIndex(points, "l2")
+
+    def sweep(index):
+        return [index.query(x, 5)[1][0] for x in queries]
+
+    assert sweep(brute) == sweep(tree)
+    brute_s = best_of(lambda: sweep(brute), repeats=repeats)
+    kdtree_s = best_of(lambda: sweep(tree), repeats=repeats)
+    return {
+        "brute_s": brute_s,
+        "kdtree_s": kdtree_s,
+        "speedup": brute_s / kdtree_s,
+        "queries": 50,
+        "train": 4_000,
+        "dim": 3,
+        "metric": "l2",
+        "k": 5,
+    }
+
+
+WORKLOADS = {
+    "engine_batch": measure_engine_batch,
+    "hamming_bitpack": measure_hamming_bitpack,
+    "kdtree_lowdim": measure_kdtree_lowdim,
+}
+
+
+def _run_workload(name: str, seed: int, repeats: int) -> dict:
+    return WORKLOADS[name](seed=seed, repeats=repeats)
+
+
+def collect(
+    *,
+    seed: int = 20250601,
+    repeats: int = 3,
+    workers: int = 1,
+    workloads=None,
+) -> dict:
+    """Run the selected workloads and return the ``BENCH_*.json`` payload.
+
+    ``workers > 1`` shards the workloads over a process pool; expect
+    extra noise when workers contend for cores — the gate compares
+    same-process speedup ratios, which contention distorts far less
+    than wall-clock times.
+    """
+    names = list(WORKLOADS) if workloads is None else list(workloads)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise ValueError(f"unknown workloads {unknown}; choose from {sorted(WORKLOADS)}")
+    results: dict[str, dict] = {}
+    workers = max(1, int(workers))
+    if workers > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
+            futures = {
+                name: pool.submit(_run_workload, name, seed, repeats) for name in names
+            }
+            results = {name: future.result() for name, future in futures.items()}
+    else:
+        results = {name: _run_workload(name, seed, repeats) for name in names}
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {"seed": seed, "repeats": repeats},
+        "workloads": results,
+    }
+
+
+def gated_best(
+    measure_fn,
+    *,
+    threshold: float,
+    attempts: int = 3,
+    seed: int = 20250601,
+    repeats: int = 3,
+) -> dict:
+    """Best measurement over up to *attempts* runs (early exit on pass).
+
+    The shared retry loop behind every CI speedup gate: one noisy
+    neighbor on a shared runner must not fail a job that a clean rerun
+    would clear.  Returns the best-run stats plus the attempt count
+    under ``"attempts"``.
+    """
+    best: dict = {}
+    attempt = 0
+    for attempt in range(1, max(1, attempts) + 1):
+        stats = measure_fn(seed=seed, repeats=repeats)
+        if not best or stats["speedup"] > best["speedup"]:
+            best = stats
+        if best["speedup"] >= threshold:
+            break
+    best["attempts"] = attempt
+    return best
+
+
+def compare_with_retry(
+    current: dict,
+    baseline: dict,
+    *,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    attempts: int = 3,
+) -> list[str]:
+    """Regression-gate with best-of-*attempts* re-measurement.
+
+    When the first comparison fails, the headline workload is re-measured
+    (up to *attempts* total measurements, keeping the best speedup and
+    updating *current* in place — so a saved artifact reflects the gated
+    numbers) before the failure is final.  Same rationale as
+    :func:`gated_best`: committed baselines come from other machines, so
+    the gate must absorb one-off scheduler noise, not amplify it.
+    """
+    failures = compare(current, baseline, max_regression=max_regression)
+    attempt = 1
+    config = current.get("config", {})
+    while failures and attempt < max(1, attempts):
+        attempt += 1
+        retry = WORKLOADS[HEADLINE](
+            seed=config.get("seed", 20250601), repeats=config.get("repeats", 3)
+        )
+        workloads = current.setdefault("workloads", {})
+        best = workloads.get(HEADLINE)
+        if best is None or retry["speedup"] > best.get("speedup", -np.inf):
+            workloads[HEADLINE] = retry
+        failures = compare(current, baseline, max_regression=max_regression)
+    config["gate_attempts"] = attempt
+    current["config"] = config
+    return failures
+
+
+def compare(
+    current: dict, baseline: dict, *, max_regression: float = DEFAULT_MAX_REGRESSION
+) -> list[str]:
+    """Regression-gate *current* against *baseline*; return failure messages.
+
+    Only the headline workload is gated: its speedup ratio must not drop
+    more than ``max_regression`` (relative) below the baseline's.  Other
+    workloads are informational — they appear in the artifact and the
+    report but cannot fail the job, keeping the gate robust on noisy
+    shared runners.
+    """
+    failures: list[str] = []
+    base = baseline.get("workloads", {}).get(HEADLINE)
+    cur = current.get("workloads", {}).get(HEADLINE)
+    if base is None or "speedup" not in base:
+        failures.append(f"baseline has no {HEADLINE!r} workload to gate against")
+        return failures
+    if cur is None or "speedup" not in cur:
+        failures.append(f"current run has no {HEADLINE!r} workload")
+        return failures
+    floor = base["speedup"] * (1.0 - max_regression)
+    if cur["speedup"] < floor:
+        failures.append(
+            f"{HEADLINE} headline regressed: speedup {cur['speedup']:.1f}x is below "
+            f"{floor:.1f}x (baseline {base['speedup']:.1f}x minus "
+            f"{max_regression:.0%} tolerance)"
+        )
+    return failures
+
+
+def render_report(payload: dict, *, baseline: dict | None = None) -> str:
+    """Human/markdown-readable table of a ``BENCH_*.json`` payload."""
+    lines = ["| workload | speedup | details |", "| --- | --- | --- |"]
+    for name, row in sorted(payload.get("workloads", {}).items()):
+        details = ", ".join(
+            f"{key}={row[key]}" for key in ("train", "dim", "queries", "metric", "k")
+            if key in row
+        )
+        note = " (headline)" if name == HEADLINE else ""
+        base_note = ""
+        if baseline is not None:
+            base_row = baseline.get("workloads", {}).get(name)
+            if base_row and "speedup" in base_row:
+                base_note = f" vs baseline {base_row['speedup']:.1f}x"
+        lines.append(
+            f"| {name}{note} | {row['speedup']:.1f}x{base_note} | {details} |"
+        )
+    return "\n".join(lines)
+
+
+def load_json(path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def save_json(payload: dict, path) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

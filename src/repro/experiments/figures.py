@@ -133,3 +133,28 @@ ALL_FIGURES = {
     spec.figure_id: spec
     for spec in (FIGURE5_IQP, FIGURE5_SAT, FIGURE6_MSR_L1, FIGURE6_CF_L2)
 }
+
+
+class FigureSweepTask:
+    """Picklable grid→task adapter for :func:`~repro.experiments.run_sweep`.
+
+    Stores only ``(figure_id, seed)`` and resolves the spec from
+    :data:`ALL_FIGURES` at call time, so it crosses process boundaries
+    regardless of how the spec's ``make_task`` is defined — this is what
+    lets ``run_sweep(workers=N)`` shard a figure grid over cores.  Each
+    grid point derives its own RNG from ``(seed, n, N)``, so serial and
+    parallel sweeps time identical workloads.
+    """
+
+    def __init__(self, figure_id: str, seed: int = 0):
+        if figure_id not in ALL_FIGURES:
+            raise ValueError(
+                f"unknown figure {figure_id!r}; choose from {sorted(ALL_FIGURES)}"
+            )
+        self.figure_id = figure_id
+        self.seed = int(seed)
+
+    def __call__(self, params: dict) -> Callable[[], object]:
+        spec = ALL_FIGURES[self.figure_id]
+        rng = np.random.default_rng((self.seed, params["n"], params["N"]))
+        return spec.make_task(rng, params["n"], params["N"])

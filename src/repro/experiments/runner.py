@@ -3,12 +3,18 @@
 pytest-benchmark handles the statistics in ``benchmarks/``; this module
 serves the examples and the standalone harness (``python -m repro``),
 where a figure is regenerated as a table of medians over a parameter
-grid.
+grid.  Grids can be swept serially or sharded over a process pool
+(``workers=N``), and results serialize to the ``BENCH_*.json`` format
+consumed by the CI benchmark-baseline gate.
 """
 
 from __future__ import annotations
 
+import json
+import pickle
 import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -50,6 +56,23 @@ class SweepResult:
             out[key][1].append(row["median"])
         return out
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the ``BENCH_*.json`` sweep payload)."""
+        return {"name": self.name, "rows": self.rows}
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to *path* as indented JSON."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _sweep_point(
+    make_task: Callable[[dict], Callable[[], object]], params: dict, repeats: int
+) -> dict:
+    """One grid point: build the task and time it (picklable pool worker)."""
+    return time_callable(make_task(params), repeats=repeats)
+
 
 def run_sweep(
     name: str,
@@ -58,14 +81,50 @@ def run_sweep(
     *,
     repeats: int = 3,
     verbose: bool = False,
+    workers: int = 1,
 ) -> SweepResult:
-    """Time ``make_task(params)()`` for every parameter point of *grid*."""
+    """Time ``make_task(params)()`` for every parameter point of *grid*.
+
+    With ``workers > 1`` the grid points are evaluated concurrently in a
+    process pool — each point's task is still built and timed inside a
+    single worker process, so per-point medians remain sequential
+    measurements.  *make_task* must then be picklable (a module-level
+    function, ``functools.partial`` of one, or an instance like
+    :class:`~repro.experiments.figures.FigureSweepTask`); unpicklable
+    callables fall back to a serial sweep with a warning.  Expect extra
+    timing noise when workers contend for cores — the parallel path is
+    for coarse benchmark grids, not precision measurements.
+    """
     result = SweepResult(name)
-    for params in grid:
-        task = make_task(params)
-        timing = time_callable(task, repeats=repeats)
+    grid_list = [dict(params) for params in grid]
+    workers = max(1, int(workers))
+    if workers > 1:
+        try:
+            pickle.dumps(make_task)
+        except Exception:
+            warnings.warn(
+                "run_sweep(workers=N) requires a picklable make_task; "
+                "falling back to a serial sweep",
+                UserWarning,
+                stacklevel=2,
+            )
+            workers = 1
+
+    def record(params: dict, timing: dict) -> None:
         result.add(params, timing)
         if verbose:
             rendered = ", ".join(f"{k}={v}" for k, v in params.items())
             print(f"[{name}] {rendered}: {timing['median'] * 1000:.1f} ms")
+
+    if workers > 1 and len(grid_list) > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(grid_list))) as pool:
+            futures = [
+                pool.submit(_sweep_point, make_task, params, repeats)
+                for params in grid_list
+            ]
+            for params, future in zip(grid_list, futures):
+                record(params, future.result())
+    else:
+        for params in grid_list:
+            record(params, _sweep_point(make_task, params, repeats))
     return result

@@ -82,7 +82,10 @@ class Polyhedron:
     def intersect(self, other: "Polyhedron") -> "Polyhedron":
         if other.dimension != self.dimension:
             raise ValueError("dimension mismatch")
-        return Polyhedron(self.dimension, list(self.iter_halfspaces()) + list(other.iter_halfspaces()))
+        return Polyhedron(
+            self.dimension,
+            list(self.iter_halfspaces()) + list(other.iter_halfspaces()),
+        )
 
     def iter_halfspaces(self):
         for w, b in zip(self.A, self.b):

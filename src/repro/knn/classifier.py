@@ -48,6 +48,10 @@ class KNNClassifier:
     engine:
         an existing :class:`QueryEngine` over the same dataset to share
         its distance cache; *metric* must be None or match the engine's.
+    backend:
+        index backend for a freshly built engine (``"auto"`` | ``"dense"``
+        | ``"kdtree"`` | ``"bitpack"``, see :class:`QueryEngine`); ignored
+        when *engine* is passed.
     """
 
     def __init__(
@@ -57,6 +61,7 @@ class KNNClassifier:
         metric=None,
         *,
         engine: QueryEngine | None = None,
+        backend: str = "auto",
     ):
         if not isinstance(dataset, Dataset):
             raise ValidationError("dataset must be a repro.knn.Dataset")
@@ -67,7 +72,7 @@ class KNNClassifier:
                 f"the dataset must contain at least k={self.k} points "
                 f"(has {len(dataset)})"
             )
-        self.engine = as_engine(dataset, metric, engine)
+        self.engine = as_engine(dataset, metric, engine, backend=backend)
         self.metric: Metric = self.engine.metric
         if dataset.discrete and not self.metric.is_discrete:
             # The paper also evaluates binarized data under continuous

@@ -8,15 +8,44 @@ labeled sets ``S+`` and ``S-``.  :class:`QueryEngine` owns a
 
 * **batched** — :meth:`powers_matrix`, :meth:`radii_batch`,
   :meth:`classify_batch` and :meth:`margins_batch` evaluate whole query
-  matrices through the metric's broadcast kernels
-  (:meth:`~repro.metrics.Metric.powers_matrix`), with no Python-level
-  per-row loop; query rows are processed in memory-capped blocks;
+  matrices through a pluggable *index backend* (see below), with no
+  Python-level per-row loop; query rows are processed in memory-capped
+  blocks, and :meth:`map_shards` fans row shards out to a process pool;
 * **cached** — the single-point entry points (:meth:`powers`,
   :meth:`radii`, :meth:`classify`, :meth:`margin`, :meth:`neighbors`)
   share an LRU cache of per-query distance vectors, so the inner loops
   of the greedy sufficient-reason algorithms and the brute/SAT
   counterfactual searches, which re-classify the same query point many
   times, never recompute a distance vector.
+
+Index backends (``backend=`` — the :mod:`repro.neighbors` layer)
+----------------------------------------------------------------
+
+The paper's experimental section credits "a library for fast
+NN-classification such as FAISS" as key to performance; the engine's
+batch path is correspondingly backend-pluggable:
+
+``"dense"``
+    the metric's broadcast kernels (BLAS Gram expansions for l2 and
+    Hamming) — the default workhorse at the paper's dimensionalities;
+``"bitpack"``
+    :class:`~repro.neighbors.BitPackedHammingIndex`: packed-word
+    XOR/popcount Hamming distances, bit-identical to the dense kernel
+    on binary data and several times faster (FAISS's binary-index
+    technique);
+``"kdtree"``
+    per-class :class:`~repro.neighbors.KDTreeIndex` branch-and-bound —
+    wins only at very low dimension over large datasets, where pruning
+    beats the O(|S|) scan;
+``"auto"``
+    bitpack for binary Hamming data, KD-tree for low-dimensional lp
+    over large datasets, dense otherwise (thresholds measured in
+    ``benchmarks/bench_ablation_nn_index.py``).
+
+Every backend implements the same optimistic semantics; on
+integer-valued data the results are bit-identical across backends (the
+parity suite in ``tests/test_backends.py`` enforces this), so backend
+choice is purely a performance decision.
 
 The ``(r+, r-)`` radii implement the ball-inflation rule of
 Proposition 1: ``r+`` (``r-``) is the surrogate distance at which the
@@ -27,18 +56,40 @@ multiplicities, ``+inf`` when that many points do not exist, and
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
 from .._validation import as_matrix, as_vector, check_odd_k
 from ..exceptions import ValidationError
-from ..metrics import Metric, get_metric
+from ..metrics import HammingMetric, LpMetric, Metric, get_metric
+from ..metrics.hamming import is_binary
 from .dataset import Dataset
 
 #: cap on the number of float64 elements of a (block, dataset) surrogate
 #: matrix held at once while reducing radii for a batch of queries.
 _BLOCK_ELEMENTS = 1 << 22
+
+#: the engine's index strategies (see the module docstring).
+BACKENDS = ("auto", "dense", "kdtree", "bitpack")
+
+#: batch methods :meth:`QueryEngine.map_shards` can fan out.
+_SHARD_METHODS = (
+    "classify_batch",
+    "margins_batch",
+    "radii_batch",
+    "powers_matrix",
+    "distances_matrix",
+)
+
+#: KD-tree auto-rule thresholds: the per-query branch-and-bound (a
+#: Python-level traversal) only beats one vectorized O(|S|) kernel pass
+#: at very low dimension over large point sets (measured crossover:
+#: ~12k points at dimension 3; hopeless by dimension 8).
+_KDTREE_AUTO_MAX_DIM = 4
+_KDTREE_AUTO_MIN_POINTS = 16_384
 
 
 def _kth_smallest_with_multiplicity(
@@ -67,7 +118,8 @@ def _kth_smallest_batch(
     *plain* marks the (common) multiplicity-free case, where a partial
     sort suffices; otherwise a stable full sort plus a cumulative sum of
     multiplicities reproduces :func:`_kth_smallest_with_multiplicity`
-    exactly.
+    exactly.  Works on integer-count matrices (the bitpack backend) as
+    well as float64 surrogates.
     """
     q = values.shape[0]
     if values.shape[1] == 0 or multiplicities.sum() < k:
@@ -79,6 +131,12 @@ def _kth_smallest_batch(
     first = np.argmax(running >= k, axis=1)
     picked = np.take_along_axis(order, first[:, None], axis=1)[:, 0]
     return values[np.arange(q), picked]
+
+
+def _shard_call(engine: "QueryEngine", method: str, shard: np.ndarray, k):
+    """Module-level worker for :meth:`QueryEngine.map_shards` (picklable)."""
+    fn = getattr(engine, method)
+    return fn(shard, k) if k is not None else fn(shard)
 
 
 class QueryEngine:
@@ -95,9 +153,22 @@ class QueryEngine:
     cache_size:
         number of per-query surrogate-distance vectors kept in the LRU
         cache (0 disables caching).
+    backend:
+        index strategy for the batch primitives: ``"auto"`` (default),
+        ``"dense"``, ``"kdtree"`` or ``"bitpack"`` — see the module
+        docstring.  ``"bitpack"`` requires the Hamming metric over
+        strictly binary data; ``"kdtree"`` requires an lp or Hamming
+        metric.
     """
 
-    def __init__(self, dataset: Dataset, metric=None, *, cache_size: int = 1024):
+    def __init__(
+        self,
+        dataset: Dataset,
+        metric=None,
+        *,
+        cache_size: int = 1024,
+        backend: str = "auto",
+    ):
         if not isinstance(dataset, Dataset):
             raise ValidationError("dataset must be a repro.knn.Dataset")
         if metric is None:
@@ -116,6 +187,88 @@ class QueryEngine:
         self._cache_size = max(0, int(cache_size))
         self._hits = 0
         self._misses = 0
+        self.backend = self._resolve_backend(backend)
+        self._bit_index = None
+        self._pos_tree = None
+        self._neg_tree = None
+        self._build_index_layer()
+
+    # -- backend selection ----------------------------------------------
+
+    def _resolve_backend(self, backend: str) -> str:
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"backend must be one of {'|'.join(BACKENDS)}, got {backend!r}"
+            )
+        if backend == "bitpack":
+            from ..neighbors.bitpack import HAVE_BITWISE_COUNT
+
+            if not isinstance(self.metric, HammingMetric):
+                raise ValidationError(
+                    f"backend='bitpack' requires the Hamming metric, "
+                    f"got {self.metric.name!r}"
+                )
+            if not is_binary(self._all):
+                raise ValidationError(
+                    "backend='bitpack' requires strictly binary (0/1) data"
+                )
+            if not HAVE_BITWISE_COUNT:  # pragma: no cover - numpy >= 2 in CI
+                raise ValidationError(
+                    "backend='bitpack' requires numpy >= 2.0 (np.bitwise_count)"
+                )
+            return backend
+        if backend == "kdtree":
+            if not isinstance(self.metric, (LpMetric, HammingMetric)):
+                raise ValidationError(
+                    f"backend='kdtree' requires an lp or Hamming metric, "
+                    f"got {self.metric.name!r}"
+                )
+            return backend
+        if backend == "auto":
+            return self._auto_backend()
+        return backend
+
+    def _auto_backend(self) -> str:
+        """Pick the fastest exact backend for this ``(dataset, metric)``.
+
+        Mirrors :func:`repro.neighbors.build_index` adapted to the batch
+        setting: the bit-packed popcount index for binary Hamming data;
+        the KD-tree only where its Python-level traversal actually beats
+        one vectorized kernel pass (very low dimension, large dataset);
+        dense broadcast kernels otherwise.
+        """
+        from ..neighbors.bitpack import HAVE_BITWISE_COUNT
+
+        if (
+            HAVE_BITWISE_COUNT
+            and isinstance(self.metric, HammingMetric)
+            and is_binary(self._all)
+        ):
+            return "bitpack"
+        if (
+            isinstance(self.metric, LpMetric)
+            and self.dataset.dimension <= _KDTREE_AUTO_MAX_DIM
+            and len(self.dataset) >= _KDTREE_AUTO_MIN_POINTS
+        ):
+            return "kdtree"
+        return "dense"
+
+    def _build_index_layer(self) -> None:
+        """Materialize the selected backend's index structures."""
+        if self.backend == "bitpack":
+            from ..neighbors.bitpack import BitPackedHammingIndex
+
+            self._bit_index = BitPackedHammingIndex(self._all, self.metric)
+        elif self.backend == "kdtree":
+            from ..neighbors.kdtree import KDTreeIndex
+
+            # Per-class trees over multiplicity-expanded points: the
+            # need-th neighbor of the expanded set equals the k-th
+            # smallest with multiplicities of the unique rows.
+            pos = np.repeat(self._pos, self._pos_mult, axis=0)
+            neg = np.repeat(self._neg, self._neg_mult, axis=0)
+            self._pos_tree = KDTreeIndex(pos, self.metric) if pos.shape[0] else None
+            self._neg_tree = KDTreeIndex(neg, self.metric) if neg.shape[0] else None
 
     # -- distances ------------------------------------------------------
 
@@ -142,16 +295,31 @@ class QueryEngine:
                 self._cache.popitem(last=False)
         return pos_d, neg_d
 
+    def _surrogate_block(self, pts_block: np.ndarray) -> np.ndarray:
+        """Backend-routed ``(rows, |S+| + |S-|)`` surrogate matrix.
+
+        The bitpack backend returns integer Hamming counts (cheaper to
+        partition); every other backend returns float64.  Values agree
+        bit for bit with the dense kernel either way.  Non-binary query
+        rows fall back to the dense kernel under bitpack, preserving
+        results (the packed index only accepts {0,1} queries).
+        """
+        if self._bit_index is not None and is_binary(pts_block):
+            return self._bit_index.counts_matrix(pts_block)
+        return self.metric.powers_matrix(pts_block, self._all)
+
     def powers_matrix(self, points) -> np.ndarray:
         """``(q, |S+| + |S-|)`` surrogate matrix, positives first.
 
-        One vectorized kernel call per memory-capped row block; row ``i``
-        agrees with ``np.concatenate(self.powers(points[i]))`` — bit for
-        bit on integer-valued data, up to roundoff on general floats
-        (see :meth:`~repro.metrics.Metric.powers_matrix`).
+        One vectorized kernel call per memory-capped row block, routed
+        through the selected backend (the KD-tree backend falls back to
+        the dense kernel here — a tree cannot beat a full-matrix scan);
+        row ``i`` agrees with ``np.concatenate(self.powers(points[i]))``
+        — bit for bit on integer-valued data, up to roundoff on general
+        floats (see :meth:`~repro.metrics.Metric.powers_matrix`).
         """
         pts = self._check_queries(points)
-        return self.metric.powers_matrix(pts, self._all)
+        return np.asarray(self._surrogate_block(pts), dtype=np.float64)
 
     def distances_matrix(self, points) -> np.ndarray:
         """``(q, |S+| + |S-|)`` true-distance matrix, positives first."""
@@ -172,6 +340,8 @@ class QueryEngine:
         """Vectorized ``(r+, r-)`` arrays for every row of *points*."""
         need = self._need(k)
         pts = self._check_queries(points)
+        if self.backend == "kdtree":
+            return self._radii_batch_kdtree(pts, need)
         q = pts.shape[0]
         m_pos = self._pos.shape[0]
         r_pos = np.empty(q)
@@ -180,13 +350,28 @@ class QueryEngine:
         rows = max(1, _BLOCK_ELEMENTS // cols)
         for start in range(0, q, rows):
             block = slice(start, min(start + rows, q))
-            powers = self.metric.powers_matrix(pts[block], self._all)
+            powers = self._surrogate_block(pts[block])
             r_pos[block] = _kth_smallest_batch(
                 powers[:, :m_pos], self._pos_mult, need, plain=self._pos_plain
             )
             r_neg[block] = _kth_smallest_batch(
                 powers[:, m_pos:], self._neg_mult, need, plain=self._neg_plain
             )
+        return r_pos, r_neg
+
+    def _radii_batch_kdtree(
+        self, pts: np.ndarray, need: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-class branch-and-bound radii (the KD-tree backend)."""
+        q = pts.shape[0]
+        if self._pos_tree is not None:
+            r_pos = self._pos_tree.kth_power_batch(pts, need)
+        else:
+            r_pos = np.full(q, np.inf)
+        if self._neg_tree is not None:
+            r_neg = self._neg_tree.kth_power_batch(pts, need)
+        else:
+            r_neg = np.full(q, np.inf)
         return r_pos, r_neg
 
     # -- classification and margins -------------------------------------
@@ -219,6 +404,78 @@ class QueryEngine:
             margins = r_neg - r_pos
         margins[np.isinf(r_pos) & np.isinf(r_neg)] = 0.0
         return margins
+
+    # -- sharded batches -------------------------------------------------
+
+    def map_shards(
+        self,
+        method: str,
+        points,
+        k: int | None = None,
+        *,
+        workers: int | None = None,
+        min_shard_rows: int = 64,
+    ):
+        """Evaluate a batch method over row shards in a process pool.
+
+        Splits *points* into up to *workers* row shards, evaluates
+        ``getattr(engine, method)`` on each shard in a separate process,
+        and concatenates the results — the output is identical to the
+        direct call.  Worth it for query matrices large enough that the
+        kernel time dominates the cost of shipping the engine to each
+        worker (the engine is pickled without its distance cache).
+
+        Parameters
+        ----------
+        method:
+            one of ``"classify_batch"``, ``"margins_batch"``,
+            ``"radii_batch"``, ``"powers_matrix"``,
+            ``"distances_matrix"``.
+        k:
+            required for the radii-based methods, ignored otherwise.
+        workers:
+            process count (default ``os.cpu_count()``).  ``1`` runs the
+            direct call in this process.
+        min_shard_rows:
+            lower bound on rows per shard; small batches degrade to the
+            direct call rather than paying pool startup.
+        """
+        if method not in _SHARD_METHODS:
+            raise ValidationError(
+                f"method must be one of {'|'.join(_SHARD_METHODS)}, got {method!r}"
+            )
+        needs_k = method in ("classify_batch", "margins_batch", "radii_batch")
+        if needs_k:
+            if k is None:
+                raise ValidationError(f"method {method!r} requires k")
+            self._need(k)  # validate before forking
+        else:
+            k = None
+        pts = self._check_queries(points)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        workers = max(1, int(workers))
+        n_shards = min(workers, max(1, pts.shape[0] // max(1, int(min_shard_rows))))
+        if n_shards <= 1:
+            return _shard_call(self, method, pts, k)
+        shards = np.array_split(pts, n_shards)
+        with ProcessPoolExecutor(max_workers=n_shards) as pool:
+            parts = list(
+                pool.map(
+                    _shard_call,
+                    [self] * n_shards,
+                    [method] * n_shards,
+                    shards,
+                    [k] * n_shards,
+                )
+            )
+        if method == "radii_batch":
+            r_pos = np.concatenate([p[0] for p in parts])
+            r_neg = np.concatenate([p[1] for p in parts])
+            return r_pos, r_neg
+        if method in ("powers_matrix", "distances_matrix"):
+            return np.vstack(parts)
+        return np.concatenate(parts)
 
     # -- neighbors -------------------------------------------------------
 
@@ -254,6 +511,20 @@ class QueryEngine:
         self._hits = 0
         self._misses = 0
 
+    # -- pickling (process-pool sharding) --------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle without the distance cache (workers never share it)."""
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        state["_hits"] = 0
+        state["_misses"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._all.setflags(write=False)
+
     # -- validation helpers ----------------------------------------------
 
     def _need(self, k: int) -> int:
@@ -279,17 +550,22 @@ class QueryEngine:
         return pts
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"QueryEngine(metric={self.metric.name}, {self.dataset!r})"
+        return (
+            f"QueryEngine(metric={self.metric.name}, backend={self.backend}, "
+            f"{self.dataset!r})"
+        )
 
 
-def as_engine(dataset: Dataset, metric, engine: QueryEngine | None) -> QueryEngine:
+def as_engine(
+    dataset: Dataset, metric, engine: QueryEngine | None, *, backend: str = "auto"
+) -> QueryEngine:
     """Resolve the optional ``engine=`` argument of the pipeline entry points.
 
     Returns *engine* after checking it serves the same dataset and
-    metric; builds a fresh one when None.
+    metric; builds a fresh one (with the requested *backend*) when None.
     """
     if engine is None:
-        return QueryEngine(dataset, metric)
+        return QueryEngine(dataset, metric, backend=backend)
     if not isinstance(engine, QueryEngine):
         raise ValidationError("engine must be a repro.knn.QueryEngine")
     if engine.dataset is not dataset:

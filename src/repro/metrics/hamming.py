@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import Metric
+from .base import _BLOCK_ELEMENTS, Metric
 
 
 class HammingMetric(Metric):
@@ -27,15 +27,38 @@ class HammingMetric(Metric):
         # an exactly representable integer, so this matches the
         # difference-based kernel bit for bit.  Non-Boolean inputs (the
         # metric is occasionally applied to unvalidated queries) fall
-        # back to broadcasting the difference tensor.
-        if _is_boolean(block) and _is_boolean(points):
+        # back to broadcasting the difference tensor, in sub-blocks that
+        # respect the memory cap the Gram row cost does not account for.
+        if is_binary(block) and is_binary(points):
             return (
                 block.sum(axis=1)[:, None]
                 + points.sum(axis=1)[None, :]
                 - 2.0 * (block @ points.T)
             )
-        return np.abs(block[:, None, :] - points[None, :, :]).sum(axis=2)
+        out = np.empty((block.shape[0], points.shape[0]))
+        rows = max(1, _BLOCK_ELEMENTS // max(1, points.shape[0] * points.shape[1]))
+        for start in range(0, block.shape[0], rows):
+            rows_slice = slice(start, min(start + rows, block.shape[0]))
+            out[rows_slice] = np.abs(
+                block[rows_slice, None, :] - points[None, :, :]
+            ).sum(axis=2)
+        return out
+
+    def _block_row_cost(self, m: int, n: int) -> int:
+        # The Boolean Gram kernel only materializes (rows, m) matrices;
+        # the non-Boolean fallback sub-blocks its difference tensor
+        # itself, so the row cost here reflects the common binary case.
+        return m
 
 
-def _is_boolean(values: np.ndarray) -> bool:
+def is_binary(values: np.ndarray) -> bool:
+    """True when every entry of *values* is exactly 0.0 or 1.0.
+
+    The bit-packed index layer and the Gram kernel above are only exact
+    (and only applicable) on such inputs.
+    """
     return bool(np.all((values == 0.0) | (values == 1.0)))
+
+
+# Backward-compatible private alias (pre-backend-layer name).
+_is_boolean = is_binary

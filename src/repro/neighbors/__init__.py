@@ -1,14 +1,21 @@
-"""Nearest-neighbor search substrate.
+"""Nearest-neighbor search substrate: the engine's index layer.
 
 The paper's experiments rely on a fast NN library (FAISS) for the inner
 loop of the Proposition 4 minimal-sufficient-reason algorithm.  This
-package provides the offline equivalents:
+package provides the offline equivalents, and since the backend-pluggable
+:class:`~repro.knn.QueryEngine` it is no longer standalone ablation code:
+the engine routes its batch primitives through these indexes (selected by
+``backend=`` or the :func:`build_index` auto rule).
 
-* :class:`BruteForceIndex` — vectorized exact search, any metric;
+* :class:`BruteForceIndex` — vectorized exact search, any metric (the
+  engine's ``"dense"`` backend);
 * :class:`KDTreeIndex` — a from-scratch KD-tree, exact for lp metrics
-  (and Hamming, which embeds into l1 on the hypercube).
+  (and Hamming, which embeds into l1 on the hypercube);
+* :class:`BitPackedHammingIndex` — packed-word popcount search over
+  {0,1}^n, bit-identical to the dense Hamming kernel and several times
+  faster (the FAISS-style binary index).
 
-Both share the :class:`NNIndex` interface: ``query(x, k)`` returns the
+All share the :class:`NNIndex` interface: ``query(x, k)`` returns the
 ``k`` smallest distances and their point indices, with deterministic
 index-order tie-breaking so results are reproducible across backends.
 """
@@ -16,7 +23,14 @@ index-order tie-breaking so results are reproducible across backends.
 from __future__ import annotations
 
 from .base import NNIndex, build_index
+from .bitpack import BitPackedHammingIndex
 from .brute import BruteForceIndex
 from .kdtree import KDTreeIndex
 
-__all__ = ["NNIndex", "BruteForceIndex", "KDTreeIndex", "build_index"]
+__all__ = [
+    "NNIndex",
+    "BruteForceIndex",
+    "KDTreeIndex",
+    "BitPackedHammingIndex",
+    "build_index",
+]

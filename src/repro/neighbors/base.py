@@ -54,24 +54,42 @@ class NNIndex(abc.ABC):
 
 
 def build_index(points, metric="l2", *, prefer: str = "auto") -> NNIndex:
-    """Pick a backend for the given workload.
+    """Pick an index backend for the given workload.
 
-    ``prefer`` may be ``"brute"``, ``"kdtree"`` or ``"auto"``.  The
-    automatic rule uses the KD-tree only in low dimensions, where its
-    pruning wins; in high dimensions (the paper's regime of hundreds of
-    features) brute force is faster — the classic curse-of-dimensionality
-    behavior, measured in ``benchmarks/bench_ablation_nn_index.py``.
+    ``prefer`` may be ``"auto"``, ``"brute"`` (alias ``"dense"``),
+    ``"kdtree"`` or ``"bitpack"``.  The automatic rule mirrors the
+    FAISS remark in the paper's experimental section: the bit-packed
+    popcount index for binary data under Hamming, the KD-tree only in
+    low dimensions where its pruning wins, and vectorized brute force
+    otherwise — in high dimensions (the paper's regime of hundreds of
+    features) space-partitioning degenerates to a linear scan with
+    extra overhead, the classic curse-of-dimensionality behavior
+    measured in ``benchmarks/bench_ablation_nn_index.py``.
     """
+    from .bitpack import HAVE_BITWISE_COUNT, BitPackedHammingIndex
     from .brute import BruteForceIndex
     from .kdtree import KDTreeIndex
 
-    if prefer == "brute":
+    if prefer in ("brute", "dense"):
         return BruteForceIndex(points, metric)
     if prefer == "kdtree":
         return KDTreeIndex(points, metric)
+    if prefer == "bitpack":
+        return BitPackedHammingIndex(points, metric)
     if prefer != "auto":
-        raise ValidationError(f"prefer must be 'auto', 'brute' or 'kdtree', got {prefer!r}")
+        raise ValidationError(
+            f"prefer must be 'auto', 'brute'/'dense', 'kdtree' or 'bitpack', got {prefer!r}"
+        )
     pts = as_matrix(points, name="points")
+    from ..metrics import HammingMetric
+    from ..metrics.hamming import is_binary
+
+    if (
+        HAVE_BITWISE_COUNT
+        and isinstance(get_metric(metric), HammingMetric)
+        and is_binary(pts)
+    ):
+        return BitPackedHammingIndex(pts, metric)
     if pts.shape[1] <= 8 and pts.shape[0] >= 64:
         return KDTreeIndex(pts, metric)
     return BruteForceIndex(pts, metric)

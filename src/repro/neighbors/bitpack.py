@@ -1,0 +1,142 @@
+"""Bit-packed Hamming nearest-neighbor index (popcount on uint64 words).
+
+The paper credits "a library for fast NN-classification such as FAISS"
+for the performance of its minimal-SR pipeline; FAISS's binary indexes
+store vectors as packed bit strings and compute Hamming distances with
+XOR + popcount.  :class:`BitPackedHammingIndex` is the offline
+equivalent: points over {0,1}^n are packed with :func:`np.packbits`
+into 64-bit words (a 64x size reduction over float64 rows), and a
+query/point distance block is ``popcount(q XOR p)`` accumulated over
+the words of each row.
+
+Every count is an exact small integer, so the index is bit-identical
+to the dense Gram-expansion kernel of
+:class:`~repro.metrics.HammingMetric` — the exactness contract the
+:class:`~repro.knn.QueryEngine` backend layer relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..metrics import HammingMetric
+from ..metrics.hamming import is_binary
+from .base import NNIndex
+
+#: query rows per kernel block: keeps the (rows, size) XOR slab and its
+#: popcount accumulator cache-resident (measured fastest around 32 rows
+#: on a 5000x128 workload; see ``benchmarks/bench_ablation_nn_index.py``).
+_QUERY_BLOCK_ROWS = 32
+
+#: the vectorized popcount ufunc arrived in numpy 2.0; older numpys fall
+#: back to the dense Gram kernel (the engine's auto rule checks this).
+HAVE_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def pack_binary_rows(points: np.ndarray) -> np.ndarray:
+    """Pack a (rows, n) binary matrix into a word-major (W, rows) uint64 array.
+
+    ``W = ceil(n / 64)``; trailing pad bits are zero in every row, so they
+    never contribute to an XOR popcount.  The word-major layout makes the
+    per-word broadcast against a query column read each point word
+    contiguously.
+    """
+    bits = np.packbits(points.astype(np.uint8), axis=1)
+    pad = (-bits.shape[1]) % 8
+    if pad:
+        bits = np.hstack([bits, np.zeros((bits.shape[0], pad), dtype=np.uint8)])
+    words = np.ascontiguousarray(bits).view(np.uint64)
+    return np.ascontiguousarray(words.T)
+
+
+def _count_dtype(dimension: int) -> type:
+    """Smallest unsigned dtype that can hold a Hamming distance <= n."""
+    if dimension <= np.iinfo(np.uint8).max:
+        return np.uint8
+    if dimension <= np.iinfo(np.uint16).max:
+        return np.uint16
+    return np.uint32
+
+
+class BitPackedHammingIndex(NNIndex):
+    """Exact Hamming k-NN over {0,1}^n via packed words and popcount.
+
+    Only accepts the Hamming metric and strictly binary points; queries
+    must be binary as well (checked per call).  Distances returned by
+    :meth:`query` are integral floats, matching
+    :meth:`HammingMetric.distances_to` bit for bit.
+    """
+
+    def __init__(self, points, metric="hamming"):
+        super().__init__(points, metric)
+        if not HAVE_BITWISE_COUNT:  # pragma: no cover - numpy >= 2 in CI
+            raise ValidationError(
+                "BitPackedHammingIndex requires numpy >= 2.0 (np.bitwise_count)"
+            )
+        if not isinstance(self.metric, HammingMetric):
+            raise ValidationError(
+                f"BitPackedHammingIndex requires the Hamming metric, got {self.metric.name}"
+            )
+        if not is_binary(self.points):
+            raise ValidationError(
+                "BitPackedHammingIndex requires strictly binary (0/1) points"
+            )
+        self._words = pack_binary_rows(self.points)  # (W, size), word-major
+        self._acc_dtype = _count_dtype(self.dimension)
+
+    # -- kernels ---------------------------------------------------------
+
+    def _counts_block(self, query_words: np.ndarray) -> np.ndarray:
+        """(rows, size) Hamming counts for one word-major query block."""
+        rows = query_words.shape[1]
+        counts = np.bitwise_count(query_words[0][:, None] ^ self._words[0][None, :])
+        if counts.dtype != self._acc_dtype:
+            counts = counts.astype(self._acc_dtype)
+        if self._words.shape[0] > 1:
+            xor = np.empty((rows, self.size), dtype=np.uint64)
+            for w in range(1, self._words.shape[0]):
+                np.bitwise_xor(query_words[w][:, None], self._words[w][None, :], out=xor)
+                np.add(counts, np.bitwise_count(xor), out=counts, casting="unsafe")
+        return counts
+
+    def counts_matrix(self, queries) -> np.ndarray:
+        """Full (q, size) integer Hamming-distance matrix, blocked.
+
+        The dtype is the smallest unsigned integer that can hold the
+        dimension; callers that need the float64 surrogate-matrix
+        contract should use :meth:`powers_matrix`.
+        """
+        q = self._check_batch(queries)
+        out = np.empty((q.shape[0], self.size), dtype=self._acc_dtype)
+        for start in range(0, q.shape[0], _QUERY_BLOCK_ROWS):
+            block = slice(start, min(start + _QUERY_BLOCK_ROWS, q.shape[0]))
+            out[block] = self._counts_block(pack_binary_rows(q[block]))
+        return out
+
+    def powers_matrix(self, queries) -> np.ndarray:
+        """(q, size) float64 surrogate matrix — bit-identical to the dense
+        :meth:`~repro.metrics.Metric.powers_matrix` Hamming kernel."""
+        return self.counts_matrix(queries).astype(np.float64)
+
+    # -- NNIndex interface ----------------------------------------------
+
+    def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        xv, k = self._check_query(x, k)
+        d = self.counts_matrix(xv.reshape(1, -1))[0]
+        order = np.argsort(d, kind="stable")[:k]
+        return d[order].astype(np.float64), order
+
+    # -- validation ------------------------------------------------------
+
+    def _check_batch(self, queries) -> np.ndarray:
+        q = np.asarray(queries, dtype=np.float64)
+        if q.ndim != 2 or q.shape[1] != self.dimension:
+            raise ValidationError(
+                f"queries must be a (rows, {self.dimension}) matrix, got shape {q.shape}"
+            )
+        if not is_binary(q):
+            raise ValidationError(
+                "BitPackedHammingIndex queries must be strictly binary (0/1)"
+            )
+        return q

@@ -130,3 +130,47 @@ class KDTreeIndex(NNIndex):
         indices = np.array([i for _, i in ordered], dtype=np.int64)
         distances = self.metric.distances_to(self.points[indices], xv)
         return distances, indices
+
+    # -- surrogate queries (the QueryEngine backend entry point) ---------
+
+    def kth_power(self, x, k: int) -> float:
+        """Surrogate (power) distance of the k-th nearest point to *x*.
+
+        Runs the same branch-and-bound as :meth:`query` but only tracks
+        the k best surrogate values, skipping index bookkeeping and the
+        final power-to-distance conversion — exactly what the radii of
+        Proposition 1 need.  Returns ``+inf`` when ``k > size``.
+        """
+        xv, _ = self._check_query(x, min(int(k), self.size))
+        k = int(k)
+        if k > self.size:
+            return float(np.inf)
+        # Max-heap via negation: best[0] is the current k-th best power.
+        best: list[float] = []
+
+        def visit(node: _Node):
+            bound = -best[0] if len(best) == k else np.inf
+            if self._box_gap_power(node, xv) > bound:
+                return
+            if node.is_leaf:
+                for dist in self.metric.powers_to(self.points[node.indices], xv):
+                    item = -float(dist)
+                    if len(best) < k:
+                        heapq.heappush(best, item)
+                    elif item > best[0]:
+                        heapq.heapreplace(best, item)
+                return
+            if xv[node.axis] <= node.threshold:
+                near, far = node.left, node.right
+            else:
+                near, far = node.right, node.left
+            visit(near)
+            visit(far)
+
+        visit(self._root)
+        return -best[0]
+
+    def kth_power_batch(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """Row-wise :meth:`kth_power` over a query matrix."""
+        queries = np.asarray(queries, dtype=np.float64)
+        return np.array([self.kth_power(x, k) for x in queries])

@@ -264,7 +264,8 @@ class SATSolver:
                 return clause
             # Guard unassigned: the constraint forces the guard off.
             reason = [-c.guard] + falsified
-            if not self._enqueue(-c.guard, reason):  # pragma: no cover - guard was checked unassigned
+            if not self._enqueue(-c.guard, reason):  # pragma: no cover
+                # (unreachable: the guard was checked unassigned)
                 return reason
             return None
         if slack == 0 and guard_value == _TRUE:

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import json
+import pickle
+
 import pytest
 
 from repro.cli import main
 from repro.complexity import ENTRIES, Problem, Space, lookup, render_table
-from repro.experiments.figures import ALL_FIGURES, figure5_workload, figure6_workload
+from repro.experiments import bench
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureSweepTask,
+    figure5_workload,
+    figure6_workload,
+)
 from repro.experiments.runner import SweepResult, run_sweep, time_callable
 from repro.experiments.tables import render_results_table, render_table1
 
@@ -91,6 +100,72 @@ class TestFigureWorkloads:
             figure6_workload(rng, 6, 8, task_kind="nope")
 
 
+class TestFigureSweepTask:
+    def test_picklable_and_deterministic(self):
+        task_factory = FigureSweepTask("fig6a", seed=5)
+        clone = pickle.loads(pickle.dumps(task_factory))
+        assert (clone.figure_id, clone.seed) == ("fig6a", 5)
+        task = clone({"n": 6, "N": 16})
+        assert callable(task)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            FigureSweepTask("fig9z")
+
+    def test_parallel_sweep_over_figure_grid(self):
+        grid = [{"n": 6, "N": 16}, {"n": 6, "N": 24}]
+        result = run_sweep(
+            "fig6a-slice", grid, FigureSweepTask("fig6a", seed=1),
+            repeats=1, workers=2,
+        )
+        assert [row["N"] for row in result.rows] == [16, 24]
+
+
+class TestBenchHarness:
+    def test_compare_gates_only_headline(self):
+        baseline = {"workloads": {bench.HEADLINE: {"speedup": 10.0}}}
+        ok = {"workloads": {bench.HEADLINE: {"speedup": 8.0}}}
+        bad = {"workloads": {bench.HEADLINE: {"speedup": 7.0}}}
+        assert bench.compare(ok, baseline, max_regression=0.25) == []
+        failures = bench.compare(bad, baseline, max_regression=0.25)
+        assert len(failures) == 1 and "regressed" in failures[0]
+
+    def test_compare_missing_headline(self):
+        assert bench.compare({}, {"workloads": {}})
+        assert bench.compare(
+            {"workloads": {}}, {"workloads": {bench.HEADLINE: {"speedup": 1.0}}}
+        )
+
+    def test_gated_best_retries_until_pass(self):
+        speedups = iter([1.0, 2.0, 9.0, 9.0])
+
+        def fake_measure(seed, repeats):
+            return {"speedup": next(speedups)}
+
+        stats = bench.gated_best(fake_measure, threshold=1.5, attempts=4)
+        assert stats["speedup"] == 2.0
+        assert stats["attempts"] == 2
+
+    def test_gated_best_keeps_best_failure(self):
+        speedups = iter([3.0, 1.0, 2.0])
+
+        def fake_measure(seed, repeats):
+            return {"speedup": next(speedups)}
+
+        stats = bench.gated_best(fake_measure, threshold=100.0, attempts=3)
+        assert stats["speedup"] == 3.0
+        assert stats["attempts"] == 3
+
+    def test_collect_subset_and_render(self):
+        payload = bench.collect(repeats=1, workloads=["kdtree_lowdim"])
+        assert payload["schema"] == bench.BENCH_SCHEMA
+        assert set(payload["workloads"]) == {"kdtree_lowdim"}
+        report = bench.render_report(payload)
+        assert "kdtree_lowdim" in report
+        with pytest.raises(ValueError):
+            bench.collect(workloads=["nope"])
+
+
 class TestCLI:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
@@ -106,9 +181,53 @@ class TestCLI:
     def test_figure_unknown(self, capsys):
         assert main(["figure", "fig9z"]) == 2
 
-    def test_figure_tiny_run(self, capsys):
+    def test_figure_tiny_run(self, capsys, tmp_path):
         # Shrink the grid by monkey-free means: run the smallest figure with
         # one repeat; fig6a's smallest cells are fast enough for a test.
-        assert main(["figure", "fig6a", "--repeats", "1", "--seed", "1"]) == 0
+        json_path = tmp_path / "BENCH_fig6a.json"
+        assert main(
+            ["figure", "fig6a", "--repeats", "1", "--seed", "1", "--json", str(json_path)]
+        ) == 0
         out = capsys.readouterr().out
         assert "fig6a" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["rows"] and "median" in payload["rows"][0]
+
+    def test_explain_backend_flag(self, capsys):
+        assert main(
+            ["explain", "--dimension", "6", "--size", "12", "--seed", "3",
+             "--backend", "bitpack"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine backend: bitpack" in out
+
+    def test_bench_json_no_baseline(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_pr.json"
+        assert main(
+            ["bench", "--workloads", "kdtree_lowdim", "--repeats", "1",
+             "--json", str(json_path)]
+        ) == 0
+        payload = json.loads(json_path.read_text())
+        assert "kdtree_lowdim" in payload["workloads"]
+
+    def test_bench_regression_gate_fails(self, capsys, tmp_path):
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        baseline_path.write_text(
+            json.dumps({"workloads": {bench.HEADLINE: {"speedup": 10_000.0}}})
+        )
+        code = main(
+            ["bench", "--workloads", "engine_batch", "--repeats", "1",
+             "--baseline", str(baseline_path)]
+        )
+        assert code == 1
+
+    def test_bench_regression_gate_passes(self, capsys, tmp_path):
+        baseline_path = tmp_path / "BENCH_baseline.json"
+        baseline_path.write_text(
+            json.dumps({"workloads": {bench.HEADLINE: {"speedup": 0.001}}})
+        )
+        assert main(
+            ["bench", "--workloads", "engine_batch", "--repeats", "1",
+             "--baseline", str(baseline_path)]
+        ) == 0
+        assert "regression gate passed" in capsys.readouterr().out

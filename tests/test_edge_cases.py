@@ -50,8 +50,10 @@ class TestMILPEdges:
         # A knapsack-style instance with an intentionally tiny node budget.
         m = MILPModel()
         xs = [m.add_binary() for _ in range(12)]
-        m.add_constraint({x: w for x, w in zip(xs, [3, 5, 7, 9, 11, 13, 2, 4, 6, 8, 10, 12])}, "<=", 30)
-        m.set_objective({x: v for x, v in zip(xs, [4, 6, 8, 9, 12, 13, 3, 5, 7, 8, 11, 13])}, maximize=True)
+        weights = [3, 5, 7, 9, 11, 13, 2, 4, 6, 8, 10, 12]
+        m.add_constraint({x: w for x, w in zip(xs, weights)}, "<=", 30)
+        values = [4, 6, 8, 9, 12, 13, 3, 5, 7, 8, 11, 13]
+        m.set_objective({x: v for x, v in zip(xs, values)}, maximize=True)
         with pytest.raises(ResourceLimitError):
             m.solve(engine="bnb", node_limit=1)
 

@@ -1,4 +1,4 @@
-"""Tests for the NN-index substrate (brute force and KD-tree)."""
+"""Tests for the NN-index substrate (brute force, KD-tree, bit-packed)."""
 
 from __future__ import annotations
 
@@ -8,14 +8,21 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ValidationError
-from repro.neighbors import BruteForceIndex, KDTreeIndex, build_index
+from repro.neighbors import (
+    BitPackedHammingIndex,
+    BruteForceIndex,
+    KDTreeIndex,
+    build_index,
+)
 
 
 def reference_query(points, metric, x, k):
     """Straight-line oracle: full sort by (distance, index)."""
     from repro.metrics import get_metric
 
-    d = get_metric(metric).distances_to(np.asarray(points, dtype=float), np.asarray(x, dtype=float))
+    d = get_metric(metric).distances_to(
+        np.asarray(points, dtype=float), np.asarray(x, dtype=float)
+    )
     order = np.argsort(d, kind="stable")[:k]
     return d[order], order
 
@@ -108,13 +115,72 @@ class TestKDTree:
         np.testing.assert_allclose(dt, dr, rtol=1e-10)
 
 
+class TestBitPacked:
+    @given(seed=st.integers(0, 100_000), m=st.integers(1, 80), n=st.integers(1, 70))
+    @settings(max_examples=40)
+    def test_property_agreement_with_brute(self, seed, m, n):
+        rng = np.random.default_rng(seed)
+        points = rng.integers(0, 2, size=(m, n)).astype(float)
+        x = rng.integers(0, 2, size=n).astype(float)
+        k = int(rng.integers(1, m + 1))
+        packed = BitPackedHammingIndex(points, "hamming")
+        brute = BruteForceIndex(points, "hamming")
+        dp, ip = packed.query(x, k)
+        db, ib = brute.query(x, k)
+        np.testing.assert_array_equal(ip, ib)
+        np.testing.assert_array_equal(dp, db)
+
+    def test_word_boundary_dimensions(self):
+        # 64 and 65 columns straddle a uint64 word; pad bits must not
+        # contribute to any distance.
+        for n in (1, 8, 63, 64, 65, 128):
+            rng = np.random.default_rng(n)
+            points = rng.integers(0, 2, size=(40, n)).astype(float)
+            queries = rng.integers(0, 2, size=(10, n)).astype(float)
+            packed = BitPackedHammingIndex(points, "hamming")
+            expected = np.stack(
+                [np.abs(points - q).sum(axis=1) for q in queries]
+            )
+            np.testing.assert_array_equal(packed.powers_matrix(queries), expected)
+
+    def test_ties_break_by_index(self):
+        points = np.array([[0.0, 1.0], [1.0, 0.0], [0.0, 1.0]])
+        packed = BitPackedHammingIndex(points, "hamming")
+        _, order = packed.query([0.0, 0.0], k=3)
+        np.testing.assert_array_equal(order, [0, 1, 2])
+
+    def test_rejects_non_hamming_metric(self, rng):
+        points = rng.integers(0, 2, size=(5, 4)).astype(float)
+        with pytest.raises(ValidationError):
+            BitPackedHammingIndex(points, "l2")
+
+    def test_rejects_non_binary_points(self):
+        with pytest.raises(ValidationError):
+            BitPackedHammingIndex([[0.0, 2.0]], "hamming")
+
+    def test_rejects_non_binary_queries(self, rng):
+        points = rng.integers(0, 2, size=(5, 4)).astype(float)
+        packed = BitPackedHammingIndex(points, "hamming")
+        with pytest.raises(ValidationError):
+            packed.query([0.5, 0.0, 1.0, 0.0], k=1)
+        with pytest.raises(ValidationError):
+            packed.counts_matrix([[0.0, 2.0, 1.0, 0.0]])
+
+
 class TestBuildIndex:
     def test_prefer_overrides(self, rng):
         pts = rng.normal(size=(10, 2))
         assert isinstance(build_index(pts, prefer="brute"), BruteForceIndex)
+        assert isinstance(build_index(pts, prefer="dense"), BruteForceIndex)
         assert isinstance(build_index(pts, prefer="kdtree"), KDTreeIndex)
         with pytest.raises(ValidationError):
             build_index(pts, prefer="faiss")
+
+    def test_prefer_bitpack(self, rng):
+        pts = rng.integers(0, 2, size=(10, 6)).astype(float)
+        assert isinstance(
+            build_index(pts, "hamming", prefer="bitpack"), BitPackedHammingIndex
+        )
 
     def test_auto_low_dim_uses_tree(self, rng):
         pts = rng.normal(size=(200, 2))
@@ -123,3 +189,34 @@ class TestBuildIndex:
     def test_auto_high_dim_uses_brute(self, rng):
         pts = rng.normal(size=(200, 50))
         assert isinstance(build_index(pts), BruteForceIndex)
+
+    def test_auto_binary_hamming_uses_bitpack(self, rng):
+        pts = rng.integers(0, 2, size=(100, 30)).astype(float)
+        assert isinstance(build_index(pts, "hamming"), BitPackedHammingIndex)
+
+    def test_auto_nonbinary_hamming_falls_back(self, rng):
+        pts = rng.integers(0, 3, size=(100, 30)).astype(float)
+        index = build_index(pts, "hamming")
+        assert not isinstance(index, BitPackedHammingIndex)
+
+
+class TestKthPowerBatch:
+    @pytest.mark.parametrize("metric", ["l1", "l2", "linf"])
+    def test_matches_sorted_powers(self, metric, rng):
+        from repro.metrics import get_metric
+
+        points = rng.integers(-3, 4, size=(120, 3)).astype(float)
+        tree = KDTreeIndex(points, metric)
+        queries = rng.integers(-3, 4, size=(15, 3)).astype(float)
+        m = get_metric(metric)
+        for k in (1, 4, 120):
+            got = tree.kth_power_batch(queries, k)
+            expected = np.array(
+                [np.sort(m.powers_to(points, x))[k - 1] for x in queries]
+            )
+            np.testing.assert_array_equal(got, expected)
+
+    def test_k_beyond_size_is_inf(self, rng):
+        points = rng.normal(size=(10, 2))
+        tree = KDTreeIndex(points, "l2")
+        assert np.isinf(tree.kth_power(points[0], 11))

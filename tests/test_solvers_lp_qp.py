@@ -56,7 +56,12 @@ class TestStrictFeasibility:
 
     def test_single_point_not_strictly_feasible(self):
         # x <= 0 and x < 0 is feasible; x >= 0 and x < 0 is not.
-        assert feasible_point_strict(A_ub=[[-1.0]], b_ub=[0.0], A_strict=[[1.0]], b_strict=[0.0]) is None
+        assert (
+            feasible_point_strict(
+                A_ub=[[-1.0]], b_ub=[0.0], A_strict=[[1.0]], b_strict=[0.0]
+            )
+            is None
+        )
         point = feasible_point_strict(A_ub=[[1.0]], b_ub=[0.0], A_strict=[[1.0]], b_strict=[0.0])
         assert point is not None and point[0] < 0
 
