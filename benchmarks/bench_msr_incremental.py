@@ -1,0 +1,111 @@
+"""Acceptance gate: incremental Minimum-SR SAT sweep vs per-bound rebuild.
+
+The seed's SAT Minimum-SR pipeline rebuilt the whole Proposition-6
+encoding and a cold CDCL solver for every probed cardinality bound.
+The incremental pipeline encodes once and sweeps the bound through
+guarded cardinality constraints activated by assumption literals on a
+single solver, keeping learnt clauses and VSIDS/phase state warm across
+bounds.  This gate requires the incremental sweep to be at least
+``MIN_SPEEDUP``x faster on the headline workload (optimum sizes are
+asserted identical inside the measurement before any timing happens).
+
+The measurement core lives in
+:func:`repro.experiments.bench.measure_msr_incremental` — the same
+numbers the ``bench-baseline`` CI job and the nightly trend artifact
+track.  Shared runners are noisy, so the gate takes the best of up to
+``MAX_ATTEMPTS`` full measurements before declaring failure, and
+reports the measured ratio in the GitHub job summary when one is
+available.
+
+Run directly for a quick report::
+
+    PYTHONPATH=src python benchmarks/bench_msr_incremental.py
+
+or through pytest-benchmark for statistics::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_msr_incremental.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.abductive.minimum import _minimum_sat_hamming_k1
+from repro.datasets import random_boolean_dataset
+from repro.experiments.bench import gated_best, measure_msr_incremental
+from repro.knn import QueryEngine
+
+MIN_SPEEDUP = 3.0
+#: full re-measurements allowed before the gate declares failure
+#: (best-of-3 retry, same rationale as the engine-batch gate).
+MAX_ATTEMPTS = 3
+
+
+def gated_speedup(seed: int = 20250601, *, attempts: int = MAX_ATTEMPTS) -> dict:
+    """Best-of-*attempts* measurement against the 3x gate."""
+    return gated_best(
+        measure_msr_incremental, threshold=MIN_SPEEDUP, attempts=attempts, seed=seed
+    )
+
+
+def _write_job_summary(stats: dict) -> None:
+    """Append the measured ratio to the GitHub job summary, if present."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    verdict = "pass" if stats["speedup"] >= MIN_SPEEDUP else "FAIL"
+    with open(summary_path, "a") as handle:
+        handle.write(
+            f"### Incremental Minimum-SR speedup gate: {verdict}\n\n"
+            f"measured **{stats['speedup']:.1f}x** (required {MIN_SPEEDUP:.0f}x, "
+            f"best of {stats['attempts']} attempt(s); rebuild "
+            f"{stats['rebuild_s'] * 1000:.1f} ms, incremental "
+            f"{stats['incremental_s'] * 1000:.1f} ms)\n"
+        )
+
+
+def test_msr_incremental_speedup(benchmark, rng):
+    """pytest-benchmark entry: incremental sweep timing + the >= 3x gate."""
+    data = random_boolean_dataset(rng, 13, 24)
+    x = rng.integers(0, 2, size=13).astype(float)
+    engine = QueryEngine(data, "hamming")
+    benchmark.pedantic(
+        lambda: _minimum_sat_hamming_k1(data, x, engine, strategy="linear"),
+        rounds=2, iterations=1, warmup_rounds=0,
+    )
+    stats = gated_speedup()
+    assert stats["speedup"] >= MIN_SPEEDUP, (
+        f"the incremental Minimum-SR sweep is only {stats['speedup']:.1f}x faster "
+        f"than the per-bound rebuild after {stats['attempts']} attempts "
+        f"(required: {MIN_SPEEDUP:.0f}x)"
+    )
+
+
+def test_msr_incremental_matches_rebuild(rng):
+    data = random_boolean_dataset(rng, 11, 20)
+    engine = QueryEngine(data, "hamming")
+    for _ in range(3):
+        x = rng.integers(0, 2, size=11).astype(float)
+        inc = _minimum_sat_hamming_k1(data, x, engine, incremental=True)
+        reb = _minimum_sat_hamming_k1(data, x, engine, incremental=False)
+        assert inc.size == reb.size
+
+
+if __name__ == "__main__":
+    import sys
+
+    stats = gated_speedup()
+    _write_job_summary(stats)
+    print(
+        f"Minimum-SR SAT sweep on {stats['queries']} queries x "
+        f"{stats['train']} train points x {stats['dim']} dims (hamming, k=1):\n"
+        f"  rebuild per bound : {stats['rebuild_s'] * 1000:9.1f} ms\n"
+        f"  incremental       : {stats['incremental_s'] * 1000:9.1f} ms\n"
+        f"  speedup           : {stats['speedup']:9.1f}x "
+        f"(best of {stats['attempts']} attempt(s))"
+    )
+    if stats["speedup"] < MIN_SPEEDUP:
+        sys.exit(
+            f"FAIL: speedup {stats['speedup']:.1f}x is below the "
+            f"{MIN_SPEEDUP:.0f}x acceptance gate after {stats['attempts']} attempts"
+        )

@@ -67,6 +67,12 @@ from .metrics import (
     Metric,
     get_metric,
 )
+from .portfolio import (
+    PortfolioAttempt,
+    PortfolioResult,
+    portfolio_closest_counterfactual,
+    portfolio_minimum_sufficient_reason,
+)
 
 __version__ = "1.0.0"
 
@@ -89,6 +95,11 @@ __all__ = [
     "CounterfactualResult",
     "closest_counterfactual",
     "exists_counterfactual",
+    # solver portfolio
+    "PortfolioAttempt",
+    "PortfolioResult",
+    "portfolio_minimum_sufficient_reason",
+    "portfolio_closest_counterfactual",
     # metrics
     "Metric",
     "LpMetric",

@@ -1,0 +1,34 @@
+"""Wall-clock budget bookkeeping shared by the budgeted pipelines.
+
+The solver portfolio (:mod:`repro.portfolio`) and the ``time_limit``
+arguments of the hard-instance pipelines all follow the same contract:
+a budget is converted to an absolute deadline once at entry, every
+checkpoint asks how much is left, and an exhausted budget surfaces as
+:class:`~repro.exceptions.ResourceLimitError` — the signal the
+portfolio racer catches to move on to the next method.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .exceptions import ResourceLimitError
+
+
+def start_deadline(time_limit: float | None) -> float | None:
+    """Absolute ``perf_counter`` deadline for *time_limit* seconds (None = no cap)."""
+    return None if time_limit is None else time.perf_counter() + float(time_limit)
+
+
+def remaining_budget(deadline: float | None, what: str) -> float | None:
+    """Seconds left before *deadline*; raises once the budget is spent.
+
+    Returns None for the uncapped case so callers can pass the result
+    straight through as a nested ``time_limit``.
+    """
+    if deadline is None:
+        return None
+    left = deadline - time.perf_counter()
+    if left <= 0:
+        raise ResourceLimitError(f"{what} exceeded its time budget")
+    return left

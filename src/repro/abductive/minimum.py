@@ -15,7 +15,17 @@ provided:
   are linear in the ``s_i``.
 * ``sat`` — same characterization, encoded with guarded cardinality
   constraints and minimized by bound search (a new pipeline in the
-  spirit of the paper's Section 9.2 encoding).
+  spirit of the paper's Section 9.2 encoding).  By default the sweep is
+  *incremental*: the characterization is encoded once, each cardinality
+  bound becomes a guarded constraint, and the bound search passes guard
+  literals as assumptions to one shared CDCL solver
+  (``sat_incremental=False`` restores the rebuild-per-bound behaviour —
+  kept as the baseline of the ``msr_incremental`` benchmark headline).
+
+A fourth ``method="portfolio"`` routes the call through
+:mod:`repro.portfolio`: every applicable exact pipeline runs under a
+per-method time budget and the Proposition-2 greedy supplies an anytime
+answer if all of them run out.
 
 The MILP/SAT encodings exploit that for k = 1 and a projection
 candidate ``o_X`` the distances satisfy
@@ -34,13 +44,14 @@ from itertools import combinations
 
 import numpy as np
 
+from .._budget import remaining_budget, start_deadline
 from .._validation import as_vector, check_odd_k
 from ..exceptions import UnsupportedSettingError, ValidationError
 from ..knn import Dataset, QueryEngine
 from ..knn.engine import as_engine
 from ..metrics import get_metric
 from ..solvers.milp import MILPModel
-from ..solvers.sat import CNFBuilder, minimize_bound
+from ..solvers.sat import CNFBuilder, minimize_bound, minimize_bound_assumptions
 from .check import check_sufficient_reason
 
 
@@ -62,12 +73,22 @@ def minimum_sufficient_reason(
     method: str = "auto",
     max_brute_dimension: int = 18,
     engine: QueryEngine | None = None,
+    time_limit: float | None = None,
+    sat_incremental: bool = True,
 ) -> MinimumSRResult:
     """Compute a sufficient reason of minimum cardinality.
 
     ``method``: ``"auto"`` (MILP for the discrete k=1 cell, brute force
-    elsewhere), ``"milp"``, ``"sat"``, or ``"brute"``.  ``engine``
+    elsewhere), ``"milp"``, ``"sat"``, ``"brute"``, or ``"portfolio"``
+    (every applicable pipeline raced under per-method budgets via
+    :mod:`repro.portfolio`; returns the winner's answer — call the
+    portfolio module directly for the provenance record).  ``engine``
     optionally shares a :class:`~repro.knn.QueryEngine` across calls.
+    ``time_limit`` (seconds, best-effort) aborts a single-method run
+    with :class:`~repro.exceptions.ResourceLimitError`; for
+    ``"portfolio"`` it is the per-method budget.  ``sat_incremental``
+    selects the assumption-based incremental sweep (default) or the
+    legacy rebuild-per-bound SAT search.
     """
     k = check_odd_k(k)
     metric = get_metric(metric)
@@ -77,10 +98,21 @@ def minimum_sufficient_reason(
             f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
         )
     engine = as_engine(dataset, metric, engine)
+    if method == "portfolio":
+        from ..portfolio import portfolio_minimum_sufficient_reason
+
+        return portfolio_minimum_sufficient_reason(
+            dataset, k, metric, xv,
+            budget=time_limit, engine=engine,
+            max_brute_dimension=max_brute_dimension,
+        ).answer
     if method == "auto":
         method = "milp" if (metric.name == "hamming" and k == 1) else "brute"
     if method == "brute":
-        return _minimum_brute(dataset, k, metric, xv, max_brute_dimension, engine)
+        return _minimum_brute(
+            dataset, k, metric, xv, max_brute_dimension, engine,
+            time_limit=time_limit,
+        )
     if method in ("milp", "sat"):
         if metric.name != "hamming" or k != 1:
             raise UnsupportedSettingError(
@@ -88,8 +120,10 @@ def minimum_sufficient_reason(
                 f"with k=1; got metric={metric.name}, k={k}"
             )
         if method == "milp":
-            return _minimum_milp_hamming_k1(dataset, xv, engine)
-        return _minimum_sat_hamming_k1(dataset, xv, engine)
+            return _minimum_milp_hamming_k1(dataset, xv, engine, time_limit=time_limit)
+        return _minimum_sat_hamming_k1(
+            dataset, xv, engine, incremental=sat_incremental, time_limit=time_limit
+        )
     raise ValidationError(f"unknown method {method!r}")
 
 
@@ -100,7 +134,7 @@ def minimum_sufficient_reason(
 
 def _minimum_brute(
     dataset: Dataset, k: int, metric, x: np.ndarray, max_dimension: int,
-    engine: QueryEngine,
+    engine: QueryEngine, *, time_limit: float | None = None,
 ) -> MinimumSRResult:
     n = dataset.dimension
     if n > max_dimension:
@@ -108,8 +142,10 @@ def _minimum_brute(
             f"brute-force Minimum-SR over {n} components would enumerate "
             f"2^{n} subsets; use the milp/sat pipeline or reduce n"
         )
+    deadline = start_deadline(time_limit)
     for size in range(n + 1):
         for X in combinations(range(n), size):
+            remaining_budget(deadline, "brute-force Minimum-SR")
             if check_sufficient_reason(dataset, k, metric, x, X, engine=engine):
                 return MinimumSRResult(frozenset(X), size, "brute")
     raise AssertionError("the full component set is always sufficient")  # pragma: no cover
@@ -158,7 +194,8 @@ def _distance_coefficients(x, o, z):
 
 
 def _minimum_milp_hamming_k1(
-    dataset: Dataset, x: np.ndarray, engine: QueryEngine
+    dataset: Dataset, x: np.ndarray, engine: QueryEngine,
+    *, time_limit: float | None = None,
 ) -> MinimumSRResult:
     label, sources, winners, rivals, margin = _projection_facts(dataset, x, engine)
     n = dataset.dimension
@@ -184,7 +221,7 @@ def _minimum_milp_hamming_k1(
                     coeffs, "<=", big_m - margin - (const_w - const_r)
                 )
     model.set_objective({s: 1 for s in keep})
-    result = model.solve(engine="scipy")
+    result = model.solve(engine="scipy", time_limit=time_limit)
     if not result.optimal:  # pragma: no cover - full set is always feasible
         raise UnsupportedSettingError("minimum-SR MILP unexpectedly infeasible")
     X = frozenset(i for i in range(n) if round(result.value(keep[i])) == 1)
@@ -192,76 +229,119 @@ def _minimum_milp_hamming_k1(
     return MinimumSRResult(X, len(X), "milp")
 
 
+def _encode_msr_base(
+    x: np.ndarray, sources, winners, rivals, margin: int
+) -> tuple[CNFBuilder, list[int]]:
+    """Encode the Proposition-6 characterization (without any size bound).
+
+    Returns the builder and the ``keep`` indicator variables; the bound
+    searches append their cardinality constraint afterwards — unguarded
+    for the rebuild-per-bound path, guard-per-bound for the incremental
+    assumption sweep.
+    """
+    n = x.shape[0]
+    builder = CNFBuilder()
+    keep = builder.new_vars(n, prefix="s")
+    # Coefficients of the distance differences live in {-2..2}; a
+    # cardinality constraint takes each variable once, so coefficient
+    # 2 is expressed by a twin variable clamped equal to the original.
+    twins: dict[int, int] = {}
+
+    def twin(i: int) -> int:
+        if i not in twins:
+            t = builder.new_var()
+            builder.add_clause([-keep[i], t])
+            builder.add_clause([keep[i], -t])
+            twins[i] = t
+        return twins[i]
+
+    for src_idx, o in enumerate(sources):
+        picks = builder.new_vars(winners.shape[0], prefix=f"w{src_idx}")
+        builder.add_clause(picks)
+        for j, w in enumerate(winners):
+            const_w, coef_w = _distance_coefficients(x, o, w)
+            for r in rivals:
+                const_r, coef_r = _distance_coefficients(x, o, r)
+                delta = coef_w - coef_r  # entries in {-2, -1, 0, 1, 2}
+                # Need, when pick_j holds:
+                #     (const_w - const_r) + sum_i delta_i s_i <= -margin.
+                # Move negative-coefficient terms to "at least" form:
+                # every delta_i = -1 contributes the literal s_i, every
+                # delta_i = +1 the literal (not s_i) with the bound
+                # shifted by 1; |delta_i| = 2 uses the twin once more.
+                lits: list[int] = []
+                bound = (const_w - const_r) + margin
+                for i in range(n):
+                    d = int(delta[i])
+                    if d == 0:
+                        continue
+                    first = keep[i] if d < 0 else -keep[i]
+                    lits.append(first)
+                    if d > 0:
+                        bound += 1
+                    if abs(d) == 2:
+                        lits.append(twin(i) if d < 0 else -twin(i))
+                        if d > 0:
+                            bound += 1
+                if bound <= 0:
+                    continue  # comparison holds for every X
+                if bound > len(lits):
+                    builder.add_clause([-picks[j]])  # never satisfiable
+                    break
+                builder.add_at_least(lits, bound, guard=picks[j])
+    return builder, keep
+
+
 def _minimum_sat_hamming_k1(
-    dataset: Dataset, x: np.ndarray, engine: QueryEngine
+    dataset: Dataset, x: np.ndarray, engine: QueryEngine,
+    *,
+    incremental: bool = True,
+    strategy: str = "binary",
+    time_limit: float | None = None,
 ) -> MinimumSRResult:
     label, sources, winners, rivals, margin = _projection_facts(dataset, x, engine)
     n = dataset.dimension
     if winners.shape[0] == 0:
         return MinimumSRResult(frozenset(), 0, "sat")
+    deadline = start_deadline(time_limit)
+    remaining_budget(deadline, "minimum-SR SAT search")
 
-    def build(size_bound: int) -> CNFBuilder:
-        builder = CNFBuilder()
-        keep = builder.new_vars(n, prefix="s")
-        # Coefficients of the distance differences live in {-2..2}; a
-        # cardinality constraint takes each variable once, so coefficient
-        # 2 is expressed by a twin variable clamped equal to the original.
-        twins: dict[int, int] = {}
+    if incremental:
+        # Encode once; every size bound becomes a guarded cardinality
+        # constraint switched on by its assumption literal, so the whole
+        # sweep runs on one solver with learnt clauses carried across
+        # bounds.
+        builder, keep = _encode_msr_base(x, sources, winners, rivals, margin)
+        solver = builder.build_solver()
 
-        def twin(i: int) -> int:
-            if i not in twins:
-                t = builder.new_var()
-                builder.add_clause([-keep[i], t])
-                builder.add_clause([keep[i], -t])
-                twins[i] = t
-            return twins[i]
+        def encode_bound(t: int) -> int:
+            guard = solver.new_var()
+            solver.add_at_most(keep, t, guard=guard)
+            return guard
 
-        for src_idx, o in enumerate(sources):
-            picks = builder.new_vars(winners.shape[0], prefix=f"w{src_idx}")
-            builder.add_clause(picks)
-            for j, w in enumerate(winners):
-                const_w, coef_w = _distance_coefficients(x, o, w)
-                for r in rivals:
-                    const_r, coef_r = _distance_coefficients(x, o, r)
-                    delta = coef_w - coef_r  # entries in {-2, -1, 0, 1, 2}
-                    # Need, when pick_j holds:
-                    #     (const_w - const_r) + sum_i delta_i s_i <= -margin.
-                    # Move negative-coefficient terms to "at least" form:
-                    # every delta_i = -1 contributes the literal s_i, every
-                    # delta_i = +1 the literal (not s_i) with the bound
-                    # shifted by 1; |delta_i| = 2 uses the twin once more.
-                    lits: list[int] = []
-                    bound = (const_w - const_r) + margin
-                    for i in range(n):
-                        d = int(delta[i])
-                        if d == 0:
-                            continue
-                        first = keep[i] if d < 0 else -keep[i]
-                        lits.append(first)
-                        if d > 0:
-                            bound += 1
-                        if abs(d) == 2:
-                            lits.append(twin(i) if d < 0 else -twin(i))
-                            if d > 0:
-                                bound += 1
-                    if bound <= 0:
-                        continue  # comparison holds for every X
-                    if bound > len(lits):
-                        builder.add_clause([-picks[j]])  # never satisfiable
-                        break
-                    builder.add_at_least(lits, bound, guard=picks[j])
-        builder.add_at_most(keep, size_bound)
-        builder._keep = keep  # stashed for decoding
-        return builder
+        def decode(model) -> frozenset[int]:
+            return frozenset(i for i in range(n) if model[keep[i]])
 
-    def feasible(t: int):
-        builder = build(t)
-        model = builder.build_solver().solve()
-        if model is None:
-            return None
-        return frozenset(i for i in range(n) if model[builder._keep[i]])
+        found = minimize_bound_assumptions(
+            solver, encode_bound, decode, 0, n,
+            strategy=strategy,
+            time_limit=remaining_budget(deadline, "minimum-SR SAT search"),
+        )
+    else:
+        # Legacy rebuild-per-bound search: re-encode the characterization
+        # and grow a fresh solver for every probed bound (the baseline
+        # contestant of the msr_incremental benchmark headline).
+        def feasible(t: int):
+            remaining = remaining_budget(deadline, "minimum-SR SAT search")
+            builder, keep = _encode_msr_base(x, sources, winners, rivals, margin)
+            builder.add_at_most(keep, t)
+            model = builder.build_solver().solve(time_limit=remaining)
+            if model is None:
+                return None
+            return frozenset(i for i in range(n) if model[keep[i]])
 
-    found = minimize_bound(feasible, 0, n, strategy="binary")
+        found = minimize_bound(feasible, 0, n, strategy=strategy)
+
     assert found is not None, "the full component set is always sufficient"
     size, X = found
     _assert_sufficient(dataset, x, X, engine)

@@ -12,7 +12,10 @@ Subcommands
 ``explain``
     run an explanation query on a randomly generated dataset — a smoke
     test showing the three pipelines end to end (``--backend`` selects
-    the engine's index backend);
+    the engine's index backend, ``--solver`` the Minimum-SR pipeline —
+    including ``portfolio``, which races every applicable solver under
+    the per-method ``--budget`` and falls back to the greedy anytime
+    answer on all-timeout);
 ``bench``
     measure the headline benchmark workloads and optionally gate them
     against a committed baseline — the CI ``bench-baseline`` job runs
@@ -22,12 +25,13 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
 import numpy as np
 
-from .abductive import minimal_sufficient_reason
+from .abductive import minimal_sufficient_reason, minimum_sufficient_reason
 from .counterfactual import closest_counterfactual
 from .datasets import random_boolean_dataset
 from .experiments import bench
@@ -36,6 +40,13 @@ from .experiments.runner import run_sweep
 from .experiments.tables import render_results_table, render_table1
 from .knn import QueryEngine
 from .knn.engine import BACKENDS
+from .portfolio import (
+    portfolio_closest_counterfactual,
+    portfolio_minimum_sufficient_reason,
+)
+
+#: Minimum-SR pipelines selectable with ``explain --solver``.
+EXPLAIN_SOLVERS = ("auto", "milp", "sat", "brute", "portfolio")
 
 
 def _cmd_table1(_args) -> int:
@@ -55,6 +66,7 @@ def _cmd_figure(args) -> int:
         repeats=args.repeats,
         verbose=True,
         workers=args.workers,
+        budget=args.budget,
     )
     print()
     print(render_results_table(result))
@@ -75,9 +87,39 @@ def _cmd_explain(args) -> int:
     msr = minimal_sufficient_reason(data, 1, "hamming", x, engine=engine)
     print(f"minimal sufficient reason ({len(msr)} of {args.dimension} features): "
           f"{sorted(msr)}")
-    cf = closest_counterfactual(
-        data, 1, "hamming", x, method="hamming-milp", query_engine=engine
-    )
+    if args.solver == "portfolio":
+        race = portfolio_minimum_sufficient_reason(
+            data, 1, "hamming", x, budget=args.budget, engine=engine
+        )
+        minimum = race.answer
+        budget_desc = (
+            "no budget" if args.budget is None else f"{args.budget:g}s/method"
+        )
+        print(
+            f"minimum sufficient reason ({minimum.size} features, "
+            f"method={race.method}, exact={race.exact}, "
+            f"{race.elapsed_s * 1000:.0f} ms, {budget_desc}): "
+            f"{sorted(minimum.X)}"
+        )
+        for attempt in race.attempts:
+            print(f"  portfolio attempt {attempt.method}: {attempt.status} "
+                  f"({attempt.elapsed_s * 1000:.0f} ms)")
+        cf_race = portfolio_closest_counterfactual(
+            data, 1, "hamming", x, budget=args.budget, query_engine=engine
+        )
+        cf = cf_race.answer
+        print(f"counterfactual solver: {cf_race.method} (exact={cf_race.exact})")
+    else:
+        minimum = minimum_sufficient_reason(
+            data, 1, "hamming", x, method=args.solver, engine=engine,
+            time_limit=args.budget,
+        )
+        print(f"minimum sufficient reason ({minimum.size} features, "
+              f"method={minimum.method}): {sorted(minimum.X)}")
+        cf = closest_counterfactual(
+            data, 1, "hamming", x, method="hamming-milp", query_engine=engine,
+            time_limit=args.budget,
+        )
     if cf.found:
         flipped = sorted(int(i) for i in np.flatnonzero(cf.y != x))
         print(f"closest counterfactual flips {int(cf.distance)} feature(s): {flipped}")
@@ -86,14 +128,44 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _load_baseline(path: str) -> dict:
+    """Read and structurally validate a committed ``BENCH_*.json`` baseline.
+
+    Raises SystemExit-friendly ``ValueError`` with a one-line message on
+    a missing, unreadable, or malformed file — the CLI turns that into
+    exit code 2 instead of a traceback.
+    """
+    try:
+        payload = bench.load_json(path)
+    except OSError as exc:
+        reason = exc.strerror or exc.__class__.__name__
+        raise ValueError(f"cannot read baseline {path}: {reason}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("workloads"), dict
+    ):
+        raise ValueError(
+            f"baseline {path} is not a BENCH payload (no 'workloads' table); "
+            "reseed it with: repro bench --json " + path
+        )
+    return payload
+
+
 def _cmd_bench(args) -> int:
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = _load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     payload = bench.collect(
         seed=args.seed,
         repeats=args.repeats,
         workers=args.workers,
         workloads=args.workloads or None,
     )
-    baseline = bench.load_json(args.baseline) if args.baseline else None
     failures: list[str] = []
     if baseline is not None:
         # Best-of-3 re-measurement before a failure is final: the
@@ -142,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool workers sharding the sweep grid (default 1, serial)",
     )
     fig.add_argument("--json", metavar="PATH", help="also write sweep rows as JSON")
+    fig.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="per-grid-point repeat budget; slow points run fewer repeats "
+             "and are flagged 'truncated' (default: no budget)",
+    )
 
     explain = sub.add_parser("explain", help="explain a random query end to end")
     explain.add_argument("--dimension", type=int, default=12)
@@ -150,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument(
         "--backend", choices=BACKENDS, default="auto",
         help="QueryEngine index backend (default: auto)",
+    )
+    explain.add_argument(
+        "--solver", choices=EXPLAIN_SOLVERS, default="auto",
+        help="Minimum-SR pipeline; 'portfolio' races every applicable solver "
+             "under the per-method --budget (default: auto)",
+    )
+    explain.add_argument(
+        "--budget", type=float, default=None, metavar="SECONDS",
+        help="per-method time budget for --solver portfolio / time limit for "
+             "a single solver (default: none)",
     )
 
     bench_p = sub.add_parser(

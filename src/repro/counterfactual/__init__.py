@@ -76,23 +76,38 @@ def closest_counterfactual(
 
     ``method``: ``"auto"`` dispatches on the metric (l2 → QP, l1 → MILP,
     hamming → MILP); ``"l2-qp"``, ``"l1-milp"``, ``"hamming-milp"``,
-    ``"hamming-sat"``, ``"hamming-brute"`` force a pipeline.
+    ``"hamming-sat"``, ``"hamming-brute"`` force a pipeline;
+    ``"portfolio"`` races every applicable pipeline under per-method
+    time budgets via :mod:`repro.portfolio` (pass ``budget=`` seconds)
+    and returns the winner's result — call the portfolio module
+    directly for the provenance record.
 
     ``query_engine`` optionally shares a :class:`~repro.knn.QueryEngine`
     over (dataset, metric) so repeated calls reuse its distance cache
-    (``engine=`` in the kwargs still selects the MILP backend).
+    (``engine=`` in the kwargs still selects the MILP backend).  Most
+    pipelines also accept ``time_limit=`` seconds (best-effort,
+    raising :class:`~repro.exceptions.ResourceLimitError` on expiry).
     """
     from . import brute, hamming_milp, hamming_sat, l1, l2, lp_general
 
     k = check_odd_k(k)
     metric = get_metric(metric)
     xv = as_vector(x, name="x")
-    if query_engine is not None:
-        kwargs["query_engine"] = query_engine
     if xv.shape[0] != dataset.dimension:
         raise ValidationError(
             f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
         )
+    if method == "portfolio":
+        from ..portfolio import portfolio_closest_counterfactual
+
+        # Single-method callers say time_limit=; for the portfolio that
+        # budget applies per raced method (mirrors minimum_sufficient_reason).
+        kwargs.setdefault("budget", kwargs.pop("time_limit", None))
+        return portfolio_closest_counterfactual(
+            dataset, k, metric, xv, query_engine=query_engine, **kwargs
+        ).answer
+    if query_engine is not None:
+        kwargs["query_engine"] = query_engine
     if method == "auto":
         method = {
             "l2": "l2-qp",

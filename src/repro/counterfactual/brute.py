@@ -17,6 +17,7 @@ from itertools import combinations, islice
 
 import numpy as np
 
+from .._budget import remaining_budget, start_deadline
 from .._validation import check_odd_k
 from ..exceptions import ValidationError
 from ..knn import Dataset, QueryEngine
@@ -35,17 +36,24 @@ def closest_counterfactual_hamming_brute(
     max_distance: int | None = None,
     max_enumeration: int = 2_000_000,
     query_engine: QueryEngine | None = None,
+    time_limit: float | None = None,
 ) -> CounterfactualResult:
-    """Closest Hamming counterfactual by distance-ordered enumeration."""
+    """Closest Hamming counterfactual by distance-ordered enumeration.
+
+    ``time_limit`` caps the enumeration in wall-clock seconds (checked
+    between candidate batches).
+    """
     check_odd_k(k)
     engine = as_engine(dataset, "hamming", query_engine)
     label = engine.classify(x, k)
     n = dataset.dimension
     hi = n if max_distance is None else min(n, int(max_distance))
+    deadline = start_deadline(time_limit)
     enumerated = 0
     for t in range(1, hi + 1):
         combos = combinations(range(n), t)
         while True:
+            remaining_budget(deadline, "brute-force counterfactual enumeration")
             block = list(islice(combos, _BATCH))
             if not block:
                 break

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._budget import remaining_budget, start_deadline
 from .._validation import check_odd_k
 from ..exceptions import ValidationError
 from ..knn import Dataset, QueryEngine
@@ -48,11 +49,13 @@ def closest_counterfactual_hamming_milp(
     formulation: str = "auto",
     engine: str = "scipy",
     query_engine: QueryEngine | None = None,
+    time_limit: float | None = None,
 ) -> CounterfactualResult:
     """Closest Hamming counterfactual through the linearized IQP.
 
     ``engine`` names the MILP backend; ``query_engine`` optionally
     shares a :class:`~repro.knn.QueryEngine` for the k-NN side.
+    ``time_limit`` caps the solve in wall-clock seconds.
     """
     check_odd_k(k)
     if formulation == "auto":
@@ -72,9 +75,11 @@ def closest_counterfactual_hamming_milp(
         winning, losing = expanded.negatives, expanded.positives
         margin = 1  # strict inequality
     if formulation == "guarded":
-        y_val = _solve_guarded(x, winning, losing, margin, engine)
+        y_val = _solve_guarded(x, winning, losing, margin, engine, time_limit=time_limit)
     else:
-        y_val = _solve_enumerated(x, winning, losing, margin, k, engine)
+        y_val = _solve_enumerated(
+            x, winning, losing, margin, k, engine, time_limit=time_limit
+        )
     if y_val is None:
         return CounterfactualResult(
             y=None, distance=np.inf, infimum=np.inf, label_from=label, method="hamming-milp"
@@ -102,7 +107,7 @@ def _objective_terms(x: np.ndarray, y_vars):
     return coeffs, constant
 
 
-def _solve_guarded(x, winning, losing, margin, engine):
+def _solve_guarded(x, winning, losing, margin, engine, *, time_limit=None):
     """One MILP: indicator g_j selects the winning witness point (k = 1)."""
     n = x.shape[0]
     if winning.shape[0] == 0:
@@ -122,17 +127,19 @@ def _solve_guarded(x, winning, losing, margin, engine):
             model.add_constraint(coeffs, "<=", big_m - margin - (const_w - const_c))
     obj, const = _objective_terms(x, y)
     model.set_objective(obj, constant=const)
-    result = model.solve(engine=engine)
+    result = model.solve(engine=engine, time_limit=time_limit)
     if not result.optimal:
         return None
     return np.array([round(result.value(v)) for v in y], dtype=float)
 
 
-def _solve_enumerated(x, winning, losing, margin, k, engine):
+def _solve_enumerated(x, winning, losing, margin, k, engine, *, time_limit=None):
     """One MILP per Proposition-1 witness pair (any odd k)."""
     n = x.shape[0]
     best_y, best_d = None, np.inf
+    deadline = start_deadline(time_limit)
     for A, B in _witness_pairs(winning.shape[0], losing.shape[0], k):
+        pair_limit = remaining_budget(deadline, "hamming counterfactual MILP sweep")
         rest = [c for c in range(losing.shape[0]) if c not in B]
         model = MILPModel("hamming-counterfactual-pair")
         y = [model.add_binary(f"y[{i}]") for i in range(n)]
@@ -144,7 +151,7 @@ def _solve_enumerated(x, winning, losing, margin, k, engine):
                 model.add_constraint(coeffs, "<=", -margin - (const_w - const_c))
         obj, const = _objective_terms(x, y)
         model.set_objective(obj, constant=const)
-        result = model.solve(engine=engine)
+        result = model.solve(engine=engine, time_limit=pair_limit)
         if result.optimal and result.objective < best_d:
             best_d = result.objective
             best_y = np.array([round(result.value(v)) for v in y], dtype=float)

@@ -28,6 +28,7 @@ from itertools import combinations
 
 import numpy as np
 
+from .._budget import remaining_budget, start_deadline
 from .._validation import check_odd_k
 from ..knn import Dataset, QueryEngine
 from ..knn.engine import as_engine
@@ -56,13 +57,16 @@ def closest_counterfactual_l1(
     *,
     engine: str = "scipy",
     query_engine: QueryEngine | None = None,
+    time_limit: float | None = None,
 ) -> CounterfactualResult:
     """Closest l1 counterfactual by a MILP per witness pair.
 
     ``engine`` names the MILP backend; ``query_engine`` optionally
     shares a :class:`~repro.knn.QueryEngine` for the k-NN side.
+    ``time_limit`` caps the whole pair sweep in wall-clock seconds.
     """
     check_odd_k(k)
+    deadline = start_deadline(time_limit)
     knn = as_engine(dataset, "l1", query_engine)
     label = knn.classify(x, k)
     target = 1 - label
@@ -93,7 +97,8 @@ def closest_counterfactual_l1(
         for A, B in _witness_pairs(winning.shape[0], losing.shape[0], k):
             rest = [c for c in range(losing.shape[0]) if c not in B]
             y_val, d_val = _solve_pair(
-                x, winning[list(A)], losing[rest], lo, hi, big_m, margin, engine
+                x, winning[list(A)], losing[rest], lo, hi, big_m, margin, engine,
+                time_limit=remaining_budget(deadline, "l1 counterfactual MILP sweep"),
             )
             if y_val is not None and d_val < best_d:
                 best_y, best_d = y_val, d_val
@@ -114,7 +119,7 @@ def closest_counterfactual_l1(
     )
 
 
-def _solve_pair(x, near_pts, far_pts, lo, hi, big_m, margin, engine):
+def _solve_pair(x, near_pts, far_pts, lo, hi, big_m, margin, engine, *, time_limit=None):
     """MILP: min ||y - x||_1 s.t. d1(y, a) <= d1(y, c) - margin for all a, c."""
     n = x.shape[0]
     model = MILPModel("l1-counterfactual")
@@ -148,7 +153,7 @@ def _solve_pair(x, near_pts, far_pts, lo, hi, big_m, margin, engine):
                 coeffs[li] = coeffs.get(li, 0.0) - 1.0
             model.add_constraint(coeffs, "<=", -margin)
     model.set_objective({ti: 1 for ti in t})
-    result = model.solve(engine=engine)
+    result = model.solve(engine=engine, time_limit=time_limit)
     if not result.optimal:
         return None, np.inf
     y_val = np.array([result.value(v) for v in y])

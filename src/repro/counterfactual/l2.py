@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._budget import remaining_budget, start_deadline
 from ..exceptions import InfeasibleError
 from ..geometry import decision_region_polyhedra
 from ..knn import Dataset, QueryEngine
@@ -37,14 +38,25 @@ _NUDGE_STEPS = 60
 
 
 def closest_counterfactual_l2(
-    dataset: Dataset, k: int, x: np.ndarray, *, query_engine: QueryEngine | None = None
+    dataset: Dataset,
+    k: int,
+    x: np.ndarray,
+    *,
+    query_engine: QueryEngine | None = None,
+    time_limit: float | None = None,
 ) -> CounterfactualResult:
-    """Closest l2 counterfactual via per-piece convex QP."""
+    """Closest l2 counterfactual via per-piece convex QP.
+
+    ``time_limit`` caps the piece sweep in wall-clock seconds
+    (checked between pieces, so it is best-effort).
+    """
     knn = as_engine(dataset, "l2", query_engine)
     label = knn.classify(x, k)
     target = 1 - label
+    deadline = start_deadline(time_limit)
     candidates: list[tuple[float, np.ndarray, np.ndarray | None]] = []
     for piece in decision_region_polyhedra(dataset, k, target):
+        remaining_budget(deadline, "l2 counterfactual piece sweep")
         closure = piece.closure()
         # A strictly interior point doubles as the non-emptiness witness
         # for open pieces and as the nudge anchor for all pieces.

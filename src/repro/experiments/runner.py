@@ -21,19 +21,36 @@ from typing import Callable, Iterable
 import numpy as np
 
 
-def time_callable(fn: Callable[[], object], *, repeats: int = 3) -> dict:
-    """Median/min/max wall-clock seconds of ``fn()`` over *repeats* runs."""
+def time_callable(
+    fn: Callable[[], object], *, repeats: int = 3, budget: float | None = None
+) -> dict:
+    """Median/min/max wall-clock seconds of ``fn()`` over *repeats* runs.
+
+    ``budget`` (seconds) makes the measurement *anytime*: once the runs
+    completed so far have spent the budget, remaining repeats are
+    skipped and the row is marked ``"truncated": True`` — a sweep over
+    a big grid then degrades to fewer repeats instead of overshooting
+    its time box.  At least one run always happens.
+    """
     samples = []
-    for _ in range(max(1, repeats)):
+    spent = 0.0
+    target = max(1, repeats)
+    for _ in range(target):
         start = time.perf_counter()
         fn()
         samples.append(time.perf_counter() - start)
-    return {
+        spent += samples[-1]
+        if budget is not None and spent >= budget:
+            break
+    timing = {
         "median": float(np.median(samples)),
         "min": float(min(samples)),
         "max": float(max(samples)),
         "repeats": len(samples),
     }
+    if budget is not None:
+        timing["truncated"] = len(samples) < target
+    return timing
 
 
 @dataclass
@@ -68,10 +85,13 @@ class SweepResult:
 
 
 def _sweep_point(
-    make_task: Callable[[dict], Callable[[], object]], params: dict, repeats: int
+    make_task: Callable[[dict], Callable[[], object]],
+    params: dict,
+    repeats: int,
+    budget: float | None = None,
 ) -> dict:
     """One grid point: build the task and time it (picklable pool worker)."""
-    return time_callable(make_task(params), repeats=repeats)
+    return time_callable(make_task(params), repeats=repeats, budget=budget)
 
 
 def run_sweep(
@@ -82,8 +102,13 @@ def run_sweep(
     repeats: int = 3,
     verbose: bool = False,
     workers: int = 1,
+    budget: float | None = None,
 ) -> SweepResult:
     """Time ``make_task(params)()`` for every parameter point of *grid*.
+
+    ``budget`` is a per-grid-point repeat budget in seconds (see
+    :func:`time_callable`): grid points whose task is slower than the
+    budget run fewer repeats and are flagged ``truncated`` in their row.
 
     With ``workers > 1`` the grid points are evaluated concurrently in a
     process pool — each point's task is still built and timed inside a
@@ -119,12 +144,12 @@ def run_sweep(
     if workers > 1 and len(grid_list) > 1:
         with ProcessPoolExecutor(max_workers=min(workers, len(grid_list))) as pool:
             futures = [
-                pool.submit(_sweep_point, make_task, params, repeats)
+                pool.submit(_sweep_point, make_task, params, repeats, budget)
                 for params in grid_list
             ]
             for params, future in zip(grid_list, futures):
                 record(params, future.result())
     else:
         for params in grid_list:
-            record(params, _sweep_point(make_task, params, repeats))
+            record(params, _sweep_point(make_task, params, repeats, budget))
     return result

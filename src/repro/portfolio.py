@@ -1,0 +1,323 @@
+"""Budgeted solver portfolio over the hard explanation pipelines.
+
+The paper's Table 1 makes Minimum-SR and the Hamming/l1 counterfactual
+problems NP-complete, and the repo ships several exact pipelines for
+the same instances (SAT, MILP, brute force — Section 9).  No single
+pipeline dominates: MILP usually leads on the random workloads, SAT
+wins when the optimum is small, brute force wins at tiny dimension.
+This module races them:
+
+* every *applicable* method for the instance runs in a fixed order
+  under a **per-method wall-clock budget** (``budget`` seconds),
+  sharing one :class:`~repro.knn.QueryEngine` so distance work is never
+  repeated;
+* the first method to finish inside its budget supplies the exact
+  answer, stamped with a provenance record (which method won, what the
+  budget was, how long each attempt ran);
+* if **every** exact method runs out of budget, the portfolio degrades
+  to a polynomial *anytime* answer instead of failing: the
+  Proposition-2 greedy for Minimum-SR (a genuine, just not necessarily
+  minimum, sufficient reason) and the nearest training point of the
+  opposite predicted class for counterfactuals (a genuine, just not
+  necessarily closest, counterfactual).
+
+Budgets are enforced cooperatively through the ``time_limit`` plumbing
+of the underlying solvers (SAT conflict loop, HiGHS ``time_limit``,
+enumeration batch checks), surfacing as
+:class:`~repro.exceptions.ResourceLimitError` — best-effort rather than
+preemptive, which keeps the racer deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from ._validation import as_vector, check_odd_k
+from .exceptions import (
+    ResourceLimitError,
+    UnsupportedSettingError,
+    ValidationError,
+)
+from .knn import Dataset, QueryEngine
+from .knn.engine import as_engine
+from .metrics import get_metric
+
+#: exact Minimum-SR methods raced on the discrete k = 1 cell, in order.
+MSR_PORTFOLIO = ("milp", "sat", "brute")
+
+#: exact closest-counterfactual methods raced per metric, in order.
+CF_PORTFOLIO = {
+    "hamming": ("hamming-milp", "hamming-sat", "hamming-brute"),
+    "l1": ("l1-milp",),
+    "l2": ("l2-qp",),
+}
+
+
+@dataclass(frozen=True)
+class PortfolioAttempt:
+    """One raced method: what ran, for how long, and how it ended."""
+
+    method: str
+    budget_s: float | None
+    elapsed_s: float
+    status: str  # "exact" | "timeout" | "unsupported" | "anytime"
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class PortfolioResult:
+    """The winning answer plus the race's provenance record.
+
+    ``answer`` is the underlying pipeline's result object
+    (:class:`~repro.abductive.MinimumSRResult` or
+    :class:`~repro.counterfactual.CounterfactualResult`); ``exact`` is
+    False only when every exact method timed out and the anytime
+    fallback supplied the answer.
+    """
+
+    answer: object
+    method: str
+    budget_s: float | None
+    elapsed_s: float
+    exact: bool
+    attempts: tuple[PortfolioAttempt, ...]
+
+
+def portfolio_minimum_sufficient_reason(
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    *,
+    budget: float | None = None,
+    methods: tuple[str, ...] | None = None,
+    engine: QueryEngine | None = None,
+    max_brute_dimension: int = 18,
+    restarts: int = 8,
+    seed: int | None = 0,
+) -> PortfolioResult:
+    """Race the exact Minimum-SR pipelines under per-method budgets.
+
+    ``methods`` defaults to every pipeline applicable to the instance's
+    (metric, k) cell; ``budget`` is seconds *per method* (None = no
+    cap, so the first applicable method simply wins).  On all-timeout
+    the Proposition-2 greedy (``restarts`` shuffled orders) provides
+    the anytime answer.  All attempts share one query engine.
+    """
+    from .abductive.approximate import approximate_minimum_sufficient_reason
+    from .abductive.minimum import MinimumSRResult, minimum_sufficient_reason
+
+    k = check_odd_k(k)
+    metric = get_metric(metric)
+    xv = as_vector(x, name="x")
+    if xv.shape[0] != dataset.dimension:
+        raise ValidationError(
+            f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
+        )
+    engine = as_engine(dataset, metric, engine)
+    if methods is None:
+        methods = (
+            MSR_PORTFOLIO if (metric.name == "hamming" and k == 1) else ("brute",)
+        )
+    start = perf_counter()
+    attempts: list[PortfolioAttempt] = []
+    last_unsupported: Exception | None = None
+    for method in methods:
+        if budget is not None and budget <= 0:
+            attempts.append(PortfolioAttempt(
+                method, budget, 0.0, "timeout", "per-method budget is zero"
+            ))
+            continue
+        t0 = perf_counter()
+        try:
+            result = minimum_sufficient_reason(
+                dataset, k, metric, xv,
+                method=method, engine=engine, time_limit=budget,
+                max_brute_dimension=max_brute_dimension,
+            )
+        except ResourceLimitError as exc:
+            attempts.append(PortfolioAttempt(
+                method, budget, perf_counter() - t0, "timeout", str(exc)
+            ))
+            continue
+        except (UnsupportedSettingError, ValidationError) as exc:
+            attempts.append(PortfolioAttempt(
+                method, budget, perf_counter() - t0, "unsupported", str(exc)
+            ))
+            last_unsupported = exc
+            continue
+        attempts.append(PortfolioAttempt(method, budget, perf_counter() - t0, "exact"))
+        return PortfolioResult(
+            answer=result,
+            method=result.method,
+            budget_s=budget,
+            elapsed_s=perf_counter() - start,
+            exact=True,
+            attempts=tuple(attempts),
+        )
+    if last_unsupported is not None and not any(
+        a.status == "timeout" for a in attempts
+    ):
+        # Nothing timed out — every member was inapplicable.  That is an
+        # input problem, not budget pressure, so fail like the
+        # single-method entry points instead of degrading silently.
+        raise last_unsupported
+    # Anytime degradation: the greedy always returns a genuine
+    # (minimal) sufficient reason in polynomial time; only its
+    # *cardinality minimality* is approximate.
+    t0 = perf_counter()
+    approx = approximate_minimum_sufficient_reason(
+        dataset, k, metric, xv, engine=engine, restarts=restarts, seed=seed
+    )
+    answer = MinimumSRResult(X=approx.X, size=approx.size, method="greedy-anytime")
+    attempts.append(PortfolioAttempt(
+        "greedy-anytime", None, perf_counter() - t0, "anytime",
+        f"upper bound after {approx.restarts_used} greedy restarts",
+    ))
+    return PortfolioResult(
+        answer=answer,
+        method="greedy-anytime",
+        budget_s=budget,
+        elapsed_s=perf_counter() - start,
+        exact=False,
+        attempts=tuple(attempts),
+    )
+
+
+def portfolio_closest_counterfactual(
+    dataset: Dataset,
+    k: int,
+    metric,
+    x,
+    *,
+    budget: float | None = None,
+    methods: tuple[str, ...] | None = None,
+    query_engine: QueryEngine | None = None,
+) -> PortfolioResult:
+    """Race the exact closest-counterfactual pipelines under budgets.
+
+    Applicable methods come from :data:`CF_PORTFOLIO` keyed by the
+    metric.  On all-timeout the anytime fallback returns the nearest
+    *training* point whose prediction differs from ``f(x)`` — a
+    genuine counterfactual whose distance upper-bounds the optimum.
+    """
+    from .counterfactual import closest_counterfactual
+
+    k = check_odd_k(k)
+    metric = get_metric(metric)
+    xv = as_vector(x, name="x")
+    if xv.shape[0] != dataset.dimension:
+        raise ValidationError(
+            f"x has dimension {xv.shape[0]}, dataset has {dataset.dimension}"
+        )
+    engine = as_engine(dataset, metric, query_engine)
+    if methods is None:
+        methods = CF_PORTFOLIO.get(metric.name)
+        if methods is None:
+            raise UnsupportedSettingError(
+                f"no portfolio members for metric {metric.name!r}; pass methods="
+            )
+    start = perf_counter()
+    attempts: list[PortfolioAttempt] = []
+    last_unsupported: Exception | None = None
+    for method in methods:
+        if budget is not None and budget <= 0:
+            attempts.append(PortfolioAttempt(
+                method, budget, 0.0, "timeout", "per-method budget is zero"
+            ))
+            continue
+        t0 = perf_counter()
+        try:
+            result = closest_counterfactual(
+                dataset, k, metric, xv,
+                method=method, query_engine=engine, time_limit=budget,
+            )
+        except ResourceLimitError as exc:
+            attempts.append(PortfolioAttempt(
+                method, budget, perf_counter() - t0, "timeout", str(exc)
+            ))
+            continue
+        except (UnsupportedSettingError, ValidationError) as exc:
+            attempts.append(PortfolioAttempt(
+                method, budget, perf_counter() - t0, "unsupported", str(exc)
+            ))
+            last_unsupported = exc
+            continue
+        attempts.append(PortfolioAttempt(method, budget, perf_counter() - t0, "exact"))
+        return PortfolioResult(
+            answer=result,
+            method=result.method,
+            budget_s=budget,
+            elapsed_s=perf_counter() - start,
+            exact=True,
+            attempts=tuple(attempts),
+        )
+    if last_unsupported is not None and not any(
+        a.status == "timeout" for a in attempts
+    ):
+        raise last_unsupported  # all members inapplicable: an input problem
+    t0 = perf_counter()
+    answer = _anytime_counterfactual(dataset, k, metric, xv, engine)
+    attempts.append(PortfolioAttempt(
+        "nearest-training-anytime", None, perf_counter() - t0, "anytime",
+        "nearest opposite-predicted training point (distance upper bound)",
+    ))
+    return PortfolioResult(
+        answer=answer,
+        method="nearest-training-anytime",
+        budget_s=budget,
+        elapsed_s=perf_counter() - start,
+        exact=False,
+        attempts=tuple(attempts),
+    )
+
+
+def _anytime_counterfactual(
+    dataset: Dataset, k: int, metric, x: np.ndarray, engine: QueryEngine
+):
+    """Nearest training point classified unlike ``x`` — a polynomial fallback.
+
+    Any point the classifier itself sends to the other class is a
+    counterfactual; among the training points we take the one closest
+    to ``x``, so the reported distance is an honest upper bound on the
+    optimum (tight whenever the closest counterfactual region contains
+    a training point).
+    """
+    from .counterfactual import CounterfactualResult
+
+    label = engine.classify(x, k)
+    expanded = dataset.expanded()
+    blocks = [p for p in (expanded.positives, expanded.negatives) if p.shape[0]]
+    points = np.vstack(blocks)
+    flipped = np.flatnonzero(engine.classify_batch(points, k) != label)
+    if flipped.size == 0:
+        # One-class predictions everywhere: no counterfactual exists
+        # among training points (matches the exact solvers on constant f).
+        return CounterfactualResult(
+            y=None, distance=np.inf, infimum=np.inf, label_from=label,
+            method="nearest-training-anytime",
+        )
+    candidates = points[flipped]
+    powers = metric.powers_to(candidates, x)  # monotone surrogate of distance
+    y = candidates[int(np.argmin(powers))].astype(float)
+    distance = float(metric.distance(x, y))
+    return CounterfactualResult(
+        y=y,
+        distance=distance,
+        infimum=distance,
+        label_from=label,
+        method="nearest-training-anytime",
+    )
+
+
+__all__ = [
+    "MSR_PORTFOLIO",
+    "CF_PORTFOLIO",
+    "PortfolioAttempt",
+    "PortfolioResult",
+    "portfolio_minimum_sufficient_reason",
+    "portfolio_closest_counterfactual",
+]

@@ -26,6 +26,7 @@ import numpy as np
 from scipy.optimize import LinearConstraint, linprog
 from scipy.optimize import milp as scipy_milp
 
+from .._budget import remaining_budget, start_deadline
 from ..exceptions import (
     ResourceLimitError,
     SolverError,
@@ -178,16 +179,22 @@ class MILPModel:
 
     # -- solving -------------------------------------------------------
 
-    def solve(self, *, engine: str = "scipy", **kwargs) -> MILPResult:
+    def solve(
+        self, *, engine: str = "scipy", time_limit: float | None = None, **kwargs
+    ) -> MILPResult:
         """Solve with ``engine`` in {"scipy", "bnb"}.
 
         ``scipy`` delegates to HiGHS branch & cut; ``bnb`` runs the pure
-        Python branch & bound (kwargs: ``node_limit``).
+        Python branch & bound (kwargs: ``node_limit``).  ``time_limit``
+        (wall-clock seconds) raises
+        :class:`~repro.exceptions.ResourceLimitError` when the engine
+        runs out of budget before proving optimality — the signal the
+        solver portfolio uses to move on to the next method.
         """
         if engine == "scipy":
-            result = self._solve_scipy()
+            result = self._solve_scipy(time_limit=time_limit)
         elif engine == "bnb":
-            result = _BranchAndBound(self, **kwargs).solve()
+            result = _BranchAndBound(self, time_limit=time_limit, **kwargs).solve()
         else:
             raise ValidationError(f"unknown engine {engine!r}")
         return result
@@ -195,7 +202,7 @@ class MILPModel:
     def _signed(self, objective: float) -> float:
         return -objective if self._maximize else objective
 
-    def _solve_scipy(self) -> MILPResult:
+    def _solve_scipy(self, *, time_limit: float | None = None) -> MILPResult:
         c, A_ub, b_ub, A_eq, b_eq = self._assemble()
         constraints = []
         if A_ub.shape[0]:
@@ -205,16 +212,22 @@ class MILPModel:
         integrality = np.array([1 if v.integer else 0 for v in self._vars])
         from scipy.optimize import Bounds
 
+        options = {} if time_limit is None else {"time_limit": float(time_limit)}
         res = scipy_milp(
             c,
             constraints=constraints,
             integrality=integrality,
             bounds=Bounds(np.array(self._lb), np.array(self._ub)),
+            options=options,
         )
         if res.status == 2:
             return MILPResult("infeasible", np.full(self.n_vars, np.nan), np.nan)
         if res.status == 3:
             return MILPResult("unbounded", np.full(self.n_vars, np.nan), -np.inf)
+        if res.status == 1 and time_limit is not None:
+            raise ResourceLimitError(
+                f"MILP engine exceeded its {time_limit:.3g}s time budget"
+            )
         if not res.success:  # pragma: no cover - engine trouble
             raise SolverError(f"scipy milp failed: {res.message}")
         objective = self._signed(float(res.fun)) + self._obj_constant
@@ -224,9 +237,15 @@ class MILPModel:
 class _BranchAndBound:
     """Best-first branch & bound over HiGHS LP relaxations."""
 
-    def __init__(self, model: MILPModel, node_limit: int = 200_000):
+    def __init__(
+        self,
+        model: MILPModel,
+        node_limit: int = 200_000,
+        time_limit: float | None = None,
+    ):
         self.model = model
         self.node_limit = int(node_limit)
+        self.deadline = start_deadline(time_limit)
         self.c, self.A_ub, self.b_ub, self.A_eq, self.b_eq = model._assemble()
         self.int_indices = [v.index for v in model._vars if v.integer]
 
@@ -292,6 +311,7 @@ class _BranchAndBound:
                 raise ResourceLimitError(
                     f"branch & bound exceeded {self.node_limit} nodes"
                 )
+            remaining_budget(self.deadline, "branch & bound")
             branch_var = self._most_fractional(x_relax)
             if branch_var is None:
                 # Integral relaxation: new incumbent.

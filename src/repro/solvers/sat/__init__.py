@@ -20,7 +20,7 @@ from __future__ import annotations
 from .cnf import CNFBuilder
 from .solver import SATSolver, Model
 from .types import CardinalityConstraint, neg
-from .search import minimize_bound
+from .search import minimize_bound, minimize_bound_assumptions
 
 __all__ = [
     "CNFBuilder",
@@ -29,4 +29,5 @@ __all__ = [
     "CardinalityConstraint",
     "neg",
     "minimize_bound",
+    "minimize_bound_assumptions",
 ]

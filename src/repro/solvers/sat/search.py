@@ -6,12 +6,20 @@ constraint ``d_H(x, y) <= t`` and searches the smallest feasible ``t``
 answer is expected to be small)" (Section 9.2).  Both strategies are
 implemented here over an abstract feasibility oracle so they can be
 ablation-benchmarked against each other.
+
+:func:`minimize_bound_assumptions` is the incremental variant: instead
+of rebuilding encoding and solver per bound, one
+:class:`~repro.solvers.sat.solver.SATSolver` carries the whole sweep —
+each bound is materialized once as a *guarded* cardinality constraint
+and switched on by passing its guard literal as an assumption, so
+learnt clauses and heuristic state flow between bounds.
 """
 
 from __future__ import annotations
 
 from typing import Callable, TypeVar
 
+from ..._budget import remaining_budget, start_deadline
 from ...exceptions import ValidationError
 
 T = TypeVar("T")
@@ -60,3 +68,38 @@ def minimize_bound(
         else:
             low = mid + 1
     return best
+
+
+def minimize_bound_assumptions(
+    solver,
+    encode_bound: Callable[[int], int],
+    decode: Callable[[dict], T],
+    lo: int,
+    hi: int,
+    *,
+    strategy: str = "binary",
+    time_limit: float | None = None,
+) -> tuple[int, T] | None:
+    """Incremental :func:`minimize_bound` over one shared SAT solver.
+
+    ``encode_bound(t)`` must add the constraint enforcing bound *t* to
+    *solver* — guarded by a fresh literal — and return that guard;
+    each feasibility probe then solves under the single assumption
+    ``[guard]``, so the formula is encoded once and every bound reuses
+    the clauses learnt at the others.  ``decode(model)`` maps a
+    satisfying assignment to the returned witness.  ``time_limit``
+    (seconds) caps the *whole* sweep, raising
+    :class:`~repro.exceptions.ResourceLimitError` on expiry.
+    """
+    guards: dict[int, int] = {}
+    deadline = start_deadline(time_limit)
+
+    def feasible(t: int):
+        guard = guards.get(t)
+        if guard is None:
+            guards[t] = guard = encode_bound(t)
+        remaining = remaining_budget(deadline, "incremental bound search")
+        model = solver.solve([guard], time_limit=remaining)
+        return None if model is None else decode(model)
+
+    return minimize_bound(feasible, lo, hi, strategy=strategy)

@@ -17,11 +17,22 @@ which is exactly the shape of the paper's Section 9.2 encoding.
 
 Every propagation carries an explicit reason clause, so learnt clauses
 derived across cardinality constraints are sound by construction.
+
+The solver is *incremental* in the MiniSat sense: :meth:`solve` takes
+an optional list of assumption literals that are decided first (at
+decision levels ``1..len(assumptions)``) and undone afterwards, so
+learnt clauses and VSIDS/phase state carry over between calls; new
+variables (:meth:`new_var`), clauses and cardinality constraints may be
+added between calls.  The bound-minimization searches in :mod:`.search`
+exploit this by encoding a formula once and sweeping a cardinality
+bound through guard literals passed as assumptions, instead of
+rebuilding solver and encoding per bound.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 
 from ...exceptions import ResourceLimitError, ValidationError
 from .types import CardinalityConstraint, check_literal, var_of
@@ -49,11 +60,13 @@ def luby(i: int) -> int:
 
 
 class SATSolver:
-    """Single-shot CDCL solver over ``num_vars`` variables.
+    """Incremental CDCL solver over an extensible set of variables.
 
-    Add all clauses and cardinality constraints first, then call
-    :meth:`solve` once.  (The searches in :mod:`.search` rebuild the
-    solver per bound, which is cheap relative to solving.)
+    Clauses and cardinality constraints may be added at any point
+    outside a :meth:`solve` call (the solver backtracks to the root
+    level first); :meth:`solve` accepts assumption literals, so a
+    sequence of closely related queries reuses learnt clauses and
+    heuristic state instead of starting cold.
     """
 
     def __init__(self, num_vars: int, *, conflict_limit: int | None = None):
@@ -93,10 +106,30 @@ class SATSolver:
 
     # -- construction ------------------------------------------------------
 
+    def new_var(self) -> int:
+        """Declare one fresh variable and return its index.
+
+        Usable between :meth:`solve` calls — the incremental searches
+        allocate a guard variable per cardinality bound this way.
+        """
+        self._cancel_until(0)
+        self.num_vars += 1
+        v = self.num_vars
+        self._assign.append(_UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        heapq.heappush(self._order, (0.0, v))
+        return v
+
+    def new_vars(self, count: int) -> list[int]:
+        """Declare *count* fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
     def add_clause(self, lits) -> None:
-        """Add a disjunction of literals."""
-        if self._trail_lim:
-            raise ValidationError("clauses must be added before solving")
+        """Add a disjunction of literals (undoes any previous search first)."""
+        self._cancel_until(0)
         seen: dict[int, int] = {}
         clause: list[int] = []
         for lit in lits:
@@ -126,8 +159,7 @@ class SATSolver:
 
     def add_cardinality(self, lits, bound: int, guard: int | None = None) -> None:
         """Add ``guard -> sum(true literals) >= bound`` (guard optional)."""
-        if self._trail_lim:
-            raise ValidationError("constraints must be added before solving")
+        self._cancel_until(0)
         lits = [check_literal(l, self.num_vars) for l in lits]
         if guard is not None:
             guard = check_literal(guard, self.num_vars)
@@ -347,10 +379,29 @@ class SATSolver:
 
     # -- main loop -------------------------------------------------------------
 
-    def solve(self) -> Model | None:
-        """Return a satisfying assignment ``{var: bool}`` or None (UNSAT)."""
+    def solve(
+        self, assumptions=(), *, time_limit: float | None = None
+    ) -> Model | None:
+        """Return a model ``{var: bool}`` or None (UNSAT under *assumptions*).
+
+        *assumptions* are literals decided first, one per decision
+        level, and undone when the call returns — so an UNSAT answer
+        means "unsatisfiable together with these assumptions", while
+        the formula, learnt clauses and heuristic state stay intact for
+        the next call.  ``time_limit`` (wall-clock seconds) aborts the
+        search with :class:`ResourceLimitError`; the solver remains
+        usable afterwards.  Both it and the constructor's
+        ``conflict_limit`` are *per-call* budgets — every call gets the
+        headroom a freshly built solver would have had.
+        """
+        self._cancel_until(0)
         if self._unsat:
             return None
+        assumptions = [check_literal(l, self.num_vars) for l in assumptions]
+        deadline = None if time_limit is None else time.perf_counter() + time_limit
+        # conflict_limit is a per-call budget: an incremental sweep gives
+        # every solve() the same headroom a fresh solver would have had.
+        conflicts_at_entry = self.conflicts
         restart_base = 64
         restart_count = 1
         conflicts_until_restart = restart_base * luby(restart_count)
@@ -362,17 +413,23 @@ class SATSolver:
                 local_conflicts += 1
                 if (
                     self.conflict_limit is not None
-                    and self.conflicts > self.conflict_limit
+                    and self.conflicts - conflicts_at_entry > self.conflict_limit
                 ):
                     raise ResourceLimitError(
                         f"SAT solver exceeded {self.conflict_limit} conflicts"
                     )
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise ResourceLimitError(
+                        f"SAT solver exceeded its {time_limit:.3g}s time budget"
+                    )
                 if not self._trail_lim:
-                    return None  # conflict at level 0: UNSAT
+                    self._unsat = True  # conflict at level 0: UNSAT forever
+                    return None
                 learnt, back = self._analyze(conflict)
                 self._cancel_until(back)
                 if len(learnt) == 1:
                     if not self._enqueue(learnt[0], None):  # pragma: no cover
+                        self._unsat = True
                         return None
                 else:
                     self._watch(learnt)
@@ -388,11 +445,32 @@ class SATSolver:
                 local_conflicts = 0
                 self._cancel_until(0)
                 continue
-            decision = self._decide()
-            if decision is None:
-                return {
-                    v: self._assign[v] == _TRUE for v in range(1, self.num_vars + 1)
-                }
+            if len(self._trail_lim) < len(assumptions):
+                # Assumption levels come first; a falsified assumption
+                # (directly or via propagation of learnt clauses) means
+                # UNSAT under this assumption set only.
+                lit = assumptions[len(self._trail_lim)]
+                value = self._value(lit)
+                if value == _TRUE:
+                    self._trail_lim.append(len(self._trail))  # dummy level
+                    continue
+                if value == _FALSE:
+                    self._cancel_until(0)
+                    return None
+                decision = lit
+            else:
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise ResourceLimitError(
+                        f"SAT solver exceeded its {time_limit:.3g}s time budget"
+                    )
+                decision = self._decide()
+                if decision is None:
+                    model = {
+                        v: self._assign[v] == _TRUE
+                        for v in range(1, self.num_vars + 1)
+                    }
+                    self._cancel_until(0)
+                    return model
             self.decisions += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(decision, None)

@@ -55,6 +55,28 @@ class TestRunner:
         timing = time_callable(lambda: sum(range(1000)), repeats=2)
         assert timing["repeats"] == 2
         assert timing["min"] <= timing["median"] <= timing["max"]
+        assert "truncated" not in timing  # only budgeted rows carry the flag
+
+    def test_time_callable_budget_truncates(self):
+        import time as _time
+
+        timing = time_callable(
+            lambda: _time.sleep(0.02), repeats=50, budget=0.01
+        )
+        assert timing["repeats"] == 1  # one run always happens, then stop
+        assert timing["truncated"] is True
+
+    def test_time_callable_budget_not_hit(self):
+        timing = time_callable(lambda: None, repeats=2, budget=60.0)
+        assert timing["repeats"] == 2
+        assert timing["truncated"] is False
+
+    def test_run_sweep_budget_reaches_rows(self):
+        grid = [{"n": 1}, {"n": 2}]
+        result = run_sweep(
+            "budgeted", grid, lambda p: (lambda: None), repeats=2, budget=60.0
+        )
+        assert all(row["truncated"] is False for row in result.rows)
 
     def test_run_sweep_and_series(self):
         grid = [{"n": n, "N": N} for n in (1, 2) for N in (10, 20)]
@@ -165,6 +187,26 @@ class TestBenchHarness:
         with pytest.raises(ValueError):
             bench.collect(workloads=["nope"])
 
+    def test_secondary_headline_gated_when_in_baseline(self):
+        secondary = bench.GATED_HEADLINES[1]
+        baseline = {"workloads": {
+            bench.HEADLINE: {"speedup": 10.0}, secondary: {"speedup": 10.0},
+        }}
+        bad = {"workloads": {
+            bench.HEADLINE: {"speedup": 9.0}, secondary: {"speedup": 2.0},
+        }}
+        failures = bench.compare(bad, baseline, max_regression=0.25)
+        assert len(failures) == 1 and secondary in failures[0]
+
+    def test_secondary_headline_skipped_for_old_baselines(self):
+        baseline = {"workloads": {bench.HEADLINE: {"speedup": 10.0}}}
+        current = {"workloads": {bench.HEADLINE: {"speedup": 9.0}}}
+        assert bench.compare(current, baseline, max_regression=0.25) == []
+
+    def test_measure_msr_incremental_is_registered(self):
+        assert "msr_incremental" in bench.WORKLOADS
+        assert "msr_incremental" in bench.GATED_HEADLINES
+
 
 class TestCLI:
     def test_table1(self, capsys):
@@ -231,3 +273,56 @@ class TestCLI:
              "--baseline", str(baseline_path)]
         ) == 0
         assert "regression gate passed" in capsys.readouterr().out
+
+    def test_bench_missing_baseline_one_line_error(self, capsys, tmp_path):
+        missing = tmp_path / "nope" / "BENCH_baseline.json"
+        code = main(["bench", "--workloads", "kdtree_lowdim", "--repeats", "1",
+                     "--baseline", str(missing)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read baseline")
+        assert "Traceback" not in err
+
+    def test_bench_malformed_baseline_one_line_error(self, capsys, tmp_path):
+        bad = tmp_path / "BENCH_baseline.json"
+        bad.write_text("{not json")
+        code = main(["bench", "--workloads", "kdtree_lowdim", "--repeats", "1",
+                     "--baseline", str(bad)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: baseline") and "not valid JSON" in err
+
+    def test_bench_wrong_shape_baseline_one_line_error(self, capsys, tmp_path):
+        bad = tmp_path / "BENCH_baseline.json"
+        bad.write_text(json.dumps({"workloads": 3}))
+        code = main(["bench", "--workloads", "kdtree_lowdim", "--repeats", "1",
+                     "--baseline", str(bad)])
+        assert code == 2
+        assert "not a BENCH payload" in capsys.readouterr().err
+
+    def test_explain_solver_portfolio(self, capsys):
+        assert main(
+            ["explain", "--dimension", "6", "--size", "12", "--seed", "3",
+             "--solver", "portfolio", "--budget", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "minimum sufficient reason" in out
+        assert "portfolio attempt" in out
+        assert "exact=True" in out
+
+    def test_explain_solver_sat(self, capsys):
+        assert main(
+            ["explain", "--dimension", "6", "--size", "12", "--seed", "3",
+             "--solver", "sat"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "method=sat" in out
+
+    def test_figure_budget_flag(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_fig6a.json"
+        assert main(
+            ["figure", "fig6a", "--repeats", "2", "--seed", "1",
+             "--budget", "60", "--json", str(json_path)]
+        ) == 0
+        payload = json.loads(json_path.read_text())
+        assert all("truncated" in row for row in payload["rows"])

@@ -1,0 +1,313 @@
+"""Tests for assumption-based incremental SAT solving.
+
+The core validation is a fuzz loop mirroring ``test_sat.py``: random
+formulas are solved under several random assumption sets *on the same
+solver instance*, and each verdict must agree with brute force over the
+formula plus the assumptions as unit clauses.  The incremental bound
+sweep (:func:`minimize_bound_assumptions`) is checked against the
+rebuild-per-bound driver on toy cardinality encodings.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ResourceLimitError, ValidationError
+from repro.solvers.sat import (
+    CNFBuilder,
+    SATSolver,
+    minimize_bound,
+    minimize_bound_assumptions,
+)
+
+
+def brute_force_satisfiable(num_vars, clauses, cards, units=()):
+    """Exhaustive model search; cards are (lits, bound, guard) triples."""
+    for bits in product([False, True], repeat=num_vars):
+        def val(lit):
+            return bits[abs(lit) - 1] ^ (lit < 0)
+
+        if not all(val(u) for u in units):
+            continue
+        if not all(any(val(l) for l in clause) for clause in clauses):
+            continue
+        ok = True
+        for lits, bound, guard in cards:
+            if guard is not None and not val(guard):
+                continue
+            if sum(val(l) for l in lits) < bound:
+                ok = False
+                break
+        if ok:
+            return bits
+    return None
+
+
+class TestAssumptions:
+    def test_basic_sat_unsat(self):
+        s = SATSolver(3)
+        s.add_clause([1, 2])
+        assert s.solve([-1]) is not None
+        assert s.solve([-1, -2]) is None
+        # The assumptions were not permanent: the formula is still SAT.
+        model = s.solve()
+        assert model is not None and (model[1] or model[2])
+
+    def test_assumption_satisfied_in_model(self):
+        s = SATSolver(4)
+        s.add_clause([1, 2, 3, 4])
+        model = s.solve([-2, 3])
+        assert model is not None
+        assert not model[2] and model[3]
+
+    def test_contradictory_assumptions(self):
+        s = SATSolver(2)
+        s.add_clause([1, 2])
+        assert s.solve([1, -1]) is None
+        assert s.solve() is not None
+
+    def test_unknown_assumption_literal_rejected(self):
+        s = SATSolver(2)
+        with pytest.raises(ValidationError):
+            s.solve([5])
+
+    def test_permanent_unsat_is_remembered(self):
+        s = SATSolver(1)
+        s.add_clause([1])
+        s.add_clause([-1])
+        assert s.solve() is None
+        assert s.solve() is None
+        assert s.solve([1]) is None
+
+    def test_clauses_added_between_solves(self):
+        s = SATSolver(3)
+        s.add_clause([1, 2, 3])
+        assert s.solve() is not None
+        s.add_clause([-1])
+        s.add_clause([-2])
+        model = s.solve()
+        assert model == {1: False, 2: False, 3: True}
+        s.add_clause([-3])
+        assert s.solve() is None
+
+    def test_cardinality_added_between_solves(self):
+        s = SATSolver(4)
+        assert s.solve() is not None
+        s.add_cardinality([1, 2, 3, 4], 3)
+        model = s.solve([-4])
+        assert model is not None
+        assert model[1] and model[2] and model[3] and not model[4]
+
+    def test_new_var_growth(self):
+        s = SATSolver(1)
+        s.add_clause([1])
+        assert s.solve() is not None
+        fresh = s.new_vars(2)
+        assert fresh == [2, 3]
+        s.add_clause([-fresh[0], fresh[1]])
+        model = s.solve([fresh[0]])
+        assert model is not None and model[fresh[1]]
+
+    def test_learnt_state_survives_assumption_switches(self):
+        # A UNSAT pigeonhole core: the verdict must be stable across
+        # repeated calls under changing assumptions (learnt clauses and
+        # the permanent-UNSAT memo must not corrupt each other).
+        builder = CNFBuilder()
+        v = {(p, h): builder.new_var() for p in range(4) for h in range(3)}
+        for p in range(4):
+            builder.add_clause([v[p, h] for h in range(3)])
+        for h in range(3):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    builder.add_clause([-v[p1, h], -v[p2, h]])
+        guard = builder.new_var()
+        solver = builder.build_solver()
+        for _ in range(3):
+            assert solver.solve([guard]) is None
+            assert solver.solve() is None
+
+    def test_conflict_limit_is_per_call(self):
+        # An incremental sweep must give each solve() the same conflict
+        # headroom a freshly built solver would have had, not bleed the
+        # budget across calls.
+        builder = CNFBuilder()
+        v = {(p, h): builder.new_var() for p in range(4) for h in range(3)}
+        for p in range(4):
+            builder.add_clause([v[p, h] for h in range(3)])
+        for h in range(3):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    builder.add_clause([-v[p1, h], -v[p2, h]])
+        solver = builder.build_solver(conflict_limit=10_000)
+        first = solver.conflicts
+        assert solver.solve() is None
+        spent = solver.conflicts - first
+        assert 0 < spent <= 10_000
+        # A second call starts from the accumulated total but must not
+        # trip the limit just because the counter is already non-zero.
+        assert solver.solve() is None
+
+    def test_time_limit_raises_and_solver_recovers(self):
+        # 6-into-5 pigeonhole: enough conflicts for the clock to fire.
+        builder = CNFBuilder()
+        holes, pigeons = 5, 6
+        v = {(p, h): builder.new_var() for p in range(pigeons) for h in range(holes)}
+        for p in range(pigeons):
+            builder.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    builder.add_clause([-v[p1, h], -v[p2, h]])
+        solver = builder.build_solver()
+        with pytest.raises(ResourceLimitError):
+            solver.solve(time_limit=0.0)
+        # The solver is still usable after the aborted call.
+        assert solver.solve() is None
+
+
+class TestIncrementalFuzz:
+    @given(
+        seed=st.integers(0, 1_000_000),
+        num_vars=st.integers(1, 6),
+        n_clauses=st.integers(0, 10),
+        n_cards=st.integers(0, 3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_formulas_under_assumption_sets(
+        self, seed, num_vars, n_clauses, n_cards
+    ):
+        rng = np.random.default_rng(seed)
+        clauses = []
+        for _ in range(n_clauses):
+            width = int(rng.integers(1, min(4, num_vars) + 1))
+            vs = rng.choice(num_vars, size=width, replace=False) + 1
+            clauses.append([int(v) * (1 if rng.random() < 0.5 else -1) for v in vs])
+        cards = []
+        for _ in range(n_cards):
+            width = int(rng.integers(1, num_vars + 1))
+            vs = rng.choice(num_vars, size=width, replace=False) + 1
+            lits = tuple(int(v) * (1 if rng.random() < 0.5 else -1) for v in vs)
+            bound = int(rng.integers(0, width + 1))
+            guard = None
+            if rng.random() < 0.4:
+                g = int(rng.integers(1, num_vars + 1))
+                if g not in [abs(l) for l in lits]:
+                    guard = g * (1 if rng.random() < 0.5 else -1)
+            cards.append((lits, bound, guard))
+        solver = SATSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        for lits, bound, guard in cards:
+            solver.add_cardinality(lits, bound, guard)
+        # Several assumption sets against the SAME solver instance, so
+        # learnt clauses from one call are live during the next.
+        for _ in range(4):
+            n_assume = int(rng.integers(0, num_vars + 1))
+            units = []
+            if n_assume:
+                vs = rng.choice(num_vars, size=n_assume, replace=False) + 1
+                units = [int(v) * (1 if rng.random() < 0.5 else -1) for v in vs]
+            model = solver.solve(units)
+            reference = brute_force_satisfiable(num_vars, clauses, cards, units)
+            if reference is None:
+                assert model is None
+                continue
+            assert model is not None
+
+            def val(lit):
+                return model[abs(lit)] ^ (lit < 0)
+
+            assert all(val(u) for u in units)
+            for clause in clauses:
+                assert any(val(l) for l in clause)
+            for lits, bound, guard in cards:
+                if guard is not None and not val(guard):
+                    continue
+                assert sum(val(l) for l in lits) >= bound
+
+
+class TestMinimizeBoundAssumptions:
+    def _cardinality_sweep_solver(self, n, at_least):
+        solver = SATSolver(0)
+        xs = solver.new_vars(n)
+        solver.add_cardinality(xs, at_least)
+        return solver, xs
+
+    @pytest.mark.parametrize("strategy", ["binary", "linear"])
+    def test_agrees_with_rebuild(self, strategy):
+        n, at_least = 7, 4
+        solver, xs = self._cardinality_sweep_solver(n, at_least)
+
+        def encode_bound(t):
+            guard = solver.new_var()
+            solver.add_at_most(xs, t, guard=guard)
+            return guard
+
+        def decode(model):
+            return sum(model[v] for v in xs)
+
+        incremental = minimize_bound_assumptions(
+            solver, encode_bound, decode, 0, n, strategy=strategy
+        )
+
+        def rebuild_feasible(t):
+            fresh = SATSolver(0)
+            ys = fresh.new_vars(n)
+            fresh.add_cardinality(ys, at_least)
+            fresh.add_at_most(ys, t)
+            model = fresh.solve()
+            return None if model is None else sum(model[v] for v in ys)
+
+        rebuild = minimize_bound(rebuild_feasible, 0, n, strategy=strategy)
+        assert incremental is not None and rebuild is not None
+        assert incremental[0] == rebuild[0] == at_least
+        assert incremental[1] == at_least
+
+    def test_all_infeasible_returns_none(self):
+        solver, xs = self._cardinality_sweep_solver(4, 3)
+
+        def encode_bound(t):
+            guard = solver.new_var()
+            solver.add_at_most(xs, t, guard=guard)
+            return guard
+
+        found = minimize_bound_assumptions(
+            solver, encode_bound, lambda m: m, 0, 2
+        )
+        assert found is None
+        # The solver itself is not poisoned: without guards it is SAT.
+        assert solver.solve() is not None
+
+    def test_guard_reuse_across_repeated_bounds(self):
+        solver, xs = self._cardinality_sweep_solver(5, 2)
+        created = []
+
+        def encode_bound(t):
+            guard = solver.new_var()
+            created.append(t)
+            solver.add_at_most(xs, t, guard=guard)
+            return guard
+
+        def decode(model):
+            return sum(model[v] for v in xs)
+
+        minimize_bound_assumptions(solver, encode_bound, decode, 0, 5)
+        assert len(created) == len(set(created)), "bounds must be encoded once"
+
+    def test_time_limit_expires(self):
+        solver, xs = self._cardinality_sweep_solver(6, 3)
+
+        def encode_bound(t):
+            guard = solver.new_var()
+            solver.add_at_most(xs, t, guard=guard)
+            return guard
+
+        with pytest.raises(ResourceLimitError):
+            minimize_bound_assumptions(
+                solver, encode_bound, lambda m: m, 0, 6, time_limit=0.0
+            )
