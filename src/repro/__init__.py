@@ -14,6 +14,12 @@ of per-query distance vectors.  Classifiers and explanation calls can
 share an engine (``engine=`` / ``query_engine=``) so repeated queries
 never recompute a distance.
 
+For long-lived serving, :mod:`repro.serve` wraps the pipelines in an
+:class:`~repro.serve.ExplanationService`: one warm engine per dataset
+fingerprint, micro-batched concurrent requests, LRU-cached answers
+with optional disk persistence, and a stdlib HTTP endpoint
+(``repro-knn serve --port``).
+
 Quickstart
 ----------
 >>> import numpy as np
@@ -73,6 +79,13 @@ from .portfolio import (
     portfolio_closest_counterfactual,
     portfolio_minimum_sufficient_reason,
 )
+from .serve import (
+    ExplanationRequest,
+    ExplanationResponse,
+    ExplanationService,
+    dataset_fingerprint,
+    serve_http,
+)
 
 __version__ = "1.0.0"
 
@@ -100,6 +113,12 @@ __all__ = [
     "PortfolioResult",
     "portfolio_minimum_sufficient_reason",
     "portfolio_closest_counterfactual",
+    # serving layer
+    "ExplanationRequest",
+    "ExplanationResponse",
+    "ExplanationService",
+    "dataset_fingerprint",
+    "serve_http",
     # metrics
     "Metric",
     "LpMetric",

@@ -19,7 +19,13 @@ Subcommands
 ``bench``
     measure the headline benchmark workloads and optionally gate them
     against a committed baseline — the CI ``bench-baseline`` job runs
-    ``bench --json BENCH_pr.json --baseline benchmarks/BENCH_baseline.json``.
+    ``bench --json BENCH_pr.json --baseline benchmarks/BENCH_baseline.json``;
+``serve``
+    start the long-lived explanation service (:mod:`repro.serve`) on a
+    stdlib HTTP endpoint: datasets are registered over ``POST
+    /v1/datasets``, explanations answered (micro-batched and cached)
+    over ``POST /v1/explain`` — see the README's "Serving explanations"
+    quickstart and ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -196,10 +202,51 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the explanation service until interrupted (``repro serve``)."""
+    from .serve import ExplanationService, serve_http
+
+    service = ExplanationService(
+        backend=args.backend,
+        cache_size=args.cache_size,
+        cache_dir=args.cache_dir,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+    )
+    if args.demo_size:
+        rng = np.random.default_rng(args.seed)
+        data = random_boolean_dataset(rng, args.demo_dimension, args.demo_size)
+        fingerprint = service.add_dataset(data)
+        print(f"demo dataset registered: {data!r}")
+        print(f"  fingerprint: {fingerprint}")
+    server = serve_http(service, host=args.host, port=args.port)
+    print(f"serving explanations on http://{args.host}:{server.port}")
+    print("  POST /v1/datasets | POST /v1/explain | GET /v1/stats | GET /healthz")
+    if args.demo_size:
+        instance = ", ".join(
+            str(int(v)) for v in rng.integers(0, 2, size=args.demo_dimension)
+        )
+        print(
+            f"  try: curl -s http://{args.host}:{server.port}/v1/explain "
+            f"-d '{{\"fingerprint\": \"{fingerprint}\", \"method\": \"classify\", "
+            f"\"instance\": [{instance}], \"params\": {{\"k\": 3}}}}'"
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for every subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro-knn",
         description="Abductive and counterfactual explanations for k-NN classifiers",
+        epilog="Full docs: docs/architecture.md (module map and request flow) "
+               "and docs/paper-map.md (theorem-to-code mapping).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -262,16 +309,59 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"subset of workloads to run (default: all of {sorted(bench.WORKLOADS)})",
     )
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="start the batched explanation service on an HTTP endpoint",
+        description="Long-lived explanation service: one warm QueryEngine per "
+                    "registered dataset fingerprint, micro-batched requests, "
+                    "LRU-cached answers (see docs/architecture.md).",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8000,
+        help="TCP port (0 binds an ephemeral port, printed at startup)",
+    )
+    serve_p.add_argument(
+        "--backend", choices=BACKENDS, default="auto",
+        help="QueryEngine index backend for served datasets (default: auto)",
+    )
+    serve_p.add_argument(
+        "--cache-size", type=int, default=2048,
+        help="result-cache entries kept in memory (0 disables caching)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist cached answers here (they survive restarts)",
+    )
+    serve_p.add_argument(
+        "--max-batch", type=int, default=256,
+        help="largest micro-batch stacked into one vectorized engine call",
+    )
+    serve_p.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="batching window: how long concurrent requests accumulate "
+             "before a flush (default 2 ms)",
+    )
+    serve_p.add_argument(
+        "--demo-size", type=int, default=0, metavar="N",
+        help="preload a random boolean demo dataset with N points and "
+             "print its fingerprint plus a ready-to-run curl example",
+    )
+    serve_p.add_argument("--demo-dimension", type=int, default=12)
+    serve_p.add_argument("--seed", type=int, default=0)
+
     return parser
 
 
 def main(argv=None) -> int:
+    """CLI entry point: dispatch the parsed subcommand, return its exit code."""
     args = build_parser().parse_args(argv)
     handlers = {
         "table1": _cmd_table1,
         "figure": _cmd_figure,
         "explain": _cmd_explain,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -14,6 +14,7 @@ from enum import Enum
 
 
 class Problem(str, Enum):
+    """The paper's explanation problems (the rows of Table 1)."""
     COUNTERFACTUAL = "Counterfactual"
     CHECK_SR = "Check Sufficient Reason"
     MINIMUM_SR = "Minimum Sufficient Reason"
@@ -21,6 +22,7 @@ class Problem(str, Enum):
 
 
 class Space(str, Enum):
+    """The paper's metric spaces (the columns of Table 1)."""
     L2 = "(R, D_2)"
     L1 = "(R, D_1)"
     HAMMING = "({0,1}, D_H)"

@@ -59,6 +59,7 @@ class CounterfactualResult:
 
     @property
     def found(self) -> bool:
+        """True when a counterfactual point was produced."""
         return self.y is not None
 
 

@@ -101,6 +101,7 @@ class DigitImages:
 
     @property
     def side(self) -> int:
+        """Edge length in pixels of the square digit images."""
         return self.images.shape[1]
 
     @classmethod

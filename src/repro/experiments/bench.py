@@ -14,7 +14,11 @@ tracks over time — and serializes them as ``BENCH_*.json``:
   force at dimension 3, where the tree's pruning wins;
 * ``msr_incremental`` — the incremental (assumption-based, encode-once)
   Minimum-SR SAT sweep against the seed's rebuild-per-bound search —
-  the second gated headline, introduced with the incremental solver.
+  the second gated headline, introduced with the incremental solver;
+* ``serve_throughput`` — the :mod:`repro.serve` micro-batched service
+  path against a sequential per-request loop on the same service
+  (caching disabled on both sides, answers asserted identical) — the
+  third gated headline, introduced with the serving layer.
 
 Speedup *ratios* (not wall-clock seconds) are what the gate compares:
 ratios are stable across runner hardware, absolute times are not.  Each
@@ -41,7 +45,7 @@ BENCH_SCHEMA = 1
 #: headline must exist in the baseline; secondary headlines are gated
 #: only when the committed baseline already records them (so an old
 #: baseline keeps gating what it knows about).
-GATED_HEADLINES = ("engine_batch", "msr_incremental")
+GATED_HEADLINES = ("engine_batch", "msr_incremental", "serve_throughput")
 
 #: the primary gated workload (legacy alias).
 HEADLINE = GATED_HEADLINES[0]
@@ -213,11 +217,76 @@ def measure_msr_incremental(seed: int = 20250601, repeats: int = 3) -> dict:
     }
 
 
+def measure_serve_throughput(seed: int = 20250601, repeats: int = 3) -> dict:
+    """Gated headline: micro-batched serving vs a sequential request loop.
+
+    Both contestants are the *same* :class:`~repro.serve.ExplanationService`
+    configuration (result cache disabled, so batching — not memoization —
+    is what's measured) over a 5000-point binary Hamming dataset, whose
+    integer distances make batched and per-request answers bit-identical
+    by the backend parity contract.  The sequential side answers one
+    ``classify`` request per :meth:`~repro.serve.ExplanationService.submit`
+    call — the one-shot library/CLI pattern the serving layer replaces —
+    while the batched side hands the identical request list to
+    :meth:`~repro.serve.ExplanationService.submit_many`, which groups
+    them into vectorized ``classify_batch`` calls.  Payloads are
+    asserted identical before any timing happens.
+    """
+    from ..serve import ExplanationService
+
+    rng = np.random.default_rng(seed)
+    data, queries = _labeled_workload(rng, 5_000, 64, 400, binary=True)
+
+    def fresh_service() -> tuple:
+        # The dense Gram kernel (the default workhorse backend) keeps the
+        # contest about batching: under bitpack both sides' kernels are so
+        # cheap that fixed per-call overhead compresses the ratio.  Dense
+        # Hamming is still exact on the binary data (integer counts).
+        service = ExplanationService(cache_size=0, backend="dense")
+        return service, service.add_dataset(data)
+
+    def sequential(service, fingerprint) -> list:
+        return [
+            service.submit(fingerprint, "classify", x, k=3, metric="hamming")
+            for x in queries
+        ]
+
+    def batched(service, fingerprint) -> list:
+        requests = [
+            service.make_request(fingerprint, "classify", x, k=3, metric="hamming")
+            for x in queries
+        ]
+        return service.submit_requests(requests)
+
+    service, fingerprint = fresh_service()
+    sequential_payloads = [r.payload for r in sequential(service, fingerprint)]
+    batched_payloads = [r.payload for r in batched(service, fingerprint)]
+    if sequential_payloads != batched_payloads:  # explicit: survives python -O
+        raise AssertionError("batched and sequential serving answers diverged")
+    sequential_s = best_of(
+        lambda: sequential(service, fingerprint), repeats=repeats
+    )
+    batched_s = best_of(lambda: batched(service, fingerprint), repeats=repeats)
+    return {
+        "sequential_s": sequential_s,
+        "batched_s": batched_s,
+        "speedup": sequential_s / batched_s,
+        "requests_per_s_sequential": len(queries) / sequential_s,
+        "requests_per_s_batched": len(queries) / batched_s,
+        "queries": 400,
+        "train": 5_000,
+        "dim": 64,
+        "metric": "hamming",
+        "k": 3,
+    }
+
+
 WORKLOADS = {
     "engine_batch": measure_engine_batch,
     "hamming_bitpack": measure_hamming_bitpack,
     "kdtree_lowdim": measure_kdtree_lowdim,
     "msr_incremental": measure_msr_incremental,
+    "serve_throughput": measure_serve_throughput,
 }
 
 
@@ -394,11 +463,13 @@ def render_report(payload: dict, *, baseline: dict | None = None) -> str:
 
 
 def load_json(path) -> dict:
+    """Read a ``BENCH_*.json`` payload from *path*."""
     with open(path) as handle:
         return json.load(handle)
 
 
 def save_json(payload: dict, path) -> None:
+    """Write *payload* to *path* as indented, key-sorted JSON."""
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

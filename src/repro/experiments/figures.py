@@ -32,6 +32,7 @@ class FigureSpec:
     make_task: Callable[[np.random.Generator, int, int], Callable[[], object]]
 
     def grid(self):
+        """The (n, N) parameter grid this figure sweeps."""
         for size in self.sizes:
             for n in self.dimensions:
                 yield {"n": n, "N": size}

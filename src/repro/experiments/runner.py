@@ -61,6 +61,7 @@ class SweepResult:
     rows: list[dict] = field(default_factory=list)
 
     def add(self, params: dict, timing: dict) -> None:
+        """Record one grid point's parameters and timing stats."""
         self.rows.append({**params, **timing})
 
     def series(self, x: str, group: str) -> dict:

@@ -28,6 +28,7 @@ class AffineSubspace:
 
     @property
     def codimension(self) -> int:
+        """Number of independent equality constraints."""
         return len(self.fixed)
 
     def equality_system(self) -> tuple[np.ndarray, np.ndarray]:
@@ -63,6 +64,7 @@ class AffineSubspace:
         return y
 
     def contains(self, y, *, tol: float = 1e-12) -> bool:
+        """Whether *y* satisfies every equality up to *tol*."""
         yv = as_vector(y, name="y")
         fixed = sorted(self.fixed)
         return bool(np.all(np.abs(yv[fixed] - self.anchor[fixed]) <= tol))

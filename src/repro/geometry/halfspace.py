@@ -28,6 +28,7 @@ class Halfspace:
         object.__setattr__(self, "b", float(self.b))
 
     def contains(self, x, *, tol: float = 1e-9) -> bool:
+        """Whether *x* satisfies the (possibly strict) inequality up to *tol*."""
         value = float(np.dot(self.w, np.asarray(x, dtype=np.float64)))
         if self.strict:
             return value < self.b - tol

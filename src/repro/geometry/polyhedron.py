@@ -47,6 +47,7 @@ class Polyhedron:
 
     @classmethod
     def from_systems(cls, A=None, b=None, A_strict=None, b_strict=None, *, dimension=None):
+        """Build from the systems ``A x <= b`` and ``A_strict x < b_strict``."""
         halfspaces = []
         if A is not None and len(A):
             A = np.asarray(A, dtype=float)
@@ -67,10 +68,12 @@ class Polyhedron:
 
     @property
     def n_constraints(self) -> int:
+        """Total number of weak plus strict constraints."""
         return self.A.shape[0] + self.A_strict.shape[0]
 
     @property
     def has_strict(self) -> bool:
+        """Whether any constraint is strict."""
         return self.A_strict.shape[0] > 0
 
     def closure(self) -> "Polyhedron":
@@ -80,6 +83,7 @@ class Polyhedron:
         return Polyhedron(self.dimension, halfspaces)
 
     def intersect(self, other: "Polyhedron") -> "Polyhedron":
+        """The polyhedron satisfying both constraint systems."""
         if other.dimension != self.dimension:
             raise ValueError("dimension mismatch")
         return Polyhedron(
@@ -88,6 +92,7 @@ class Polyhedron:
         )
 
     def iter_halfspaces(self):
+        """Yield every constraint as a :class:`Halfspace`."""
         for w, b in zip(self.A, self.b):
             yield Halfspace(w, b)
         for w, b in zip(self.A_strict, self.b_strict):
@@ -96,6 +101,7 @@ class Polyhedron:
     # -- predicates --------------------------------------------------------
 
     def contains(self, x, *, tol: float = 1e-9) -> bool:
+        """Whether *x* satisfies every constraint up to *tol*."""
         xv = np.asarray(x, dtype=float)
         if self.A.shape[0] and np.any(self.A @ xv > self.b + tol):
             return False
@@ -120,6 +126,7 @@ class Polyhedron:
         )
 
     def is_empty(self, A_eq=None, b_eq=None) -> bool:
+        """LP emptiness test (optionally restricted to ``A_eq x = b_eq``)."""
         return self.find_point(A_eq, b_eq) is None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

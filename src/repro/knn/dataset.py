@@ -98,14 +98,17 @@ class Dataset:
 
     @property
     def positive_multiplicities(self) -> np.ndarray:
+        """Per-row occurrence counts of the positive points."""
         return self._pos_mult
 
     @property
     def negative_multiplicities(self) -> np.ndarray:
+        """Per-row occurrence counts of the negative points."""
         return self._neg_mult
 
     @property
     def dimension(self) -> int:
+        """Number of features ``n``."""
         return self._positives.shape[1]
 
     @property
@@ -123,6 +126,7 @@ class Dataset:
 
     @property
     def has_multiplicities(self) -> bool:
+        """Whether any point occurs more than once."""
         return bool(np.any(self._pos_mult > 1) or np.any(self._neg_mult > 1))
 
     # -- derived forms -------------------------------------------------

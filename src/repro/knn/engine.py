@@ -507,6 +507,7 @@ class QueryEngine:
         }
 
     def cache_clear(self) -> None:
+        """Empty the distance cache and reset the hit/miss counters."""
         self._cache.clear()
         self._hits = 0
         self._misses = 0

@@ -45,6 +45,7 @@ class MultiClass1NN:
 
     @property
     def dimension(self) -> int:
+        """Number of features ``n``."""
         return self.points.shape[1]
 
     def classify(self, x, *, favor: int | None = None) -> int:
@@ -89,6 +90,7 @@ class MultiClass1NN:
         )
 
     def minimal_sufficient_reason(self, x) -> frozenset[int]:
+        """Inclusion-minimal sufficient reason for x's predicted class (one-vs-rest)."""
         from ..abductive import minimal_sufficient_reason
 
         label = self.classify(x)

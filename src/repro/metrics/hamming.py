@@ -19,6 +19,7 @@ class HammingMetric(Metric):
     is_discrete = True
 
     def distances_to(self, points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Hamming distances from every row of *points* to *x*."""
         return np.abs(points - x).sum(axis=1)
 
     def _powers_block(self, block: np.ndarray, points: np.ndarray) -> np.ndarray:

@@ -28,6 +28,7 @@ class LpMetric(Metric):
         self.name = "linf" if self.p is np.inf else f"l{self.p}"
 
     def distances_to(self, points: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """lp distances from every row of *points* to *x*."""
         diff = np.abs(points - x)
         if self.p is np.inf:
             return diff.max(axis=1) if diff.size else np.zeros(len(points))

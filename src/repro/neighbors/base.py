@@ -26,10 +26,12 @@ class NNIndex(abc.ABC):
 
     @property
     def size(self) -> int:
+        """Number of indexed points."""
         return self.points.shape[0]
 
     @property
     def dimension(self) -> int:
+        """Dimensionality of the indexed points."""
         return self.points.shape[1]
 
     def _check_query(self, x, k: int) -> tuple[np.ndarray, int]:

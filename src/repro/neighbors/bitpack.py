@@ -122,6 +122,7 @@ class BitPackedHammingIndex(NNIndex):
     # -- NNIndex interface ----------------------------------------------
 
     def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """The k nearest rows to *x*: ``(distances, indices)``, ties by index."""
         xv, k = self._check_query(x, k)
         d = self.counts_matrix(xv.reshape(1, -1))[0]
         order = np.argsort(d, kind="stable")[:k]

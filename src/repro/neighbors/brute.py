@@ -16,6 +16,7 @@ class BruteForceIndex(NNIndex):
     """
 
     def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """The k nearest rows to *x*: ``(distances, indices)``, ties by index."""
         xv, k = self._check_query(x, k)
         d = self.metric.distances_to(self.points, xv)
         # A stable argsort breaks distance ties by point index, which is

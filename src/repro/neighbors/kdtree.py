@@ -92,6 +92,7 @@ class KDTreeIndex(NNIndex):
         return float(np.power(gap, self._p).sum())
 
     def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """The k nearest rows to *x*: ``(distances, indices)``, ties by index."""
         xv, k = self._check_query(x, k)
         # Max-heap of the k best candidates as (-surrogate, -index): popping
         # removes the worst candidate, and among equal distances the larger

@@ -59,6 +59,7 @@ def maximum_clique_size(graph: nx.Graph) -> int:
 
 
 def has_k_clique(graph: nx.Graph, k: int) -> bool:
+    """Whether *graph* contains a clique on *k* vertices (exhaustive check)."""
     return maximum_clique_size(graph) >= int(k)
 
 

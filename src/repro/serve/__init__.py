@@ -1,0 +1,51 @@
+"""``repro.serve`` — the batched, cached explanation serving layer.
+
+Where the rest of the library is one-shot ("build an engine, answer a
+question, exit"), this package is the long-lived process the ROADMAP's
+scaling north star calls for:
+
+* :class:`ExplanationService` owns warm
+  :class:`~repro.knn.QueryEngine` instances per registered dataset
+  fingerprint, micro-batches compatible requests through the engine's
+  vectorized paths, and memoizes every answer in a
+  :class:`ResultCache` keyed by
+  ``(dataset fingerprint, instance bytes, method, params)``;
+* :func:`serve_http` / :class:`~repro.serve.http.ExplanationHTTPServer`
+  expose the service over a stdlib-only JSON HTTP endpoint
+  (``repro-knn serve --port``);
+* :func:`dataset_fingerprint` is the content hash that keys both the
+  engine registry and the cache, making dataset-change invalidation
+  exact.
+
+See ``docs/architecture.md`` ("how a request flows") and the README's
+"Serving explanations" quickstart.  Throughput of the batched path over
+a sequential per-request loop is the ``serve_throughput`` benchmark
+headline (``benchmarks/bench_serve_throughput.py``, gated ≥ 3× in CI).
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache, dataset_fingerprint, request_key
+from .http import ExplanationHTTPServer, serve_http
+from .service import (
+    BATCH_METHODS,
+    METHODS,
+    SOLVER_METHODS,
+    ExplanationRequest,
+    ExplanationResponse,
+    ExplanationService,
+)
+
+__all__ = [
+    "BATCH_METHODS",
+    "SOLVER_METHODS",
+    "METHODS",
+    "ExplanationRequest",
+    "ExplanationResponse",
+    "ExplanationService",
+    "ExplanationHTTPServer",
+    "ResultCache",
+    "dataset_fingerprint",
+    "request_key",
+    "serve_http",
+]

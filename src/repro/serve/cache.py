@@ -1,0 +1,254 @@
+"""Result caching for the explanation service: fingerprints, keys, LRU.
+
+The service memoizes every explanation answer under a key that pins
+down *exactly* what was asked:
+
+``(dataset fingerprint, instance bytes, method, canonical params)``
+
+* the **dataset fingerprint** (:func:`dataset_fingerprint`) is a
+  SHA-256 over the raw bytes of ``S+``/``S-``, their multiplicities,
+  dtypes, shapes and the discrete flag — two datasets share a
+  fingerprint iff they are bit-identical, so a changed dataset can
+  never serve a stale answer;
+* the **instance bytes** are the query vector's float64 buffer, so two
+  requests hit the same entry iff the instances are bit-identical;
+* the **method and params** are serialized canonically (sorted JSON),
+  so ``minimum_sr`` with ``solver="sat"`` never collides with
+  ``solver="milp"``, and no method ever reads another method's entries.
+
+:class:`ResultCache` is a thread-safe LRU over those keys with optional
+*disk persistence*: when ``cache_dir`` is set, every stored payload is
+also pickled to ``<fingerprint[:16]>-<sha256(key)>.pkl`` inside the
+directory, entries evicted from memory remain reachable on disk, and a
+fresh process pointed at the same directory starts warm.  Explicit
+invalidation (:meth:`ResultCache.invalidate`) removes both the memory
+entries and the disk files of one fingerprint.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import pickle
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..knn.dataset import Dataset
+
+#: separator inside a cache key; fingerprints are hex so it cannot collide.
+_KEY_SEP = b"|"
+
+#: the alphabet of a well-formed fingerprint (lowercase sha256 hex).
+_HEX = set("0123456789abcdef")
+
+
+def _is_hex(text: str) -> bool:
+    """Whether *text* is non-empty lowercase hex (a fingerprint prefix)."""
+    return bool(text) and set(text) <= _HEX
+
+
+def dataset_fingerprint(dataset: Dataset) -> str:
+    """SHA-256 fingerprint of a dataset's exact contents.
+
+    Covers the positive and negative point matrices, both multiplicity
+    vectors (dtype, shape and raw bytes each) and the discrete flag.
+    Bit-identical datasets — and only those — share a fingerprint.
+    """
+    if not isinstance(dataset, Dataset):
+        raise ValidationError("dataset must be a repro.knn.Dataset")
+    digest = hashlib.sha256()
+    for part in (
+        dataset.positives,
+        dataset.negatives,
+        dataset.positive_multiplicities,
+        dataset.negative_multiplicities,
+    ):
+        arr = np.ascontiguousarray(part)
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    digest.update(b"discrete" if dataset.discrete else b"continuous")
+    return digest.hexdigest()
+
+
+def canonical_params(params: dict) -> str:
+    """Canonical JSON serialization of a request's parameter dict.
+
+    Sorted keys and explicit separators make the serialization an
+    injective function of the (string-keyed, JSON-valued) params, so it
+    is safe to embed in a cache key.
+    """
+    try:
+        return json.dumps(params, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"request params must be JSON-serializable: {exc}"
+        ) from exc
+
+
+def request_key(
+    fingerprint: str, method: str, instance: np.ndarray, params: dict
+) -> bytes:
+    """The memoization key of one explanation request.
+
+    The fingerprint leads the key so :meth:`ResultCache.invalidate` can
+    drop every entry of one dataset by prefix.
+    """
+    return _KEY_SEP.join(
+        [
+            fingerprint.encode(),
+            method.encode(),
+            str(instance.dtype).encode(),
+            instance.tobytes(),
+            canonical_params(params).encode(),
+        ]
+    )
+
+
+class ResultCache:
+    """Thread-safe LRU cache of explanation payloads, optionally on disk.
+
+    Parameters
+    ----------
+    maxsize:
+        number of payloads kept in memory (0 disables the cache
+        entirely — every lookup misses and nothing is stored).
+    cache_dir:
+        optional directory for persisted entries.  Writes happen on
+        every :meth:`put`; reads happen on a memory miss; eviction from
+        memory leaves the disk copy in place.
+
+    Stored payloads are returned as deep copies so callers can never
+    mutate a cached answer in place.
+    """
+
+    def __init__(self, maxsize: int = 2048, cache_dir=None):
+        self.maxsize = max(0, int(maxsize))
+        self._dir = Path(cache_dir) if cache_dir else None
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self._data: OrderedDict[bytes, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+        self._evictions = 0
+
+    # -- core operations -------------------------------------------------
+
+    def get(self, key: bytes):
+        """``(found, payload)`` for *key*; checks memory, then disk.
+
+        Disk reads happen outside the lock so a slow persisted lookup
+        never stalls other threads' in-memory hits.
+        """
+        with self._lock:
+            if key in self._data:
+                self._hits += 1
+                self._data.move_to_end(key)
+                return True, copy.deepcopy(self._data[key])
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+            except (OSError, pickle.PickleError, EOFError):
+                payload = None  # damaged entry: fall through to a miss
+            if payload is not None:
+                with self._lock:
+                    self._hits += 1
+                    self._disk_hits += 1
+                    self._store(key, payload)
+                return True, copy.deepcopy(payload)
+        with self._lock:
+            self._misses += 1
+        return False, None
+
+    def put(self, key: bytes, payload) -> None:
+        """Store *payload* under *key* (memory LRU + optional disk copy).
+
+        The disk copy is written outside the lock (unique temp file,
+        atomic rename) so persistence latency never blocks readers.
+        """
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._store(key, payload)
+        path = self._disk_path(key)
+        if path is not None:
+            tmp = path.with_suffix(f".{threading.get_ident()}.tmp")
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle)
+            tmp.replace(path)  # atomic: readers never see partial files
+
+    def _store(self, key: bytes, payload) -> None:
+        """Insert into the memory LRU, evicting the oldest beyond maxsize."""
+        self._data[key] = copy.deepcopy(payload)
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self._evictions += 1
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry (memory and disk) of one dataset fingerprint.
+
+        The disk sweep only runs for a well-formed (hex) fingerprint
+        prefix — glob metacharacters in a caller-supplied string must
+        not be able to match other datasets' persisted files.
+        """
+        prefix = fingerprint.encode() + _KEY_SEP
+        removed = 0
+        with self._lock:
+            stale = [key for key in self._data if key.startswith(prefix)]
+            for key in stale:
+                del self._data[key]
+            removed += len(stale)
+            disk_prefix = fingerprint[:16]
+            if self._dir is not None and _is_hex(disk_prefix):
+                for path in self._dir.glob(f"{disk_prefix}-*.pkl"):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
+    def clear(self) -> None:
+        """Drop every memory entry and reset the counters (disk untouched)."""
+        with self._lock:
+            self._data.clear()
+            self._hits = self._misses = self._disk_hits = self._evictions = 0
+
+    # -- introspection ---------------------------------------------------
+
+    def keys(self) -> list[bytes]:
+        """Memory keys in LRU order (oldest first) — for eviction tests."""
+        with self._lock:
+            return list(self._data)
+
+    def stats(self) -> dict:
+        """``{hits, misses, disk_hits, evictions, size, maxsize}``."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "disk_hits": self._disk_hits,
+                "evictions": self._evictions,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def _disk_path(self, key: bytes) -> Path | None:
+        """Persisted location of *key*: fingerprint prefix + key digest."""
+        if self._dir is None:
+            return None
+        fingerprint = key.split(_KEY_SEP, 1)[0].decode()
+        return self._dir / f"{fingerprint[:16]}-{hashlib.sha256(key).hexdigest()}.pkl"

@@ -1,0 +1,262 @@
+"""Stdlib-only HTTP front end for the explanation service.
+
+``repro-knn serve --port 8000`` (or :func:`serve_http` from code) wraps
+an :class:`~repro.serve.service.ExplanationService` in a
+``ThreadingHTTPServer`` speaking JSON:
+
+========  =======================  ==========================================
+method    path                     body / response
+========  =======================  ==========================================
+GET       ``/healthz``             ``{"status": "ok", "datasets": N}``
+GET       ``/v1/stats``            service counters + cache stats
+POST      ``/v1/datasets``         ``{"positives": [[...]], "negatives":
+                                   [[...]], "discrete": bool, ...}`` →
+                                   ``{"fingerprint": ..., "dimension": n}``
+DELETE    ``/v1/datasets/<fp>``    drop dataset + invalidate its cache
+POST      ``/v1/explain``          ``{"fingerprint", "method", "instance"
+                                   | "instances", "params"}`` → answer(s)
+========  =======================  ==========================================
+
+Each HTTP request is handled on its own thread, but every explanation
+funnels through **one** asyncio loop (a daemon thread) running the
+service's micro-batching queue — so concurrent HTTP clients asking
+compatible questions share vectorized engine calls, exactly like
+in-process :meth:`~repro.serve.service.ExplanationService.asubmit`
+callers.  Non-finite floats are encoded as the strings ``"Infinity"`` /
+``"-Infinity"`` / ``"NaN"`` so the wire format stays strict JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..exceptions import ReproError, ValidationError
+from ..knn import Dataset
+from .service import ExplanationService
+
+#: largest accepted request body (16 MiB) — a serving process should not
+#: be OOM-able by one oversized POST.
+MAX_BODY_BYTES = 16 << 20
+
+
+def jsonable(obj):
+    """Recursively convert *obj* into strict-JSON-encodable values.
+
+    numpy scalars/arrays become python scalars/lists; non-finite floats
+    become ``"Infinity"`` / ``"-Infinity"`` / ``"NaN"`` strings (strict
+    JSON has no literal for them and many clients reject the python
+    extensions).
+    """
+    if isinstance(obj, dict):
+        return {str(key): jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return [jsonable(value) for value in obj.tolist()]
+    if isinstance(obj, (np.integer, np.bool_)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "Infinity"
+        if value == float("-inf"):
+            return "-Infinity"
+        return value
+    return obj
+
+
+class ExplanationHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one service and one asyncio loop.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    :attr:`port`.  :meth:`shutdown` stops both the HTTP threads and the
+    batching loop.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self, service: ExplanationService, host: str = "127.0.0.1", port: int = 8000
+    ):
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self.loop.run_forever, name="repro-serve-loop", daemon=True
+        )
+        self._loop_thread.start()
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+    def shutdown(self) -> None:
+        """Stop serving HTTP and wind down the batching loop."""
+        super().shutdown()
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._loop_thread.join(timeout=5)
+
+    def explain(self, calls: list[dict]):
+        """Run a list of asubmit kwargs through the shared batching loop."""
+
+        async def gather():
+            return await asyncio.gather(
+                *(self.service.asubmit(**call) for call in calls)
+            )
+
+        return asyncio.run_coroutine_threadsafe(gather(), self.loop).result()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route table and JSON plumbing for :class:`ExplanationHTTPServer`."""
+
+    server: ExplanationHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- verbs -----------------------------------------------------------
+
+    def do_GET(self) -> None:
+        """``/healthz`` and ``/v1/stats``."""
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(
+                200, {"status": "ok", "datasets": len(service.fingerprints())}
+            )
+        elif self.path == "/v1/stats":
+            self._reply(200, service.stats())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        """``/v1/datasets`` (register) and ``/v1/explain`` (answer)."""
+        try:
+            body = self._read_json()
+            if self.path == "/v1/datasets":
+                self._reply(200, self._register_dataset(body))
+            elif self.path == "/v1/explain":
+                self._reply(200, self._explain(body))
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+        except (ValidationError, ValueError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": str(exc) or exc.__class__.__name__})
+        except ReproError as exc:
+            self._reply(422, {"error": str(exc)})
+
+    def do_DELETE(self) -> None:
+        """``/v1/datasets/<fingerprint>`` — drop + invalidate."""
+        prefix = "/v1/datasets/"
+        if not self.path.startswith(prefix):
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        fingerprint = self.path[len(prefix) :]
+        # Fingerprints are sha256 hex; reject anything else before it can
+        # reach the cache's disk sweep (no wildcard deletion via the URL).
+        if len(fingerprint) != 64 or not all(c in "0123456789abcdef" for c in fingerprint):
+            self._reply(400, {"error": "malformed fingerprint (want 64 hex chars)"})
+            return
+        try:
+            removed = self.server.service.remove_dataset(fingerprint)
+        except ReproError as exc:
+            self._reply(422, {"error": str(exc)})
+            return
+        self._reply(200, {"fingerprint": fingerprint, "invalidated": removed})
+
+    # -- endpoint bodies --------------------------------------------------
+
+    def _register_dataset(self, body: dict) -> dict:
+        """Build and register a Dataset from a JSON body."""
+        data = Dataset(
+            body["positives"],
+            body["negatives"],
+            positive_multiplicities=body.get("positive_multiplicities"),
+            negative_multiplicities=body.get("negative_multiplicities"),
+            discrete=bool(body.get("discrete", False)),
+        )
+        fingerprint = self.server.service.add_dataset(data)
+        return {
+            "fingerprint": fingerprint,
+            "dimension": data.dimension,
+            "n_positive": data.n_positive,
+            "n_negative": data.n_negative,
+        }
+
+    def _explain(self, body: dict) -> dict:
+        """Answer one instance or a batch through the shared asyncio loop."""
+        fingerprint = body["fingerprint"]
+        method = body["method"]
+        params = body.get("params", {})
+        if not isinstance(params, dict):
+            raise ValidationError("params must be a JSON object")
+        if "instances" in body:
+            instances = body["instances"]
+            single = False
+        elif "instance" in body:
+            instances = [body["instance"]]
+            single = True
+        else:
+            raise ValidationError("body needs 'instance' or 'instances'")
+        calls = [
+            {
+                "fingerprint": fingerprint,
+                "method": method,
+                "instance": instance,
+                **params,
+            }
+            for instance in instances
+        ]
+        responses = self.server.explain(calls)
+        results = [
+            {
+                "result": response.payload,
+                "cached": response.cached,
+                "elapsed_ms": response.elapsed_s * 1000.0,
+            }
+            for response in responses
+        ]
+        return results[0] if single else {"results": results}
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _read_json(self) -> dict:
+        """Decode the request body as a JSON object (size-capped)."""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValidationError(
+                f"request body of {length} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        raw = self.rfile.read(length) if length else b""
+        body = json.loads(raw.decode("utf-8") or "{}")
+        if not isinstance(body, dict):
+            raise ValidationError("request body must be a JSON object")
+        return body
+
+    def _reply(self, status: int, payload: dict) -> None:
+        """Serialize *payload* as JSON and finish the response."""
+        blob = json.dumps(jsonable(payload)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging (stats live at /v1/stats)."""
+
+
+def serve_http(
+    service: ExplanationService, *, host: str = "127.0.0.1", port: int = 8000
+) -> ExplanationHTTPServer:
+    """Bind an :class:`ExplanationHTTPServer`; call ``serve_forever()`` on it.
+
+    Returned unstarted so callers (tests, the CLI) control the serving
+    thread; ``server.port`` holds the bound port when ``port=0``.
+    """
+    return ExplanationHTTPServer(service, host=host, port=port)

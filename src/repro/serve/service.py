@@ -1,0 +1,564 @@
+"""The long-lived explanation service: shared engines, batching, caching.
+
+:class:`ExplanationService` is the serving layer the ROADMAP's
+"millions of users" north star asks for.  A process holds **one**
+service; the service holds, per registered dataset fingerprint, the
+dataset and one warm :class:`~repro.knn.QueryEngine` per metric, so no
+request ever pays index construction or dataset validation again.  On
+top of that it adds:
+
+* **micro-batching** — :meth:`ExplanationService.submit_many` (and the
+  asyncio path, :meth:`ExplanationService.asubmit`) groups compatible
+  requests (same dataset, method and params) and answers the batchable
+  methods — ``classify``, ``margin``, ``radii`` — through the engine's
+  vectorized paths (:meth:`~repro.knn.QueryEngine.classify_batch`,
+  :meth:`~repro.knn.QueryEngine.margins_batch`,
+  :meth:`~repro.knn.QueryEngine.radii_batch`), one kernel call per
+  group instead of one per request;
+* **result caching** — every answer is memoized in a
+  :class:`~repro.serve.cache.ResultCache` keyed by
+  ``(dataset fingerprint, instance bytes, method, params)``, so
+  identical requests are served from memory (optionally disk) without
+  re-solving; a cache hit returns a payload bit-identical to the cold
+  solve that produced it (the deterministic part of the payload — see
+  :data:`PROVENANCE_KEY`);
+* **provenance** — portfolio-solved requests echo the
+  :class:`~repro.portfolio.PortfolioResult` race record (which method
+  won, per-attempt status and timing) under the payload's
+  ``"provenance"`` key.
+
+The solver methods — ``minimal_sr``, ``minimum_sr``,
+``counterfactual`` — are not batchable (each is its own NP-hard solve),
+but they share the warm engine and the result cache with everything
+else, which is where a serving process beats one-shot CLI calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import as_vector, check_odd_k
+from ..exceptions import ReproError, ValidationError
+from ..knn import Dataset, QueryEngine
+from ..metrics import get_metric
+from .cache import ResultCache, dataset_fingerprint, request_key
+
+#: methods answered through the engine's vectorized batch paths.
+BATCH_METHODS = ("classify", "margin", "radii")
+
+#: per-instance solver methods (cached and engine-sharing, not batchable).
+SOLVER_METHODS = ("minimal_sr", "minimum_sr", "counterfactual")
+
+#: every method the service accepts.
+METHODS = BATCH_METHODS + SOLVER_METHODS
+
+#: payload key holding race/timing metadata; everything *outside* this
+#: key is a deterministic function of (dataset, instance, method, params).
+PROVENANCE_KEY = "provenance"
+
+
+@dataclass(frozen=True, eq=False)
+class ExplanationRequest:
+    """One normalized explanation request (build via ``make_request``).
+
+    ``params`` is the canonical parameter dict (defaults filled in,
+    metric resolved), and ``key`` the resulting cache key — two
+    requests are interchangeable iff their keys are equal.
+    """
+
+    fingerprint: str
+    method: str
+    instance: np.ndarray
+    params: dict
+    key: bytes
+
+
+@dataclass(frozen=True, eq=False)
+class ExplanationResponse:
+    """An answered request: JSON-ready payload plus serving metadata.
+
+    ``payload`` carries either the method's answer or an ``"error"`` /
+    ``"error_type"`` pair (execution failures are reported in-band so
+    one bad request cannot poison a batch).  ``cached`` tells whether
+    the answer came from the result cache; ``elapsed_s`` is the serving
+    time of this response (near zero for hits).
+    """
+
+    request: ExplanationRequest
+    payload: dict
+    cached: bool
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the payload is an answer, not an in-band error."""
+        return "error" not in self.payload
+
+
+class ExplanationService:
+    """Batched, cached serving front end over every explanation pipeline.
+
+    Parameters
+    ----------
+    backend:
+        :class:`~repro.knn.QueryEngine` index backend for every engine
+        the service builds (default ``"auto"``).
+    cache_size:
+        memory entries of the result cache (0 disables caching).
+    cache_dir:
+        optional directory for persisted cache entries (entries survive
+        process restarts; see :class:`~repro.serve.cache.ResultCache`).
+    max_batch:
+        largest query block stacked into one vectorized engine call.
+    max_wait_s:
+        how long the asyncio path lets concurrent requests accumulate
+        before flushing a micro-batch (the batching window).
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "auto",
+        cache_size: int = 2048,
+        cache_dir=None,
+        max_batch: int = 256,
+        max_wait_s: float = 0.002,
+    ):
+        self.backend = backend
+        self.cache = ResultCache(cache_size, cache_dir)
+        self.max_batch = max(1, int(max_batch))
+        self.max_wait_s = max(0.0, float(max_wait_s))
+        self._datasets: dict[str, Dataset] = {}
+        self._engines: dict[tuple[str, str], QueryEngine] = {}
+        self._engine_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._lock = threading.RLock()
+        self._pending: list[tuple[ExplanationRequest, asyncio.Future]] = []
+        self._flush_task: asyncio.Task | None = None
+        self._requests = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._largest_batch = 0
+
+    # -- dataset registry ------------------------------------------------
+
+    def add_dataset(self, dataset: Dataset) -> str:
+        """Register *dataset* and return its fingerprint (idempotent).
+
+        Re-registering bit-identical data returns the same fingerprint
+        and keeps the warm engines; different data gets a different
+        fingerprint, so answers can never leak across dataset versions.
+        """
+        fingerprint = dataset_fingerprint(dataset)
+        with self._lock:
+            self._datasets.setdefault(fingerprint, dataset)
+        return fingerprint
+
+    def dataset(self, fingerprint: str) -> Dataset:
+        """The registered dataset behind *fingerprint* (raises if unknown)."""
+        with self._lock:
+            try:
+                return self._datasets[fingerprint]
+            except KeyError:
+                raise ValidationError(
+                    f"unknown dataset fingerprint {fingerprint[:16]!r}...; "
+                    "register the dataset first (add_dataset / POST /v1/datasets)"
+                ) from None
+
+    def remove_dataset(self, fingerprint: str) -> int:
+        """Drop a dataset, its warm engines, and every cached answer.
+
+        Returns the number of cache entries invalidated.  This is the
+        explicit invalidation hook for dataset change: remove the old
+        fingerprint, register the new data (which gets its own
+        fingerprint), and no stale answer can survive.
+        """
+        with self._lock:
+            self._datasets.pop(fingerprint, None)
+            for key in [k for k in self._engines if k[0] == fingerprint]:
+                del self._engines[key]
+                self._engine_locks.pop(key, None)
+        return self.cache.invalidate(fingerprint)
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop cached answers for *fingerprint*, keeping the dataset."""
+        return self.cache.invalidate(fingerprint)
+
+    def fingerprints(self) -> list[str]:
+        """Fingerprints of every registered dataset."""
+        with self._lock:
+            return list(self._datasets)
+
+    def engine(self, fingerprint: str, metric=None) -> QueryEngine:
+        """The warm shared engine for ``(fingerprint, metric)``.
+
+        Built on first use with the service's backend and reused by
+        every subsequent request — this is the construction cost a
+        long-lived service amortizes away.
+        """
+        data = self.dataset(fingerprint)
+        name = self._metric_name(data, metric)
+        with self._lock:
+            engine = self._engines.get((fingerprint, name))
+            if engine is None:
+                engine = QueryEngine(data, name, backend=self.backend)
+                self._engines[(fingerprint, name)] = engine
+                self._engine_locks[(fingerprint, name)] = threading.Lock()
+        return engine
+
+    def _engine_lock(self, fingerprint: str, metric_name: str) -> threading.Lock:
+        """The mutex serializing solver pipelines over one engine.
+
+        The engine's batch paths are read-only and safe to share, but
+        the solver pipelines drive the single-query entry points, which
+        mutate the engine's internal LRU distance cache — concurrent
+        solver requests on the same engine must not interleave there.
+        """
+        with self._lock:
+            return self._engine_locks.setdefault(
+                (fingerprint, metric_name), threading.Lock()
+            )
+
+    @staticmethod
+    def _metric_name(dataset: Dataset, metric) -> str:
+        """Resolve a request's metric (default: Hamming iff discrete)."""
+        if metric is None:
+            metric = "hamming" if dataset.discrete else "l2"
+        return get_metric(metric).name
+
+    # -- request construction --------------------------------------------
+
+    def make_request(
+        self, fingerprint: str, method: str, instance, **params
+    ) -> ExplanationRequest:
+        """Validate and normalize one request into canonical form.
+
+        Fills parameter defaults and resolves the metric so that
+        equivalent requests produce equal cache keys; raises
+        :class:`~repro.exceptions.ValidationError` on unknown methods,
+        unknown params, or a dimension mismatch.
+        """
+        data = self.dataset(fingerprint)
+        if method not in METHODS:
+            raise ValidationError(
+                f"unknown method {method!r}; choose from {'|'.join(METHODS)}"
+            )
+        xv = as_vector(instance, name="instance")
+        if xv.shape[0] != data.dimension:
+            raise ValidationError(
+                f"instance has dimension {xv.shape[0]}, "
+                f"dataset has {data.dimension}"
+            )
+        xv = np.ascontiguousarray(xv)
+        xv.setflags(write=False)
+        norm = self._normalize_params(data, method, dict(params))
+        key = request_key(fingerprint, method, xv, norm)
+        return ExplanationRequest(fingerprint, method, xv, norm, key)
+
+    def _normalize_params(self, dataset: Dataset, method: str, params: dict) -> dict:
+        """Canonical parameter dict for *method* (defaults made explicit)."""
+        out = {
+            "k": check_odd_k(params.pop("k", 1)),
+            "metric": self._metric_name(dataset, params.pop("metric", None)),
+        }
+        if method in ("minimum_sr", "counterfactual"):
+            out["solver"] = str(params.pop("solver", "auto"))
+            budget = params.pop("budget", None)
+            out["budget"] = None if budget is None else float(budget)
+        if params:
+            raise ValidationError(
+                f"unknown params for method {method!r}: {sorted(params)}"
+            )
+        return out
+
+    # -- synchronous serving ---------------------------------------------
+
+    def submit(self, fingerprint: str, method: str, instance, **params):
+        """Serve one request (cache → solve); returns an ExplanationResponse."""
+        return self.submit_requests(
+            [self.make_request(fingerprint, method, instance, **params)]
+        )[0]
+
+    def submit_many(self, requests: Sequence) -> list[ExplanationResponse]:
+        """Serve a batch of requests, micro-batching compatible ones.
+
+        Accepts :class:`ExplanationRequest` objects or ``(fingerprint,
+        method, instance)`` / ``(fingerprint, method, instance, params)``
+        tuples.  Responses come back in request order.
+        """
+        normalized = []
+        for req in requests:
+            if isinstance(req, ExplanationRequest):
+                normalized.append(req)
+            else:
+                fingerprint, method, instance, *rest = req
+                params = rest[0] if rest else {}
+                normalized.append(
+                    self.make_request(fingerprint, method, instance, **params)
+                )
+        return self.submit_requests(normalized)
+
+    def submit_requests(
+        self, requests: Sequence[ExplanationRequest]
+    ) -> list[ExplanationResponse]:
+        """Serve normalized requests: cache hits, then grouped cold solves.
+
+        Cold requests are grouped by ``(fingerprint, method, params)``;
+        each batchable group runs through one vectorized engine call per
+        ``max_batch`` block, duplicate keys within the batch are solved
+        once, and every produced answer lands in the cache before the
+        responses are assembled in request order.
+        """
+        start = perf_counter()
+        with self._lock:
+            self._requests += len(requests)
+        answered: dict[int, ExplanationResponse] = {}
+        cold: dict[bytes, list[int]] = {}
+        for i, req in enumerate(requests):
+            found, payload = self.cache.get(req.key)
+            if found:
+                answered[i] = ExplanationResponse(
+                    req, payload, cached=True, elapsed_s=perf_counter() - start
+                )
+            else:
+                cold.setdefault(req.key, []).append(i)
+        groups: dict[tuple, list[bytes]] = {}
+        for key, indices in cold.items():
+            req = requests[indices[0]]
+            group_id = (req.fingerprint, req.method, tuple(sorted(req.params.items())))
+            groups.setdefault(group_id, []).append(key)
+        for (fingerprint, method, _), keys in groups.items():
+            reqs = [requests[cold[key][0]] for key in keys]
+            params = reqs[0].params
+            if method in BATCH_METHODS:
+                payloads = self._solve_batched(fingerprint, method, params, reqs)
+            else:
+                payloads = [
+                    self._solve_one(fingerprint, method, params, req.instance)
+                    for req in reqs
+                ]
+            with self._lock:
+                self._batches += 1
+                self._batched_requests += len(reqs)
+                self._largest_batch = max(self._largest_batch, len(reqs))
+            for key, payload in zip(keys, payloads):
+                if "error" not in payload:
+                    self.cache.put(key, payload)
+                for i in cold[key]:
+                    answered[i] = ExplanationResponse(
+                        requests[i],
+                        payload,
+                        cached=False,
+                        elapsed_s=perf_counter() - start,
+                    )
+        return [answered[i] for i in range(len(requests))]
+
+    # -- evaluation ------------------------------------------------------
+
+    def _solve_batched(
+        self,
+        fingerprint: str,
+        method: str,
+        params: dict,
+        reqs: Sequence[ExplanationRequest],
+    ) -> list[dict]:
+        """Answer a compatible group through one engine batch call per block."""
+        engine = self.engine(fingerprint, params["metric"])
+        k = params["k"]
+        payloads: list[dict] = []
+        for start in range(0, len(reqs), self.max_batch):
+            block = np.vstack([r.instance for r in reqs[start : start + self.max_batch]])
+            if method == "classify":
+                labels = engine.classify_batch(block, k)
+                payloads.extend({"label": int(v)} for v in labels)
+            elif method == "margin":
+                margins = engine.margins_batch(block, k)
+                payloads.extend({"margin": float(v)} for v in margins)
+            else:  # radii
+                r_pos, r_neg = engine.radii_batch(block, k)
+                payloads.extend(
+                    {"r_pos": float(p), "r_neg": float(n)}
+                    for p, n in zip(r_pos, r_neg)
+                )
+        return payloads
+
+    def _solve_one(
+        self, fingerprint: str, method: str, params: dict, x: np.ndarray
+    ) -> dict:
+        """Answer one solver-method request, reporting failures in-band."""
+        try:
+            with self._engine_lock(fingerprint, params["metric"]):
+                return self._dispatch_solver(fingerprint, method, params, x)
+        except ReproError as exc:
+            return {"error": str(exc), "error_type": exc.__class__.__name__}
+
+    def _dispatch_solver(
+        self, fingerprint: str, method: str, params: dict, x: np.ndarray
+    ) -> dict:
+        """Route a solver method to its pipeline over the shared engine."""
+        from ..abductive import minimal_sufficient_reason, minimum_sufficient_reason
+        from ..counterfactual import closest_counterfactual
+        from ..portfolio import (
+            portfolio_closest_counterfactual,
+            portfolio_minimum_sufficient_reason,
+        )
+
+        data = self.dataset(fingerprint)
+        engine = self.engine(fingerprint, params["metric"])
+        metric, k = params["metric"], params["k"]
+        if method == "minimal_sr":
+            X = minimal_sufficient_reason(data, k, metric, x, engine=engine)
+            return {"X": sorted(int(i) for i in X), "size": len(X)}
+        if method == "minimum_sr":
+            if params["solver"] == "portfolio":
+                race = portfolio_minimum_sufficient_reason(
+                    data, k, metric, x, budget=params["budget"], engine=engine
+                )
+                answer = race.answer
+                return {
+                    "X": sorted(int(i) for i in answer.X),
+                    "size": int(answer.size),
+                    "method": race.method,
+                    "exact": race.exact,
+                    PROVENANCE_KEY: _race_provenance(race),
+                }
+            result = minimum_sufficient_reason(
+                data, k, metric, x,
+                method=params["solver"], engine=engine, time_limit=params["budget"],
+            )
+            return {
+                "X": sorted(int(i) for i in result.X),
+                "size": int(result.size),
+                "method": result.method,
+                "exact": True,
+            }
+        # counterfactual
+        if params["solver"] == "portfolio":
+            race = portfolio_closest_counterfactual(
+                data, k, metric, x, budget=params["budget"], query_engine=engine
+            )
+            payload = _counterfactual_payload(race.answer)
+            payload["exact"] = race.exact
+            payload[PROVENANCE_KEY] = _race_provenance(race)
+            return payload
+        result = closest_counterfactual(
+            data, k, metric, x,
+            method=params["solver"], query_engine=engine, time_limit=params["budget"],
+        )
+        payload = _counterfactual_payload(result)
+        payload["exact"] = True
+        return payload
+
+    # -- asynchronous serving --------------------------------------------
+
+    async def asubmit(
+        self, fingerprint: str, method: str, instance, **params
+    ) -> ExplanationResponse:
+        """Serve one request on the running asyncio loop, micro-batched.
+
+        Cache hits are answered immediately.  Misses join the pending
+        queue; a flush task lets further concurrent requests accumulate
+        for up to ``max_wait_s`` and then serves the whole queue through
+        :meth:`submit_requests` in a worker thread (so the loop stays
+        responsive while numpy/solver code runs).  Concurrent callers on
+        the same loop therefore share vectorized kernel calls.
+        """
+        request = self.make_request(fingerprint, method, instance, **params)
+        found, payload = self.cache.get(request.key)
+        if found:
+            with self._lock:
+                self._requests += 1
+            return ExplanationResponse(request, payload, cached=True, elapsed_s=0.0)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((request, future))
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = loop.create_task(self._flush_pending())
+        return await future
+
+    async def _flush_pending(self) -> None:
+        """Drain the pending queue after each batching window elapses.
+
+        Loops until a window closes with nothing pending: requests that
+        arrive *while* a batch is solving in the executor (when
+        ``asubmit`` sees a live flush task and schedules nothing) are
+        picked up by the next iteration instead of being stranded.
+        """
+        while True:
+            await asyncio.sleep(self.max_wait_s)
+            pending, self._pending = self._pending, []
+            if not pending:
+                return
+            loop = asyncio.get_running_loop()
+            requests = [request for request, _ in pending]
+            try:
+                responses = await loop.run_in_executor(
+                    None, self.submit_requests, requests
+                )
+            except Exception as exc:  # validation passed earlier; defensive
+                for _, future in pending:
+                    if not future.done():
+                        future.set_exception(exc)
+                continue  # stragglers may still be queued behind the failure
+            for (_, future), response in zip(pending, responses):
+                if not future.done():
+                    future.set_result(response)
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters: datasets, engines, requests, batching, cache."""
+        with self._lock:
+            return {
+                "datasets": len(self._datasets),
+                "engines": len(self._engines),
+                "requests": self._requests,
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+                "largest_batch": self._largest_batch,
+                "cache": self.cache.stats(),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"ExplanationService(datasets={len(self._datasets)}, "
+                f"backend={self.backend!r}, cache={len(self.cache)})"
+            )
+
+
+def _race_provenance(race) -> dict:
+    """JSON-ready provenance of a :class:`~repro.portfolio.PortfolioResult`."""
+    return {
+        "winner": race.method,
+        "exact": race.exact,
+        "budget_s": race.budget_s,
+        "elapsed_s": race.elapsed_s,
+        "attempts": [
+            {
+                "method": attempt.method,
+                "status": attempt.status,
+                "budget_s": attempt.budget_s,
+                "elapsed_s": attempt.elapsed_s,
+                "detail": attempt.detail,
+            }
+            for attempt in race.attempts
+        ],
+    }
+
+
+def _counterfactual_payload(result) -> dict:
+    """JSON-ready payload of a CounterfactualResult (y as a plain list)."""
+    return {
+        "found": result.found,
+        "y": None if result.y is None else [float(v) for v in result.y],
+        "distance": float(result.distance),
+        "infimum": float(result.infimum),
+        "label_from": int(result.label_from),
+        "method": result.method,
+    }

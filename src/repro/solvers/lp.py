@@ -36,6 +36,7 @@ class LPResult:
 
     @property
     def optimal(self) -> bool:
+        """True when the solver reports an optimal solution."""
         return self.status == "optimal"
 
 

@@ -64,9 +64,11 @@ class MILPResult:
 
     @property
     def optimal(self) -> bool:
+        """True when the solver reports a proven-optimal solution."""
         return self.status == "optimal"
 
     def value(self, var: Var) -> float:
+        """The solution value of *var*."""
         return float(self.x[var.index])
 
 
@@ -98,6 +100,7 @@ class MILPModel:
         ub: float = np.inf,
         integer: bool = False,
     ) -> Var:
+        """Add one variable with bounds (integer when asked); returns it."""
         if lb > ub:
             raise ValidationError(f"variable {name!r}: lb {lb} > ub {ub}")
         var = Var(len(self._vars), name or f"x{len(self._vars)}", integer)
@@ -107,17 +110,21 @@ class MILPModel:
         return var
 
     def add_binary(self, name: str | None = None) -> Var:
+        """Add one 0/1 integer variable."""
         return self.add_var(name, lb=0.0, ub=1.0, integer=True)
 
     def add_vars(self, count: int, prefix: str = "x", **kwargs) -> list[Var]:
+        """Add *count* variables named ``prefix[i]`` sharing *kwargs*."""
         return [self.add_var(f"{prefix}[{i}]", **kwargs) for i in range(count)]
 
     @property
     def n_vars(self) -> int:
+        """Number of variables added so far."""
         return len(self._vars)
 
     @property
     def n_constraints(self) -> int:
+        """Number of linear constraints added so far."""
         return len(self._constraints)
 
     # -- constraints ------------------------------------------------------
@@ -145,6 +152,7 @@ class MILPModel:
         self._constraints.append(_Constraint(cmap, lo, hi))
 
     def set_objective(self, coeffs, *, constant: float = 0.0, maximize: bool = False):
+        """Set the linear objective from ``{var: coeff}`` (plus a constant)."""
         self._objective = self._as_coeffs(coeffs)
         self._obj_constant = float(constant)
         self._maximize = bool(maximize)

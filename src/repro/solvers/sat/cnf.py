@@ -29,6 +29,7 @@ class CNFBuilder:
     # -- variables --------------------------------------------------------
 
     def new_var(self, name: str | None = None) -> int:
+        """Allocate a fresh variable (optionally named); returns its index."""
         self.num_vars += 1
         if name is not None:
             if name in self._names:
@@ -37,17 +38,20 @@ class CNFBuilder:
         return self.num_vars
 
     def new_vars(self, count: int, prefix: str | None = None) -> list[int]:
+        """Allocate *count* fresh variables, named ``prefix[i]`` when given."""
         return [
             self.new_var(None if prefix is None else f"{prefix}[{i}]")
             for i in range(count)
         ]
 
     def var(self, name: str) -> int:
+        """The variable index previously registered under *name*."""
         return self._names[name]
 
     # -- constraints --------------------------------------------------------
 
     def add_clause(self, lits) -> None:
+        """Add a disjunction of literals (validated against declared vars)."""
         lits = tuple(int(l) for l in lits)
         if any(l == 0 or abs(l) > self.num_vars for l in lits):
             raise ValidationError(f"clause {lits} uses undeclared variables")
@@ -73,12 +77,14 @@ class CNFBuilder:
         self.add_at_least([-l for l in lits], len(lits) - int(bound), guard)
 
     def add_exactly(self, lits, bound: int) -> None:
+        """Constrain exactly *bound* of *lits* to be true."""
         self.add_at_least(lits, bound)
         self.add_at_most(lits, bound)
 
     # -- instantiation ----------------------------------------------------
 
     def build_solver(self, *, conflict_limit: int | None = None) -> SATSolver:
+        """Materialize a :class:`SATSolver` loaded with the formula so far."""
         solver = SATSolver(self.num_vars, conflict_limit=conflict_limit)
         for clause in self.clauses:
             solver.add_clause(clause)
@@ -112,4 +118,5 @@ class CNFBuilder:
 
     @property
     def n_constraints(self) -> int:
+        """Number of clauses plus cardinality constraints added."""
         return len(self.clauses) + len(self.cards)

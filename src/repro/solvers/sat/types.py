@@ -23,6 +23,7 @@ def var_of(lit: int) -> int:
 
 
 def check_literal(lit: int, num_vars: int) -> int:
+    """Validate a DIMACS-style literal against *num_vars*; returns it."""
     lit = int(lit)
     if lit == 0 or var_of(lit) > num_vars:
         raise ValidationError(
@@ -68,4 +69,5 @@ class CardinalityConstraint:
         return len(self.lits) - self.bound
 
     def is_trivial(self) -> bool:
+        """Whether the constraint binds nothing (bound 0)."""
         return self.bound == 0

@@ -17,6 +17,7 @@ SCRIPTS = {
     "bisector_geometry.py": [],
     "hardness_gallery.py": [],
     "multiclass_digits.py": [],
+    "serve_demo.py": [],
 }
 
 EXPECTED_MARKERS = {
@@ -26,6 +27,7 @@ EXPECTED_MARKERS = {
     "bisector_geometry.py": ["0 mismatches"],
     "hardness_gallery.py": ["Theorem 1", "Theorem 3", "Theorem 4"],
     "multiclass_digits.py": ["classified as digit", "targeted counterfactual"],
+    "serve_demo.py": ["served from cache", "portfolio wins"],
 }
 
 

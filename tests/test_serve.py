@@ -1,0 +1,617 @@
+"""Tests for the :mod:`repro.serve` layer: cache semantics, batching, HTTP.
+
+The cache tests pin the contract the ISSUE asks for: LRU eviction
+order, dataset-fingerprint invalidation, cross-method key isolation,
+and bit-identical answers on a cache hit versus a cold solve —
+including the Proposition 1 tie case (``r+ == r-`` classifies 1).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    ExplanationService,
+    ValidationError,
+    closest_counterfactual,
+    dataset_fingerprint,
+    minimum_sufficient_reason,
+    serve_http,
+)
+from repro.serve import BATCH_METHODS, ResultCache, request_key
+from repro.serve.http import jsonable
+
+from .helpers import random_discrete_dataset
+
+
+@pytest.fixture
+def data(rng):
+    """A small random discrete dataset shared across the serve tests."""
+    return random_discrete_dataset(rng, 8, 12, 12)
+
+
+@pytest.fixture
+def service(data):
+    """A service with *data* registered; fingerprint on ``service.fp``."""
+    service = ExplanationService(cache_size=64)
+    service.fp = service.add_dataset(data)
+    return service
+
+
+def _queries(rng, n, count):
+    """Distinct random boolean query vectors."""
+    seen = set()
+    out = []
+    while len(out) < count:
+        x = rng.integers(0, 2, size=n).astype(float)
+        if x.tobytes() not in seen:
+            seen.add(x.tobytes())
+            out.append(x)
+    return out
+
+
+# -- fingerprints -------------------------------------------------------
+
+
+def test_fingerprint_is_content_addressed():
+    a = Dataset([[0, 1], [1, 0]], [[1, 1]], discrete=True)
+    b = Dataset([[0, 1], [1, 0]], [[1, 1]], discrete=True)
+    c = Dataset([[0, 1], [1, 0]], [[0, 0]], discrete=True)
+    assert dataset_fingerprint(a) == dataset_fingerprint(b)
+    assert dataset_fingerprint(a) != dataset_fingerprint(c)
+
+
+def test_fingerprint_covers_multiplicities_and_flag():
+    plain = Dataset([[0, 1]], [[1, 1]])
+    weighted = Dataset([[0, 1]], [[1, 1]], positive_multiplicities=[3])
+    discrete = Dataset([[0, 1]], [[1, 1]], discrete=True)
+    prints = {dataset_fingerprint(d) for d in (plain, weighted, discrete)}
+    assert len(prints) == 3
+
+
+def test_add_dataset_is_idempotent(service, data):
+    again = Dataset(data.positives, data.negatives, discrete=data.discrete)
+    assert service.add_dataset(again) == service.fp
+    assert service.stats()["datasets"] == 1
+
+
+# -- LRU semantics ------------------------------------------------------
+
+
+def test_lru_eviction_order(rng, service):
+    service.cache.maxsize = 3
+    queries = _queries(rng, 8, 4)
+    keys = []
+    for x in queries[:3]:
+        keys.append(service.submit(service.fp, "classify", x, k=3).request.key)
+    assert service.cache.keys() == keys  # oldest first
+    # Touching the oldest entry refreshes its recency...
+    assert service.submit(service.fp, "classify", queries[0], k=3).cached
+    assert service.cache.keys() == [keys[1], keys[2], keys[0]]
+    # ...so the next insertion evicts keys[1], not keys[0].
+    k3 = service.submit(service.fp, "classify", queries[3], k=3).request.key
+    assert service.cache.keys() == [keys[2], keys[0], k3]
+    assert service.cache.stats()["evictions"] == 1
+    assert not service.submit(service.fp, "classify", queries[1], k=3).cached
+
+
+def test_cache_size_zero_disables_caching(rng, data):
+    service = ExplanationService(cache_size=0)
+    fp = service.add_dataset(data)
+    x = rng.integers(0, 2, size=8).astype(float)
+    assert not service.submit(fp, "classify", x, k=3).cached
+    assert not service.submit(fp, "classify", x, k=3).cached
+    assert len(service.cache) == 0
+
+
+# -- invalidation -------------------------------------------------------
+
+
+def test_fingerprint_invalidation_is_scoped(rng, service, data):
+    other = random_discrete_dataset(rng, 8, 10, 10)
+    fp2 = service.add_dataset(other)
+    x = rng.integers(0, 2, size=8).astype(float)
+    service.submit(service.fp, "classify", x, k=3)
+    service.submit(fp2, "classify", x, k=3)
+    removed = service.invalidate(service.fp)
+    assert removed == 1
+    # The invalidated dataset's entry re-solves; the other still hits.
+    assert not service.submit(service.fp, "classify", x, k=3).cached
+    assert service.submit(fp2, "classify", x, k=3).cached
+
+
+def test_remove_dataset_drops_engines_and_cache(rng, service):
+    x = rng.integers(0, 2, size=8).astype(float)
+    service.submit(service.fp, "classify", x, k=3)
+    assert service.stats()["engines"] == 1
+    assert service.remove_dataset(service.fp) == 1
+    stats = service.stats()
+    assert stats["datasets"] == 0 and stats["engines"] == 0
+    with pytest.raises(ValidationError):
+        service.submit(service.fp, "classify", x, k=3)
+
+
+# -- key isolation ------------------------------------------------------
+
+
+def test_cross_method_key_isolation(rng, service):
+    x = rng.integers(0, 2, size=8).astype(float)
+    payloads = {}
+    for method in BATCH_METHODS:
+        payloads[method] = service.submit(service.fp, method, x, k=3).payload
+    assert len(service.cache) == 3  # one entry per method, no collisions
+    assert set(payloads["classify"]) == {"label"}
+    assert set(payloads["margin"]) == {"margin"}
+    assert set(payloads["radii"]) == {"r_pos", "r_neg"}
+    # Params are part of the key too: a different k is a different entry.
+    service.submit(service.fp, "classify", x, k=1)
+    assert len(service.cache) == 4
+
+
+def test_solver_choice_is_part_of_the_key(rng, service, data):
+    x = rng.integers(0, 2, size=8).astype(float)
+    milp = service.submit(service.fp, "minimum_sr", x, k=1, solver="milp")
+    sat = service.submit(service.fp, "minimum_sr", x, k=1, solver="sat")
+    assert milp.request.key != sat.request.key
+    assert milp.payload["size"] == sat.payload["size"]  # both exact optima
+    # Each cached payload matches its own pipeline run bit for bit.
+    direct = minimum_sufficient_reason(data, 1, "hamming", x, method="milp")
+    assert milp.payload["X"] == sorted(direct.X)
+
+
+def test_key_isolation_across_instances(rng, service):
+    a, b = _queries(rng, 8, 2)
+    ka = request_key(service.fp, "classify", a, {"k": 1})
+    kb = request_key(service.fp, "classify", b, {"k": 1})
+    assert ka != kb
+
+
+# -- cache hit vs cold solve parity -------------------------------------
+
+
+@pytest.mark.parametrize(
+    "method,params",
+    [
+        ("classify", {"k": 3}),
+        ("margin", {"k": 3}),
+        ("radii", {"k": 3}),
+        ("minimal_sr", {"k": 1}),
+        ("minimum_sr", {"k": 1, "solver": "milp"}),
+        ("minimum_sr", {"k": 1, "solver": "sat"}),
+        ("counterfactual", {"k": 1, "solver": "hamming-sat"}),
+        ("counterfactual", {"k": 1, "solver": "hamming-brute"}),
+    ],
+)
+def test_cache_hit_is_bit_identical_to_cold_solve(rng, data, method, params):
+    x = rng.integers(0, 2, size=8).astype(float)
+    warm = ExplanationService()
+    fp = warm.add_dataset(data)
+    cold_response = warm.submit(fp, method, x, **params)
+    hit_response = warm.submit(fp, method, x, **params)
+    assert not cold_response.cached and hit_response.cached
+    assert hit_response.payload == cold_response.payload
+    # A completely fresh service re-derives the same payload from scratch.
+    fresh = ExplanationService()
+    assert fresh.submit(fresh.add_dataset(data), method, x, **params).payload \
+        == cold_response.payload
+
+
+def test_cache_hit_parity_on_prop1_tie():
+    # x is Hamming-equidistant from the positive and the negative point:
+    # r+ == r- and the optimistic semantics classify 1 (Proposition 1).
+    data = Dataset([[0, 1]], [[1, 0]], discrete=True)
+    service = ExplanationService()
+    fp = service.add_dataset(data)
+    x = [0.0, 0.0]
+    cold = service.submit(fp, "classify", x, k=1)
+    hit = service.submit(fp, "classify", x, k=1)
+    assert cold.payload == hit.payload == {"label": 1}
+    radii = service.submit(fp, "radii", x, k=1).payload
+    assert radii["r_pos"] == radii["r_neg"] == 1.0
+    assert service.submit(fp, "margin", x, k=1).payload == {"margin": 0.0}
+    assert service.submit(fp, "margin", x, k=1).cached
+
+
+def test_portfolio_provenance_cached_with_answer(rng, data):
+    service = ExplanationService()
+    fp = service.add_dataset(data)
+    x = rng.integers(0, 2, size=8).astype(float)
+    cold = service.submit(fp, "minimum_sr", x, k=1, solver="portfolio")
+    hit = service.submit(fp, "minimum_sr", x, k=1, solver="portfolio")
+    assert hit.cached and hit.payload == cold.payload
+    prov = cold.payload["provenance"]
+    assert prov["winner"] == cold.payload["method"]
+    assert prov["attempts"][0]["status"] in ("exact", "timeout", "unsupported")
+    # The deterministic part matches the raced pipeline's own answer size.
+    direct = minimum_sufficient_reason(data, 1, "hamming", x, method="milp")
+    assert cold.payload["size"] == direct.size
+
+
+def test_counterfactual_payload_matches_pipeline(rng, data):
+    service = ExplanationService()
+    fp = service.add_dataset(data)
+    x = rng.integers(0, 2, size=8).astype(float)
+    served = service.submit(fp, "counterfactual", x, k=1, solver="hamming-sat")
+    direct = closest_counterfactual(data, 1, "hamming", x, method="hamming-sat")
+    assert served.payload["distance"] == direct.distance
+    assert served.payload["label_from"] == direct.label_from
+    assert served.payload["found"] == direct.found
+
+
+# -- disk persistence ---------------------------------------------------
+
+
+def test_disk_persistence_survives_restart(rng, data, tmp_path):
+    x = rng.integers(0, 2, size=8).astype(float)
+    first = ExplanationService(cache_dir=tmp_path)
+    fp = first.add_dataset(data)
+    cold = first.submit(fp, "minimum_sr", x, k=1, solver="milp")
+    assert not cold.cached
+    # A new process (fresh service, same directory) starts warm.
+    second = ExplanationService(cache_dir=tmp_path)
+    second.add_dataset(data)
+    warm = second.submit(fp, "minimum_sr", x, k=1, solver="milp")
+    assert warm.cached
+    assert warm.payload == cold.payload
+    assert second.cache.stats()["disk_hits"] == 1
+
+
+def test_disk_invalidation_removes_files(rng, data, tmp_path):
+    service = ExplanationService(cache_dir=tmp_path)
+    fp = service.add_dataset(data)
+    x = rng.integers(0, 2, size=8).astype(float)
+    service.submit(fp, "classify", x, k=3)
+    assert list(tmp_path.glob("*.pkl"))
+    service.remove_dataset(fp)
+    assert not list(tmp_path.glob("*.pkl"))
+    # A fresh service over the same directory finds nothing to reuse.
+    fresh = ExplanationService(cache_dir=tmp_path)
+    fresh.add_dataset(data)
+    assert not fresh.submit(fp, "classify", x, k=3).cached
+
+
+def test_result_cache_eviction_keeps_disk_copy(tmp_path):
+    cache = ResultCache(maxsize=1, cache_dir=tmp_path)
+    cache.put(b"fp1|a", {"v": 1})
+    cache.put(b"fp1|b", {"v": 2})  # evicts a from memory, not from disk
+    assert len(cache) == 1
+    found, payload = cache.get(b"fp1|a")
+    assert found and payload == {"v": 1}
+    assert cache.stats()["disk_hits"] == 1
+
+
+def test_cached_payloads_are_copies(rng, service):
+    x = rng.integers(0, 2, size=8).astype(float)
+    first = service.submit(service.fp, "classify", x, k=3)
+    first.payload["label"] = 999  # a caller mutating its response...
+    again = service.submit(service.fp, "classify", x, k=3)
+    assert again.payload["label"] != 999  # ...cannot poison the cache
+
+
+# -- batching -----------------------------------------------------------
+
+
+def test_submit_many_matches_sequential(rng, service):
+    queries = _queries(rng, 8, 10)
+    batched = service.submit_many(
+        [(service.fp, "classify", x, {"k": 3}) for x in queries]
+    )
+    fresh = ExplanationService()
+    fp = fresh.add_dataset(service.dataset(service.fp))
+    sequential = [fresh.submit(fp, "classify", x, k=3) for x in queries]
+    assert [r.payload for r in batched] == [r.payload for r in sequential]
+    assert service.stats()["largest_batch"] == 10
+    assert fresh.stats()["largest_batch"] == 1
+
+
+def test_submit_many_mixed_methods_and_duplicates(rng, service):
+    x, y = _queries(rng, 8, 2)
+    responses = service.submit_many(
+        [
+            (service.fp, "classify", x, {"k": 3}),
+            (service.fp, "margin", x, {"k": 3}),
+            (service.fp, "classify", x, {"k": 3}),  # duplicate: solved once
+            (service.fp, "classify", y, {"k": 3}),
+        ]
+    )
+    assert responses[0].payload == responses[2].payload
+    stats = service.stats()
+    assert stats["requests"] == 4
+    assert stats["batched_requests"] == 3  # duplicate deduplicated pre-solve
+    label = responses[0].payload["label"]
+    margin = responses[1].payload["margin"]
+    assert (margin >= 0) == (label == 1)
+
+
+def test_submit_many_respects_max_batch(rng, data):
+    service = ExplanationService(max_batch=4, cache_size=0)
+    fp = service.add_dataset(data)
+    queries = _queries(rng, 8, 10)
+    responses = service.submit_many([(fp, "classify", x, {"k": 3}) for x in queries])
+    direct = [service.submit(fp, "classify", x, k=3) for x in queries]
+    assert [r.payload for r in responses] == [r.payload for r in direct]
+
+
+def test_in_band_error_is_not_cached(rng, service):
+    x = rng.integers(0, 2, size=8).astype(float)
+    # The MILP Minimum-SR pipeline covers the discrete k=1 cell only.
+    response = service.submit(service.fp, "minimum_sr", x, k=3, solver="milp")
+    assert not response.ok
+    assert response.payload["error_type"] == "UnsupportedSettingError"
+    assert len(service.cache) == 0
+    assert not service.submit(service.fp, "minimum_sr", x, k=3, solver="milp").cached
+
+
+def test_make_request_validation(rng, service):
+    x = rng.integers(0, 2, size=8).astype(float)
+    with pytest.raises(ValidationError, match="unknown method"):
+        service.make_request(service.fp, "nope", x)
+    with pytest.raises(ValidationError, match="dimension"):
+        service.make_request(service.fp, "classify", [1.0, 0.0])
+    with pytest.raises(ValidationError, match="unknown params"):
+        service.make_request(service.fp, "classify", x, nope=1)
+    with pytest.raises(ValidationError, match="fingerprint"):
+        service.make_request("beef" * 16, "classify", x)
+
+
+# -- asyncio micro-batching ---------------------------------------------
+
+
+def test_asubmit_batches_concurrent_requests(rng, data):
+    service = ExplanationService(cache_size=0, max_wait_s=0.01)
+    fp = service.add_dataset(data)
+    queries = _queries(rng, 8, 8)
+
+    async def fan_out():
+        return await asyncio.gather(
+            *(service.asubmit(fp, "classify", x, k=3) for x in queries)
+        )
+
+    responses = asyncio.run(fan_out())
+    direct = [service.submit(fp, "classify", x, k=3) for x in queries]
+    assert [r.payload for r in responses] == [r.payload for r in direct]
+    assert service.stats()["largest_batch"] == 8
+
+
+def test_asubmit_straggler_during_flush_is_drained(rng, data, monkeypatch):
+    # A request arriving while a flush batch is mid-solve (the window
+    # where the flush task exists but is not done) must be picked up by
+    # the flush loop's next iteration, not stranded forever.
+    service = ExplanationService(cache_size=0, max_wait_s=0.001)
+    fp = service.add_dataset(data)
+    a, b = _queries(rng, 8, 2)
+    real = service.submit_requests
+
+    def slow_submit(requests):
+        time.sleep(0.08)  # hold the executor so the straggler queues behind it
+        return real(requests)
+
+    monkeypatch.setattr(service, "submit_requests", slow_submit)
+
+    async def main():
+        first = asyncio.ensure_future(service.asubmit(fp, "classify", a, k=3))
+        await asyncio.sleep(0.03)  # flush task is now blocked in the executor
+        second = asyncio.ensure_future(service.asubmit(fp, "classify", b, k=3))
+        return await asyncio.wait_for(asyncio.gather(first, second), timeout=5)
+
+    first, second = asyncio.run(main())
+    assert first.payload["label"] in (0, 1)
+    assert second.payload["label"] in (0, 1)
+
+
+def test_asubmit_cache_hit_short_circuits(rng, service):
+    x = rng.integers(0, 2, size=8).astype(float)
+    service.submit(service.fp, "classify", x, k=3)
+
+    async def one():
+        return await service.asubmit(service.fp, "classify", x, k=3)
+
+    response = asyncio.run(one())
+    assert response.cached and response.payload["label"] in (0, 1)
+
+
+# -- HTTP endpoint ------------------------------------------------------
+
+
+def _post(url: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.load(response)
+
+
+@pytest.fixture
+def server(service):
+    """The service behind a live HTTP server on an ephemeral port."""
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+
+
+def test_http_end_to_end(rng, data, server, service):
+    url = f"http://127.0.0.1:{server.port}"
+    with urllib.request.urlopen(url + "/healthz") as response:
+        assert json.load(response)["status"] == "ok"
+    x = rng.integers(0, 2, size=8).astype(float).tolist()
+    single = _post(url + "/v1/explain", {
+        "fingerprint": service.fp, "method": "classify",
+        "instance": x, "params": {"k": 3},
+    })
+    assert single["result"]["label"] in (0, 1)
+    assert single["cached"] is False
+    again = _post(url + "/v1/explain", {
+        "fingerprint": service.fp, "method": "classify",
+        "instance": x, "params": {"k": 3},
+    })
+    assert again["cached"] is True
+    assert again["result"] == single["result"]
+    batch = _post(url + "/v1/explain", {
+        "fingerprint": service.fp, "method": "margin",
+        "instances": [x, x], "params": {"k": 3},
+    })
+    assert len(batch["results"]) == 2
+    with urllib.request.urlopen(url + "/v1/stats") as response:
+        stats = json.load(response)
+    assert stats["requests"] >= 4 and stats["cache"]["hits"] >= 1
+
+
+def test_http_register_and_delete_dataset(server):
+    url = f"http://127.0.0.1:{server.port}"
+    registered = _post(url + "/v1/datasets", {
+        "positives": [[0, 1], [1, 1]], "negatives": [[0, 0]], "discrete": True,
+    })
+    fp = registered["fingerprint"]
+    assert registered["dimension"] == 2
+    answer = _post(url + "/v1/explain", {
+        "fingerprint": fp, "method": "minimum_sr",
+        "instance": [1, 1], "params": {"k": 1, "solver": "sat"},
+    })
+    assert answer["result"]["size"] >= 0
+    request = urllib.request.Request(
+        url + f"/v1/datasets/{fp}", method="DELETE"
+    )
+    with urllib.request.urlopen(request) as response:
+        assert json.load(response)["invalidated"] == 1
+
+
+def test_http_delete_rejects_malformed_fingerprint(rng, tmp_path):
+    # A wildcard in the URL must not reach the disk cache's glob sweep.
+    service = ExplanationService(cache_dir=tmp_path)
+    fp = service.add_dataset(random_discrete_dataset(rng, 6, 8, 8))
+    service.submit(fp, "classify", rng.integers(0, 2, size=6).astype(float), k=3)
+    persisted = list(tmp_path.glob("*.pkl"))
+    assert persisted
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{server.port}/v1/datasets/"
+        for bad in ("*", "..%2F..", "a" * 63, "G" * 64):
+            request = urllib.request.Request(url + bad, method="DELETE")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request)
+            assert err.value.code == 400
+        assert list(tmp_path.glob("*.pkl")) == persisted  # nothing deleted
+        request = urllib.request.Request(url + fp, method="DELETE")
+        with urllib.request.urlopen(request) as response:
+            assert json.load(response)["invalidated"] >= 1
+        assert not list(tmp_path.glob("*.pkl"))
+    finally:
+        server.shutdown()
+
+
+def test_invalidate_ignores_glob_metacharacters(tmp_path):
+    cache = ResultCache(maxsize=4, cache_dir=tmp_path)
+    cache.put(b"aabbccddeeff0011|x", {"v": 1})
+    assert cache.invalidate("*") == 0
+    assert cache.invalidate("[a-f]" * 8) == 0
+    assert list(tmp_path.glob("*.pkl"))
+    assert cache.invalidate("aabbccddeeff0011") == 2  # memory + disk entry
+    assert not list(tmp_path.glob("*.pkl"))
+
+
+def test_http_error_codes(server, service):
+    url = f"http://127.0.0.1:{server.port}"
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(url + "/v1/explain", {
+            "fingerprint": service.fp, "method": "nope", "instance": [0] * 8,
+        })
+    assert err.value.code == 400
+    assert "unknown method" in json.load(err.value)["error"]
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(url + "/v1/explain", {"fingerprint": service.fp, "method": "classify"})
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        with urllib.request.urlopen(url + "/nope"):
+            pass
+    assert err.value.code == 404
+
+
+def test_http_concurrent_requests_micro_batch(rng, data):
+    service = ExplanationService(cache_size=0, max_wait_s=0.02)
+    fp = service.add_dataset(data)
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{server.port}/v1/explain"
+        queries = _queries(rng, 8, 6)
+        results = [None] * len(queries)
+
+        def worker(i, x):
+            results[i] = _post(url, {
+                "fingerprint": fp, "method": "classify",
+                "instance": x.tolist(), "params": {"k": 3},
+            })
+
+        threads = [
+            threading.Thread(target=worker, args=(i, x))
+            for i, x in enumerate(queries)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        direct = [service.submit(fp, "classify", x, k=3) for x in queries]
+        assert [r["result"] for r in results] == [r.payload for r in direct]
+        # Concurrent HTTP clients were grouped into shared engine calls.
+        assert service.stats()["largest_batch"] >= 2
+    finally:
+        server.shutdown()
+
+
+def test_jsonable_handles_nonfinite_and_numpy():
+    payload = {
+        "a": np.float64(np.inf),
+        "b": float("-inf"),
+        "c": float("nan"),
+        "d": np.int64(3),
+        "e": np.array([1.5, 2.5]),
+        "f": (np.bool_(True), 0.5),
+    }
+    assert jsonable(payload) == {
+        "a": "Infinity",
+        "b": "-Infinity",
+        "c": "NaN",
+        "d": 3,
+        "e": [1.5, 2.5],
+        "f": [1, 0.5],
+    }
+    json.dumps(jsonable(payload))  # strict-JSON encodable
+
+
+# -- bench + CLI wiring -------------------------------------------------
+
+
+def test_serve_throughput_is_a_gated_headline():
+    from repro.experiments import bench
+
+    assert "serve_throughput" in bench.WORKLOADS
+    assert "serve_throughput" in bench.GATED_HEADLINES
+
+
+def test_cli_serve_parser():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--cache-size", "16", "--demo-size", "20"]
+    )
+    assert args.command == "serve"
+    assert args.port == 0 and args.cache_size == 16 and args.demo_size == 20
+    assert build_parser().epilog and "docs/" in build_parser().epilog

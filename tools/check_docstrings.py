@@ -1,0 +1,117 @@
+"""Docstring-coverage checker for the CI lint job (stdlib-only).
+
+An ``interrogate --fail-under``-style gate without the dependency: walk
+every ``*.py`` file under the given paths, count the definitions that
+*should* carry a docstring — modules, public classes, and public
+functions/methods — and fail when the covered fraction drops below
+``--fail-under``.
+
+What counts as public (and therefore needs a docstring):
+
+* every module;
+* every class whose name does not start with ``_``;
+* every function or method whose name does not start with ``_``
+  (dunders other than ``__init__`` are exempt; ``__init__`` itself is
+  exempt too — its parameters belong in the class docstring, matching
+  the numpydoc convention this repo uses);
+* nested ``def``s (closures) are exempt: they are implementation detail.
+
+Usage::
+
+    python tools/check_docstrings.py --fail-under 95 src/repro
+
+The floor is a conservative ratchet: start just below the measured
+value, raise it as coverage improves, never lower it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def _is_public(name: str) -> bool:
+    """Whether a definition with *name* is held to the docstring standard."""
+    return not name.startswith("_")
+
+
+def iter_definitions(tree: ast.Module, module_name: str):
+    """Yield ``(qualified_name, node)`` for every definition that needs a docstring."""
+    yield module_name, tree
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            yield f"{module_name}:{node.name}", node
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if _is_public(child.name):
+                        yield f"{module_name}:{node.name}.{child.name}", child
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Only module-level functions here: methods are handled above,
+            # and anything deeper is a closure (exempt).
+            if node.col_offset == 0 and _is_public(node.name):
+                yield f"{module_name}:{node.name}", node
+
+
+def audit_file(path: Path) -> tuple[list[str], int]:
+    """``(missing qualified names, total definitions)`` for one file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    missing: list[str] = []
+    total = 0
+    for name, node in iter_definitions(tree, str(path)):
+        total += 1
+        if ast.get_docstring(node) is None:
+            missing.append(name)
+    return missing, total
+
+
+def audit(paths: list[Path]) -> tuple[list[str], int]:
+    """Aggregate :func:`audit_file` over files and directories."""
+    missing: list[str] = []
+    total = 0
+    for path in paths:
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            file_missing, file_total = audit_file(file)
+            missing.extend(file_missing)
+            total += file_total
+    return missing, total
+
+
+def main(argv=None) -> int:
+    """CLI entry: print a coverage report, exit 1 below the floor."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=Path)
+    parser.add_argument(
+        "--fail-under", type=float, default=95.0, metavar="PCT",
+        help="minimum covered percentage (default 95)",
+    )
+    parser.add_argument(
+        "--list-missing", action="store_true",
+        help="print every definition lacking a docstring",
+    )
+    args = parser.parse_args(argv)
+    missing, total = audit(args.paths)
+    covered = total - len(missing)
+    percent = 100.0 * covered / total if total else 100.0
+    print(
+        f"docstring coverage: {covered}/{total} public definitions "
+        f"({percent:.1f}%, floor {args.fail_under:.1f}%)"
+    )
+    if args.list_missing or percent < args.fail_under:
+        for name in missing:
+            print(f"  missing: {name}")
+    if percent < args.fail_under:
+        print(
+            f"FAIL: docstring coverage {percent:.1f}% is below the "
+            f"--fail-under floor of {args.fail_under:.1f}%"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
