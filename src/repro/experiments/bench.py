@@ -18,7 +18,12 @@ tracks over time — and serializes them as ``BENCH_*.json``:
 * ``serve_throughput`` — the :mod:`repro.serve` micro-batched service
   path against a sequential per-request loop on the same service
   (caching disabled on both sides, answers asserted identical) — the
-  third gated headline, introduced with the serving layer.
+  third gated headline, introduced with the serving layer;
+* ``streaming_updates`` — an interleaved insert/query stream absorbed
+  by one engine's incremental :meth:`~repro.knn.QueryEngine.add_points`
+  path against rebuilding the engine after every mutation (labels
+  asserted identical) — the fourth gated headline, introduced with
+  mutable streaming datasets.
 
 Speedup *ratios* (not wall-clock seconds) are what the gate compares:
 ratios are stable across runner hardware, absolute times are not.  Each
@@ -45,7 +50,12 @@ BENCH_SCHEMA = 1
 #: headline must exist in the baseline; secondary headlines are gated
 #: only when the committed baseline already records them (so an old
 #: baseline keeps gating what it knows about).
-GATED_HEADLINES = ("engine_batch", "msr_incremental", "serve_throughput")
+GATED_HEADLINES = (
+    "engine_batch",
+    "msr_incremental",
+    "serve_throughput",
+    "streaming_updates",
+)
 
 #: the primary gated workload (legacy alias).
 HEADLINE = GATED_HEADLINES[0]
@@ -281,12 +291,75 @@ def measure_serve_throughput(seed: int = 20250601, repeats: int = 3) -> dict:
     }
 
 
+def measure_streaming_updates(seed: int = 20250601, repeats: int = 3) -> dict:
+    """Gated headline: incremental index updates vs rebuild-per-mutation.
+
+    Both contestants replay the same interleaved stream — 30 rounds of
+    "insert 4 labeled points, then answer 25 classify queries" over a
+    4000-point binary Hamming dataset (bitpack backend, the streaming
+    regime's workhorse).  The incremental side owns **one** engine and
+    absorbs each batch through
+    :meth:`~repro.knn.QueryEngine.add_points` (packed-word appends, no
+    flush of anything the batch did not touch); the rebuild side does
+    what the pre-mutation repo had to: fold the batch into a fresh
+    :class:`~repro.knn.Dataset` and construct a new engine per mutation.
+    Every label of the two streams is asserted identical before timing —
+    the differential invariant the fuzz parity suite enforces broadly.
+    """
+    rng = np.random.default_rng(seed)
+    n_train, n_dim, rounds, inserts, queries_per_round = 4_000, 64, 30, 4, 25
+    data, _ = _labeled_workload(rng, n_train, n_dim, 1, binary=True)
+    stream = [
+        (
+            rng.integers(0, 2, size=(inserts, n_dim)).astype(float),
+            rng.integers(0, 2, size=inserts),
+            rng.integers(0, 2, size=(queries_per_round, n_dim)).astype(float),
+        )
+        for _ in range(rounds)
+    ]
+
+    def incremental() -> np.ndarray:
+        engine = QueryEngine(data, "hamming", backend="bitpack", cache_size=0)
+        labels = []
+        for points, point_labels, queries in stream:
+            engine.add_points(points, point_labels)
+            labels.append(engine.classify_batch(queries, 3))
+        return np.concatenate(labels)
+
+    def rebuild() -> np.ndarray:
+        current = data
+        labels = []
+        for points, point_labels, queries in stream:
+            current = current.with_added(points, point_labels)
+            engine = QueryEngine(current, "hamming", backend="bitpack", cache_size=0)
+            labels.append(engine.classify_batch(queries, 3))
+        return np.concatenate(labels)
+
+    if not np.array_equal(incremental(), rebuild()):  # explicit: survives python -O
+        raise AssertionError("incremental and rebuilt streaming answers diverged")
+    rebuild_s = best_of(rebuild, repeats=repeats)
+    incremental_s = best_of(incremental, repeats=repeats)
+    return {
+        "rebuild_s": rebuild_s,
+        "incremental_s": incremental_s,
+        "speedup": rebuild_s / incremental_s,
+        "rounds": rounds,
+        "inserts_per_round": inserts,
+        "queries": rounds * queries_per_round,
+        "train": n_train,
+        "dim": n_dim,
+        "metric": "hamming",
+        "k": 3,
+    }
+
+
 WORKLOADS = {
     "engine_batch": measure_engine_batch,
     "hamming_bitpack": measure_hamming_bitpack,
     "kdtree_lowdim": measure_kdtree_lowdim,
     "msr_incremental": measure_msr_incremental,
     "serve_throughput": measure_serve_throughput,
+    "streaming_updates": measure_streaming_updates,
 }
 
 

@@ -153,6 +153,124 @@ class Dataset:
         )
         return points, labels
 
+    # -- functional mutation -------------------------------------------
+
+    def _check_mutation_batch(self, points, labels, multiplicities):
+        """Validate one add/remove batch against this dataset's schema."""
+        coerce = as_boolean_matrix if self.discrete else as_matrix
+        pts = coerce(points, name="points")
+        if pts.shape[0] == 0:
+            raise ValidationError("a mutation batch must contain at least one point")
+        if pts.shape[1] != self.dimension:
+            raise DimensionMismatchError(
+                f"points have dimension {pts.shape[1]}, dataset has {self.dimension}"
+            )
+        lab = np.asarray(labels).astype(bool).ravel()
+        if lab.shape[0] != pts.shape[0]:
+            raise ValidationError(
+                f"labels has length {lab.shape[0]}, expected {pts.shape[0]}"
+            )
+        mult = check_multiplicities(
+            multiplicities, pts.shape[0], name="multiplicities"
+        )
+        return np.ascontiguousarray(pts), lab, mult
+
+    @staticmethod
+    def _row_lookup(rows: np.ndarray) -> dict[bytes, int]:
+        """Map each row's float64 bytes to its index (last duplicate wins)."""
+        return {
+            np.ascontiguousarray(row).tobytes(): i for i, row in enumerate(rows)
+        }
+
+    def with_added(self, points, labels, multiplicities=None) -> "Dataset":
+        """A new dataset with the labeled *points* added.
+
+        These are the **canonical streaming-mutation semantics** every
+        layer shares (:meth:`QueryEngine.add_points
+        <repro.knn.engine.QueryEngine.add_points>` applies the same rule
+        incrementally, and the fuzz parity suite pins the two together):
+        a point already present in its class gets its multiplicity
+        incremented; a new point is appended at the end of its class,
+        preserving existing row order — row order is observable through
+        tie-breaking, so it is part of the contract.
+        """
+        pts, lab, mult = self._check_mutation_batch(points, labels, multiplicities)
+        sides = []
+        for flag, base, base_mult in (
+            (True, self._positives, self._pos_mult),
+            (False, self._negatives, self._neg_mult),
+        ):
+            lookup = self._row_lookup(base)
+            counts = base_mult.copy()
+            new_rows: list[np.ndarray] = []
+            new_counts: list[int] = []
+            for row, m in zip(pts[lab == flag], mult[lab == flag]):
+                key = row.tobytes()
+                if key in lookup:
+                    idx = lookup[key]
+                    if idx < counts.shape[0]:
+                        counts[idx] += m
+                    else:
+                        new_counts[idx - counts.shape[0]] += m
+                else:
+                    lookup[key] = counts.shape[0] + len(new_rows)
+                    new_rows.append(row)
+                    new_counts.append(int(m))
+            rows = np.vstack([base, new_rows]) if new_rows else base
+            sides.append((rows, np.concatenate([counts, np.asarray(new_counts, dtype=np.int64)])))
+        (pos, pos_mult), (neg, neg_mult) = sides
+        return Dataset(
+            pos,
+            neg,
+            positive_multiplicities=pos_mult,
+            negative_multiplicities=neg_mult,
+            discrete=self.discrete,
+        )
+
+    def with_removed(self, points, labels, multiplicities=None) -> "Dataset":
+        """A new dataset with the labeled *points* removed.
+
+        The mirror of :meth:`with_added`: each listed point must exist in
+        its class with at least the requested multiplicity (else
+        :class:`~repro.exceptions.ValidationError`); a multiplicity that
+        reaches zero drops the row, later rows shifting down with their
+        order preserved.  Removing the last point of the whole dataset is
+        rejected.
+        """
+        pts, lab, mult = self._check_mutation_batch(points, labels, multiplicities)
+        sides = []
+        for flag, base, base_mult in (
+            (True, self._positives, self._pos_mult),
+            (False, self._negatives, self._neg_mult),
+        ):
+            lookup = self._row_lookup(base)
+            counts = base_mult.copy()
+            side = "positives" if flag else "negatives"
+            for row, m in zip(pts[lab == flag], mult[lab == flag]):
+                idx = lookup.get(row.tobytes())
+                if idx is None:
+                    raise ValidationError(
+                        f"cannot remove a point absent from the {side}: {row.tolist()}"
+                    )
+                if counts[idx] < m:
+                    raise ValidationError(
+                        f"cannot remove {int(m)} cop(ies) of a point with "
+                        f"multiplicity {int(counts[idx])} in the {side}"
+                    )
+                counts[idx] -= m
+            keep = counts > 0
+            sides.append((base[keep], counts[keep]))
+        (pos, pos_mult), (neg, neg_mult) = sides
+        if pos.shape[0] == 0 and neg.shape[0] == 0:
+            raise ValidationError("cannot remove the last point of a dataset")
+        return Dataset(
+            pos,
+            neg,
+            positive_multiplicities=pos_mult if pos.shape[0] else None,
+            negative_multiplicities=neg_mult if neg.shape[0] else None,
+            discrete=self.discrete,
+        )
+
     def swapped(self) -> "Dataset":
         """Dataset with the roles of S+ and S- exchanged."""
         return Dataset(

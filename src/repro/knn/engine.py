@@ -13,10 +13,29 @@ labeled sets ``S+`` and ``S-``.  :class:`QueryEngine` owns a
   blocks, and :meth:`map_shards` fans row shards out to a process pool;
 * **cached** — the single-point entry points (:meth:`powers`,
   :meth:`radii`, :meth:`classify`, :meth:`margin`, :meth:`neighbors`)
-  share an LRU cache of per-query distance vectors, so the inner loops
-  of the greedy sufficient-reason algorithms and the brute/SAT
-  counterfactual searches, which re-classify the same query point many
-  times, never recompute a distance vector.
+  share an LRU cache of per-query distance vectors plus a per-``(query,
+  k)`` radii memo, so the inner loops of the greedy sufficient-reason
+  algorithms and the brute/SAT counterfactual searches, which
+  re-classify the same query point many times, never recompute a
+  distance vector.
+
+Streaming mutation (:meth:`add_points` / :meth:`remove_points`)
+---------------------------------------------------------------
+
+Datasets are mutable all the way down: the engine maintains each class
+in amortized-doubling row stores (:class:`~repro.neighbors.brute.
+GrowableMatrix`), and every mutation is applied *incrementally* to the
+selected backend — the bit-packed index appends freshly packed words
+and tombstones removals, the KD-trees overlay deltas until a staleness
+threshold triggers a lazy rebuild, and the dense kernels simply read
+the updated stores.  The caches are invalidated *surgically*: cached
+distance vectors are extended (or shrunk) by exactly the rows that
+changed, and a cached ``(r+, r-)`` pair is evicted only when a touched
+row's power reaches inside the cached radius — a mutation outside a
+query's k-neighborhood leaves its cached answer untouched.  Each
+mutation bumps :attr:`version`; a mutated engine is bit-identical to an
+engine freshly built from :attr:`dataset` (the randomized differential
+harness in ``tests/test_fuzz_parity.py`` enforces this per backend).
 
 Index backends (``backend=`` — the :mod:`repro.neighbors` layer)
 ----------------------------------------------------------------
@@ -34,7 +53,7 @@ batch path is correspondingly backend-pluggable:
     on binary data and several times faster (FAISS's binary-index
     technique);
 ``"kdtree"``
-    per-class :class:`~repro.neighbors.KDTreeIndex` branch-and-bound —
+    per-class :class:`~repro.neighbors.LazyKDTree` branch-and-bound —
     wins only at very low dimension over large datasets, where pruning
     beats the O(|S|) scan;
 ``"auto"``
@@ -62,10 +81,11 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from .._validation import as_matrix, as_vector, check_odd_k
+from .._validation import as_matrix, as_vector, check_multiplicities, check_odd_k
 from ..exceptions import ValidationError
 from ..metrics import HammingMetric, LpMetric, Metric, get_metric
 from ..metrics.hamming import is_binary
+from ..neighbors.brute import GrowableMatrix
 from .dataset import Dataset
 
 #: cap on the number of float64 elements of a (block, dataset) surrogate
@@ -90,6 +110,10 @@ _SHARD_METHODS = (
 #: ~12k points at dimension 3; hopeless by dimension 8).
 _KDTREE_AUTO_MAX_DIM = 4
 _KDTREE_AUTO_MIN_POINTS = 16_384
+
+#: tombstone share of the bit-packed index's storage beyond which the
+#: engine compacts it (reclaiming both memory and kernel columns).
+_BITPACK_COMPACT_FRACTION = 0.5
 
 
 def _kth_smallest_with_multiplicity(
@@ -145,14 +169,17 @@ class QueryEngine:
     Parameters
     ----------
     dataset:
-        the labeled examples ``(S+, S-)``.
+        the labeled examples ``(S+, S-)`` — the *initial* contents;
+        :meth:`add_points` / :meth:`remove_points` mutate the engine in
+        place afterwards (:attr:`dataset` always reflects the current
+        contents).
     metric:
         a :class:`~repro.metrics.Metric` or an alias accepted by
         :func:`~repro.metrics.get_metric` (default Euclidean, or Hamming
         when the dataset is discrete).
     cache_size:
-        number of per-query surrogate-distance vectors kept in the LRU
-        cache (0 disables caching).
+        number of per-query surrogate-distance vectors (and cached
+        radii pairs) kept in the LRU caches (0 disables caching).
     backend:
         index strategy for the batch primitives: ``"auto"`` (default),
         ``"dense"``, ``"kdtree"`` or ``"bitpack"`` — see the module
@@ -173,27 +200,111 @@ class QueryEngine:
             raise ValidationError("dataset must be a repro.knn.Dataset")
         if metric is None:
             metric = "hamming" if dataset.discrete else "l2"
-        self.dataset = dataset
         self.metric: Metric = get_metric(metric)
-        self._pos = dataset.positives
-        self._neg = dataset.negatives
-        self._pos_mult = dataset.positive_multiplicities
-        self._neg_mult = dataset.negative_multiplicities
-        self._pos_plain = bool(np.all(self._pos_mult == 1))
-        self._neg_plain = bool(np.all(self._neg_mult == 1))
-        self._all = np.vstack([self._pos, self._neg])
-        self._all.setflags(write=False)
+        self._dim = dataset.dimension
+        self._discrete = dataset.discrete
+        self._pos_store = GrowableMatrix(
+            np.ascontiguousarray(dataset.positives, dtype=np.float64)
+        )
+        self._neg_store = GrowableMatrix(
+            np.ascontiguousarray(dataset.negatives, dtype=np.float64)
+        )
+        self._pos_mult_store = GrowableMatrix(
+            np.asarray(dataset.positive_multiplicities, dtype=np.int64)
+        )
+        self._neg_mult_store = GrowableMatrix(
+            np.asarray(dataset.negative_multiplicities, dtype=np.int64)
+        )
+        self._refresh_views()
+        self._pos_lookup = self._build_lookup(self._pos)
+        self._neg_lookup = self._build_lookup(self._neg)
         self._cache: OrderedDict[bytes, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._radii_cache: OrderedDict[tuple[bytes, int], tuple[float, float]] = (
+            OrderedDict()
+        )
         self._cache_size = max(0, int(cache_size))
         self._hits = 0
         self._misses = 0
+        self.version = 0
+        self._snapshot: Dataset | None = dataset
+        self._requested_backend = backend
         self.backend = self._resolve_backend(backend)
+        # The dense batch kernels run over one *joint* matrix (one BLAS
+        # call beats two half-sized ones); rows live in append order and
+        # the per-class column maps recover the positives-first split —
+        # by plain slicing while the layout is still [S+|S-] contiguous,
+        # by a gather once mutations interleaved the classes.
+        self._dense_store = GrowableMatrix(np.vstack([self._pos, self._neg]))
+        m_pos = self._pos.shape[0]
+        self._dense_pos_cols = np.arange(m_pos, dtype=np.int64)
+        self._dense_neg_cols = np.arange(
+            m_pos, m_pos + self._neg.shape[0], dtype=np.int64
+        )
+        self._dense_plain = True
         self._bit_index = None
+        self._bit_pos_cols = None
+        self._bit_neg_cols = None
+        self._bit_plain = True
         self._pos_tree = None
         self._neg_tree = None
         self._build_index_layer()
 
+    # -- internal views ---------------------------------------------------
+
+    def _refresh_views(self) -> None:
+        """Re-derive the read-only class views after store mutation."""
+        self._pos = self._pos_store.view
+        self._neg = self._neg_store.view
+        self._pos_mult = self._pos_mult_store.view
+        self._neg_mult = self._neg_mult_store.view
+        self._pos_plain = bool(np.all(self._pos_mult == 1))
+        self._neg_plain = bool(np.all(self._neg_mult == 1))
+        self._total = int(self._pos_mult.sum() + self._neg_mult.sum())
+
+    #: row bytes → row index, last duplicate wins — the ONE definition
+    #: (Dataset's) both mutation implementations share, because the tie
+    #: rule is load-bearing for the engine ≡ functional-fold parity the
+    #: fuzz harness pins.
+    _build_lookup = staticmethod(Dataset._row_lookup)
+
+    @staticmethod
+    def _cols_plain(pos_cols: np.ndarray, neg_cols: np.ndarray, total: int) -> bool:
+        """Whether a joint layout is still the contiguous [S+|S-] split.
+
+        True iff the column maps tile ``0..total-1`` positives-first with
+        no dead slots — the case where the batch paths split the joint
+        kernel output with free slices instead of gathers.
+        """
+        m_pos = pos_cols.shape[0]
+        return (
+            m_pos + neg_cols.shape[0] == total
+            and bool(np.array_equal(pos_cols, np.arange(m_pos)))
+            and bool(np.array_equal(neg_cols, np.arange(m_pos, total)))
+        )
+
+    @property
+    def dataset(self) -> Dataset:
+        """The engine's current contents as an (immutable) Dataset.
+
+        The snapshot is materialized lazily after a mutation and cached
+        until the next one, so repeated access (and the identity check
+        in :func:`as_engine`) stays cheap between mutations.
+        """
+        if self._snapshot is None:
+            self._snapshot = Dataset(
+                np.array(self._pos),
+                np.array(self._neg),
+                positive_multiplicities=np.array(self._pos_mult),
+                negative_multiplicities=np.array(self._neg_mult),
+                discrete=self._discrete,
+            )
+        return self._snapshot
+
     # -- backend selection ----------------------------------------------
+
+    def _data_is_binary(self) -> bool:
+        """Whether every current point is strictly 0/1."""
+        return is_binary(self._pos) and is_binary(self._neg)
 
     def _resolve_backend(self, backend: str) -> str:
         if backend not in BACKENDS:
@@ -208,7 +319,7 @@ class QueryEngine:
                     f"backend='bitpack' requires the Hamming metric, "
                     f"got {self.metric.name!r}"
                 )
-            if not is_binary(self._all):
+            if not self._data_is_binary():
                 raise ValidationError(
                     "backend='bitpack' requires strictly binary (0/1) data"
                 )
@@ -242,13 +353,13 @@ class QueryEngine:
         if (
             HAVE_BITWISE_COUNT
             and isinstance(self.metric, HammingMetric)
-            and is_binary(self._all)
+            and self._data_is_binary()
         ):
             return "bitpack"
         if (
             isinstance(self.metric, LpMetric)
-            and self.dataset.dimension <= _KDTREE_AUTO_MAX_DIM
-            and len(self.dataset) >= _KDTREE_AUTO_MIN_POINTS
+            and self._dim <= _KDTREE_AUTO_MAX_DIM
+            and self._total >= _KDTREE_AUTO_MIN_POINTS
         ):
             return "kdtree"
         return "dense"
@@ -258,17 +369,325 @@ class QueryEngine:
         if self.backend == "bitpack":
             from ..neighbors.bitpack import BitPackedHammingIndex
 
-            self._bit_index = BitPackedHammingIndex(self._all, self.metric)
+            m_pos = self._pos.shape[0]
+            self._bit_index = BitPackedHammingIndex(
+                np.vstack([self._pos, self._neg]), self.metric
+            )
+            self._bit_pos_cols = np.arange(m_pos, dtype=np.int64)
+            self._bit_neg_cols = np.arange(
+                m_pos, m_pos + self._neg.shape[0], dtype=np.int64
+            )
         elif self.backend == "kdtree":
-            from ..neighbors.kdtree import KDTreeIndex
+            from ..neighbors.kdtree import LazyKDTree
 
             # Per-class trees over multiplicity-expanded points: the
             # need-th neighbor of the expanded set equals the k-th
             # smallest with multiplicities of the unique rows.
             pos = np.repeat(self._pos, self._pos_mult, axis=0)
             neg = np.repeat(self._neg, self._neg_mult, axis=0)
-            self._pos_tree = KDTreeIndex(pos, self.metric) if pos.shape[0] else None
-            self._neg_tree = KDTreeIndex(neg, self.metric) if neg.shape[0] else None
+            self._pos_tree = LazyKDTree(pos, self.metric)
+            self._neg_tree = LazyKDTree(neg, self.metric)
+
+    # -- streaming mutation ----------------------------------------------
+
+    def check_mutation(self, points, labels, multiplicities=None, *, op: str = "add"):
+        """Validate a mutation batch **without applying it**.
+
+        Raises exactly when the matching :meth:`add_points` /
+        :meth:`remove_points` (``op`` = ``"add"`` / ``"remove"``) call
+        would; callers coordinating several engines over one dataset
+        (the serve layer) pre-validate against all of them so a refusal
+        can never leave the engines half-mutated.  Returns the
+        normalized ``(points, labels, multiplicities)`` triple.
+        """
+        pts = as_matrix(points, name="points", dimension=self._dim)
+        if pts.shape[0] == 0:
+            raise ValidationError("a mutation batch must contain at least one point")
+        lab = np.asarray(labels).astype(bool).ravel()
+        if lab.shape[0] != pts.shape[0]:
+            raise ValidationError(
+                f"labels has length {lab.shape[0]}, expected {pts.shape[0]}"
+            )
+        mult = check_multiplicities(multiplicities, pts.shape[0], name="multiplicities")
+        if self._discrete and not is_binary(pts):
+            raise ValidationError(
+                "points must contain only 0/1 entries for the discrete setting"
+            )
+        pts = np.ascontiguousarray(pts)
+        if op == "add":
+            # An *explicitly requested* bitpack backend is a contract:
+            # reject data it cannot pack.  An auto-selected one degrades
+            # to the dense kernels instead (see add_points).
+            if (
+                self._bit_index is not None
+                and self._requested_backend != "auto"
+                and not is_binary(pts)
+            ):
+                raise ValidationError(
+                    "backend='bitpack' requires strictly binary (0/1) points; "
+                    "rebuild the engine with backend='dense' for general data"
+                )
+        elif op == "remove":
+            self._validate_removal(pts, lab, mult)
+        else:
+            raise ValidationError(f"op must be 'add' or 'remove', got {op!r}")
+        return pts, lab, mult
+
+    def _validate_removal(self, pts, lab, mult) -> dict[tuple[bool, int], int]:
+        """Check a removal batch is satisfiable; returns per-row totals."""
+        requested: dict[tuple[bool, int], int] = {}
+        for row, m, flag in zip(pts, mult, lab):
+            flag = bool(flag)
+            _, mult_store, lookup = self._class_state(flag)
+            idx = lookup.get(row.tobytes())
+            side = "positives" if flag else "negatives"
+            if idx is None:
+                raise ValidationError(
+                    f"cannot remove a point absent from the {side}: {row.tolist()}"
+                )
+            requested[(flag, idx)] = requested.get((flag, idx), 0) + int(m)
+        for (flag, idx), m in requested.items():
+            _, mult_store, _ = self._class_state(flag)
+            have = int(mult_store.view[idx])
+            if have < m:
+                side = "positives" if flag else "negatives"
+                raise ValidationError(
+                    f"cannot remove {m} cop(ies) of a point with "
+                    f"multiplicity {have} in the {side}"
+                )
+        if self._total - int(mult.sum()) <= 0:
+            raise ValidationError("cannot remove the last point of a dataset")
+        return requested
+
+    def _degrade_bitpack_to_dense(self) -> None:
+        """Drop the packed index: the data outgrew what bitpack can serve.
+
+        Only reachable for an auto-selected backend (an explicit
+        ``backend="bitpack"`` rejects non-binary batches instead).  The
+        joint dense store is maintained at all times, so degrading is
+        free — the batch paths simply stop routing through popcounts.
+        """
+        self._bit_index = None
+        self._bit_pos_cols = None
+        self._bit_neg_cols = None
+        self._bit_plain = True
+        self.backend = "dense"
+
+    def _class_state(self, positive: bool):
+        """The (store, mult_store, lookup) triple of one class."""
+        if positive:
+            return self._pos_store, self._pos_mult_store, self._pos_lookup
+        return self._neg_store, self._neg_mult_store, self._neg_lookup
+
+    def add_points(self, points, labels, multiplicities=None) -> int:
+        """Insert labeled points in place; returns the new :attr:`version`.
+
+        Canonical streaming semantics (shared with
+        :meth:`Dataset.with_added <repro.knn.dataset.Dataset.with_added>`):
+        a point already present in its class gets its multiplicity
+        incremented, a new point is appended at the end of its class,
+        and existing row order is preserved.  The backend index absorbs
+        the change incrementally, cached distance vectors are *extended*
+        by the new rows, and cached radii are evicted only when a new
+        point lands inside the cached ball.
+        """
+        pts, lab, mult = self.check_mutation(points, labels, multiplicities, op="add")
+        if self._bit_index is not None and not is_binary(pts):
+            self._degrade_bitpack_to_dense()
+        appended: dict[bool, list[int]] = {True: [], False: []}
+        touched: dict[bool, list[np.ndarray]] = {True: [], False: []}
+        for row, m, flag in zip(pts, mult, lab):
+            flag = bool(flag)
+            store, mult_store, lookup = self._class_state(flag)
+            key = row.tobytes()
+            idx = lookup.get(key)
+            if idx is None:
+                idx = len(store)
+                store.append(row.reshape(1, -1))
+                mult_store.append(np.array([m], dtype=np.int64))
+                lookup[key] = idx
+                appended[flag].append(idx)
+            else:
+                mult_store.assign(idx, int(mult_store.view[idx]) + int(m))
+            touched[flag].append(row)
+            if self._pos_tree is not None:
+                tree = self._pos_tree if flag else self._neg_tree
+                tree.add(row, int(m))
+        self._refresh_views()
+        new_pos = self._pos[appended[True]] if appended[True] else None
+        new_neg = self._neg[appended[False]] if appended[False] else None
+        for rows, positive in ((new_pos, True), (new_neg, False)):
+            if rows is None:
+                continue
+            start = len(self._dense_store)
+            self._dense_store.append(rows)
+            slots = np.arange(start, start + rows.shape[0], dtype=np.int64)
+            if positive:
+                self._dense_pos_cols = np.concatenate([self._dense_pos_cols, slots])
+            else:
+                self._dense_neg_cols = np.concatenate([self._dense_neg_cols, slots])
+            if self._bit_index is not None:
+                bit_slots = self._bit_index.append(rows)
+                if positive:
+                    self._bit_pos_cols = np.concatenate(
+                        [self._bit_pos_cols, bit_slots]
+                    )
+                else:
+                    self._bit_neg_cols = np.concatenate(
+                        [self._bit_neg_cols, bit_slots]
+                    )
+        self._refresh_layout_flags()
+        self._extend_distance_cache(new_pos, new_neg)
+        self._invalidate_radii(
+            np.vstack(touched[True]) if touched[True] else None,
+            np.vstack(touched[False]) if touched[False] else None,
+        )
+        return self._bump_version()
+
+    def remove_points(self, points, labels, multiplicities=None) -> int:
+        """Remove labeled points in place; returns the new :attr:`version`.
+
+        The mirror of :meth:`add_points`: every listed point must exist
+        in its class with at least the requested multiplicity, and
+        removing the engine's last point is rejected — validation runs
+        up front, so a failed call leaves the engine untouched.  Rows
+        whose multiplicity reaches zero are compacted out of the stores
+        (order preserved), tombstoned in the bit-packed index, and
+        overlaid as deletions on the KD-trees; cached distance vectors
+        shrink by exactly the dropped rows, and cached radii are evicted
+        only when a removed point sat inside the cached ball.
+        """
+        pts, lab, mult = self.check_mutation(points, labels, multiplicities, op="remove")
+        requested = self._validate_removal(pts, lab, mult)
+        # Apply pass: decrement multiplicities, then compact dead rows.
+        touched: dict[bool, list[np.ndarray]] = {True: [], False: []}
+        for (flag, idx), m in requested.items():
+            _, mult_store, _ = self._class_state(flag)
+            mult_store.assign(idx, int(mult_store.view[idx]) - m)
+            touched[flag].append(np.array(self._class_state(flag)[0].view[idx]))
+        if self._pos_tree is not None:
+            for row, m, flag in zip(pts, mult, lab):
+                tree = self._pos_tree if flag else self._neg_tree
+                tree.remove(row, int(m))
+        dead: dict[bool, np.ndarray] = {}
+        for flag in (True, False):
+            store, mult_store, _ = self._class_state(flag)
+            dead_idx = np.flatnonzero(mult_store.view == 0)
+            dead[flag] = dead_idx
+            if dead_idx.size:
+                store.delete(dead_idx)
+                mult_store.delete(dead_idx)
+                if flag:
+                    self._pos_lookup = self._build_lookup(store.view)
+                else:
+                    self._neg_lookup = self._build_lookup(store.view)
+        dead_cols = np.concatenate(
+            [self._dense_pos_cols[dead[True]], self._dense_neg_cols[dead[False]]]
+        )
+        if dead_cols.size:
+            keep = np.ones(len(self._dense_store), dtype=bool)
+            keep[dead_cols] = False
+            mapping = np.cumsum(keep, dtype=np.int64) - 1
+            self._dense_store.delete(dead_cols)
+            self._dense_pos_cols = mapping[np.delete(self._dense_pos_cols, dead[True])]
+            self._dense_neg_cols = mapping[np.delete(self._dense_neg_cols, dead[False])]
+        if self._bit_index is not None:
+            if dead[True].size:
+                self._bit_index.tombstone(self._bit_pos_cols[dead[True]])
+                self._bit_pos_cols = np.delete(self._bit_pos_cols, dead[True])
+            if dead[False].size:
+                self._bit_index.tombstone(self._bit_neg_cols[dead[False]])
+                self._bit_neg_cols = np.delete(self._bit_neg_cols, dead[False])
+            if self._bit_index.dead_fraction > _BITPACK_COMPACT_FRACTION:
+                mapping = self._bit_index.compact()
+                self._bit_pos_cols = mapping[self._bit_pos_cols]
+                self._bit_neg_cols = mapping[self._bit_neg_cols]
+        self._refresh_layout_flags()
+        self._refresh_views()
+        self._shrink_distance_cache(dead[True], dead[False])
+        self._invalidate_radii(
+            np.vstack(touched[True]) if touched[True] else None,
+            np.vstack(touched[False]) if touched[False] else None,
+        )
+        return self._bump_version()
+
+    def _bump_version(self) -> int:
+        """Invalidate the dataset snapshot and advance the version counter."""
+        self._snapshot = None
+        self.version += 1
+        return self.version
+
+    def _refresh_layout_flags(self) -> None:
+        """Re-check whether the joint layouts still admit plain slicing."""
+        self._dense_plain = self._cols_plain(
+            self._dense_pos_cols, self._dense_neg_cols, len(self._dense_store)
+        )
+        if self._bit_index is not None:
+            self._bit_plain = self._cols_plain(
+                self._bit_pos_cols, self._bit_neg_cols, self._bit_index.storage_size
+            )
+
+    # -- targeted cache maintenance ---------------------------------------
+
+    def _extend_distance_cache(self, new_pos, new_neg) -> None:
+        """Append the new rows' powers to every cached distance vector.
+
+        The metric kernels are row-independent, so extending a cached
+        vector is bit-identical to recomputing it against the grown
+        class — the cache stays warm across inserts instead of being
+        flushed.
+        """
+        if not self._cache or (new_pos is None and new_neg is None):
+            return
+        for key, (pos_d, neg_d) in self._cache.items():
+            x = np.frombuffer(key, dtype=np.float64)
+            if new_pos is not None:
+                pos_d = np.concatenate([pos_d, self.metric.powers_to(new_pos, x)])
+                pos_d.setflags(write=False)
+            if new_neg is not None:
+                neg_d = np.concatenate([neg_d, self.metric.powers_to(new_neg, x)])
+                neg_d.setflags(write=False)
+            self._cache[key] = (pos_d, neg_d)
+
+    def _shrink_distance_cache(self, dead_pos: np.ndarray, dead_neg: np.ndarray) -> None:
+        """Drop the removed rows' entries from every cached distance vector."""
+        if not self._cache or (dead_pos.size == 0 and dead_neg.size == 0):
+            return
+        for key, (pos_d, neg_d) in self._cache.items():
+            if dead_pos.size:
+                pos_d = np.delete(pos_d, dead_pos)
+                pos_d.setflags(write=False)
+            if dead_neg.size:
+                neg_d = np.delete(neg_d, dead_neg)
+                neg_d.setflags(write=False)
+            self._cache[key] = (pos_d, neg_d)
+
+    def _invalidate_radii(self, pos_rows, neg_rows) -> None:
+        """Evict exactly the cached radii the touched rows can change.
+
+        Proposition 1's radii are k-th order statistics, so a row whose
+        surrogate power to the cached query is strictly greater than the
+        cached class radius cannot move that radius no matter how its
+        multiplicity changed; only entries where a touched row reaches
+        inside (or onto) the cached ball — or where the radius is
+        ``+inf`` and the class gained mass — are evicted.
+        """
+        if not self._radii_cache or (pos_rows is None and neg_rows is None):
+            return
+        for rkey in list(self._radii_cache):
+            r_pos, r_neg = self._radii_cache[rkey]
+            x = np.frombuffer(rkey[0], dtype=np.float64)
+            evict = False
+            if pos_rows is not None:
+                evict = np.isinf(r_pos) or bool(
+                    (self.metric.powers_to(pos_rows, x) <= r_pos).any()
+                )
+            if not evict and neg_rows is not None:
+                evict = np.isinf(r_neg) or bool(
+                    (self.metric.powers_to(neg_rows, x) <= r_neg).any()
+                )
+            if evict:
+                del self._radii_cache[rkey]
 
     # -- distances ------------------------------------------------------
 
@@ -295,18 +714,28 @@ class QueryEngine:
                 self._cache.popitem(last=False)
         return pos_d, neg_d
 
-    def _surrogate_block(self, pts_block: np.ndarray) -> np.ndarray:
-        """Backend-routed ``(rows, |S+| + |S-|)`` surrogate matrix.
+    def _class_power_blocks(self, pts_block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Backend-routed ``(to S+, to S-)`` surrogate blocks for query rows.
 
-        The bitpack backend returns integer Hamming counts (cheaper to
-        partition); every other backend returns float64.  Values agree
-        bit for bit with the dense kernel either way.  Non-binary query
-        rows fall back to the dense kernel under bitpack, preserving
-        results (the packed index only accepts {0,1} queries).
+        One joint kernel pass over the whole storage (a single popcount
+        or BLAS call — integer counts under bitpack, cheaper to
+        partition), split into the two classes by free slices while the
+        layout is still plain and by a column gather after interleaving
+        mutations.  Values agree bit for bit with :meth:`powers` either
+        way.  Non-binary query rows fall back to the dense kernel under
+        bitpack, preserving results (the packed index only accepts
+        {0,1} queries).
         """
+        m_pos = self._pos.shape[0]
         if self._bit_index is not None and is_binary(pts_block):
-            return self._bit_index.counts_matrix(pts_block)
-        return self.metric.powers_matrix(pts_block, self._all)
+            counts = self._bit_index.counts_matrix(pts_block)
+            if self._bit_plain:
+                return counts[:, :m_pos], counts[:, m_pos:]
+            return counts[:, self._bit_pos_cols], counts[:, self._bit_neg_cols]
+        powers = self.metric.powers_matrix(pts_block, self._dense_store.view)
+        if self._dense_plain:
+            return powers[:, :m_pos], powers[:, m_pos:]
+        return powers[:, self._dense_pos_cols], powers[:, self._dense_neg_cols]
 
     def powers_matrix(self, points) -> np.ndarray:
         """``(q, |S+| + |S-|)`` surrogate matrix, positives first.
@@ -319,21 +748,48 @@ class QueryEngine:
         floats (see :meth:`~repro.metrics.Metric.powers_matrix`).
         """
         pts = self._check_queries(points)
-        return np.asarray(self._surrogate_block(pts), dtype=np.float64)
+        if self._bit_index is not None and is_binary(pts):
+            if self._bit_plain:
+                return self._bit_index.counts_matrix(pts).astype(np.float64)
+        elif self._dense_plain:
+            return self.metric.powers_matrix(pts, self._dense_store.view)
+        pos_p, neg_p = self._class_power_blocks(pts)
+        return np.hstack(
+            [
+                np.asarray(pos_p, dtype=np.float64),
+                np.asarray(neg_p, dtype=np.float64),
+            ]
+        )
 
     def distances_matrix(self, points) -> np.ndarray:
         """``(q, |S+| + |S-|)`` true-distance matrix, positives first."""
         pts = self._check_queries(points)
-        return self.metric.distances_matrix(pts, self._all)
+        return np.hstack(
+            [
+                self.metric.distances_matrix(pts, self._pos),
+                self.metric.distances_matrix(pts, self._neg),
+            ]
+        )
 
     # -- radii (Proposition 1 ball inflation) ---------------------------
 
     def radii(self, x, k: int) -> tuple[float, float]:
-        """``(r+, r-)`` for one query, served from the distance cache."""
+        """``(r+, r-)`` for one query, served from the radii/distance caches."""
         need = self._need(k)
-        pos_d, neg_d = self.powers(x)
+        xv = self._check_query(x)
+        rkey = (xv.tobytes(), need)
+        cached = self._radii_cache.get(rkey)
+        if cached is not None:
+            self._hits += 1
+            self._radii_cache.move_to_end(rkey)
+            return cached
+        pos_d, neg_d = self.powers(xv)
         r_pos = _kth_smallest_with_multiplicity(pos_d, self._pos_mult, need)
         r_neg = _kth_smallest_with_multiplicity(neg_d, self._neg_mult, need)
+        if self._cache_size:
+            self._radii_cache[rkey] = (r_pos, r_neg)
+            if len(self._radii_cache) > self._cache_size:
+                self._radii_cache.popitem(last=False)
         return r_pos, r_neg
 
     def radii_batch(self, points, k: int) -> tuple[np.ndarray, np.ndarray]:
@@ -343,19 +799,18 @@ class QueryEngine:
         if self.backend == "kdtree":
             return self._radii_batch_kdtree(pts, need)
         q = pts.shape[0]
-        m_pos = self._pos.shape[0]
         r_pos = np.empty(q)
         r_neg = np.empty(q)
-        cols = max(1, self._all.shape[0])
+        cols = max(1, self._pos.shape[0] + self._neg.shape[0])
         rows = max(1, _BLOCK_ELEMENTS // cols)
         for start in range(0, q, rows):
             block = slice(start, min(start + rows, q))
-            powers = self._surrogate_block(pts[block])
+            pos_p, neg_p = self._class_power_blocks(pts[block])
             r_pos[block] = _kth_smallest_batch(
-                powers[:, :m_pos], self._pos_mult, need, plain=self._pos_plain
+                pos_p, self._pos_mult, need, plain=self._pos_plain
             )
             r_neg[block] = _kth_smallest_batch(
-                powers[:, m_pos:], self._neg_mult, need, plain=self._neg_plain
+                neg_p, self._neg_mult, need, plain=self._neg_plain
             )
         return r_pos, r_neg
 
@@ -363,15 +818,8 @@ class QueryEngine:
         self, pts: np.ndarray, need: int
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-class branch-and-bound radii (the KD-tree backend)."""
-        q = pts.shape[0]
-        if self._pos_tree is not None:
-            r_pos = self._pos_tree.kth_power_batch(pts, need)
-        else:
-            r_pos = np.full(q, np.inf)
-        if self._neg_tree is not None:
-            r_neg = self._neg_tree.kth_power_batch(pts, need)
-        else:
-            r_neg = np.full(q, np.inf)
+        r_pos = self._pos_tree.kth_power_batch(pts, need)
+        r_neg = self._neg_tree.kth_power_batch(pts, need)
         return r_pos, r_neg
 
     # -- classification and margins -------------------------------------
@@ -498,62 +946,71 @@ class QueryEngine:
     # -- cache bookkeeping ----------------------------------------------
 
     def cache_info(self) -> dict:
-        """``{hits, misses, size, max_size}`` of the per-query LRU cache."""
+        """``{hits, misses, size, radii_size, max_size}`` of the LRU caches.
+
+        ``hits`` counts both distance-vector and radii-memo hits (a
+        radii hit short-circuits before the distance cache is touched).
+        """
         return {
             "hits": self._hits,
             "misses": self._misses,
             "size": len(self._cache),
+            "radii_size": len(self._radii_cache),
             "max_size": self._cache_size,
         }
 
     def cache_clear(self) -> None:
-        """Empty the distance cache and reset the hit/miss counters."""
+        """Empty both caches and reset the hit/miss counters."""
         self._cache.clear()
+        self._radii_cache.clear()
         self._hits = 0
         self._misses = 0
 
     # -- pickling (process-pool sharding) --------------------------------
 
     def __getstate__(self) -> dict:
-        """Pickle without the distance cache (workers never share it)."""
+        """Pickle without caches or derived views (workers never share them)."""
         state = self.__dict__.copy()
         state["_cache"] = OrderedDict()
+        state["_radii_cache"] = OrderedDict()
         state["_hits"] = 0
         state["_misses"] = 0
+        for view in ("_pos", "_neg", "_pos_mult", "_neg_mult"):
+            state[view] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
-        self._all.setflags(write=False)
+        self._refresh_views()
 
     # -- validation helpers ----------------------------------------------
 
     def _need(self, k: int) -> int:
         """``(k+1)/2`` after validating k against the dataset size."""
         k = check_odd_k(k)
-        if len(self.dataset) < k:
+        if self._total < k:
             raise ValidationError(
                 f"the dataset must contain at least k={k} points "
-                f"(has {len(self.dataset)})"
+                f"(has {self._total})"
             )
         return (k + 1) // 2
 
     def _check_query(self, x) -> np.ndarray:
         xv = as_vector(x, name="x")
-        if xv.shape[0] != self.dataset.dimension:
+        if xv.shape[0] != self._dim:
             raise ValidationError(
-                f"x has dimension {xv.shape[0]}, dataset has {self.dataset.dimension}"
+                f"x has dimension {xv.shape[0]}, dataset has {self._dim}"
             )
         return np.ascontiguousarray(xv)
 
     def _check_queries(self, points) -> np.ndarray:
-        pts = as_matrix(points, name="points", dimension=self.dataset.dimension)
+        pts = as_matrix(points, name="points", dimension=self._dim)
         return pts
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"QueryEngine(metric={self.metric.name}, backend={self.backend}, "
-            f"{self.dataset!r})"
+            f"version={self.version}, {self.dataset!r})"
         )
 
 
@@ -564,6 +1021,8 @@ def as_engine(
 
     Returns *engine* after checking it serves the same dataset and
     metric; builds a fresh one (with the requested *backend*) when None.
+    A mutated engine's :attr:`~QueryEngine.dataset` snapshot is the
+    object to pass here — it is stable between mutations.
     """
     if engine is None:
         return QueryEngine(dataset, metric, backend=backend)

@@ -18,19 +18,29 @@ the engine routes its batch primitives through these indexes (selected by
 All share the :class:`NNIndex` interface: ``query(x, k)`` returns the
 ``k`` smallest distances and their point indices, with deterministic
 index-order tie-breaking so results are reproducible across backends.
+
+The layer is *mutable* end to end (the streaming-updates tentpole):
+:class:`GrowableMatrix` gives the brute/dense paths amortized-doubling
+appends, :meth:`BitPackedHammingIndex.append` packs new words in place
+while removals tombstone storage slots, and :class:`LazyKDTree` overlays
+deltas on the last built tree until a staleness threshold triggers a
+rebuild — each strategy bit-identical to a from-scratch rebuild (the
+``tests/test_fuzz_parity.py`` differential harness enforces this).
 """
 
 from __future__ import annotations
 
 from .base import NNIndex, build_index
 from .bitpack import BitPackedHammingIndex
-from .brute import BruteForceIndex
-from .kdtree import KDTreeIndex
+from .brute import BruteForceIndex, GrowableMatrix
+from .kdtree import KDTreeIndex, LazyKDTree
 
 __all__ = [
     "NNIndex",
     "BruteForceIndex",
+    "GrowableMatrix",
     "KDTreeIndex",
+    "LazyKDTree",
     "BitPackedHammingIndex",
     "build_index",
 ]

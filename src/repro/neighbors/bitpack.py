@@ -23,6 +23,7 @@ from ..exceptions import ValidationError
 from ..metrics import HammingMetric
 from ..metrics.hamming import is_binary
 from .base import NNIndex
+from .brute import GrowableMatrix
 
 #: query rows per kernel block: keeps the (rows, size) XOR slab and its
 #: popcount accumulator cache-resident (measured fastest around 32 rows
@@ -82,50 +83,151 @@ class BitPackedHammingIndex(NNIndex):
             raise ValidationError(
                 "BitPackedHammingIndex requires strictly binary (0/1) points"
             )
-        self._words = pack_binary_rows(self.points)  # (W, size), word-major
+        # Storage is append-only: `_word_store` holds packed rows in
+        # *insertion* order (word-major after transpose), removals only
+        # tombstone their slot in `_alive`, and `compact()` reclaims the
+        # space once tombstones dominate.  `storage_size` (live + dead
+        # slots) is the column count of `counts_matrix`.
+        self._word_store = GrowableMatrix(pack_binary_rows(self.points).T)  # (rows, W)
+        self._point_store = GrowableMatrix(self.points)
+        self._alive = GrowableMatrix(np.ones(self.points.shape[0], dtype=bool))
+        self.points = self._point_store.view
         self._acc_dtype = _count_dtype(self.dimension)
+        self._words_major: np.ndarray | None = None  # cached (W, storage) layout
+
+    # -- mutable storage -------------------------------------------------
+
+    @property
+    def storage_size(self) -> int:
+        """Number of storage slots (live rows plus tombstoned ones)."""
+        return len(self._word_store)
+
+    @property
+    def size(self) -> int:
+        """Number of live (non-tombstoned) indexed points."""
+        return int(self._alive.view.sum())
+
+    @property
+    def dead_fraction(self) -> float:
+        """Share of storage slots occupied by tombstones."""
+        storage = self.storage_size
+        return 0.0 if storage == 0 else 1.0 - self.size / storage
+
+    def append(self, points) -> np.ndarray:
+        """Pack and append binary rows; returns their new storage slots.
+
+        Appends land in amortized-doubling storage (the FAISS-style
+        "add to a binary index" path): no existing packed word is ever
+        touched, so a stream of inserts costs O(rows) packing work each.
+        """
+        rows = np.asarray(points, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows.reshape(1, -1)
+        rows = self._check_batch(rows)
+        start = self.storage_size
+        self._word_store.append(pack_binary_rows(rows).T)
+        self._point_store.append(rows)
+        self._alive.append(np.ones(rows.shape[0], dtype=bool))
+        self.points = self._point_store.view
+        self._words_major = None
+        return np.arange(start, start + rows.shape[0], dtype=np.int64)
+
+    def tombstone(self, slots) -> None:
+        """Mark storage *slots* dead; their columns stay in the counts
+        matrix (callers must not gather them) until :meth:`compact`."""
+        idx = np.asarray(slots, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.storage_size:
+            raise ValidationError(
+                f"slots must be in [0, {self.storage_size}), got {idx.tolist()}"
+            )
+        alive = self._alive.view
+        if not bool(alive[idx].all()):
+            raise ValidationError("cannot tombstone an already-dead storage slot")
+        self._alive.assign(idx, False)
+
+    def compact(self) -> np.ndarray:
+        """Drop tombstoned slots; returns the old-slot → new-slot map.
+
+        Dead slots map to -1.  Callers holding storage-slot arrays (the
+        engine's per-class column maps) must remap through the returned
+        array.
+        """
+        alive = np.array(self._alive.view)
+        dead = np.flatnonzero(~alive)
+        mapping = np.cumsum(alive, dtype=np.int64) - 1
+        mapping[~alive] = -1
+        if dead.size:
+            self._word_store.delete(dead)
+            self._point_store.delete(dead)
+            self._alive.delete(dead)
+            self.points = self._point_store.view
+            self._words_major = None
+        return mapping
+
+    @property
+    def _words(self) -> np.ndarray:
+        """Word-major (W, storage) packed layout the kernels consume.
+
+        Rebuilt lazily after a mutation: the contiguous word-major copy
+        makes each per-word broadcast read point words sequentially.
+        """
+        if self._words_major is None:
+            self._words_major = np.ascontiguousarray(self._word_store.view.T)
+        return self._words_major
 
     # -- kernels ---------------------------------------------------------
 
-    def _counts_block(self, query_words: np.ndarray) -> np.ndarray:
-        """(rows, size) Hamming counts for one word-major query block."""
+    def _counts_block(self, query_words: np.ndarray, words: np.ndarray) -> np.ndarray:
+        """(rows, storage) Hamming counts for one word-major query block."""
         rows = query_words.shape[1]
-        counts = np.bitwise_count(query_words[0][:, None] ^ self._words[0][None, :])
+        counts = np.bitwise_count(query_words[0][:, None] ^ words[0][None, :])
         if counts.dtype != self._acc_dtype:
             counts = counts.astype(self._acc_dtype)
-        if self._words.shape[0] > 1:
-            xor = np.empty((rows, self.size), dtype=np.uint64)
-            for w in range(1, self._words.shape[0]):
-                np.bitwise_xor(query_words[w][:, None], self._words[w][None, :], out=xor)
+        if words.shape[0] > 1:
+            xor = np.empty((rows, words.shape[1]), dtype=np.uint64)
+            for w in range(1, words.shape[0]):
+                np.bitwise_xor(query_words[w][:, None], words[w][None, :], out=xor)
                 np.add(counts, np.bitwise_count(xor), out=counts, casting="unsafe")
         return counts
 
     def counts_matrix(self, queries) -> np.ndarray:
-        """Full (q, size) integer Hamming-distance matrix, blocked.
+        """Full (q, storage_size) integer Hamming-distance matrix, blocked.
 
-        The dtype is the smallest unsigned integer that can hold the
-        dimension; callers that need the float64 surrogate-matrix
-        contract should use :meth:`powers_matrix`.
+        Columns are *storage slots* in insertion order — tombstoned
+        slots are still present (their counts are garbage to consumers
+        and must not be gathered); the dtype is the smallest unsigned
+        integer that can hold the dimension.  Callers that need the
+        float64 surrogate-matrix contract should use
+        :meth:`powers_matrix`.
         """
         q = self._check_batch(queries)
-        out = np.empty((q.shape[0], self.size), dtype=self._acc_dtype)
+        words = self._words
+        out = np.empty((q.shape[0], self.storage_size), dtype=self._acc_dtype)
         for start in range(0, q.shape[0], _QUERY_BLOCK_ROWS):
             block = slice(start, min(start + _QUERY_BLOCK_ROWS, q.shape[0]))
-            out[block] = self._counts_block(pack_binary_rows(q[block]))
+            out[block] = self._counts_block(pack_binary_rows(q[block]), words)
         return out
 
     def powers_matrix(self, queries) -> np.ndarray:
-        """(q, size) float64 surrogate matrix — bit-identical to the dense
-        :meth:`~repro.metrics.Metric.powers_matrix` Hamming kernel."""
+        """(q, storage_size) float64 surrogate matrix — bit-identical to the
+        dense :meth:`~repro.metrics.Metric.powers_matrix` Hamming kernel."""
         return self.counts_matrix(queries).astype(np.float64)
 
     # -- NNIndex interface ----------------------------------------------
 
     def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
-        """The k nearest rows to *x*: ``(distances, indices)``, ties by index."""
+        """The k nearest live rows to *x*: ``(distances, slots)``, ties by slot.
+
+        Returned indices are storage slots (stable across tombstoning,
+        remapped only by :meth:`compact`); tombstoned slots are never
+        returned.
+        """
         xv, k = self._check_query(x, k)
         d = self.counts_matrix(xv.reshape(1, -1))[0]
-        order = np.argsort(d, kind="stable")[:k]
+        slots = np.flatnonzero(self._alive.view)
+        order = slots[np.argsort(d[slots], kind="stable")[:k]]
         return d[order].astype(np.float64), order
 
     # -- validation ------------------------------------------------------

@@ -1,10 +1,78 @@
-"""Vectorized brute-force nearest-neighbor search."""
+"""Vectorized brute-force nearest-neighbor search, with mutable storage.
+
+Streaming workloads mutate their training set one small batch at a
+time; rebuilding a dense matrix per mutation would turn every insert
+into an O(m·n) copy.  :class:`GrowableMatrix` is the storage primitive
+the brute/dense paths use instead: appends land in pre-reserved
+capacity that doubles amortizedly (so a stream of r single-row inserts
+costs O(r) row copies total, not O(r·m)), while removals compact in
+place preserving row order — order is observable through tie-breaking,
+so it must survive mutation bit for bit.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from .._validation import as_matrix
+from ..exceptions import ValidationError
 from .base import NNIndex
+
+
+class GrowableMatrix:
+    """Row store with amortized-doubling append and order-preserving delete.
+
+    Works for 2-D float64 point matrices and 1-D int64 multiplicity
+    vectors alike: capacity grows along the first axis only.  The
+    :attr:`view` of the live rows is read-only, so callers can hand it
+    to kernels without defensive copies.
+    """
+
+    def __init__(self, rows: np.ndarray):
+        self._buf = np.array(rows, order="C", copy=True)
+        self._n = self._buf.shape[0]
+
+    @property
+    def view(self) -> np.ndarray:
+        """Read-only view of the current rows (no copy)."""
+        out = self._buf[: self._n]
+        out.setflags(write=False)
+        return out
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, rows: np.ndarray) -> None:
+        """Append *rows* (same trailing shape), doubling capacity as needed."""
+        rows = np.asarray(rows, dtype=self._buf.dtype)
+        extra = rows.shape[0]
+        if self._n + extra > self._buf.shape[0]:
+            capacity = max(2 * self._buf.shape[0], self._n + extra, 4)
+            grown = np.empty((capacity,) + self._buf.shape[1:], dtype=self._buf.dtype)
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n : self._n + extra] = rows
+        self._n += extra
+
+    def assign(self, indices, values) -> None:
+        """Overwrite the listed live rows in place."""
+        self._buf[: self._n][np.asarray(indices, dtype=np.int64)] = values
+
+    def delete(self, indices) -> None:
+        """Remove the listed row indices, preserving the order of the rest."""
+        keep = np.ones(self._n, dtype=bool)
+        keep[np.asarray(indices, dtype=np.int64)] = False
+        survivors = self._buf[: self._n][keep]  # fancy indexing: a fresh copy
+        self._buf[: survivors.shape[0]] = survivors
+        self._n = survivors.shape[0]
+
+    def __getstate__(self) -> dict:
+        """Pickle only the live rows, dropping reserved capacity."""
+        return {"rows": np.array(self._buf[: self._n])}
+
+    def __setstate__(self, state: dict) -> None:
+        self._buf = state["rows"]
+        self._n = self._buf.shape[0]
 
 
 class BruteForceIndex(NNIndex):
@@ -12,8 +80,33 @@ class BruteForceIndex(NNIndex):
 
     This is the workhorse backend in the paper's regime (hundreds of
     dimensions), where space-partitioning trees degenerate to linear
-    scans with extra overhead.
+    scans with extra overhead.  The point set is mutable: :meth:`add`
+    appends into amortized-doubling storage and :meth:`remove` compacts
+    in place, so a streaming workload never pays a full rebuild.
     """
+
+    def __init__(self, points, metric="l2"):
+        super().__init__(points, metric)
+        self._store = GrowableMatrix(self.points)
+        self.points = self._store.view
+
+    def add(self, points) -> None:
+        """Append rows to the indexed set (amortized O(rows) copies)."""
+        rows = as_matrix(points, name="points", dimension=self.dimension)
+        self._store.append(rows)
+        self.points = self._store.view
+
+    def remove(self, indices) -> None:
+        """Drop the listed row indices; later rows shift down, order kept."""
+        idx = np.unique(np.asarray(indices, dtype=np.int64).ravel())
+        if idx.size and (idx[0] < 0 or idx[-1] >= self.size):
+            raise ValidationError(
+                f"indices must be in [0, {self.size}), got {idx.tolist()}"
+            )
+        if idx.size >= self.size:
+            raise ValidationError("cannot remove every point from an index")
+        self._store.delete(idx)
+        self.points = self._store.view
 
     def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
         """The k nearest rows to *x*: ``(distances, indices)``, ties by index."""

@@ -175,3 +175,121 @@ class KDTreeIndex(NNIndex):
         """Row-wise :meth:`kth_power` over a query matrix."""
         queries = np.asarray(queries, dtype=np.float64)
         return np.array([self.kth_power(x, k) for x in queries])
+
+
+class LazyKDTree:
+    """A KD-tree over a *mutable* multiset of points, rebuilt lazily.
+
+    A KD-tree cannot absorb inserts or deletes without degrading, so
+    mutations are recorded as deltas against the last built tree:
+    removals tombstone tree rows, inserts accumulate in a pending
+    overlay, and queries combine branch-and-bound candidates with the
+    overlay.  Once the deltas pass :data:`REBUILD_FRACTION` of the tree
+    size the next query rebuilds from scratch — amortizing the O(m log
+    m) build over at least ``REBUILD_FRACTION * m`` mutations.
+
+    Rows here are *expanded* points (one row per multiplicity unit);
+    the k-th returned power therefore counts multiplicities exactly
+    like :func:`repro.knn.engine._kth_smallest_with_multiplicity`.
+    Returned values are bit-identical to a freshly built tree because
+    candidate powers are always recomputed with ``metric.powers_to``,
+    whose kernels are row-independent.
+    """
+
+    #: delta fraction of the built tree size that triggers a rebuild.
+    REBUILD_FRACTION = 0.25
+
+    def __init__(self, points: np.ndarray, metric):
+        self.metric = metric
+        self._dim = points.shape[1]
+        self._rebuild(np.asarray(points, dtype=np.float64))
+
+    # -- mutation --------------------------------------------------------
+
+    def _rebuild(self, points: np.ndarray) -> None:
+        """Build a fresh tree over *points* and reset every delta."""
+        self._base = np.array(points, dtype=np.float64, order="C")
+        self._tree = KDTreeIndex(self._base, self.metric) if self._base.shape[0] else None
+        self._removed = np.zeros(self._base.shape[0], dtype=bool)
+        self._n_removed = 0
+        self._pending: list[np.ndarray] = []
+
+    @property
+    def size(self) -> int:
+        """Live rows: tree rows minus tombstones plus the pending overlay."""
+        return self._base.shape[0] - self._n_removed + len(self._pending)
+
+    @property
+    def staleness(self) -> float:
+        """Deltas as a fraction of the built tree size."""
+        deltas = self._n_removed + len(self._pending)
+        return deltas / max(1, self._base.shape[0])
+
+    def add(self, row: np.ndarray, count: int = 1) -> None:
+        """Insert *count* copies of *row* into the pending overlay."""
+        row = np.ascontiguousarray(row, dtype=np.float64)
+        self._pending.extend(np.array(row) for _ in range(int(count)))
+
+    def remove(self, row: np.ndarray, count: int = 1) -> None:
+        """Remove *count* copies of *row* (pending overlay first, then
+        tombstoning tree rows); raises when fewer copies exist."""
+        row = np.ascontiguousarray(row, dtype=np.float64)
+        key = row.tobytes()
+        count = int(count)
+        for i in range(len(self._pending) - 1, -1, -1):
+            if count == 0:
+                return
+            if self._pending[i].tobytes() == key:
+                del self._pending[i]
+                count -= 1
+        if count == 0:
+            return
+        live = np.flatnonzero(~self._removed)
+        matches = live[np.all(self._base[live] == row, axis=1)]
+        if matches.shape[0] < count:
+            raise ValidationError(
+                f"cannot remove {count} more cop(ies) of a row with only "
+                f"{matches.shape[0]} left in the tree"
+            )
+        self._removed[matches[:count]] = True
+        self._n_removed += count
+
+    def _maybe_rebuild(self) -> None:
+        """The lazy rebuild: triggered by queries, not by mutations."""
+        deltas = self._n_removed + len(self._pending)
+        if deltas and self.staleness > self.REBUILD_FRACTION:
+            alive = self._base[~self._removed]
+            overlay = np.array(self._pending).reshape(-1, self._dim)
+            self._rebuild(np.vstack([alive, overlay]))
+
+    # -- queries ---------------------------------------------------------
+
+    def kth_power(self, x: np.ndarray, k: int) -> float:
+        """Surrogate power of the k-th nearest live row (+inf if k > size)."""
+        self._maybe_rebuild()
+        k = int(k)
+        if k > self.size:
+            return float(np.inf)
+        if self._tree is not None and not self._n_removed and not self._pending:
+            return self._tree.kth_power(x, k)
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        candidates: list[np.ndarray] = []
+        if self._tree is not None and self._base.shape[0] > self._n_removed:
+            # k + n_removed tree candidates always contain the k nearest
+            # live tree rows, whatever the tombstone pattern.
+            take = min(self._tree.size, k + self._n_removed)
+            _, idx = self._tree.query(x, take)
+            alive = idx[~self._removed[idx]]
+            candidates.append(self.metric.powers_to(self._base[alive], x))
+        if self._pending:
+            overlay = np.array(self._pending).reshape(-1, self._dim)
+            candidates.append(self.metric.powers_to(overlay, x))
+        powers = np.concatenate(candidates) if candidates else np.empty(0)
+        if powers.shape[0] < k:  # pragma: no cover - guarded by the size check
+            return float(np.inf)
+        return float(np.partition(powers, k - 1)[k - 1])
+
+    def kth_power_batch(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """Row-wise :meth:`kth_power` over a query matrix."""
+        queries = np.asarray(queries, dtype=np.float64)
+        return np.array([self.kth_power(x, k) for x in queries])

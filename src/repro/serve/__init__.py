@@ -25,7 +25,13 @@ headline (``benchmarks/bench_serve_throughput.py``, gated ≥ 3× in CI).
 
 from __future__ import annotations
 
-from .cache import ResultCache, dataset_fingerprint, request_key
+from .cache import (
+    ResultCache,
+    dataset_fingerprint,
+    request_key,
+    split_fingerprint,
+    versioned_fingerprint,
+)
 from .http import ExplanationHTTPServer, serve_http
 from .service import (
     BATCH_METHODS,
@@ -48,4 +54,6 @@ __all__ = [
     "dataset_fingerprint",
     "request_key",
     "serve_http",
+    "split_fingerprint",
+    "versioned_fingerprint",
 ]

@@ -18,11 +18,26 @@ down *exactly* what was asked:
 
 :class:`ResultCache` is a thread-safe LRU over those keys with optional
 *disk persistence*: when ``cache_dir`` is set, every stored payload is
-also pickled to ``<fingerprint[:16]>-<sha256(key)>.pkl`` inside the
-directory, entries evicted from memory remain reachable on disk, and a
-fresh process pointed at the same directory starts warm.  Explicit
-invalidation (:meth:`ResultCache.invalidate`) removes both the memory
-entries and the disk files of one fingerprint.
+also pickled to ``<fragment>-<sha256(key)>.pkl`` inside the directory
+(where the fragment is the fingerprint's first 16 hex chars plus any
+``@vN`` version suffix), entries evicted from memory remain reachable
+on disk, and a fresh process pointed at the same directory starts warm.
+Explicit invalidation (:meth:`ResultCache.invalidate`) removes both the
+memory entries and the disk files of one fingerprint.
+
+Versioned fingerprints
+----------------------
+
+Mutable (streaming) datasets keep their *base* content fingerprint as a
+stable identity and append ``@v<N>`` per mutation: ``<fp>`` is version
+0, ``<fp>@v3`` the third mutation.  :func:`split_fingerprint` /
+:func:`versioned_fingerprint` convert between the two forms, cache keys
+embed the versioned form, and :meth:`ResultCache.invalidate` accepts
+either: a versioned fingerprint drops exactly that version's entries
+(the scoped invalidation a mutation performs on the version it
+supersedes), a bare one drops every version (dataset removal).  The
+``@v`` suffix is validated as strictly ``@v<digits>`` so the disk sweep
+stays glob-safe.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ import copy
 import hashlib
 import json
 import pickle
+import re
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -46,10 +62,50 @@ _KEY_SEP = b"|"
 #: the alphabet of a well-formed fingerprint (lowercase sha256 hex).
 _HEX = set("0123456789abcdef")
 
+#: a versioned fingerprint: base hex plus a strict ``@v<digits>`` suffix.
+_VERSIONED_RE = re.compile(r"^([0-9a-f]+)@v([0-9]+)$")
+
 
 def _is_hex(text: str) -> bool:
     """Whether *text* is non-empty lowercase hex (a fingerprint prefix)."""
     return bool(text) and set(text) <= _HEX
+
+
+def split_fingerprint(fingerprint: str) -> tuple[str, int]:
+    """``(base, version)`` of a possibly versioned fingerprint.
+
+    A bare fingerprint is version 0; ``<fp>@v3`` is ``(fp, 3)``.  Raises
+    :class:`~repro.exceptions.ValidationError` on a malformed ``@``
+    suffix (the strictness the disk-sweep glob relies on).
+    """
+    if "@" not in fingerprint:
+        return fingerprint, 0
+    match = _VERSIONED_RE.match(fingerprint)
+    if match is None:
+        raise ValidationError(
+            f"malformed versioned fingerprint {fingerprint!r} (want <hex>@v<N>)"
+        )
+    return match.group(1), int(match.group(2))
+
+
+def versioned_fingerprint(base: str, version: int) -> str:
+    """The wire form of ``(base, version)``: bare at version 0, else ``@vN``."""
+    return base if version == 0 else f"{base}@v{int(version)}"
+
+
+def _disk_fragment(fingerprint: str) -> str | None:
+    """The filename fragment of one fingerprint's persisted entries.
+
+    ``None`` when the fingerprint is not well-formed — a caller-supplied
+    string with glob metacharacters must never reach the disk sweep.
+    """
+    try:
+        base, version = split_fingerprint(fingerprint)
+    except ValidationError:
+        return None
+    if not _is_hex(base[:16]):
+        return None
+    return versioned_fingerprint(base[:16], version)
 
 
 def dataset_fingerprint(dataset: Dataset) -> str:
@@ -197,24 +253,39 @@ class ResultCache:
     # -- invalidation ----------------------------------------------------
 
     def invalidate(self, fingerprint: str) -> int:
-        """Drop every entry (memory and disk) of one dataset fingerprint.
+        """Drop the entries (memory and disk) of one dataset fingerprint.
 
-        The disk sweep only runs for a well-formed (hex) fingerprint
-        prefix — glob metacharacters in a caller-supplied string must
-        not be able to match other datasets' persisted files.
+        A **versioned** fingerprint (``<fp>@v3``) drops exactly that
+        version's entries — the scoped invalidation a mutation applies
+        to the version it supersedes; a **bare** fingerprint drops every
+        version (``<fp>`` itself plus any ``<fp>@v*``) — full dataset
+        removal.  The disk sweep only runs for well-formed fragments —
+        glob metacharacters in a caller-supplied string must not be able
+        to match other datasets' persisted files.
         """
-        prefix = fingerprint.encode() + _KEY_SEP
+        versioned = "@" in fingerprint
+        prefixes = [fingerprint.encode() + _KEY_SEP]
+        if not versioned:
+            prefixes.append(fingerprint.encode() + b"@v")
         removed = 0
         with self._lock:
-            stale = [key for key in self._data if key.startswith(prefix)]
+            stale = [
+                key
+                for key in self._data
+                if any(key.startswith(prefix) for prefix in prefixes)
+            ]
             for key in stale:
                 del self._data[key]
             removed += len(stale)
-            disk_prefix = fingerprint[:16]
-            if self._dir is not None and _is_hex(disk_prefix):
-                for path in self._dir.glob(f"{disk_prefix}-*.pkl"):
-                    path.unlink(missing_ok=True)
-                    removed += 1
+            fragment = _disk_fragment(fingerprint)
+            if self._dir is not None and fragment is not None:
+                patterns = [f"{fragment}-*.pkl"]
+                if not versioned:
+                    patterns.append(f"{fragment}@v*-*.pkl")
+                for pattern in patterns:
+                    for path in self._dir.glob(pattern):
+                        path.unlink(missing_ok=True)
+                        removed += 1
         return removed
 
     def clear(self) -> None:
@@ -247,8 +318,15 @@ class ResultCache:
             return len(self._data)
 
     def _disk_path(self, key: bytes) -> Path | None:
-        """Persisted location of *key*: fingerprint prefix + key digest."""
+        """Persisted location of *key*: fingerprint fragment + key digest.
+
+        The fragment keeps the ``@vN`` version suffix, so each dataset
+        version's files are independently sweepable.
+        """
         if self._dir is None:
             return None
         fingerprint = key.split(_KEY_SEP, 1)[0].decode()
-        return self._dir / f"{fingerprint[:16]}-{hashlib.sha256(key).hexdigest()}.pkl"
+        fragment = _disk_fragment(fingerprint)
+        if fragment is None:
+            fragment = hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
+        return self._dir / f"{fragment}-{hashlib.sha256(key).hexdigest()}.pkl"

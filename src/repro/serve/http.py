@@ -4,18 +4,36 @@
 an :class:`~repro.serve.service.ExplanationService` in a
 ``ThreadingHTTPServer`` speaking JSON:
 
-========  =======================  ==========================================
-method    path                     body / response
-========  =======================  ==========================================
-GET       ``/healthz``             ``{"status": "ok", "datasets": N}``
-GET       ``/v1/stats``            service counters + cache stats
-POST      ``/v1/datasets``         ``{"positives": [[...]], "negatives":
-                                   [[...]], "discrete": bool, ...}`` →
-                                   ``{"fingerprint": ..., "dimension": n}``
-DELETE    ``/v1/datasets/<fp>``    drop dataset + invalidate its cache
-POST      ``/v1/explain``          ``{"fingerprint", "method", "instance"
-                                   | "instances", "params"}`` → answer(s)
-========  =======================  ==========================================
+==============  ============================  ================================
+method          path                          body / response
+==============  ============================  ================================
+GET             ``/healthz``                  ``{"status": "ok", "datasets":
+                                              N}``
+GET             ``/v1/stats``                 service counters + cache stats
+POST            ``/v1/datasets``              ``{"positives": [[...]],
+                                              "negatives": [[...]],
+                                              "discrete": bool, ...}`` →
+                                              ``{"fingerprint": ...,
+                                              "dimension": n}``
+POST            ``/v1/datasets/<fp>/points``  ``{"points": [[...]],
+                                              "labels": [...],
+                                              "multiplicities": [...]}`` →
+                                              streaming insert; returns the
+                                              new ``<fp>@vN`` fingerprint
+DELETE          ``/v1/datasets/<fp>/points``  same body → streaming removal
+DELETE          ``/v1/datasets/<fp>``         drop dataset + invalidate its
+                                              cache (``<fp>@vN`` of a
+                                              superseded version sweeps just
+                                              that version's entries)
+POST            ``/v1/explain``               ``{"fingerprint", "method",
+                                              "instance" | "instances",
+                                              "params"}`` → answer(s)
+==============  ============================  ================================
+
+Fingerprints in paths may be bare (the stable content hash of the
+dataset at registration — always addresses the *current* version) or
+versioned (``<fp>@vN``); both forms are validated strictly before they
+can reach the cache's disk sweep.
 
 Each HTTP request is handled on its own thread, but every explanation
 funnels through **one** asyncio loop (a daemon thread) running the
@@ -30,6 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -42,6 +61,11 @@ from .service import ExplanationService
 #: largest accepted request body (16 MiB) — a serving process should not
 #: be OOM-able by one oversized POST.
 MAX_BODY_BYTES = 16 << 20
+
+#: a well-formed URL fingerprint: 64 hex chars, optionally ``@v<digits>``.
+#: Anything else is rejected before it can reach the cache's disk sweep
+#: (no wildcard deletion via the URL), without loosening the hex check.
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{64}(@v[0-9]+)?$")
 
 
 def jsonable(obj):
@@ -136,11 +160,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:
-        """``/v1/datasets`` (register) and ``/v1/explain`` (answer)."""
+        """``/v1/datasets`` (register), ``.../points`` (insert), ``/v1/explain``."""
         try:
             body = self._read_json()
+            fingerprint = self._points_path()
             if self.path == "/v1/datasets":
                 self._reply(200, self._register_dataset(body))
+            elif fingerprint is not None:
+                self._reply(200, self._mutate_dataset(fingerprint, body, add=True))
             elif self.path == "/v1/explain":
                 self._reply(200, self._explain(body))
             else:
@@ -151,25 +178,64 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(422, {"error": str(exc)})
 
     def do_DELETE(self) -> None:
-        """``/v1/datasets/<fingerprint>`` — drop + invalidate."""
+        """``/v1/datasets/<fp>`` (drop) and ``/v1/datasets/<fp>/points``."""
         prefix = "/v1/datasets/"
         if not self.path.startswith(prefix):
             self._reply(404, {"error": f"unknown path {self.path!r}"})
             return
-        fingerprint = self.path[len(prefix) :]
-        # Fingerprints are sha256 hex; reject anything else before it can
-        # reach the cache's disk sweep (no wildcard deletion via the URL).
-        if len(fingerprint) != 64 or not all(c in "0123456789abcdef" for c in fingerprint):
-            self._reply(400, {"error": "malformed fingerprint (want 64 hex chars)"})
-            return
         try:
+            fingerprint = self._points_path()
+            if fingerprint is not None:
+                body = self._read_json()
+                self._reply(200, self._mutate_dataset(fingerprint, body, add=False))
+                return
+            fingerprint = self._checked_fingerprint(self.path[len(prefix) :])
             removed = self.server.service.remove_dataset(fingerprint)
+            self._reply(200, {"fingerprint": fingerprint, "invalidated": removed})
+        except (ValidationError, ValueError, KeyError, TypeError) as exc:
+            self._reply(400, {"error": str(exc) or exc.__class__.__name__})
         except ReproError as exc:
             self._reply(422, {"error": str(exc)})
-            return
-        self._reply(200, {"fingerprint": fingerprint, "invalidated": removed})
 
     # -- endpoint bodies --------------------------------------------------
+
+    def _points_path(self) -> str | None:
+        """The validated fingerprint of a ``/v1/datasets/<fp>/points`` path.
+
+        ``None`` when the path has a different shape; raises
+        :class:`~repro.exceptions.ValidationError` on a malformed
+        fingerprint between the markers.
+        """
+        prefix, suffix = "/v1/datasets/", "/points"
+        if not (self.path.startswith(prefix) and self.path.endswith(suffix)):
+            return None
+        middle = self.path[len(prefix) : -len(suffix)]
+        if not middle:
+            return None
+        return self._checked_fingerprint(middle)
+
+    @staticmethod
+    def _checked_fingerprint(fingerprint: str) -> str:
+        """Reject anything but ``<64 hex>`` or ``<64 hex>@v<digits>``."""
+        if _FINGERPRINT_RE.match(fingerprint) is None:
+            raise ValidationError(
+                "malformed fingerprint (want 64 hex chars, optionally @v<N>)"
+            )
+        return fingerprint
+
+    def _mutate_dataset(self, fingerprint: str, body: dict, *, add: bool) -> dict:
+        """Apply one streaming insert/remove batch to a registered dataset."""
+        if "points" not in body or "labels" not in body:
+            raise ValidationError("body needs 'points' and 'labels'")
+        mutate = (
+            self.server.service.add_points if add else self.server.service.remove_points
+        )
+        return mutate(
+            fingerprint,
+            body["points"],
+            body["labels"],
+            multiplicities=body.get("multiplicities"),
+        )
 
     def _register_dataset(self, body: dict) -> dict:
         """Build and register a Dataset from a JSON body."""

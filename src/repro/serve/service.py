@@ -25,7 +25,16 @@ top of that it adds:
 * **provenance** — portfolio-solved requests echo the
   :class:`~repro.portfolio.PortfolioResult` race record (which method
   won, per-attempt status and timing) under the payload's
-  ``"provenance"`` key.
+  ``"provenance"`` key;
+* **streaming mutation** — :meth:`ExplanationService.add_points` /
+  :meth:`ExplanationService.remove_points` mutate a registered dataset
+  *in place*: every warm engine absorbs the batch incrementally, the
+  dataset's version (``<fp>@vN``) is bumped, and only the superseded
+  version's cache entries are invalidated.  Requests pin the version
+  current when they were constructed, group solves hold the engine
+  lock for their whole batch (no torn batches), and a batch overtaken
+  by a mutation re-pins to the current version rather than answering
+  from dead data.
 
 The solver methods — ``minimal_sr``, ``minimum_sr``,
 ``counterfactual`` — are not batchable (each is its own NP-hard solve),
@@ -47,7 +56,13 @@ from .._validation import as_vector, check_odd_k
 from ..exceptions import ReproError, ValidationError
 from ..knn import Dataset, QueryEngine
 from ..metrics import get_metric
-from .cache import ResultCache, dataset_fingerprint, request_key
+from .cache import (
+    ResultCache,
+    dataset_fingerprint,
+    request_key,
+    split_fingerprint,
+    versioned_fingerprint,
+)
 
 #: methods answered through the engine's vectorized batch paths.
 BATCH_METHODS = ("classify", "margin", "radii")
@@ -135,8 +150,10 @@ class ExplanationService:
         self.max_batch = max(1, int(max_batch))
         self.max_wait_s = max(0.0, float(max_wait_s))
         self._datasets: dict[str, Dataset] = {}
+        self._versions: dict[str, int] = {}
         self._engines: dict[tuple[str, str], QueryEngine] = {}
         self._engine_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._mutation_locks: dict[str, threading.Lock] = {}
         self._lock = threading.RLock()
         self._pending: list[tuple[ExplanationRequest, asyncio.Future]] = []
         self._flush_task: asyncio.Task | None = None
@@ -144,6 +161,7 @@ class ExplanationService:
         self._batches = 0
         self._batched_requests = 0
         self._largest_batch = 0
+        self._mutations = 0
 
     # -- dataset registry ------------------------------------------------
 
@@ -153,76 +171,230 @@ class ExplanationService:
         Re-registering bit-identical data returns the same fingerprint
         and keeps the warm engines; different data gets a different
         fingerprint, so answers can never leak across dataset versions.
+        The returned content hash stays the dataset's stable *base*
+        identity across streaming mutations — those bump a ``@vN``
+        version suffix instead of re-hashing (see :meth:`add_points`).
         """
         fingerprint = dataset_fingerprint(dataset)
         with self._lock:
             self._datasets.setdefault(fingerprint, dataset)
+            self._versions.setdefault(fingerprint, 0)
         return fingerprint
 
-    def dataset(self, fingerprint: str) -> Dataset:
-        """The registered dataset behind *fingerprint* (raises if unknown)."""
+    def _resolve(self, fingerprint: str) -> tuple[str, str]:
+        """``(base, current versioned fingerprint)`` for a client handle.
+
+        A bare fingerprint always addresses the current version; a
+        versioned one must *match* the current version — a superseded
+        pin is rejected (its cache entries are gone and its data no
+        longer exists), which is how stale in-flight clients learn the
+        dataset moved on.
+        """
+        base, version = split_fingerprint(fingerprint)
         with self._lock:
-            try:
-                return self._datasets[fingerprint]
-            except KeyError:
+            if base not in self._datasets:
                 raise ValidationError(
-                    f"unknown dataset fingerprint {fingerprint[:16]!r}...; "
+                    f"unknown dataset fingerprint {base[:16]!r}...; "
                     "register the dataset first (add_dataset / POST /v1/datasets)"
-                ) from None
+                )
+            current = self._versions.get(base, 0)
+        if "@" in fingerprint and version != current:
+            raise ValidationError(
+                f"dataset version v{version} was superseded (current: v{current}); "
+                "re-issue the request against the current fingerprint"
+            )
+        return base, versioned_fingerprint(base, current)
+
+    def dataset(self, fingerprint: str) -> Dataset:
+        """The registered dataset behind *fingerprint* (raises if unknown).
+
+        Accepts bare or (current) versioned fingerprints and returns the
+        dataset's *current* contents.
+        """
+        base, _ = self._resolve(fingerprint)
+        with self._lock:
+            return self._datasets[base]
+
+    def add_points(self, fingerprint: str, points, labels, multiplicities=None) -> dict:
+        """Insert labeled points into a registered dataset, in place.
+
+        Every warm engine of the dataset absorbs the batch incrementally
+        (:meth:`QueryEngine.add_points <repro.knn.engine.QueryEngine.
+        add_points>`), the registered snapshot is replaced, the version
+        is bumped, and only the superseded version's cache entries are
+        invalidated — other datasets and other versions are untouched.
+        Returns ``{"fingerprint", "version", "invalidated", "n_positive",
+        "n_negative"}`` with the new versioned fingerprint.
+        """
+        return self._mutate(fingerprint, "with_added", "add_points",
+                            points, labels, multiplicities)
+
+    def remove_points(self, fingerprint: str, points, labels, multiplicities=None) -> dict:
+        """Remove labeled points from a registered dataset, in place.
+
+        The mirror of :meth:`add_points`; validation (absent points,
+        insufficient multiplicity, emptying the dataset) raises before
+        any engine is touched.
+        """
+        return self._mutate(fingerprint, "with_removed", "remove_points",
+                            points, labels, multiplicities)
+
+    def _mutate(
+        self, fingerprint: str, dataset_op: str, engine_op: str,
+        points, labels, multiplicities,
+    ) -> dict:
+        """Shared add/remove path: mutate engines + snapshot under lock."""
+        base, _ = self._resolve(fingerprint)
+        with self._mutation_lock(base):
+            with self._lock:
+                snapshot = self._datasets.get(base)
+                engine_keys = sorted(k for k in self._engines if k[0] == base)
+            if snapshot is None:  # removed while we waited on the lock
+                raise ValidationError(
+                    f"unknown dataset fingerprint {base[:16]!r}...; it was removed"
+                )
+            # Validate once, functionally — a bad batch must leave the
+            # dataset, every engine, and the version untouched.
+            new_snapshot = getattr(snapshot, dataset_op)(points, labels, multiplicities)
+            locks = [self._engine_lock(base, metric) for _, metric in engine_keys]
+            for lock in locks:
+                lock.acquire()
+            try:
+                # In-flight batches hold their engine's lock for the whole
+                # group (solve + cache write), so they complete against the
+                # version they started on; everything arriving after this
+                # block re-resolves to the bumped version.
+                with self._lock:
+                    engines = [
+                        engine
+                        for key in engine_keys
+                        if (engine := self._engines.get(key)) is not None
+                    ]
+                # Pre-validate against every engine before applying to any:
+                # backend-specific constraints (a bitpack engine rejecting
+                # non-binary rows) must refuse the whole batch up front,
+                # never leave some engines mutated and others not.
+                check_op = "add" if engine_op == "add_points" else "remove"
+                for engine in engines:
+                    engine.check_mutation(points, labels, multiplicities, op=check_op)
+                for engine in engines:
+                    getattr(engine, engine_op)(points, labels, multiplicities)
+                with self._lock:
+                    self._datasets[base] = new_snapshot
+                    old_version = self._versions.get(base, 0)
+                    self._versions[base] = old_version + 1
+                    self._mutations += 1
+            finally:
+                for lock in locks:
+                    lock.release()
+            # The superseded version's sweep can touch disk (persisted
+            # entries); run it after the engine locks are down so query
+            # traffic is never stalled behind filesystem I/O.  No group
+            # can still write old-version entries: every group that
+            # started before the bump completed while we held its lock.
+            removed = self.cache.invalidate(versioned_fingerprint(base, old_version))
+        return {
+            "fingerprint": versioned_fingerprint(base, old_version + 1),
+            "version": old_version + 1,
+            "invalidated": removed,
+            "n_positive": new_snapshot.n_positive,
+            "n_negative": new_snapshot.n_negative,
+        }
 
     def remove_dataset(self, fingerprint: str) -> int:
         """Drop a dataset, its warm engines, and every cached answer.
 
-        Returns the number of cache entries invalidated.  This is the
-        explicit invalidation hook for dataset change: remove the old
-        fingerprint, register the new data (which gets its own
-        fingerprint), and no stale answer can survive.
+        Returns the number of cache entries invalidated.  A bare (or
+        current-version) fingerprint removes the whole dataset, every
+        engine, and every version's cache entries; a *superseded*
+        versioned fingerprint only sweeps that stale version's cache
+        entries and keeps the live dataset — the scoped variant a
+        client uses to garbage-collect a version it pinned.
         """
+        base, version = split_fingerprint(fingerprint)
         with self._lock:
-            self._datasets.pop(fingerprint, None)
-            for key in [k for k in self._engines if k[0] == fingerprint]:
-                del self._engines[key]
-                self._engine_locks.pop(key, None)
-        return self.cache.invalidate(fingerprint)
+            known = base in self._datasets
+            current = self._versions.get(base, 0)
+        if known and "@" in fingerprint and version != current:
+            return self.cache.invalidate(fingerprint)
+        # Serialize with streaming mutations: an in-flight _mutate must
+        # finish (or see the dataset gone and refuse) before the registry
+        # is torn down — never resurrect a deleted dataset.  The mutation
+        # lock entry itself is kept: waiters blocked on this object
+        # re-check registration after acquiring it.
+        with self._mutation_lock(base):
+            with self._lock:
+                self._datasets.pop(base, None)
+                self._versions.pop(base, None)
+                for key in [k for k in self._engines if k[0] == base]:
+                    del self._engines[key]
+                    self._engine_locks.pop(key, None)
+        return self.cache.invalidate(base)
 
     def invalidate(self, fingerprint: str) -> int:
         """Drop cached answers for *fingerprint*, keeping the dataset."""
         return self.cache.invalidate(fingerprint)
 
     def fingerprints(self) -> list[str]:
-        """Fingerprints of every registered dataset."""
+        """Current versioned fingerprints of every registered dataset."""
         with self._lock:
-            return list(self._datasets)
+            return [
+                versioned_fingerprint(base, self._versions.get(base, 0))
+                for base in self._datasets
+            ]
 
     def engine(self, fingerprint: str, metric=None) -> QueryEngine:
         """The warm shared engine for ``(fingerprint, metric)``.
 
-        Built on first use with the service's backend and reused by
-        every subsequent request — this is the construction cost a
+        Built on first use with the service's backend and reused (and
+        mutated in place by :meth:`add_points` / :meth:`remove_points`)
+        by every subsequent request — this is the construction cost a
         long-lived service amortizes away.
         """
-        data = self.dataset(fingerprint)
+        base, _ = self._resolve(fingerprint)
+        with self._lock:
+            data = self._datasets[base]
         name = self._metric_name(data, metric)
         with self._lock:
-            engine = self._engines.get((fingerprint, name))
-            if engine is None:
-                engine = QueryEngine(data, name, backend=self.backend)
-                self._engines[(fingerprint, name)] = engine
-                self._engine_locks[(fingerprint, name)] = threading.Lock()
+            engine = self._engines.get((base, name))
+        if engine is not None:
+            return engine
+        # First use: build under the dataset's mutation lock, so a
+        # streaming mutation cannot slip between the snapshot read and
+        # the registration — such an engine would be born one version
+        # stale and never catch up.
+        with self._mutation_lock(base):
+            with self._lock:
+                engine = self._engines.get((base, name))
+                if engine is None:
+                    data = self._datasets[base]
+                    engine = QueryEngine(data, name, backend=self.backend)
+                    self._engines[(base, name)] = engine
+                    # setdefault: a group solve may already hold a lock
+                    # created for this key — never swap the object out
+                    # from under it.
+                    self._engine_locks.setdefault((base, name), threading.Lock())
         return engine
 
     def _engine_lock(self, fingerprint: str, metric_name: str) -> threading.Lock:
-        """The mutex serializing solver pipelines over one engine.
+        """The mutex serializing work over one ``(dataset, metric)`` engine.
 
-        The engine's batch paths are read-only and safe to share, but
-        the solver pipelines drive the single-query entry points, which
-        mutate the engine's internal LRU distance cache — concurrent
-        solver requests on the same engine must not interleave there.
+        Solver pipelines drive the single-query entry points, which
+        mutate the engine's internal LRU caches; batch groups must not
+        interleave with a streaming mutation (a half-mutated engine
+        would tear the batch); and mutations take every engine lock of
+        the dataset before bumping the version.  All three funnel
+        through this lock.
         """
         with self._lock:
             return self._engine_locks.setdefault(
                 (fingerprint, metric_name), threading.Lock()
             )
+
+    def _mutation_lock(self, base: str) -> threading.Lock:
+        """The per-dataset lock serializing streaming mutations."""
+        with self._lock:
+            return self._mutation_locks.setdefault(base, threading.Lock())
 
     @staticmethod
     def _metric_name(dataset: Dataset, metric) -> str:
@@ -241,9 +413,15 @@ class ExplanationService:
         Fills parameter defaults and resolves the metric so that
         equivalent requests produce equal cache keys; raises
         :class:`~repro.exceptions.ValidationError` on unknown methods,
-        unknown params, or a dimension mismatch.
+        unknown params, or a dimension mismatch.  The request *pins the
+        dataset version current at construction time* — its fingerprint
+        and cache key carry the ``@vN`` suffix, so a mutation landing
+        later can never serve it a stale cache hit (the superseded
+        version's entries are invalidated wholesale).
         """
-        data = self.dataset(fingerprint)
+        base, current = self._resolve(fingerprint)
+        with self._lock:
+            data = self._datasets[base]
         if method not in METHODS:
             raise ValidationError(
                 f"unknown method {method!r}; choose from {'|'.join(METHODS)}"
@@ -257,8 +435,8 @@ class ExplanationService:
         xv = np.ascontiguousarray(xv)
         xv.setflags(write=False)
         norm = self._normalize_params(data, method, dict(params))
-        key = request_key(fingerprint, method, xv, norm)
-        return ExplanationRequest(fingerprint, method, xv, norm, key)
+        key = request_key(current, method, xv, norm)
+        return ExplanationRequest(current, method, xv, norm, key)
 
     def _normalize_params(self, dataset: Dataset, method: str, params: dict) -> dict:
         """Canonical parameter dict for *method* (defaults made explicit)."""
@@ -335,20 +513,14 @@ class ExplanationService:
         for (fingerprint, method, _), keys in groups.items():
             reqs = [requests[cold[key][0]] for key in keys]
             params = reqs[0].params
-            if method in BATCH_METHODS:
-                payloads = self._solve_batched(fingerprint, method, params, reqs)
-            else:
-                payloads = [
-                    self._solve_one(fingerprint, method, params, req.instance)
-                    for req in reqs
-                ]
+            solved_keys, payloads = self._serve_group(fingerprint, method, params, reqs)
             with self._lock:
                 self._batches += 1
                 self._batched_requests += len(reqs)
                 self._largest_batch = max(self._largest_batch, len(reqs))
-            for key, payload in zip(keys, payloads):
+            for key, solved_key, payload in zip(keys, solved_keys, payloads):
                 if "error" not in payload:
-                    self.cache.put(key, payload)
+                    self.cache.put(solved_key, payload)
                 for i in cold[key]:
                     answered[i] = ExplanationResponse(
                         requests[i],
@@ -359,6 +531,48 @@ class ExplanationService:
         return [answered[i] for i in range(len(requests))]
 
     # -- evaluation ------------------------------------------------------
+
+    def _serve_group(
+        self,
+        fingerprint: str,
+        method: str,
+        params: dict,
+        reqs: Sequence[ExplanationRequest],
+    ) -> tuple[list[bytes], list[dict]]:
+        """Solve one compatible group under its engine lock.
+
+        The lock is held for the whole group — solve *and* cache-key
+        resolution — so a streaming mutation can never tear a batch:
+        either the group completes against the version it started on,
+        or (if a mutation landed between request construction and
+        here) the whole group re-pins to the current version, answers
+        against the mutated engine, and caches under the current
+        versioned keys.  Returns ``(cache keys, payloads)`` aligned
+        with *reqs*.
+        """
+        base, _ = split_fingerprint(fingerprint)
+        with self._engine_lock(base, params["metric"]):
+            try:
+                _, current = self._resolve(base)
+                if method in BATCH_METHODS:
+                    payloads = self._solve_batched(base, method, params, reqs)
+                else:
+                    payloads = [
+                        self._solve_one(base, method, params, req.instance)
+                        for req in reqs
+                    ]
+            except ReproError as exc:
+                # Dataset gone, or k outgrew a shrunken dataset: the whole
+                # group fails in-band (errors are never cached).
+                payload = {"error": str(exc), "error_type": exc.__class__.__name__}
+                return [req.key for req in reqs], [dict(payload) for _ in reqs]
+            keys = [
+                req.key
+                if req.fingerprint == current
+                else request_key(current, method, req.instance, params)
+                for req in reqs
+            ]
+        return keys, payloads
 
     def _solve_batched(
         self,
@@ -390,10 +604,14 @@ class ExplanationService:
     def _solve_one(
         self, fingerprint: str, method: str, params: dict, x: np.ndarray
     ) -> dict:
-        """Answer one solver-method request, reporting failures in-band."""
+        """Answer one solver-method request, reporting failures in-band.
+
+        Runs under the group's engine lock (taken in
+        :meth:`_serve_group`), which serializes the solver pipelines'
+        single-query cache mutations and excludes streaming mutations.
+        """
         try:
-            with self._engine_lock(fingerprint, params["metric"]):
-                return self._dispatch_solver(fingerprint, method, params, x)
+            return self._dispatch_solver(fingerprint, method, params, x)
         except ReproError as exc:
             return {"error": str(exc), "error_type": exc.__class__.__name__}
 
@@ -408,8 +626,11 @@ class ExplanationService:
             portfolio_minimum_sufficient_reason,
         )
 
-        data = self.dataset(fingerprint)
         engine = self.engine(fingerprint, params["metric"])
+        # The engine's own snapshot, not the registry's: after a streaming
+        # mutation the two are equal but not identical, and the pipeline
+        # entry points check identity (as_engine).
+        data = engine.dataset
         metric, k = params["metric"], params["k"]
         if method == "minimal_sr":
             X = minimal_sufficient_reason(data, k, metric, x, engine=engine)
@@ -521,6 +742,10 @@ class ExplanationService:
                 "batches": self._batches,
                 "batched_requests": self._batched_requests,
                 "largest_batch": self._largest_batch,
+                "mutations": self._mutations,
+                "versions": {
+                    base[:16]: version for base, version in self._versions.items()
+                },
                 "cache": self.cache.stats(),
             }
 

@@ -27,6 +27,7 @@ from repro import (
     minimum_sufficient_reason,
     serve_http,
 )
+from repro.knn import QueryEngine
 from repro.serve import BATCH_METHODS, ResultCache, request_key
 from repro.serve.http import jsonable
 
@@ -615,3 +616,322 @@ def test_cli_serve_parser():
     assert args.command == "serve"
     assert args.port == 0 and args.cache_size == 16 and args.demo_size == 20
     assert build_parser().epilog and "docs/" in build_parser().epilog
+
+
+# -- streaming mutations and versioned fingerprints ---------------------
+
+
+def _delete(url: str, body: dict | None = None) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=None if body is None else json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="DELETE",
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.load(response)
+
+
+def test_versioned_fingerprint_helpers():
+    from repro.serve import split_fingerprint, versioned_fingerprint
+
+    assert split_fingerprint("ab12") == ("ab12", 0)
+    assert split_fingerprint("ab12@v3") == ("ab12", 3)
+    assert versioned_fingerprint("ab12", 0) == "ab12"
+    assert versioned_fingerprint("ab12", 7) == "ab12@v7"
+    for bad in ("ab12@", "ab12@v", "ab12@3", "ab12@v-1", "ab12@v1x", "a@v1@v2"):
+        with pytest.raises(ValidationError):
+            split_fingerprint(bad)
+
+
+def test_result_cache_versioned_invalidation_is_scoped(tmp_path):
+    from repro.serve import versioned_fingerprint
+
+    cache = ResultCache(maxsize=16, cache_dir=tmp_path)
+    base = "ab12cd34" * 8
+    other = "ef56ab78" * 8
+    cache.put(base.encode() + b"|x", {"v": 0})
+    cache.put(versioned_fingerprint(base, 1).encode() + b"|x", {"v": 1})
+    cache.put(versioned_fingerprint(base, 2).encode() + b"|x", {"v": 2})
+    cache.put(other.encode() + b"|x", {"v": "other"})
+    assert len(list(tmp_path.glob("*.pkl"))) == 4
+    # Scoped: exactly the superseded version's entry goes (memory + disk).
+    assert cache.invalidate(versioned_fingerprint(base, 1)) == 2
+    assert cache.get(versioned_fingerprint(base, 2).encode() + b"|x")[0]
+    assert cache.get(base.encode() + b"|x")[0]
+    assert len(list(tmp_path.glob("*.pkl"))) == 3
+    # Bare: every remaining version of the base goes, the other dataset stays.
+    assert cache.invalidate(base) == 4
+    assert not cache.get(base.encode() + b"|x")[0]
+    assert cache.get(other.encode() + b"|x")[0]
+    assert len(list(tmp_path.glob("*.pkl"))) == 1
+
+
+def test_service_mutation_bumps_version_and_scopes_invalidation(rng, data):
+    service = ExplanationService(cache_size=64)
+    fp = service.add_dataset(data)
+    other = service.add_dataset(random_discrete_dataset(rng, 8, 6, 6))
+    x = rng.integers(0, 2, size=8).astype(float)
+    service.submit(fp, "classify", x, k=3)
+    service.submit(other, "classify", x, k=3)
+    info = service.add_points(fp, [x], [1], multiplicities=[2])
+    assert info["fingerprint"] == f"{fp}@v1" and info["version"] == 1
+    assert info["invalidated"] == 1  # only the superseded version's entry
+    # The untouched dataset still serves from cache; the mutated one re-solves.
+    assert service.submit(other, "classify", x, k=3).cached
+    fresh = service.submit(fp, "classify", x, k=3)
+    assert not fresh.cached
+    assert fresh.request.fingerprint == f"{fp}@v1"
+    from repro.knn import QueryEngine
+
+    assert fresh.payload["label"] == QueryEngine(
+        service.dataset(fp), "hamming"
+    ).classify(x, 3)
+    # remove_points round-trips the dataset contents (version keeps moving).
+    info = service.remove_points(fp, [x], [1], multiplicities=[2])
+    assert info["version"] == 2
+    assert dataset_fingerprint(service.dataset(fp)) == fp
+
+
+def test_service_mutation_updates_every_metric_engine(rng, data):
+    service = ExplanationService(cache_size=16)
+    fp = service.add_dataset(data)
+    hamming = service.engine(fp, "hamming")
+    l2 = service.engine(fp, "l2")
+    x = rng.integers(0, 2, size=8).astype(float)
+    service.add_points(fp, [x, x], [1, 0])
+    from repro.knn import QueryEngine
+
+    for engine, metric in ((hamming, "hamming"), (l2, "l2")):
+        assert engine.version == 1
+        fresh = QueryEngine(service.dataset(fp), metric)
+        queries = rng.integers(0, 2, size=(6, 8)).astype(float)
+        np.testing.assert_array_equal(
+            engine.classify_batch(queries, 3), fresh.classify_batch(queries, 3)
+        )
+
+
+def test_service_mutation_is_all_or_nothing_across_engines(rng):
+    """A batch one engine must refuse leaves *every* engine untouched.
+
+    With an explicit bitpack service backend, a non-binary insert is
+    pre-validated against all warm engines before any is mutated — the
+    refusal must not leave the dataset, the version, or any engine in a
+    half-mutated state.
+    """
+    data = Dataset(
+        rng.integers(0, 2, size=(8, 6)).astype(float),
+        rng.integers(0, 2, size=(8, 6)).astype(float),
+    )  # binary by chance, NOT discrete: with_added accepts general rows
+    service = ExplanationService(cache_size=16, backend="bitpack")
+    fp = service.add_dataset(data)
+    engine = service.engine(fp, "hamming")
+    with pytest.raises(ValidationError, match="bitpack"):
+        service.add_points(fp, [[0.5] * 6], [1])
+    assert engine.version == 0
+    assert service.stats()["mutations"] == 0
+    assert dataset_fingerprint(service.dataset(fp)) == fp
+
+
+def test_superseded_version_pin_is_rejected(rng, data):
+    service = ExplanationService(cache_size=16)
+    fp = service.add_dataset(data)
+    x = rng.integers(0, 2, size=8).astype(float)
+    service.add_points(fp, [x], [1])
+    assert service.submit(f"{fp}@v1", "classify", x, k=3).ok  # current pin
+    service.add_points(fp, [x], [0])
+    with pytest.raises(ValidationError, match="superseded"):
+        service.make_request(f"{fp}@v1", "classify", x, k=3)
+    with pytest.raises(ValidationError):
+        service.make_request(f"{fp}@v9", "classify", x, k=3)
+
+
+def test_in_flight_batch_repins_to_current_version(rng, data):
+    """Requests built before a mutation answer against the mutated data."""
+    service = ExplanationService(cache_size=64)
+    fp = service.add_dataset(data)
+    x = rng.integers(0, 2, size=8).astype(float)
+    pinned = service.make_request(fp, "classify", x, k=1)
+    assert pinned.fingerprint == fp  # pinned v0
+    service.add_points(fp, [x, x, x], [1, 1, 1])  # flips x's 1-NN to positive
+    response = service.submit_requests([pinned])[0]
+    assert response.payload["label"] == 1  # the *mutated* answer
+    # ... and it was cached under the current version, not the dead one.
+    assert service.submit(fp, "classify", x, k=1).cached
+
+
+def test_remove_dataset_with_superseded_version_keeps_dataset(rng, data):
+    service = ExplanationService(cache_size=16)
+    fp = service.add_dataset(data)
+    x = rng.integers(0, 2, size=8).astype(float)
+    service.submit(fp, "classify", x, k=3)
+    service.add_points(fp, [x], [1])
+    # Sweeping a dead version's cache keeps the live dataset serving.
+    service.remove_dataset(f"{fp}")  # bare removes everything
+    with pytest.raises(ValidationError):
+        service.dataset(fp)
+    fp = service.add_dataset(data)
+    service.add_points(fp, [x], [1])
+    assert service.remove_dataset(f"{fp}@v0") == 0  # stale version, no entries
+    assert service.dataset(fp) is not None
+    service.remove_dataset(f"{fp}@v1")  # current version: full removal
+    with pytest.raises(ValidationError):
+        service.dataset(fp)
+
+
+def test_http_streaming_mutation_endpoints(rng, data, server, service):
+    url = f"http://127.0.0.1:{server.port}"
+    x = rng.integers(0, 2, size=8).astype(float)
+    before = _post(url + "/v1/explain", {
+        "fingerprint": service.fp, "method": "radii",
+        "instance": x.tolist(), "params": {"k": 3},
+    })
+    added = _post(url + f"/v1/datasets/{service.fp}/points", {
+        "points": [x.tolist()], "labels": [1], "multiplicities": [2],
+    })
+    assert added["fingerprint"] == f"{service.fp}@v1"
+    assert added["version"] == 1
+    assert added["n_positive"] == data.n_positive + 2
+    after = _post(url + "/v1/explain", {
+        "fingerprint": service.fp, "method": "radii",
+        "instance": x.tolist(), "params": {"k": 3},
+    })
+    assert not after["cached"]
+    assert after["result"]["r_pos"] == 0.0  # two copies of x are positives now
+    removed = _delete(url + f"/v1/datasets/{service.fp}/points", {
+        "points": [x.tolist()], "labels": [1], "multiplicities": [2],
+    })
+    assert removed["version"] == 2 and removed["n_positive"] == data.n_positive
+    restored = _post(url + "/v1/explain", {
+        "fingerprint": service.fp, "method": "radii",
+        "instance": x.tolist(), "params": {"k": 3},
+    })
+    assert restored["result"] == before["result"]
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(url + "/v1/datasets/zz/points", {"points": [[0] * 8], "labels": [1]})
+    assert err.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _post(url + f"/v1/datasets/{service.fp}/points", {"points": [[0] * 8]})
+    assert err.value.code == 400  # missing labels
+    with pytest.raises(urllib.error.HTTPError) as err:
+        _delete(url + f"/v1/datasets/{service.fp}/points", {
+            "points": [[0.0] * 8], "labels": [1], "multiplicities": [99],
+        })
+    assert err.value.code in (400, 422)  # invalid removal is rejected in full
+
+
+def test_http_delete_accepts_versioned_fingerprint(rng, tmp_path):
+    service = ExplanationService(cache_dir=tmp_path)
+    fp = service.add_dataset(random_discrete_dataset(rng, 6, 8, 8))
+    x = rng.integers(0, 2, size=6).astype(float)
+    service.submit(fp, "classify", x, k=3)
+    service.add_points(fp, [x], [1])
+    service.submit(fp, "classify", x, k=3)
+    assert any("@v1" in p.name for p in tmp_path.glob("*.pkl"))
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{server.port}/v1/datasets/"
+        for bad in (fp + "@v", fp + "@vx", fp + "@1", fp + "@v*"):
+            request = urllib.request.Request(url + bad, method="DELETE")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request)
+            assert err.value.code == 400
+        out = _delete(url + fp + "@v1")  # current version: drops everything
+        assert out["invalidated"] >= 1
+        assert not list(tmp_path.glob("*.pkl"))
+    finally:
+        server.shutdown()
+
+
+def test_concurrent_mutation_and_query_stress(rng):
+    """Mixed mutate/query traffic: no stale hits, no torn batches.
+
+    A mutator alternately plants and removes a block of sentinel
+    positives (flipping the sentinel query's 1-NN label) while hammer
+    threads pour classify traffic over the same HTTP server.  After
+    every mutation response, the very next sentinel query must reflect
+    the new version (its label flips, never served from a stale cache),
+    and every concurrent answer must be a well-formed label — a torn
+    batch (half-mutated engine) would surface as an exception or a
+    wrong-length response.
+    """
+    n = 8
+    data = random_discrete_dataset(rng, n, 10, 10)
+    # A sentinel absent from the data: its 1-NN label is controlled
+    # purely by the copies the mutator plants.
+    rows = {row.tobytes() for row in np.vstack([data.positives, data.negatives])}
+    x = None
+    while x is None or x.tobytes() in rows:
+        x = rng.integers(0, 2, size=n).astype(float)
+    service = ExplanationService(cache_size=256)
+    fp = service.add_dataset(data)
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.port}"
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def hammer(worker: int) -> None:
+        local = np.random.default_rng(worker)
+        while not stop.is_set():
+            batch = local.integers(0, 2, size=(3, n)).astype(float)
+            try:
+                out = _post(url + "/v1/explain", {
+                    "fingerprint": fp, "method": "classify",
+                    "instances": batch.tolist(), "params": {"k": 1},
+                })
+                results = out["results"]
+                if len(results) != 3 or any(
+                    r["result"].get("label") not in (0, 1) for r in results
+                ):
+                    failures.append(f"malformed batch answer: {out}")
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                failures.append(f"worker {worker}: {exc}")
+
+    workers = [threading.Thread(target=hammer, args=(w,)) for w in range(3)]
+    for worker in workers:
+        worker.start()
+    try:
+        copies, labels = [x] * 3, [1, 1, 1]
+        for round_no in range(8):
+            planted = round_no % 2 == 0
+            if planted:
+                info = _post(url + f"/v1/datasets/{fp}/points", {
+                    "points": [p.tolist() for p in copies], "labels": labels,
+                })
+            else:
+                info = _delete(url + f"/v1/datasets/{fp}/points", {
+                    "points": [p.tolist() for p in copies], "labels": labels,
+                })
+            assert info["version"] == round_no + 1
+            # The first sentinel query after the mutation response must
+            # see the new version: planted -> its own copies win (1).
+            expected = 1 if planted else QueryEngine(data, "hamming").classify(x, 1)
+            answer = _post(url + "/v1/explain", {
+                "fingerprint": fp, "method": "classify",
+                "instance": x.tolist(), "params": {"k": 1},
+            })
+            assert answer["result"]["label"] == expected
+            assert not answer["cached"]  # the version bump voided old entries
+            again = _post(url + "/v1/explain", {
+                "fingerprint": fp, "method": "classify",
+                "instance": x.tolist(), "params": {"k": 1},
+            })
+            assert again["cached"] and again["result"]["label"] == expected
+    finally:
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=10)
+        server.shutdown()
+    assert not failures, failures[:3]
+    stats = service.stats()
+    assert stats["mutations"] == 8
+    assert stats["versions"][fp[:16]] == 8
+    assert stats["requests"] >= 16  # at least the sentinel checks landed
+    cache_stats = stats["cache"]
+    assert cache_stats["hits"] >= 8  # every 'again' probe hit
+    assert cache_stats["size"] <= cache_stats["maxsize"]
+    assert dataset_fingerprint(service.dataset(fp)) == fp  # fully unplanted
