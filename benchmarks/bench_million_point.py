@@ -1,0 +1,149 @@
+"""Acceptance gate: the certified IVF backend vs the dense Gram kernel.
+
+The paper leans on "a library for fast NN-classification such as FAISS"
+for its million-point experiments; the repo's equivalent is
+:class:`~repro.neighbors.IVFIndex` — FAISS's inverted-file probe plan
+made *exact* by a triangle-inequality certificate, falling back to a
+vectorized full scan whenever the certificate cannot fire.  On
+clustered data (the regime inverted files exist for) each query
+certifies after scanning a couple of buckets, so the engine answers the
+same batched queries many times faster than the dense kernels while
+staying bit-for-bit identical: the measurement asserts labels, margins
+and radii against the dense backend before any timing happens.
+
+This gate runs the workload at a CI-sized ``train`` (the
+:func:`~repro.experiments.bench.measure_million_point` default) and
+requires at least ``MIN_SPEEDUP``x; the nightly workflow re-runs it at
+the full paper scale with ``repro bench --train 1000000 --workloads
+million_point`` (recorded in the trend artifact, not gated — full-size
+wall-clock belongs in a trend line, not a pass/fail check on shared
+runners).
+
+The measurement core lives in
+:func:`repro.experiments.bench.measure_million_point` — the same
+numbers the ``bench-baseline`` CI job and the nightly trend artifact
+track.  Shared runners are noisy, so the gate takes the best of up to
+``MAX_ATTEMPTS`` full measurements before declaring failure, and
+reports the measured ratio in the GitHub job summary when one is
+available.
+
+Run directly for a quick report::
+
+    PYTHONPATH=src python benchmarks/bench_million_point.py
+
+or through pytest for the parity checks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_million_point.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.bench import (
+    _clustered_integer_points,
+    gated_best,
+    measure_million_point,
+)
+from repro.knn import Dataset, QueryEngine
+from repro.neighbors import IVFIndex, build_index
+from repro.neighbors.base import IVF_AUTO_MIN_POINTS
+
+#: the CI-scale IVF-over-dense floor.  Measured ~18x at the default
+#: 120k x 64 workload on a single development core; 6x leaves room for
+#: noisy shared runners while still proving the certificate is firing
+#: (a fallback-dominated run measures ~1x).
+MIN_SPEEDUP = 6.0
+#: full re-measurements allowed before the gate declares failure
+#: (best-of-3 retry, same rationale as the other headline gates).
+MAX_ATTEMPTS = 3
+
+
+def gated_speedup(seed: int = 20250601, *, attempts: int = MAX_ATTEMPTS) -> dict:
+    """Best-of-*attempts* measurement against the gate threshold."""
+    return gated_best(
+        measure_million_point, threshold=MIN_SPEEDUP, attempts=attempts, seed=seed
+    )
+
+
+def _write_job_summary(stats: dict) -> None:
+    """Append the measured ratio to the GitHub job summary, if present."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    verdict = "pass" if stats["speedup"] >= MIN_SPEEDUP else "FAIL"
+    with open(summary_path, "a") as handle:
+        handle.write(
+            f"### Million-point gate: {verdict}\n\n"
+            f"measured **{stats['speedup']:.1f}x** (required {MIN_SPEEDUP:.0f}x, "
+            f"best of {stats['attempts']} attempt(s); {stats['train']} points x "
+            f"{stats['dim']} dims, {stats['certified']} certified / "
+            f"{stats['fallback']} fallback probes)\n"
+        )
+
+
+def test_million_point_speedup():
+    """The certified-IVF-over-dense gate at CI scale (best-of-3)."""
+    stats = gated_speedup()
+    assert stats["speedup"] >= MIN_SPEEDUP, (
+        f"the certified IVF backend is only {stats['speedup']:.1f}x faster "
+        f"than the dense kernels after {stats['attempts']} attempts "
+        f"(required: {MIN_SPEEDUP:.0f}x; {stats['fallback']} certificate "
+        f"fallbacks suggest the quantizer stopped finding the clusters)"
+    )
+
+
+def test_million_point_parity_small(rng):
+    """The exactness contract the speedup rides on, at a quick scale.
+
+    Labels, margins and radii of the IVF engine match the dense engine
+    bit for bit on clustered integer data — the same assertion
+    ``measure_million_point`` makes before timing, cheap enough to run
+    on every pytest invocation of this file.
+    """
+    centers, points = _clustered_integer_points(rng, 3_000, 16, n_clusters=24)
+    labels = rng.integers(0, 2, size=3_000).astype(bool)
+    queries = centers[rng.integers(0, 24, size=40)] + rng.integers(
+        -2, 3, size=(40, 16)
+    )
+    data = Dataset(points[labels], points[~labels])
+    dense = QueryEngine(data, "l2", backend="dense")
+    ivf = QueryEngine(data, "l2", backend="ivf")
+    np.testing.assert_array_equal(
+        dense.classify_batch(queries, 3), ivf.classify_batch(queries, 3)
+    )
+    np.testing.assert_array_equal(
+        dense.margins_batch(queries, 3), ivf.margins_batch(queries, 3)
+    )
+    np.testing.assert_array_equal(
+        np.column_stack(dense.radii_batch(queries, 3)),
+        np.column_stack(ivf.radii_batch(queries, 3)),
+    )
+
+
+def test_auto_rule_prefers_ivf_at_scale():
+    """``build_index`` reaches for IVF above the measured crossover."""
+    rng = np.random.default_rng(20250601)
+    small = rng.integers(0, 5, size=(256, 16)).astype(float)
+    assert not isinstance(build_index(small, "l2"), IVFIndex)
+    assert IVF_AUTO_MIN_POINTS >= 4_096  # the crossover is a large-n rule
+    large = rng.integers(0, 5, size=(IVF_AUTO_MIN_POINTS, 16)).astype(float)
+    assert isinstance(build_index(large, "l2"), IVFIndex)
+
+
+if __name__ == "__main__":
+    stats = gated_speedup()
+    _write_job_summary(stats)
+    print(
+        f"Million-point workload: {stats['train']} train points x "
+        f"{stats['dim']} dims in {stats['clusters']} clusters "
+        f"({stats['queries']} queries, l2, k={stats['k']}):\n"
+        f"  dense Gram kernels   : {stats['dense_s'] * 1000:9.1f} ms\n"
+        f"  certified IVF        : {stats['ivf_s'] * 1000:9.1f} ms\n"
+        f"  speedup              : {stats['speedup']:9.1f}x "
+        f"(best of {stats['attempts']} attempt(s); "
+        f"{stats['certified']} certified / {stats['fallback']} fallback)"
+    )
+    raise SystemExit(0 if stats["speedup"] >= MIN_SPEEDUP else 1)

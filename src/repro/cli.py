@@ -171,6 +171,8 @@ def _cmd_bench(args) -> int:
         repeats=args.repeats,
         workers=args.workers,
         workloads=args.workloads or None,
+        train=args.train,
+        dim=args.dim,
     )
     failures: list[str] = []
     if baseline is not None:
@@ -307,6 +309,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--workloads", nargs="*", metavar="NAME",
         help=f"subset of workloads to run (default: all of {sorted(bench.WORKLOADS)})",
+    )
+    bench_p.add_argument(
+        "--train", type=int, default=None, metavar="N",
+        help="training-set size override for scalable workloads (currently "
+             "million_point; the nightly job passes 1000000)",
+    )
+    bench_p.add_argument(
+        "--dim", type=int, default=None, metavar="D",
+        help="dimensionality override for scalable workloads (see --train)",
     )
 
     serve_p = sub.add_parser(

@@ -23,7 +23,13 @@ tracks over time — and serializes them as ``BENCH_*.json``:
   by one engine's incremental :meth:`~repro.knn.QueryEngine.add_points`
   path against rebuilding the engine after every mutation (labels
   asserted identical) — the fourth gated headline, introduced with
-  mutable streaming datasets.
+  mutable streaming datasets;
+* ``million_point`` — the certified inverted-file backend against the
+  dense kernels on clustered integer data (labels, margins and radii
+  asserted bit-identical first) — the fifth gated headline, introduced
+  with the IVF backend.  CI runs it at a scaled-down ``train`` (the
+  default below); the nightly job passes ``--train 1000000`` for the
+  full million-point measurement.
 
 Speedup *ratios* (not wall-clock seconds) are what the gate compares:
 ratios are stable across runner hardware, absolute times are not.  Each
@@ -33,6 +39,7 @@ slow runner slows both sides.
 
 from __future__ import annotations
 
+import inspect
 import json
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -55,6 +62,7 @@ GATED_HEADLINES = (
     "msr_incremental",
     "serve_throughput",
     "streaming_updates",
+    "million_point",
 )
 
 #: the primary gated workload (legacy alias).
@@ -353,6 +361,93 @@ def measure_streaming_updates(seed: int = 20250601, repeats: int = 3) -> dict:
     }
 
 
+def _clustered_integer_points(
+    rng, n: int, dim: int, *, n_clusters: int, spread: int = 2, chunk: int = 262_144
+) -> tuple[np.ndarray, np.ndarray]:
+    """Integer points clustered around integer centers, generated in chunks.
+
+    Streams ``chunk`` rows at a time into one preallocated output array,
+    so peak temporary memory is O(chunk x dim) no matter how large ``n``
+    grows — at the full million-point size a one-shot
+    ``centers[assign] + offsets`` expression would materialize several
+    extra copies of the half-gigabyte dataset.  Returns
+    ``(centers, points)``; the integer grid keeps every distance exactly
+    representable, which is what makes cross-backend parity assertable
+    bit for bit.
+    """
+    centers = rng.integers(0, 41, size=(n_clusters, dim)).astype(float)
+    points = np.empty((n, dim), dtype=float)
+    for start in range(0, n, max(1, int(chunk))):
+        stop = min(n, start + chunk)
+        assign = rng.integers(0, n_clusters, size=stop - start)
+        points[start:stop] = centers[assign]
+        points[start:stop] += rng.integers(-spread, spread + 1, size=(stop - start, dim))
+    return centers, points
+
+
+def measure_million_point(
+    seed: int = 20250601,
+    repeats: int = 3,
+    *,
+    train: int = 120_000,
+    dim: int = 64,
+) -> dict:
+    """Gated headline: the certified IVF backend vs the dense Gram kernel.
+
+    Clustered integer data is the regime the inverted file is built for:
+    the coarse quantizer recovers the clusters, the triangle-inequality
+    certificate proves most buckets cannot hold a k-th nearest neighbor,
+    and integer coordinates make every surrogate-distance gap >= 1 — so
+    certification succeeds and each query scans a few percent of the
+    points while staying bit-identical to the dense scan.  Labels,
+    margins and radii are asserted identical before any timing happens.
+
+    ``train``/``dim`` default to a CI-sized workload; the nightly job
+    passes ``--train 1000000`` for the paper-scale measurement (the
+    chunked generator keeps peak temporary memory flat).
+    """
+    rng = np.random.default_rng(seed)
+    train, dim = int(train), int(dim)
+    n_clusters = max(32, int(np.sqrt(train)) // 2)
+    n_queries, k = 64, 3
+    centers, points = _clustered_integer_points(rng, train, dim, n_clusters=n_clusters)
+    labels = rng.integers(0, 2, size=train).astype(bool)
+    queries = centers[rng.integers(0, n_clusters, size=n_queries)] + rng.integers(
+        -2, 3, size=(n_queries, dim)
+    )
+    data = Dataset(points[labels], points[~labels])
+    del points
+    dense = QueryEngine(data, "l2", backend="dense", cache_size=0)
+    ivf = QueryEngine(data, "l2", backend="ivf", cache_size=0)
+    if not np.array_equal(
+        dense.classify_batch(queries, k), ivf.classify_batch(queries, k)
+    ):  # explicit: survives python -O
+        raise AssertionError("ivf and dense labels diverged")
+    np.testing.assert_array_equal(
+        dense.margins_batch(queries, k), ivf.margins_batch(queries, k)
+    )
+    np.testing.assert_array_equal(
+        np.column_stack(dense.radii_batch(queries, k)),
+        np.column_stack(ivf.radii_batch(queries, k)),
+    )
+    dense_s = best_of(lambda: dense.classify_batch(queries, k), repeats=repeats)
+    ivf_s = best_of(lambda: ivf.classify_batch(queries, k), repeats=repeats)
+    stats = ivf.ivf_stats()
+    return {
+        "dense_s": dense_s,
+        "ivf_s": ivf_s,
+        "speedup": dense_s / ivf_s,
+        "certified": stats["certified"],
+        "fallback": stats["fallback"],
+        "clusters": n_clusters,
+        "queries": n_queries,
+        "train": train,
+        "dim": dim,
+        "metric": "l2",
+        "k": k,
+    }
+
+
 WORKLOADS = {
     "engine_batch": measure_engine_batch,
     "hamming_bitpack": measure_hamming_bitpack,
@@ -360,11 +455,24 @@ WORKLOADS = {
     "msr_incremental": measure_msr_incremental,
     "serve_throughput": measure_serve_throughput,
     "streaming_updates": measure_streaming_updates,
+    "million_point": measure_million_point,
 }
 
 
-def _run_workload(name: str, seed: int, repeats: int) -> dict:
-    return WORKLOADS[name](seed=seed, repeats=repeats)
+def _run_workload(name: str, seed: int, repeats: int, sizes: dict | None = None) -> dict:
+    """Run one workload, forwarding any size overrides it understands.
+
+    ``sizes`` maps override names (``train``, ``dim``) to values; each is
+    passed only to measure functions whose signature accepts it, so a
+    global ``--train 1000000`` scales the workloads built for scaling
+    without disturbing the fixed-size ones.
+    """
+    fn = WORKLOADS[name]
+    kwargs: dict = {"seed": seed, "repeats": repeats}
+    if sizes:
+        accepted = inspect.signature(fn).parameters
+        kwargs.update({key: val for key, val in sizes.items() if key in accepted})
+    return fn(**kwargs)
 
 
 def collect(
@@ -373,31 +481,44 @@ def collect(
     repeats: int = 3,
     workers: int = 1,
     workloads=None,
+    train: int | None = None,
+    dim: int | None = None,
 ) -> dict:
     """Run the selected workloads and return the ``BENCH_*.json`` payload.
 
     ``workers > 1`` shards the workloads over a process pool; expect
     extra noise when workers contend for cores — the gate compares
     same-process speedup ratios, which contention distorts far less
-    than wall-clock times.
+    than wall-clock times.  ``train``/``dim`` override the problem size
+    of workloads that accept them (currently ``million_point``); the
+    overrides are recorded in the payload's ``config`` so gate retries
+    re-measure at the same size.
     """
     names = list(WORKLOADS) if workloads is None else list(workloads)
     unknown = [n for n in names if n not in WORKLOADS]
     if unknown:
         raise ValueError(f"unknown workloads {unknown}; choose from {sorted(WORKLOADS)}")
+    sizes = {
+        key: int(val)
+        for key, val in (("train", train), ("dim", dim))
+        if val is not None
+    }
     results: dict[str, dict] = {}
     workers = max(1, int(workers))
     if workers > 1 and len(names) > 1:
         with ProcessPoolExecutor(max_workers=min(workers, len(names))) as pool:
             futures = {
-                name: pool.submit(_run_workload, name, seed, repeats) for name in names
+                name: pool.submit(_run_workload, name, seed, repeats, sizes)
+                for name in names
             }
             results = {name: future.result() for name, future in futures.items()}
     else:
-        results = {name: _run_workload(name, seed, repeats) for name in names}
+        results = {name: _run_workload(name, seed, repeats, sizes) for name in names}
+    config: dict = {"seed": seed, "repeats": repeats}
+    config.update(sizes)
     return {
         "schema": BENCH_SCHEMA,
-        "config": {"seed": seed, "repeats": repeats},
+        "config": config,
         "workloads": results,
     }
 
@@ -454,9 +575,10 @@ def compare_with_retry(
         retryable = {name for name, _ in named if name in WORKLOADS}
         if not retryable:
             break  # baseline-side failures cannot be measured away
+        sizes = {key: config[key] for key in ("train", "dim") if key in config}
         for name in retryable:
-            retry = WORKLOADS[name](
-                seed=config.get("seed", 20250601), repeats=config.get("repeats", 3)
+            retry = _run_workload(
+                name, config.get("seed", 20250601), config.get("repeats", 3), sizes
             )
             workloads = current.setdefault("workloads", {})
             best = workloads.get(name)

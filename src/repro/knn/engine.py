@@ -56,10 +56,20 @@ batch path is correspondingly backend-pluggable:
     per-class :class:`~repro.neighbors.LazyKDTree` branch-and-bound —
     wins only at very low dimension over large datasets, where pruning
     beats the O(|S|) scan;
+``"ivf"``
+    per-class :class:`~repro.neighbors.IVFIndex` — certified
+    inverted-file search (FAISS's IVF plan made exact by a
+    triangle-inequality certificate with a full-scan fallback); wins
+    at large point counts when the data is clustered, never wrong
+    anywhere (the ``million_point`` headline measures the win at 10^6
+    points);
 ``"auto"``
     bitpack for binary Hamming data, KD-tree for low-dimensional lp
     over large datasets, dense otherwise (thresholds measured in
-    ``benchmarks/bench_ablation_nn_index.py``).
+    ``benchmarks/bench_ablation_nn_index.py``).  IVF is *not*
+    auto-selected: whether its certificate holds often enough to win
+    depends on cluster structure the auto rule cannot see cheaply, and
+    on unclustered data every query would pay the fallback scan.
 
 Every backend implements the same optimistic semantics; on
 integer-valued data the results are bit-identical across backends (the
@@ -93,7 +103,7 @@ from .dataset import Dataset
 _BLOCK_ELEMENTS = 1 << 22
 
 #: the engine's index strategies (see the module docstring).
-BACKENDS = ("auto", "dense", "kdtree", "bitpack")
+BACKENDS = ("auto", "dense", "kdtree", "bitpack", "ivf")
 
 #: batch methods :meth:`QueryEngine.map_shards` can fan out.
 _SHARD_METHODS = (
@@ -182,10 +192,10 @@ class QueryEngine:
         radii pairs) kept in the LRU caches (0 disables caching).
     backend:
         index strategy for the batch primitives: ``"auto"`` (default),
-        ``"dense"``, ``"kdtree"`` or ``"bitpack"`` — see the module
-        docstring.  ``"bitpack"`` requires the Hamming metric over
-        strictly binary data; ``"kdtree"`` requires an lp or Hamming
-        metric.
+        ``"dense"``, ``"kdtree"``, ``"bitpack"`` or ``"ivf"`` — see the
+        module docstring.  ``"bitpack"`` requires the Hamming metric
+        over strictly binary data; ``"kdtree"`` and ``"ivf"`` require
+        an lp or Hamming metric.
     """
 
     def __init__(
@@ -247,6 +257,8 @@ class QueryEngine:
         self._bit_plain = True
         self._pos_tree = None
         self._neg_tree = None
+        self._pos_ivf = None
+        self._neg_ivf = None
         self._build_index_layer()
 
     # -- internal views ---------------------------------------------------
@@ -328,10 +340,10 @@ class QueryEngine:
                     "backend='bitpack' requires numpy >= 2.0 (np.bitwise_count)"
                 )
             return backend
-        if backend == "kdtree":
+        if backend in ("kdtree", "ivf"):
             if not isinstance(self.metric, (LpMetric, HammingMetric)):
                 raise ValidationError(
-                    f"backend='kdtree' requires an lp or Hamming metric, "
+                    f"backend={backend!r} requires an lp or Hamming metric, "
                     f"got {self.metric.name!r}"
                 )
             return backend
@@ -387,6 +399,25 @@ class QueryEngine:
             neg = np.repeat(self._neg, self._neg_mult, axis=0)
             self._pos_tree = LazyKDTree(pos, self.metric)
             self._neg_tree = LazyKDTree(neg, self.metric)
+        elif self.backend == "ivf":
+            self._ensure_ivf()
+
+    def _ensure_ivf(self) -> None:
+        """Build the per-class IVF indexes that are missing.
+
+        Same multiplicity-expanded-row convention as the KD-trees.  A
+        class that is (still) empty keeps ``None`` — one may be empty
+        at construction, and :meth:`add_points` promotes it to a real
+        index the moment its first row arrives.
+        """
+        from ..neighbors.ivf import IVFIndex
+
+        if self._pos_ivf is None and self._pos.shape[0]:
+            pos = np.repeat(self._pos, self._pos_mult, axis=0)
+            self._pos_ivf = IVFIndex(pos, self.metric)
+        if self._neg_ivf is None and self._neg.shape[0]:
+            neg = np.repeat(self._neg, self._neg_mult, axis=0)
+            self._neg_ivf = IVFIndex(neg, self.metric)
 
     # -- streaming mutation ----------------------------------------------
 
@@ -513,7 +544,14 @@ class QueryEngine:
             if self._pos_tree is not None:
                 tree = self._pos_tree if flag else self._neg_tree
                 tree.add(row, int(m))
+            if self.backend == "ivf":
+                ivf = self._pos_ivf if flag else self._neg_ivf
+                if ivf is not None:
+                    ivf.add(row, int(m))
         self._refresh_views()
+        if self.backend == "ivf":
+            # A class that was empty until this batch gets its index now.
+            self._ensure_ivf()
         new_pos = self._pos[appended[True]] if appended[True] else None
         new_neg = self._neg[appended[False]] if appended[False] else None
         for rows, positive in ((new_pos, True), (new_neg, False)):
@@ -569,6 +607,12 @@ class QueryEngine:
             for row, m, flag in zip(pts, mult, lab):
                 tree = self._pos_tree if flag else self._neg_tree
                 tree.remove(row, int(m))
+        if self.backend == "ivf":
+            # Validation guaranteed each row exists in its class, so the
+            # class index cannot be None here.
+            for row, m, flag in zip(pts, mult, lab):
+                ivf = self._pos_ivf if flag else self._neg_ivf
+                ivf.remove(row, int(m))
         dead: dict[bool, np.ndarray] = {}
         for flag in (True, False):
             store, mult_store, _ = self._class_state(flag)
@@ -798,6 +842,8 @@ class QueryEngine:
         pts = self._check_queries(points)
         if self.backend == "kdtree":
             return self._radii_batch_kdtree(pts, need)
+        if self.backend == "ivf":
+            return self._radii_batch_ivf(pts, need)
         q = pts.shape[0]
         r_pos = np.empty(q)
         r_neg = np.empty(q)
@@ -821,6 +867,41 @@ class QueryEngine:
         r_pos = self._pos_tree.kth_power_batch(pts, need)
         r_neg = self._neg_tree.kth_power_batch(pts, need)
         return r_pos, r_neg
+
+    def _radii_batch_ivf(
+        self, pts: np.ndarray, need: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-class certified inverted-file radii (the IVF backend).
+
+        An empty class (``None`` index, or one whose rows were all
+        tombstoned) contributes ``+inf``, matching the
+        :func:`_kth_smallest_with_multiplicity` convention.
+        """
+        q = pts.shape[0]
+        r_pos = (
+            self._pos_ivf.kth_power_batch(pts, need)
+            if self._pos_ivf is not None
+            else np.full(q, np.inf)
+        )
+        r_neg = (
+            self._neg_ivf.kth_power_batch(pts, need)
+            if self._neg_ivf is not None
+            else np.full(q, np.inf)
+        )
+        return r_pos, r_neg
+
+    def ivf_stats(self) -> dict:
+        """Summed certify/fallback/requantize counters of the IVF backend.
+
+        All zeros for other backends (the counters only advance when
+        IVF indexes serve queries).
+        """
+        totals = {"certified": 0, "fallback": 0, "requantized": 0}
+        for index in (self._pos_ivf, self._neg_ivf):
+            if index is not None:
+                for key in totals:
+                    totals[key] += index.stats[key]
+        return totals
 
     # -- classification and margins -------------------------------------
 

@@ -24,18 +24,19 @@ class HammingMetric(Metric):
 
     def _powers_block(self, block: np.ndarray, points: np.ndarray) -> np.ndarray:
         # On {0,1} vectors, |a - b| = a + b - 2ab componentwise, so the
-        # whole matrix reduces to one BLAS matmul; every intermediate is
-        # an exactly representable integer, so this matches the
-        # difference-based kernel bit for bit.  Non-Boolean inputs (the
-        # metric is occasionally applied to unvalidated queries) fall
-        # back to broadcasting the difference tensor, in sub-blocks that
-        # respect the memory cap the Gram row cost does not account for.
+        # whole matrix reduces to one Gram pass, dispatched through the
+        # kernel layer (one BLAS matmul on the numpy path, a parallel
+        # jitted loop nest under numba); every intermediate is an
+        # exactly representable integer, so both implementations match
+        # the difference-based kernel bit for bit.  Non-Boolean inputs
+        # (the metric is occasionally applied to unvalidated queries)
+        # fall back to broadcasting the difference tensor, in sub-blocks
+        # that respect the memory cap the Gram row cost does not
+        # account for.
         if is_binary(block) and is_binary(points):
-            return (
-                block.sum(axis=1)[:, None]
-                + points.sum(axis=1)[None, :]
-                - 2.0 * (block @ points.T)
-            )
+            from ..neighbors.kernels import gram_hamming_counts
+
+            return gram_hamming_counts(block, points)
         out = np.empty((block.shape[0], points.shape[0]))
         rows = max(1, _BLOCK_ELEMENTS // max(1, points.shape[0] * points.shape[1]))
         for start in range(0, block.shape[0], rows):

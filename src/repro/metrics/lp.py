@@ -51,21 +51,18 @@ class LpMetric(Metric):
 
     def _powers_block(self, block: np.ndarray, points: np.ndarray) -> np.ndarray:
         if self.p == 2:
-            # Gram expansion ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b: runs
-            # on BLAS matmul, orders of magnitude faster than broadcasting
-            # the difference tensor.  On integer-valued inputs (the
-            # paper's exact-tie constructions, binarized data, digit
-            # images) every product and partial sum is an exactly
-            # representable integer, so the result matches the
-            # difference-based kernel bit for bit; on general floats it
-            # agrees up to roundoff of the expansion and is clamped at 0.
-            out = (
-                np.einsum("ij,ij->i", block, block)[:, None]
-                + np.einsum("ij,ij->i", points, points)[None, :]
-                - 2.0 * (block @ points.T)
-            )
-            np.maximum(out, 0.0, out=out)
-            return out
+            # Gram expansion ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b,
+            # dispatched through the kernel layer (BLAS matmul on the
+            # numpy path, a parallel jitted loop nest under numba).  On
+            # integer-valued inputs (the paper's exact-tie
+            # constructions, binarized data, digit images) every product
+            # and partial sum is an exactly representable integer, so
+            # both kernel implementations match the difference-based
+            # kernel bit for bit; on general floats they agree up to
+            # roundoff of the expansion and are clamped at 0.
+            from ..neighbors.kernels import gram_l2_powers
+
+            return gram_l2_powers(block, points)
         diff = np.abs(block[:, None, :] - points[None, :, :])
         if self.p is np.inf:
             return diff.max(axis=2)

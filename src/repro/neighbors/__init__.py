@@ -13,7 +13,16 @@ the engine routes its batch primitives through these indexes (selected by
   (and Hamming, which embeds into l1 on the hypercube);
 * :class:`BitPackedHammingIndex` — packed-word popcount search over
   {0,1}^n, bit-identical to the dense Hamming kernel and several times
-  faster (the FAISS-style binary index).
+  faster (the FAISS-style binary index);
+* :class:`IVFIndex` — a certified inverted file: FAISS's
+  approximate-first probe plan made exact by a triangle-inequality
+  certificate, falling back to a full scan whenever the certificate
+  fails (the million-point backend).
+
+The hot inner loops of the dense and bit-packed paths live in
+:mod:`repro.neighbors.kernels`, which dispatches between the original
+numpy expressions and optional numba-compiled twins (the
+``REPRO_KERNELS`` environment variable pins a choice).
 
 All share the :class:`NNIndex` interface: ``query(x, k)`` returns the
 ``k`` smallest distances and their point indices, with deterministic
@@ -33,6 +42,7 @@ from __future__ import annotations
 from .base import NNIndex, build_index
 from .bitpack import BitPackedHammingIndex
 from .brute import BruteForceIndex, GrowableMatrix
+from .ivf import IVFIndex
 from .kdtree import KDTreeIndex, LazyKDTree
 
 __all__ = [
@@ -42,5 +52,6 @@ __all__ = [
     "KDTreeIndex",
     "LazyKDTree",
     "BitPackedHammingIndex",
+    "IVFIndex",
     "build_index",
 ]

@@ -55,21 +55,34 @@ class NNIndex(abc.ABC):
         return float(d[0]), int(i[0])
 
 
+#: point count above which the auto rule prefers the certified
+#: inverted-file index for lp/Hamming workloads that are not already
+#: served by bitpack or the KD-tree.  Below it the certificate
+#: bookkeeping costs more than the brute scan it saves; above it IVF
+#: wins whenever the data clusters and costs one cheap centroid pass
+#: otherwise (the fallback makes bad clusterings slow, never wrong) —
+#: crossover measured in ``benchmarks/bench_million_point.py``.
+IVF_AUTO_MIN_POINTS = 65_536
+
+
 def build_index(points, metric="l2", *, prefer: str = "auto") -> NNIndex:
     """Pick an index backend for the given workload.
 
     ``prefer`` may be ``"auto"``, ``"brute"`` (alias ``"dense"``),
-    ``"kdtree"`` or ``"bitpack"``.  The automatic rule mirrors the
-    FAISS remark in the paper's experimental section: the bit-packed
-    popcount index for binary data under Hamming, the KD-tree only in
-    low dimensions where its pruning wins, and vectorized brute force
-    otherwise — in high dimensions (the paper's regime of hundreds of
-    features) space-partitioning degenerates to a linear scan with
-    extra overhead, the classic curse-of-dimensionality behavior
-    measured in ``benchmarks/bench_ablation_nn_index.py``.
+    ``"kdtree"``, ``"bitpack"`` or ``"ivf"``.  The automatic rule
+    mirrors the FAISS remark in the paper's experimental section: the
+    bit-packed popcount index for binary data under Hamming, the
+    KD-tree only in low dimensions where its pruning wins, the
+    certified inverted file above :data:`IVF_AUTO_MIN_POINTS` (where
+    FAISS itself would reach for an IVF plan), and vectorized brute
+    force otherwise — in high dimensions (the paper's regime of
+    hundreds of features) space-partitioning degenerates to a linear
+    scan with extra overhead, the classic curse-of-dimensionality
+    behavior measured in ``benchmarks/bench_ablation_nn_index.py``.
     """
     from .bitpack import HAVE_BITWISE_COUNT, BitPackedHammingIndex
     from .brute import BruteForceIndex
+    from .ivf import IVFIndex
     from .kdtree import KDTreeIndex
 
     if prefer in ("brute", "dense"):
@@ -78,12 +91,15 @@ def build_index(points, metric="l2", *, prefer: str = "auto") -> NNIndex:
         return KDTreeIndex(points, metric)
     if prefer == "bitpack":
         return BitPackedHammingIndex(points, metric)
+    if prefer == "ivf":
+        return IVFIndex(points, metric)
     if prefer != "auto":
         raise ValidationError(
-            f"prefer must be 'auto', 'brute'/'dense', 'kdtree' or 'bitpack', got {prefer!r}"
+            f"prefer must be 'auto', 'brute'/'dense', 'kdtree', 'bitpack' "
+            f"or 'ivf', got {prefer!r}"
         )
     pts = as_matrix(points, name="points")
-    from ..metrics import HammingMetric
+    from ..metrics import HammingMetric, LpMetric
     from ..metrics.hamming import is_binary
 
     if (
@@ -94,4 +110,8 @@ def build_index(points, metric="l2", *, prefer: str = "auto") -> NNIndex:
         return BitPackedHammingIndex(pts, metric)
     if pts.shape[1] <= 8 and pts.shape[0] >= 64:
         return KDTreeIndex(pts, metric)
+    if pts.shape[0] >= IVF_AUTO_MIN_POINTS and isinstance(
+        get_metric(metric), (LpMetric, HammingMetric)
+    ):
+        return IVFIndex(pts, metric)
     return BruteForceIndex(pts, metric)

@@ -180,17 +180,15 @@ class BitPackedHammingIndex(NNIndex):
     # -- kernels ---------------------------------------------------------
 
     def _counts_block(self, query_words: np.ndarray, words: np.ndarray) -> np.ndarray:
-        """(rows, storage) Hamming counts for one word-major query block."""
-        rows = query_words.shape[1]
-        counts = np.bitwise_count(query_words[0][:, None] ^ words[0][None, :])
-        if counts.dtype != self._acc_dtype:
-            counts = counts.astype(self._acc_dtype)
-        if words.shape[0] > 1:
-            xor = np.empty((rows, words.shape[1]), dtype=np.uint64)
-            for w in range(1, words.shape[0]):
-                np.bitwise_xor(query_words[w][:, None], words[w][None, :], out=xor)
-                np.add(counts, np.bitwise_count(xor), out=counts, casting="unsafe")
-        return counts
+        """(rows, storage) Hamming counts for one word-major query block.
+
+        Dispatched through the kernel layer: XOR + ``np.bitwise_count``
+        broadcasts on the numpy path, a parallel jitted SWAR-popcount
+        loop under numba — both produce the same exact integer counts.
+        """
+        from .kernels import xor_popcount_counts
+
+        return xor_popcount_counts(query_words, words, self._acc_dtype)
 
     def counts_matrix(self, queries) -> np.ndarray:
         """Full (q, storage_size) integer Hamming-distance matrix, blocked.

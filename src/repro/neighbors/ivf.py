@@ -1,0 +1,487 @@
+"""Certified exact inverted-file (IVF) nearest-neighbor search.
+
+The paper credits "a library for fast NN-classification such as FAISS"
+for the performance of its pipeline; FAISS's workhorse at scale is the
+*inverted file*: a coarse quantizer partitions the points into buckets
+and a query scans only the most promising buckets.  Stock IVF search is
+approximate — it simply hopes the true neighbors live in the probed
+buckets.  :class:`IVFIndex` keeps the probe-nearest-buckets-first plan
+but makes every answer **provably exact** with a triangle-inequality
+certificate, so the engine's bit-for-bit parity doctrine (labels,
+margins, radii and index-order tie-breaking identical across backends)
+survives untouched:
+
+* each bucket ``b`` stores its centroid ``c_b`` and radius
+  ``R_b = max over members of d(p, c_b)`` (true-distance space);
+* for a query ``x``, ``lb_b = max(0, d(x, c_b) - R_b)`` lower-bounds
+  the distance from ``x`` to *every* point of ``b`` (triangle
+  inequality: ``d(x, p) >= d(x, c_b) - d(p, c_b)``);
+* the query scans buckets **nearest-first** (ascending ``lb_b``),
+  scoring each bucket's members with the metric's row-independent
+  matrix kernel (the same Gram expansion the dense backend uses, so
+  candidate powers match the dense path bit for bit) and maintaining
+  the running k-th smallest surrogate ``r_k`` (the order statistic
+  Proposition 1's radii are built from);
+* **certificate**: before each new bucket, if the next bucket's
+  ``lb_b >= r_k`` (strictly ``>`` when index-order ties must be
+  reproduced, see below) then — the buckets being sorted by bound —
+  no unscanned point anywhere can change the answer: certified, done;
+* a scan that visits every bucket is exact by exhaustion; a scan that
+  burns more than :data:`_GIVEUP_SCAN_FRACTION` of the live points
+  without certifying gives up and **falls back to one vectorized full
+  scan** — never a wrong answer, only a slow one.
+
+Exactness therefore never depends on the quantizer's quality: a bad
+clustering only means more fallbacks.  On clustered data (the regime
+inverted files exist for) most queries certify after scanning a few
+percent of the points — the ``million_point`` headline benchmark
+measures the resulting speedup over the dense kernels at 10^6 points.
+
+Floating-point soundness of the certificate
+-------------------------------------------
+
+Bounds are computed in floating point, so a computed ``lb`` may
+overshoot the true bound by roundoff (centroid distances go through
+the Gram expansion and a square root).  Certificates therefore compare
+against a *deflated* bound ``lb * (1 - 1e-9) - 1e-12``: the true bound
+always dominates the deflated one, so a certificate can only be more
+conservative than the exact-arithmetic certificate, never less.  Two
+tie regimes matter:
+
+* k-th *value* queries (:meth:`kth_power`, what the engine's radii
+  need) certify with ``lb >= r_k``: an unscanned point at exactly
+  ``r_k`` adds mass at the k-th order statistic without moving it;
+* index-returning queries (:meth:`query`) certify with the strict
+  ``lb > r_k``: a tied point in an unscanned bucket could win the
+  index-order tie-break, so ties force the fallback scan.
+
+On integer-valued data (the paper's exact-tie constructions) surrogate
+gaps are >= 1 while the deflation is ~1e-9 relative, so the deflated
+certificate never spuriously rejects an honestly certifiable query.
+
+Mutation protocol (the PR-5 streaming contract)
+-----------------------------------------------
+
+The index is mutable the same way the other backends are: ``add``
+assigns the new row to its nearest centroid (growing that bucket's
+radius as needed — an *append*, no rebuild), ``remove`` tombstones
+storage slots, and once the deltas pass :data:`~IVFIndex.
+STALE_FRACTION` of the built size the next query *requantizes* —
+rebuilds centroids, assignments and radii over the live rows.  Stale
+radii are only ever over-estimates (they shrink, never grow, under
+tombstoning), so staleness degrades pruning, never correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..metrics import HammingMetric, LpMetric
+from .base import NNIndex
+from .brute import GrowableMatrix
+
+#: float64 elements of one (rows, nlist) assignment block held at once.
+_ASSIGN_BLOCK_ELEMENTS = 1 << 22
+
+#: cap on the number of rows the k-means trainer looks at; the sample is
+#: drawn with a deterministic seeded RNG, so builds are reproducible.
+_KMEANS_SAMPLE_CAP = 32_768
+
+#: Lloyd iterations for the coarse quantizer.  Exactness never depends
+#: on centroid quality (see the module docstring), so a handful of
+#: iterations — enough to find the coarse cluster structure — beats
+#: polishing centroids the certificate does not need.
+_KMEANS_ITERS = 4
+
+#: multiplicative / additive deflation applied to computed lower bounds
+#: before any certificate comparison (see the module docstring).
+_CERT_REL_SLACK = 1e-9
+_CERT_ABS_SLACK = 1e-12
+
+#: fraction of the live points a nearest-first bucket scan may visit
+#: without certifying before it gives up and runs the vectorized full
+#: scan instead.  Clustered queries certify after a couple of buckets
+#: (a few percent of the points); on unclusterable data the bounds are
+#: all ~0 and no certificate can ever fire, so bailing out early caps
+#: the worst case at roughly ``1 + _GIVEUP_SCAN_FRACTION`` times the
+#: dense scan rather than a slow bucket-by-bucket crawl of everything.
+_GIVEUP_SCAN_FRACTION = 0.125
+
+
+class IVFIndex(NNIndex):
+    """Exact k-NN via certified inverted-file search (see module docs).
+
+    Parameters
+    ----------
+    points, metric:
+        as for every :class:`~repro.neighbors.NNIndex`; the metric must
+        be an lp or Hamming metric (the triangle inequality is what the
+        certificate is made of).
+    nlist:
+        number of coarse buckets (default ``ceil(sqrt(n))``, the
+        standard IVF sizing).  There is no ``nprobe`` knob: the
+        nearest-first scan stops itself the moment the certificate
+        fires, so the probe depth is chosen per query by the data.
+    seed:
+        seed of the deterministic k-means sampler.
+    """
+
+    #: delta fraction of the built size that triggers a requantize.
+    STALE_FRACTION = 0.25
+
+    def __init__(
+        self,
+        points,
+        metric="l2",
+        *,
+        nlist: int | None = None,
+        seed: int = 20250123,
+    ):
+        super().__init__(points, metric)
+        if not isinstance(self.metric, (LpMetric, HammingMetric)):
+            raise ValidationError(
+                f"IVFIndex requires an lp or Hamming metric, got {self.metric.name}"
+            )
+        if nlist is not None and int(nlist) < 1:
+            raise ValidationError(f"nlist must be >= 1, got {nlist}")
+        self._nlist_arg = None if nlist is None else int(nlist)
+        self._seed = int(seed)
+        self._rows = GrowableMatrix(np.ascontiguousarray(self.points, dtype=np.float64))
+        self._alive = GrowableMatrix(np.ones(self.points.shape[0], dtype=bool))
+        self._assign = GrowableMatrix(np.zeros(self.points.shape[0], dtype=np.int64))
+        self.points = self._rows.view
+        #: query-outcome counters: ``certified`` / ``fallback`` count
+        #: per-query certificate outcomes, ``requantized`` counts lazy
+        #: quantizer rebuilds triggered by staleness.
+        self.stats = {"certified": 0, "fallback": 0, "requantized": 0}
+        self._build_quantizer()
+
+    # -- sizes -----------------------------------------------------------
+
+    @property
+    def storage_size(self) -> int:
+        """Storage slots (live rows plus tombstoned ones)."""
+        return len(self._rows)
+
+    @property
+    def size(self) -> int:
+        """Number of live (non-tombstoned) indexed points."""
+        return int(self._alive.view.sum())
+
+    @property
+    def staleness(self) -> float:
+        """Appends plus tombstones as a fraction of the built size."""
+        return (self._n_appended + self._n_removed) / max(1, self._built_size)
+
+    @property
+    def nlist(self) -> int:
+        """Number of coarse buckets currently in use."""
+        return self._centroids.shape[0]
+
+    # -- coarse quantizer -------------------------------------------------
+
+    def _nearest_centroid(
+        self, rows: np.ndarray, centroids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row nearest centroid: ``(bucket ids, true distances)``, blocked."""
+        n = rows.shape[0]
+        assign = np.empty(n, dtype=np.int64)
+        dist = np.empty(n)
+        block = max(1, _ASSIGN_BLOCK_ELEMENTS // max(1, centroids.shape[0]))
+        for start in range(0, n, block):
+            sl = slice(start, min(start + block, n))
+            powers = self.metric.powers_matrix(rows[sl], centroids)
+            a = np.argmin(powers, axis=1)
+            assign[sl] = a
+            picked = powers[np.arange(powers.shape[0]), a]
+            dist[sl] = self.metric._power_to_distance(picked)
+        return assign, dist
+
+    def _kmeans(self, rows: np.ndarray, nlist: int) -> np.ndarray:
+        """Seeded mini-Lloyd centroids over (a sample of) *rows*.
+
+        Centroids are continuous means even under Hamming — the
+        certificate only needs the triangle inequality, which holds
+        between arbitrary points of the space, so quantizer quality is
+        a pure pruning concern.
+        """
+        rng = np.random.default_rng(self._seed)
+        if rows.shape[0] > _KMEANS_SAMPLE_CAP:
+            sample = rows[rng.choice(rows.shape[0], _KMEANS_SAMPLE_CAP, replace=False)]
+        else:
+            sample = rows
+        centroids = np.array(
+            sample[rng.choice(sample.shape[0], min(nlist, sample.shape[0]), replace=False)],
+            dtype=np.float64,
+        )
+        for _ in range(_KMEANS_ITERS):
+            assign, _ = self._nearest_centroid(sample, centroids)
+            counts = np.bincount(assign, minlength=centroids.shape[0])
+            sums = np.zeros_like(centroids)
+            np.add.at(sums, assign, sample)
+            occupied = counts > 0
+            centroids[occupied] = sums[occupied] / counts[occupied, None]
+        return centroids
+
+    def _build_quantizer(self) -> None:
+        """(Re)build centroids, assignments, radii and member lists."""
+        alive = self._alive.view
+        slots = np.flatnonzero(alive)
+        rows = self._rows.view[slots]
+        n = slots.shape[0]
+        nlist = self._nlist_arg or max(1, int(np.ceil(np.sqrt(n))))
+        nlist = min(nlist, n)
+        centroids = self._kmeans(rows, nlist)
+        assign, dist = self._nearest_centroid(rows, centroids)
+        # Drop empty buckets (k-means can abandon initial centroids).
+        counts = np.bincount(assign, minlength=centroids.shape[0])
+        occupied = counts > 0
+        remap = np.cumsum(occupied, dtype=np.int64) - 1
+        self._centroids = np.ascontiguousarray(centroids[occupied])
+        assign = remap[assign]
+        full = np.full(self.storage_size, -1, dtype=np.int64)
+        full[slots] = assign
+        self._assign = GrowableMatrix(full)
+        self._radii = np.zeros(self.nlist)
+        np.maximum.at(self._radii, assign, dist)
+        order = np.argsort(assign, kind="stable")  # slot-ascending per bucket
+        bounds = np.searchsorted(assign[order], np.arange(self.nlist + 1))
+        sorted_slots = slots[order]
+        self._members: list[np.ndarray] = [
+            sorted_slots[bounds[b] : bounds[b + 1]] for b in range(self.nlist)
+        ]
+        self._built_size = n
+        self._n_appended = 0
+        self._n_removed = 0
+
+    def _prepare(self) -> None:
+        """The lazy requantize: triggered by queries, not by mutations."""
+        deltas = self._n_appended + self._n_removed
+        if deltas and self.staleness > self.STALE_FRACTION and self.size:
+            self._build_quantizer()
+            self.stats["requantized"] += 1
+
+    # -- mutation (the PR-5 streaming protocol) ---------------------------
+
+    def add(self, row: np.ndarray, count: int = 1) -> None:
+        """Append *count* copies of *row* to its nearest bucket.
+
+        The bucket's radius grows to cover the new member; no other
+        bucket is touched, so an append is O(nlist) for the centroid
+        scan plus O(count) storage.
+        """
+        row = np.ascontiguousarray(row, dtype=np.float64).reshape(1, -1)
+        if row.shape[1] != self.dimension:
+            raise ValidationError(
+                f"row has dimension {row.shape[1]}, index has {self.dimension}"
+            )
+        count = int(count)
+        if count < 1:
+            raise ValidationError(f"count must be >= 1, got {count}")
+        powers = self.metric.powers_matrix(row, self._centroids)[0]
+        bucket = int(np.argmin(powers))
+        dist = float(self.metric._power_to_distance(powers[bucket : bucket + 1])[0])
+        start = self.storage_size
+        self._rows.append(np.repeat(row, count, axis=0))
+        self._alive.append(np.ones(count, dtype=bool))
+        self._assign.append(np.full(count, bucket, dtype=np.int64))
+        self.points = self._rows.view
+        slots = np.arange(start, start + count, dtype=np.int64)
+        self._members[bucket] = np.concatenate([self._members[bucket], slots])
+        self._radii[bucket] = max(self._radii[bucket], dist)
+        self._n_appended += count
+
+    def remove(self, row: np.ndarray, count: int = 1) -> None:
+        """Tombstone *count* live copies of *row* (latest appends first);
+        raises when fewer copies exist.  Bucket radii are left as (still
+        valid) over-estimates until the next requantize."""
+        row = np.ascontiguousarray(row, dtype=np.float64)
+        count = int(count)
+        alive = self._alive.view
+        live = np.flatnonzero(alive)
+        matches = live[np.all(self._rows.view[live] == row, axis=1)]
+        if matches.shape[0] < count:
+            raise ValidationError(
+                f"cannot remove {count} more cop(ies) of a row with only "
+                f"{matches.shape[0]} left in the index"
+            )
+        self._alive.assign(matches[matches.shape[0] - count :], False)
+        self._n_removed += count
+
+    # -- certificates -----------------------------------------------------
+
+    def _to_surrogate(self, values: np.ndarray) -> np.ndarray:
+        """True distances → the metric's surrogate (power) space."""
+        p = getattr(self.metric, "p", None)
+        if p is None or p == 1 or p is np.inf:  # Hamming / l1 / linf
+            return values
+        if p == 2:
+            return values * values
+        return np.power(values, p)
+
+    def _bucket_bounds(self, queries: np.ndarray) -> np.ndarray:
+        """Deflated surrogate lower bounds, shape ``(q, nlist)``.
+
+        ``lb[i, b]`` under-estimates the surrogate distance from query
+        ``i`` to every point of bucket ``b`` even after the floating-
+        point roundoff of the centroid distances (the deflation is what
+        makes the certificates sound; see the module docstring).
+        """
+        dc = self.metric.distances_matrix(queries, self._centroids)
+        lb = self._to_surrogate(np.maximum(dc - self._radii[None, :], 0.0))
+        return np.maximum(lb * (1.0 - _CERT_REL_SLACK) - _CERT_ABS_SLACK, 0.0)
+
+    def _scan_buckets(
+        self,
+        x: np.ndarray,
+        bounds_row: np.ndarray,
+        alive: np.ndarray,
+        k: int,
+        live_total: int,
+        *,
+        strict: bool,
+    ) -> tuple[list[np.ndarray], list[np.ndarray], bool]:
+        """Nearest-first bucket scan with a running k-th-radius certificate.
+
+        Visits buckets in ascending deflated-lower-bound order; before
+        each new bucket, once ``k`` live candidates have been scored, the
+        next bound is compared against the running k-th smallest
+        surrogate ``r_k`` — the buckets being sorted, a single comparison
+        certifies every unscanned point at once (``>=`` for value
+        queries, strict ``>`` when *strict* so index-order ties are
+        reproduced).  Candidate surrogates come from the metric's matrix
+        kernel (:meth:`Metric._powers_block` — for l2 the same Gram
+        expansion as the dense backend, so certified answers match the
+        dense path's floating point bit for bit, not merely on integer
+        data).
+
+        Returns ``(slot_parts, power_parts, certified)``.  ``certified``
+        is also True when the scan exhausted every bucket (exact by
+        exhaustion); it is False only when the scan gave up after
+        :data:`_GIVEUP_SCAN_FRACTION` of the live points — the caller
+        then runs one vectorized full scan instead.
+        """
+        rows = self._rows.view
+        all_alive = live_total == alive.shape[0]
+        order = np.argsort(bounds_row, kind="stable")
+        budget = max(k, int(np.ceil(live_total * _GIVEUP_SCAN_FRACTION)))
+        x2d = x.reshape(1, -1)
+        slot_parts: list[np.ndarray] = []
+        power_parts: list[np.ndarray] = []
+        best: np.ndarray | None = None  # the k smallest surrogates so far
+        r_k = np.inf
+        scanned = 0
+        for j in range(order.shape[0]):
+            if scanned >= k:
+                rest = float(bounds_row[order[j]])
+                if (rest > r_k) if strict else (rest >= r_k):
+                    return slot_parts, power_parts, True
+                if scanned >= budget:
+                    return slot_parts, power_parts, False
+            slots = self._members[order[j]]
+            if not all_alive:
+                slots = slots[alive[slots]]
+            if slots.shape[0] == 0:
+                continue
+            powers = self.metric._powers_block(x2d, rows[slots])[0]
+            slot_parts.append(slots)
+            power_parts.append(powers)
+            scanned += slots.shape[0]
+            pool = powers if best is None else np.concatenate((best, powers))
+            if pool.shape[0] >= k:
+                pool = np.partition(pool, k - 1)[:k]
+                r_k = float(pool[k - 1])
+            best = pool
+        return slot_parts, power_parts, True  # every live row scanned: exact
+
+    # -- queries ----------------------------------------------------------
+
+    def kth_power(self, x, k: int) -> float:
+        """Surrogate (power) distance of the k-th nearest live row to *x*.
+
+        The certified-or-fallback entry point behind the engine's
+        Proposition 1 radii; returns ``+inf`` when ``k > size``.
+        """
+        x = np.ascontiguousarray(x, dtype=np.float64).reshape(1, -1)
+        return float(self.kth_power_batch(x, k)[0])
+
+    def kth_power_batch(self, queries: np.ndarray, k: int) -> np.ndarray:
+        """Row-wise :meth:`kth_power` over a query matrix.
+
+        The centroid-distance matrix for the whole batch is one
+        vectorized kernel call; each query then runs the nearest-first
+        certified scan of :meth:`_scan_buckets`.  Values are
+        bit-identical to a full scan on integer-valued data because
+        candidate powers come from the metric's row-independent matrix
+        kernel and the certificate guarantees no closer point was
+        skipped.
+        """
+        self._prepare()
+        queries = np.asarray(queries, dtype=np.float64)
+        k = int(k)
+        q = queries.shape[0]
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if k > self.size:
+            return np.full(q, np.inf)
+        bounds = self._bucket_bounds(queries)
+        alive = self._alive.view
+        rows = self._rows.view
+        live_total = int(alive.sum())
+        live_rows = rows if live_total == alive.shape[0] else None  # on 1st fallback
+        out = np.empty(q)
+        for i in range(q):
+            x = queries[i]
+            _, power_parts, certified = self._scan_buckets(
+                x, bounds[i], alive, k, live_total, strict=False
+            )
+            if certified:
+                # Value certificate: unscanned mass at exactly r_k
+                # cannot move the k-th order statistic, so >= sufficed.
+                self.stats["certified"] += 1
+                powers = (
+                    power_parts[0]
+                    if len(power_parts) == 1
+                    else np.concatenate(power_parts)
+                )
+            else:
+                self.stats["fallback"] += 1
+                if live_rows is None:
+                    live_rows = rows[alive]
+                powers = self.metric.powers_to(live_rows, x)
+            out[i] = float(np.partition(powers, k - 1)[k - 1])
+        return out
+
+    def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """The k nearest live rows to *x*: ``(distances, slots)``, ties by slot.
+
+        Returned indices are storage slots (identical to point indices
+        until a mutation, stable across tombstoning afterwards);
+        tombstoned slots are never returned.  Certification here is
+        strict — an unscanned bucket whose bound *ties* the k-th
+        candidate could hold a smaller-slot tie winner, so ties fall
+        back to the full scan to preserve index-order tie-breaking.
+        """
+        self._prepare()
+        xv, k = self._check_query(x, k)
+        alive = self._alive.view
+        rows = self._rows.view
+        live_total = int(alive.sum())  # _check_query already enforced k <= live
+        bounds = self._bucket_bounds(xv.reshape(1, -1))[0]
+        slot_parts, power_parts, certified = self._scan_buckets(
+            xv, bounds, alive, k, live_total, strict=True
+        )
+        if certified:
+            self.stats["certified"] += 1
+            slots = np.concatenate(slot_parts)
+            powers = np.concatenate(power_parts)
+            by_slot = np.argsort(slots, kind="stable")  # the tie-break order
+            slots, powers = slots[by_slot], powers[by_slot]
+        else:
+            self.stats["fallback"] += 1
+            slots = np.flatnonzero(alive)
+            powers = self.metric.powers_to(rows[slots], xv)
+        top = np.argsort(powers, kind="stable")[:k]
+        idx = slots[top]
+        return self.metric.distances_to(rows[idx], xv), idx

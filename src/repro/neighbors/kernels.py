@@ -1,0 +1,309 @@
+"""Compiled distance kernels behind the index layer's two hot primitives.
+
+Every batch primitive in the library bottoms out in one of two inner
+loops: the *blocked Gram expansion* that turns an l2 (or binary
+Hamming) distance block into one matmul, and the *XOR + popcount*
+sweep over packed 64-bit words that the bit-packed Hamming index runs.
+This module owns both, in two interchangeable implementations:
+
+``numpy``
+    the vectorized expressions the metrics and the bit-packed index
+    shipped with — BLAS matmuls and :func:`np.bitwise_count` — moved
+    here verbatim, so dispatching through this module does not change
+    a single bit of any existing result;
+``numba``
+    JIT-compiled, parallel (``prange``), cache-blocked loop nests over
+    the same arithmetic.  On integer-valued data every product and
+    partial sum is an exactly representable integer, so the two
+    implementations are **bit-identical** there (the regime where the
+    paper's exact tie-breaking semantics live); on general floats they
+    agree up to summation-order roundoff, the same caveat
+    :meth:`~repro.metrics.Metric.powers_matrix` already documents.
+
+Selection happens once at import: ``numba`` when the package is
+importable, ``numpy`` otherwise.  The ``REPRO_KERNELS`` environment
+variable (``numba`` | ``numpy``) overrides the automatic choice — CI
+runs the whole suite under both values — and :func:`select_kernels`
+re-resolves it at runtime for tests.  Requesting ``numba`` without the
+package installed degrades to ``numpy`` with a warning rather than
+failing: the compiled layer is a pure accelerator, never a semantic
+dependency (``numba`` ships as the optional ``[perf]`` extra).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+#: environment variable overriding the automatic implementation choice.
+KERNELS_ENV = "REPRO_KERNELS"
+
+#: implementation names :func:`select_kernels` accepts.
+KERNEL_CHOICES = ("numba", "numpy")
+
+
+# -- numpy implementations (the library's original expressions) ----------
+
+
+def _gram_l2_numpy(block: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """``(rows, m)`` squared-l2 matrix via the BLAS Gram expansion.
+
+    ``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b``: exact on integer data,
+    clamped at 0 against roundoff on general floats.
+    """
+    out = (
+        np.einsum("ij,ij->i", block, block)[:, None]
+        + np.einsum("ij,ij->i", points, points)[None, :]
+        - 2.0 * (block @ points.T)
+    )
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+def _gram_hamming_numpy(block: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """``(rows, m)`` Hamming matrix over {0,1} rows via one BLAS matmul.
+
+    On {0,1} vectors ``|a - b| = a + b - 2ab`` componentwise; every
+    intermediate is an exactly representable integer.
+    """
+    return (
+        block.sum(axis=1)[:, None]
+        + points.sum(axis=1)[None, :]
+        - 2.0 * (block @ points.T)
+    )
+
+
+def _xor_popcount_numpy(
+    query_words: np.ndarray, point_words: np.ndarray, acc_dtype
+) -> np.ndarray:
+    """``(q, m)`` Hamming counts between word-major packed uint64 layouts.
+
+    Both operands are ``(W, rows)`` word-major: word ``w`` of every row
+    is contiguous, so each per-word broadcast reads point words
+    sequentially.  Counts accumulate in *acc_dtype*, the smallest
+    unsigned integer that can hold the dimension.
+    """
+    rows = query_words.shape[1]
+    counts = np.bitwise_count(query_words[0][:, None] ^ point_words[0][None, :])
+    if counts.dtype != acc_dtype:
+        counts = counts.astype(acc_dtype)
+    if point_words.shape[0] > 1:
+        xor = np.empty((rows, point_words.shape[1]), dtype=np.uint64)
+        for w in range(1, point_words.shape[0]):
+            np.bitwise_xor(query_words[w][:, None], point_words[w][None, :], out=xor)
+            np.add(counts, np.bitwise_count(xor), out=counts, casting="unsafe")
+    return counts
+
+
+_NUMPY_IMPL = {
+    "gram_l2": _gram_l2_numpy,
+    "gram_hamming": _gram_hamming_numpy,
+    "xor_popcount": _xor_popcount_numpy,
+}
+
+
+# -- numba implementations (compiled twins of the same arithmetic) -------
+
+try:  # pragma: no cover - exercised only where the [perf] extra is installed
+    import numba as _numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the container-default path
+    _numba = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - compiled twins, exercised under [perf] CI
+
+    #: rows of ``points`` per cache block of the jitted Gram kernels —
+    #: keeps one (block, tile) accumulator strip L2-resident.
+    _JIT_TILE = 256
+
+    @_numba.njit(parallel=True, fastmath=False, cache=True)
+    def _gram_l2_jit(block, points, out):  # noqa: ANN001 - numba signature
+        """Parallel blocked ||a||^2 + ||b||^2 - 2 a.b with a 0 clamp."""
+        m = block.shape[0]
+        n = points.shape[0]
+        d = block.shape[1]
+        bb = np.empty(n, dtype=np.float64)
+        for j in range(n):
+            s = 0.0
+            for t in range(d):
+                s += points[j, t] * points[j, t]
+            bb[j] = s
+        for i in _numba.prange(m):
+            aa = 0.0
+            for t in range(d):
+                aa += block[i, t] * block[i, t]
+            for j0 in range(0, n, _JIT_TILE):
+                j1 = min(j0 + _JIT_TILE, n)
+                for j in range(j0, j1):
+                    dot = 0.0
+                    for t in range(d):
+                        dot += block[i, t] * points[j, t]
+                    v = aa + bb[j] - 2.0 * dot
+                    out[i, j] = v if v > 0.0 else 0.0
+
+    @_numba.njit(parallel=True, fastmath=False, cache=True)
+    def _gram_hamming_jit(block, points, out):  # noqa: ANN001 - numba signature
+        """Parallel blocked a.sum + b.sum - 2 a.b over {0,1} rows."""
+        m = block.shape[0]
+        n = points.shape[0]
+        d = block.shape[1]
+        bs = np.empty(n, dtype=np.float64)
+        for j in range(n):
+            s = 0.0
+            for t in range(d):
+                s += points[j, t]
+            bs[j] = s
+        for i in _numba.prange(m):
+            a = 0.0
+            for t in range(d):
+                a += block[i, t]
+            for j0 in range(0, n, _JIT_TILE):
+                j1 = min(j0 + _JIT_TILE, n)
+                for j in range(j0, j1):
+                    dot = 0.0
+                    for t in range(d):
+                        dot += block[i, t] * points[j, t]
+                    out[i, j] = a + bs[j] - 2.0 * dot
+
+    @_numba.njit(parallel=True, cache=True)
+    def _xor_popcount_jit(query_words, point_words, out):  # noqa: ANN001
+        """Parallel XOR + SWAR-popcount over word-major packed layouts."""
+        w_count = query_words.shape[0]
+        q = query_words.shape[1]
+        n = point_words.shape[1]
+        m1 = np.uint64(0x5555555555555555)
+        m2 = np.uint64(0x3333333333333333)
+        m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+        h01 = np.uint64(0x0101010101010101)
+        s1 = np.uint64(1)
+        s2 = np.uint64(2)
+        s4 = np.uint64(4)
+        s56 = np.uint64(56)
+        for i in _numba.prange(q):
+            for j in range(n):
+                total = np.uint64(0)
+                for w in range(w_count):
+                    x = query_words[w, i] ^ point_words[w, j]
+                    x = x - ((x >> s1) & m1)
+                    x = (x & m2) + ((x >> s2) & m2)
+                    x = (x + (x >> s4)) & m4
+                    total += (x * h01) >> s56
+                out[i, j] = total
+
+    def _gram_l2_numba(block: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Allocate-and-fill wrapper around the jitted l2 Gram kernel."""
+        out = np.empty((block.shape[0], points.shape[0]), dtype=np.float64)
+        if out.size:
+            _gram_l2_jit(
+                np.ascontiguousarray(block), np.ascontiguousarray(points), out
+            )
+        return out
+
+    def _gram_hamming_numba(block: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Allocate-and-fill wrapper around the jitted Hamming Gram kernel."""
+        out = np.empty((block.shape[0], points.shape[0]), dtype=np.float64)
+        if out.size:
+            _gram_hamming_jit(
+                np.ascontiguousarray(block), np.ascontiguousarray(points), out
+            )
+        return out
+
+    def _xor_popcount_numba(
+        query_words: np.ndarray, point_words: np.ndarray, acc_dtype
+    ) -> np.ndarray:
+        """Allocate-and-fill wrapper around the jitted popcount kernel."""
+        out = np.empty(
+            (query_words.shape[1], point_words.shape[1]), dtype=acc_dtype
+        )
+        if out.size:
+            _xor_popcount_jit(
+                np.ascontiguousarray(query_words),
+                np.ascontiguousarray(point_words),
+                out,
+            )
+        return out
+
+    _NUMBA_IMPL = {
+        "gram_l2": _gram_l2_numba,
+        "gram_hamming": _gram_hamming_numba,
+        "xor_popcount": _xor_popcount_numba,
+    }
+else:
+    _NUMBA_IMPL = None
+
+IMPLEMENTATIONS = {"numpy": _NUMPY_IMPL}
+if _NUMBA_IMPL is not None:  # pragma: no cover - [perf] CI only
+    IMPLEMENTATIONS["numba"] = _NUMBA_IMPL
+
+_active_name = "numpy"
+_active = _NUMPY_IMPL
+
+
+def select_kernels(name: str | None = None) -> str:
+    """Resolve and activate a kernel implementation; returns its name.
+
+    ``None`` re-reads :data:`KERNELS_ENV` and falls back to the
+    automatic choice (``numba`` when available, else ``numpy``).  An
+    unknown or unavailable request degrades to ``numpy`` with a
+    :class:`RuntimeWarning` — kernels accelerate, they never gate.
+    """
+    global _active_name, _active
+    requested = name if name is not None else os.environ.get(KERNELS_ENV)
+    if requested is not None and requested not in KERNEL_CHOICES:
+        warnings.warn(
+            f"{KERNELS_ENV}={requested!r} is not one of {KERNEL_CHOICES}; "
+            "falling back to automatic kernel selection",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        requested = None
+    if requested is None:
+        resolved = "numba" if HAVE_NUMBA else "numpy"
+    elif requested == "numba" and not HAVE_NUMBA:
+        warnings.warn(
+            "REPRO_KERNELS=numba requested but numba is not installed "
+            "(pip install 'repro-knn[perf]'); using the numpy kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        resolved = "numpy"
+    else:
+        resolved = requested
+    _active_name = resolved
+    _active = IMPLEMENTATIONS[resolved]
+    return resolved
+
+
+def kernels_in_use() -> str:
+    """Name of the active implementation (``"numba"`` or ``"numpy"``)."""
+    return _active_name
+
+
+# -- dispatching entry points (what the metrics and indexes call) --------
+
+
+def gram_l2_powers(block: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Squared-l2 surrogate matrix for one (block, points) pair."""
+    return _active["gram_l2"](block, points)
+
+
+def gram_hamming_counts(block: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Hamming-count matrix for one binary (block, points) pair."""
+    return _active["gram_hamming"](block, points)
+
+
+def xor_popcount_counts(
+    query_words: np.ndarray, point_words: np.ndarray, acc_dtype
+) -> np.ndarray:
+    """Packed-word Hamming counts for word-major uint64 layouts."""
+    return _active["xor_popcount"](query_words, point_words, acc_dtype)
+
+
+# Resolve once at import (the documented default behavior); tests and
+# embedders re-resolve explicitly via select_kernels().
+select_kernels()

@@ -1,8 +1,9 @@
 """Backend parity suite: every index backend computes the same classifier.
 
 The :class:`~repro.knn.QueryEngine` contract is that ``backend=`` is a
-pure performance decision: ``"dense"``, ``"kdtree"`` and ``"bitpack"``
-must return identical labels, radii and margins.  On integer-valued
+pure performance decision: ``"dense"``, ``"kdtree"``, ``"bitpack"`` and ``"ivf"``
+must return identical labels, radii and margins (``"ivf"`` included:
+its certificate makes the inverted-file plan exact).  On integer-valued
 data (where the paper's exact tie-breaking semantics live — including
 the optimistic ties of Proposition 1) agreement is bit for bit; on
 general real data under the KD-tree backend the surrogates may differ
@@ -31,8 +32,8 @@ from repro.experiments.runner import run_sweep
 from .helpers import random_continuous_dataset, random_discrete_dataset
 
 LP_METRICS = ["l1", "l2", "lp:3", "linf"]
-LP_BACKENDS = ["dense", "kdtree"]
-HAMMING_BACKENDS = ["dense", "kdtree", "bitpack"]
+LP_BACKENDS = ["dense", "kdtree", "ivf"]
+HAMMING_BACKENDS = ["dense", "kdtree", "bitpack", "ivf"]
 
 
 def _rng(seed: int) -> np.random.Generator:
@@ -88,7 +89,7 @@ class TestHammingParity:
         assert other.backend == backend
         _assert_bitwise_parity(dense, other, queries, k)
 
-    @pytest.mark.parametrize("backend", ["kdtree", "bitpack"])
+    @pytest.mark.parametrize("backend", ["kdtree", "bitpack", "ivf"])
     def test_powers_matrix_bit_identical(self, backend):
         data, queries = _hamming_case(99)
         dense = QueryEngine(data, "hamming", backend="dense")
@@ -111,40 +112,42 @@ class TestHammingParity:
 
 
 class TestLpParity:
+    @pytest.mark.parametrize("backend", ["kdtree", "ivf"])
     @pytest.mark.parametrize("metric", LP_METRICS)
     @pytest.mark.parametrize("k", [1, 3])
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=10)
-    def test_kdtree_identical_on_integer_data(self, metric, k, seed):
+    def test_identical_on_integer_data(self, backend, metric, k, seed):
         data, queries = _lp_case(seed, integer=True)
         if len(data) < k:
             return
         dense = QueryEngine(data, metric, backend="dense")
-        tree = QueryEngine(data, metric, backend="kdtree")
-        _assert_bitwise_parity(dense, tree, queries, k)
+        other = QueryEngine(data, metric, backend=backend)
+        _assert_bitwise_parity(dense, other, queries, k)
 
+    @pytest.mark.parametrize("backend", ["kdtree", "ivf"])
     @pytest.mark.parametrize("metric", LP_METRICS)
     @pytest.mark.parametrize("k", [1, 3])
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=10)
-    def test_kdtree_labels_match_on_real_data(self, metric, k, seed):
+    def test_labels_match_on_real_data(self, backend, metric, k, seed):
         data, queries = _lp_case(seed, integer=False)
         if len(data) < k:
             return
         dense = QueryEngine(data, metric, backend="dense")
-        tree = QueryEngine(data, metric, backend="kdtree")
+        other = QueryEngine(data, metric, backend=backend)
         np.testing.assert_array_equal(
-            dense.classify_batch(queries, k), tree.classify_batch(queries, k)
+            dense.classify_batch(queries, k), other.classify_batch(queries, k)
         )
-        for dense_side, tree_side in zip(
-            dense.radii_batch(queries, k), tree.radii_batch(queries, k)
+        for dense_side, other_side in zip(
+            dense.radii_batch(queries, k), other.radii_batch(queries, k)
         ):
-            np.testing.assert_allclose(dense_side, tree_side, rtol=1e-9, atol=1e-9)
+            np.testing.assert_allclose(dense_side, other_side, rtol=1e-9, atol=1e-9)
 
     @pytest.mark.parametrize("k", [1, 3, 5])
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=10)
-    def test_kdtree_multiplicities(self, k, seed):
+    def test_multiplicities(self, k, seed):
         rng = _rng(seed)
         n = int(rng.integers(1, 4))
         pos = rng.integers(-3, 4, size=(int(rng.integers(1, 5)), n)).astype(float)
@@ -159,8 +162,10 @@ class TestLpParity:
             return
         queries = rng.integers(-3, 4, size=(8, n)).astype(float)
         dense = QueryEngine(data, "l2", backend="dense")
-        tree = QueryEngine(data, "l2", backend="kdtree")
-        _assert_bitwise_parity(dense, tree, queries, k)
+        for backend in ("kdtree", "ivf"):
+            _assert_bitwise_parity(
+                dense, QueryEngine(data, "l2", backend=backend), queries, k
+            )
 
 
 class TestProposition1Ties:
@@ -214,7 +219,7 @@ class TestProposition1Ties:
         data = Dataset(pos, neg)
         queries = rng.integers(0, 2, size=(6, n)).astype(float)
         dense = QueryEngine(data, "hamming", backend="dense")
-        for backend in ("kdtree", "bitpack"):
+        for backend in ("kdtree", "bitpack", "ivf"):
             _assert_bitwise_parity(
                 dense, QueryEngine(data, "hamming", backend=backend), queries, 1
             )
@@ -242,7 +247,7 @@ class TestBackendSelection:
 
     def test_explicit_backends_reported(self):
         data = random_discrete_dataset(_rng(0), 5, 8, 8)
-        for backend in ("dense", "kdtree", "bitpack"):
+        for backend in ("dense", "kdtree", "bitpack", "ivf"):
             assert QueryEngine(data, "hamming", backend=backend).backend == backend
 
     def test_unknown_backend_rejected(self):
@@ -271,7 +276,14 @@ class TestBackendSelection:
         )
 
     def test_backends_tuple_is_public(self):
-        assert BACKENDS == ("auto", "dense", "kdtree", "bitpack")
+        assert BACKENDS == ("auto", "dense", "kdtree", "bitpack", "ivf")
+
+    def test_ivf_requires_lp_or_hamming_like_kdtree(self):
+        # Both certificate-based backends share the metric requirement;
+        # nothing else is rejected (any lp/Hamming data quantizes).
+        data = random_continuous_dataset(_rng(0), 4, 6, 6)
+        engine = QueryEngine(data, "l2", backend="ivf")
+        assert engine.backend == "ivf"
 
 
 class TestEnginePickling:
@@ -287,9 +299,10 @@ class TestEnginePickling:
             engine.classify_batch(queries, 3), clone.classify_batch(queries, 3)
         )
 
-    def test_kdtree_engine_roundtrips(self):
+    @pytest.mark.parametrize("backend", ["kdtree", "ivf"])
+    def test_tree_and_ivf_engines_roundtrip(self, backend):
         data = random_continuous_dataset(_rng(5), 3, 30, 30, integer=True)
-        engine = QueryEngine(data, "l2", backend="kdtree")
+        engine = QueryEngine(data, "l2", backend=backend)
         clone = pickle.loads(pickle.dumps(engine))
         queries = _rng(6).integers(-4, 5, size=(5, 3)).astype(float)
         for orig_side, clone_side in zip(

@@ -5,7 +5,9 @@ mutable datasets safe: whatever script of inserts, deletes and queries
 an engine absorbs incrementally, every answer must be **bit-identical**
 to an engine built from scratch over the same final contents — labels,
 margins, radii, and tie behavior (the Proposition 1 ``r+ == r-`` case)
-alike, across all three backends and both metrics.
+alike, across all four backends and both metrics (the IVF backend's
+bucket appends, tombstones and staleness-triggered requantizes ride the
+same scripts).
 
 The harness generates seeded random scripts (``FUZZ_ROUNDS`` seeds per
 backend/metric configuration, default 50; the nightly CI job raises it
@@ -48,6 +50,8 @@ CONFIGS = [
     ("kdtree", "l2"),
     ("kdtree", "hamming"),
     ("bitpack", "hamming"),
+    ("ivf", "l2"),
+    ("ivf", "hamming"),
 ]
 
 
@@ -173,7 +177,7 @@ def test_fuzz_differential_parity(backend, metric):
 # -- metamorphic properties ---------------------------------------------
 
 
-@pytest.fixture(params=["dense", "kdtree", "bitpack"])
+@pytest.fixture(params=["dense", "kdtree", "bitpack", "ivf"])
 def backend(request):
     """Every mutable backend (metric fixed to Hamming, which all support)."""
     return request.param

@@ -1,0 +1,192 @@
+"""Unit tests for the compiled-kernel dispatch layer (repro.neighbors.kernels).
+
+Two contracts matter:
+
+* **selection** — ``REPRO_KERNELS`` / :func:`select_kernels` pick an
+  implementation, unknown or unavailable requests degrade to numpy with
+  a :class:`RuntimeWarning` instead of failing (kernels accelerate,
+  they never gate);
+* **parity** — every implementation returns byte-identical matrices on
+  integer-valued data, the regime the paper's exact tie-breaking
+  semantics live in.  The numba half of the parametrization skips
+  cleanly where the ``[perf]`` extra is not installed (the CI matrix
+  runs the suite under both ``REPRO_KERNELS`` values).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.neighbors import kernels
+
+IMPLS = sorted(kernels.IMPLEMENTATIONS)
+needs_numba = pytest.mark.skipif(
+    not kernels.HAVE_NUMBA, reason="numba not installed (the [perf] extra)"
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_kernel_selection():
+    """Leave the process-global kernel choice the way each test found it."""
+    before = kernels.kernels_in_use()
+    yield
+    kernels.select_kernels(before)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20250601)
+
+
+def _pack_words(rows: np.ndarray) -> np.ndarray:
+    """Binary rows -> word-major (W, rows) packed uint64 layout."""
+    n_rows, dim = rows.shape
+    n_words = -(-dim // 64)
+    words = np.zeros((n_words, n_rows), dtype=np.uint64)
+    for j in range(dim):
+        words[j // 64] |= rows[:, j].astype(np.uint64) << np.uint64(j % 64)
+    return words
+
+
+# -- selection ----------------------------------------------------------
+
+
+def test_default_selection_matches_availability():
+    resolved = kernels.select_kernels(None)
+    expected = "numba" if kernels.HAVE_NUMBA else "numpy"
+    assert resolved == expected == kernels.kernels_in_use()
+
+
+def test_explicit_numpy_selection():
+    assert kernels.select_kernels("numpy") == "numpy"
+    assert kernels.kernels_in_use() == "numpy"
+
+
+def test_env_override_is_reread(monkeypatch):
+    monkeypatch.setenv(kernels.KERNELS_ENV, "numpy")
+    assert kernels.select_kernels(None) == "numpy"
+
+
+def test_unknown_request_warns_and_degrades(monkeypatch):
+    monkeypatch.delenv(kernels.KERNELS_ENV, raising=False)
+    with pytest.warns(RuntimeWarning, match="not one of"):
+        resolved = kernels.select_kernels("avx-512")
+    assert resolved in kernels.KERNEL_CHOICES
+
+
+@pytest.mark.skipif(kernels.HAVE_NUMBA, reason="needs the numba-less environment")
+def test_numba_request_without_numba_warns_and_degrades():
+    with pytest.warns(RuntimeWarning, match="numba is not installed"):
+        assert kernels.select_kernels("numba") == "numpy"
+    assert kernels.kernels_in_use() == "numpy"
+
+
+def test_every_implementation_ships_all_three_kernels():
+    for impl in kernels.IMPLEMENTATIONS.values():
+        assert set(impl) == {"gram_l2", "gram_hamming", "xor_popcount"}
+
+
+# -- reference parity (any implementation vs naive arithmetic) ----------
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_gram_l2_matches_difference_kernel_on_integers(impl, rng):
+    kernels.select_kernels(impl)
+    block = rng.integers(-20, 21, size=(13, 7)).astype(float)
+    points = rng.integers(-20, 21, size=(29, 7)).astype(float)
+    reference = ((block[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+    got = kernels.gram_l2_powers(block, points)
+    assert got.dtype == np.float64
+    np.testing.assert_array_equal(got, reference)  # exact: integer arithmetic
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_gram_hamming_matches_absdiff_kernel(impl, rng):
+    kernels.select_kernels(impl)
+    block = rng.integers(0, 2, size=(11, 40)).astype(float)
+    points = rng.integers(0, 2, size=(17, 40)).astype(float)
+    reference = np.abs(block[:, None, :] - points[None, :, :]).sum(axis=2)
+    np.testing.assert_array_equal(
+        kernels.gram_hamming_counts(block, points), reference
+    )
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+@pytest.mark.parametrize("dim", [1, 63, 64, 65, 130])
+def test_xor_popcount_matches_absdiff_kernel(impl, dim, rng):
+    kernels.select_kernels(impl)
+    a = rng.integers(0, 2, size=(9, dim))
+    b = rng.integers(0, 2, size=(21, dim))
+    reference = np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+    got = kernels.xor_popcount_counts(_pack_words(a), _pack_words(b), np.uint16)
+    assert got.dtype == np.uint16
+    np.testing.assert_array_equal(got, reference)
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_empty_operands(impl):
+    kernels.select_kernels(impl)
+    empty = np.empty((0, 5))
+    some = np.ones((3, 5))
+    assert kernels.gram_l2_powers(empty, some).shape == (0, 3)
+    assert kernels.gram_l2_powers(some, empty).shape == (3, 0)
+
+
+# -- cross-implementation parity (numpy vs numba, byte for byte) --------
+
+
+@needs_numba
+@pytest.mark.parametrize("kernel", ["gram_l2", "gram_hamming"])
+def test_numba_gram_bit_identical_to_numpy_on_integers(kernel, rng):
+    binary = kernel == "gram_hamming"
+    hi = 2 if binary else 50
+    block = rng.integers(0, hi, size=(23, 33)).astype(float)
+    points = rng.integers(0, hi, size=(41, 33)).astype(float)
+    results = {}
+    for impl in ("numpy", "numba"):
+        kernels.select_kernels(impl)
+        fn = (
+            kernels.gram_hamming_counts if binary else kernels.gram_l2_powers
+        )
+        results[impl] = fn(block, points)
+    assert results["numpy"].tobytes() == results["numba"].tobytes()
+
+
+@needs_numba
+def test_numba_xor_popcount_bit_identical_to_numpy(rng):
+    a = _pack_words(rng.integers(0, 2, size=(15, 130)))
+    b = _pack_words(rng.integers(0, 2, size=(31, 130)))
+    results = {}
+    for impl in ("numpy", "numba"):
+        kernels.select_kernels(impl)
+        results[impl] = kernels.xor_popcount_counts(a, b, np.uint16)
+    assert results["numpy"].tobytes() == results["numba"].tobytes()
+
+
+# -- end-to-end: the engine's answers do not depend on the kernels ------
+
+
+@pytest.mark.parametrize("impl", IMPLS)
+def test_engine_answers_identical_under_every_implementation(impl, rng):
+    """Classification through the full engine stack is kernel-invariant."""
+    from repro.knn import Dataset, QueryEngine
+
+    points = rng.integers(0, 2, size=(120, 24)).astype(float)
+    labels = rng.integers(0, 2, size=120).astype(bool)
+    data = Dataset(points[labels], points[~labels])
+    queries = rng.integers(0, 2, size=(30, 24)).astype(float)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        kernels.select_kernels("numpy")
+        expected = QueryEngine(data, "hamming", backend="dense").classify_batch(
+            queries, 3
+        )
+        kernels.select_kernels(impl)
+        for backend in ("dense", "bitpack", "ivf"):
+            got = QueryEngine(data, "hamming", backend=backend).classify_batch(
+                queries, 3
+            )
+            np.testing.assert_array_equal(got, expected)
