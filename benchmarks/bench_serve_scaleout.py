@@ -1,0 +1,174 @@
+"""Acceptance gate: sharded multi-process serving vs one process.
+
+The single-process :class:`~repro.serve.ExplanationService` serializes
+a lineage's traffic on one engine lock (and one GIL): a cheap
+``classify`` arriving while a pure-Python SAT solve is in flight waits
+for the whole solve.  The sharded
+:class:`~repro.serve.ClusterService` gives every lineage read replicas
+in separate worker processes, so the classify runs elsewhere.  This
+gate requires the cluster's **classify-class p99 latency** under the
+deterministic open-loop mixed workload to beat the single process by at
+least ``MIN_SPEEDUP``x — after the measurement has asserted, request
+for request, that both targets return bit-identical payloads.
+
+**Aggregate throughput** (a saturating bulk of concurrent SAT solves)
+is gated at ``MIN_SPEEDUP``x too, but only where the machine can
+physically show it: the cluster's throughput edge is parallelism across
+cores, so the throughput half of the gate applies when
+``os.cpu_count() >= MIN_CPUS_FOR_THROUGHPUT_GATE`` (CI-scale runners)
+and is reported informationally below that.
+
+The measurement core lives in
+:func:`repro.experiments.bench.measure_serve_scaleout` — the same
+numbers the ``bench-baseline`` CI job gates against the committed
+baseline.  Shared runners are noisy, so the gate takes the best of up
+to ``MAX_ATTEMPTS`` full measurements before declaring failure, and
+reports the measured ratios in the GitHub job summary when available.
+
+Run directly for a quick report::
+
+    PYTHONPATH=src python benchmarks/bench_serve_scaleout.py
+
+or through pytest for the parity checks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_scaleout.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.datasets import random_boolean_dataset
+from repro.experiments.bench import gated_best, measure_serve_scaleout
+from repro.serve import ClusterService, ExplanationService
+
+MIN_SPEEDUP = 3.0
+#: full re-measurements allowed before the gate declares failure
+#: (best-of-3 retry, same rationale as the other headline gates).
+MAX_ATTEMPTS = 3
+#: the throughput half of the gate needs real parallelism to measure;
+#: below this core count the ratio is scheduler arithmetic (~1x on one
+#: core no matter how good the topology is) and is only reported.
+MIN_CPUS_FOR_THROUGHPUT_GATE = 4
+
+
+def gated_speedup(seed: int = 20250601, *, attempts: int = MAX_ATTEMPTS) -> dict:
+    """Best-of-*attempts* measurement against the 3x tail-latency gate."""
+    return gated_best(
+        measure_serve_scaleout, threshold=MIN_SPEEDUP, attempts=attempts, seed=seed
+    )
+
+
+def _throughput_gated(stats: dict) -> bool:
+    """Whether this machine has enough cores to gate the throughput half."""
+    return (stats.get("cpus") or 0) >= MIN_CPUS_FOR_THROUGHPUT_GATE
+
+
+def _write_job_summary(stats: dict) -> None:
+    """Append the measured ratios to the GitHub job summary, if present."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    latency_ok = stats["speedup"] >= MIN_SPEEDUP
+    throughput_line = (
+        f"throughput ratio **{stats['throughput_ratio']:.1f}x** "
+        + (
+            f"(gated at {MIN_SPEEDUP:.0f}x, {stats['cpus']} cpus)"
+            if _throughput_gated(stats)
+            else f"(informational: {stats['cpus']} cpu(s) < "
+            f"{MIN_CPUS_FOR_THROUGHPUT_GATE} needed to gate)"
+        )
+    )
+    with open(summary_path, "a") as handle:
+        handle.write(
+            f"### Serve-scaleout gate: {'pass' if latency_ok else 'FAIL'}\n\n"
+            f"classify p99: single {stats['single_p99_ms']:.1f} ms vs cluster "
+            f"{stats['cluster_p99_ms']:.1f} ms — ratio "
+            f"**{stats['p99_ratio']:.1f}x** (required {MIN_SPEEDUP:.0f}x, "
+            f"best of {stats['attempts']} attempt(s); "
+            f"{stats['workers']} workers x {stats['replicas']} replicas); "
+            f"{throughput_line}\n"
+        )
+
+
+def test_serve_scaleout_p99_speedup():
+    """The >= 3x cluster-over-single classify-p99 gate (best-of-3)."""
+    stats = gated_speedup()
+    assert stats["speedup"] >= MIN_SPEEDUP, (
+        f"cluster classify p99 is only {stats['p99_ratio']:.1f}x better than "
+        f"single-process after {stats['attempts']} attempts "
+        f"(required: {MIN_SPEEDUP:.0f}x)"
+    )
+    if _throughput_gated(stats):
+        assert stats["throughput_ratio"] >= MIN_SPEEDUP, (
+            f"cluster aggregate throughput is only "
+            f"{stats['throughput_ratio']:.1f}x the single process on "
+            f"{stats['cpus']} cpus (required: {MIN_SPEEDUP:.0f}x at CI scale)"
+        )
+
+
+def test_cluster_matches_single_process(rng):
+    """Cluster and single-process answers are identical across methods."""
+    data = random_boolean_dataset(rng, 10, 40)
+    single = ExplanationService(cache_size=0)
+    fingerprint = single.add_dataset(data)
+    queries = [rng.integers(0, 2, size=10).astype(float) for _ in range(8)]
+    with ClusterService(workers=2, replicas=2, cache_size=0) as cluster:
+        cluster.add_dataset(data)
+        for method, params in (
+            ("classify", {"k": 3}),
+            ("margin", {"k": 3}),
+            ("minimum_sr", {"k": 1, "solver": "sat"}),
+        ):
+            expected = single.explain(fingerprint, method, queries, params)
+            actual = cluster.explain(fingerprint, method, queries, params)
+            assert [a["result"] for a in actual] == [e["result"] for e in expected]
+
+
+def test_serve_scaleout_workload_is_deterministic():
+    """Same seed, same schedule — the parity phase's precondition."""
+    from repro.serve import LoadSpec, build_workload
+
+    fingerprints = ["f" * 64, "0" * 64]
+    spec = LoadSpec(requests=20, seed=7)
+    first = build_workload(fingerprints, 6, spec)
+    second = build_workload(fingerprints, 6, spec)
+    assert [i.arrival_s for i in first] == [i.arrival_s for i in second]
+    assert [i.method for i in first] == [i.method for i in second]
+    assert [i.fingerprint for i in first] == [i.fingerprint for i in second]
+    for a, b in zip(first, second):
+        np.testing.assert_array_equal(a.instance, b.instance)
+
+
+if __name__ == "__main__":
+    import sys
+
+    stats = gated_speedup()
+    _write_job_summary(stats)
+    throughput_note = (
+        "gated" if _throughput_gated(stats)
+        else f"informational on {stats['cpus']} cpu(s)"
+    )
+    print(
+        f"Serve scale-out on {stats['queries']} mixed open-loop requests "
+        f"({stats['workers']} workers x {stats['replicas']} replicas, "
+        f"hamming, dim {stats['dim']}):\n"
+        f"  classify p99 single  : {stats['single_p99_ms']:9.1f} ms\n"
+        f"  classify p99 cluster : {stats['cluster_p99_ms']:9.1f} ms\n"
+        f"  p99 ratio            : {stats['p99_ratio']:9.1f}x "
+        f"(gated {stats['speedup']:.1f}x, best of {stats['attempts']} attempt(s))\n"
+        f"  bulk solve throughput: {stats['throughput_ratio']:9.1f}x "
+        f"({throughput_note})"
+    )
+    if stats["speedup"] < MIN_SPEEDUP:
+        sys.exit(
+            f"FAIL: p99 ratio {stats['p99_ratio']:.1f}x is below the "
+            f"{MIN_SPEEDUP:.0f}x acceptance gate after {stats['attempts']} attempts"
+        )
+    if _throughput_gated(stats) and stats["throughput_ratio"] < MIN_SPEEDUP:
+        sys.exit(
+            f"FAIL: throughput ratio {stats['throughput_ratio']:.1f}x is below "
+            f"the {MIN_SPEEDUP:.0f}x CI-scale gate on {stats['cpus']} cpus"
+        )

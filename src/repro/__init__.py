@@ -37,10 +37,12 @@ from __future__ import annotations
 from .exceptions import (
     DimensionMismatchError,
     InfeasibleError,
+    OverloadedError,
     ReproError,
     ResourceLimitError,
     SolverError,
     UnboundedError,
+    UnknownDatasetError,
     UnsupportedSettingError,
     ValidationError,
 )
@@ -80,6 +82,7 @@ from .portfolio import (
     portfolio_minimum_sufficient_reason,
 )
 from .serve import (
+    ClusterService,
     ExplanationRequest,
     ExplanationResponse,
     ExplanationService,
@@ -114,6 +117,7 @@ __all__ = [
     "portfolio_minimum_sufficient_reason",
     "portfolio_closest_counterfactual",
     # serving layer
+    "ClusterService",
     "ExplanationRequest",
     "ExplanationResponse",
     "ExplanationService",
@@ -131,7 +135,9 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "DimensionMismatchError",
+    "UnknownDatasetError",
     "UnsupportedSettingError",
+    "OverloadedError",
     "SolverError",
     "InfeasibleError",
     "UnboundedError",

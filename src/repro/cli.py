@@ -204,17 +204,48 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    """Run the explanation service until interrupted (``repro serve``)."""
-    from .serve import ExplanationService, serve_http
+def _build_serve_service(args):
+    """The serving target the ``serve`` flags describe.
 
-    service = ExplanationService(
+    ``--workers 1`` (the default) builds exactly the single-process
+    :class:`~repro.serve.ExplanationService` this command always built —
+    bit-identical behavior, regression-tested — while ``--workers N``
+    (N > 1) builds a sharded
+    :class:`~repro.serve.ClusterService` with ``--replicas`` read
+    replicas per dataset lineage and ``--queue-depth`` admission bounds
+    per worker.
+    """
+    from .serve import ClusterService, ExplanationService
+
+    if args.workers <= 1:
+        return ExplanationService(
+            backend=args.backend,
+            cache_size=args.cache_size,
+            cache_dir=args.cache_dir,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1000.0,
+        )
+    return ClusterService(
+        workers=args.workers,
+        replicas=args.replicas,
+        queue_depth=args.queue_depth,
         backend=args.backend,
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
         max_batch=args.max_batch,
-        max_wait_s=args.max_wait_ms / 1000.0,
     )
+
+
+def _cmd_serve(args) -> int:
+    """Run the explanation service until interrupted (``repro serve``)."""
+    from .serve import serve_http
+
+    service = _build_serve_service(args)
+    if args.workers > 1:
+        print(
+            f"cluster topology: {args.workers} workers, "
+            f"{args.replicas} replicas/dataset, queue depth {args.queue_depth}"
+        )
     if args.demo_size:
         rng = np.random.default_rng(args.seed)
         data = random_boolean_dataset(rng, args.demo_dimension, args.demo_size)
@@ -223,7 +254,10 @@ def _cmd_serve(args) -> int:
         print(f"  fingerprint: {fingerprint}")
     server = serve_http(service, host=args.host, port=args.port)
     print(f"serving explanations on http://{args.host}:{server.port}")
-    print("  POST /v1/datasets | POST /v1/explain | GET /v1/stats | GET /healthz")
+    print(
+        "  POST /v2/datasets | POST /v2/explain | GET /v2/stats "
+        "| GET /v2/cluster | GET /healthz (v1 aliases kept)"
+    )
     if args.demo_size:
         instance = ", ".join(
             str(int(v)) for v in rng.integers(0, 2, size=args.demo_dimension)
@@ -351,7 +385,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--max-wait-ms", type=float, default=2.0,
         help="batching window: how long concurrent requests accumulate "
-             "before a flush (default 2 ms)",
+             "before a flush (default 2 ms; single-process mode only)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes sharding dataset lineages by fingerprint "
+             "(default 1: the classic single-process service, unchanged)",
+    )
+    serve_p.add_argument(
+        "--replicas", type=int, default=1,
+        help="read replicas per dataset lineage when --workers > 1 "
+             "(clamped to the worker count)",
+    )
+    serve_p.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admitted-but-unanswered requests each worker holds before "
+             "shedding load with HTTP 429 (requires --workers > 1)",
     )
     serve_p.add_argument(
         "--demo-size", type=int, default=0, metavar="N",

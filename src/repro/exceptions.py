@@ -19,6 +19,26 @@ class ValidationError(ReproError, ValueError):
     """An input (dataset, vector, index set, parameter) is malformed."""
 
 
+class UnknownDatasetError(ValidationError):
+    """A request names a dataset fingerprint the service has never seen.
+
+    A distinct subclass so the serving layer can map "you asked about a
+    resource that does not exist" to HTTP 404 while every other
+    malformed-input case stays a 400 — catching
+    :class:`ValidationError` still catches this.
+    """
+
+
+class OverloadedError(ReproError):
+    """The serving cluster refused admission; retry after backing off.
+
+    Raised by the cluster front when a worker's bounded request queue is
+    full: overload is reported *immediately and structurally* (HTTP 429
+    on the wire) instead of letting requests pile up behind a saturated
+    worker until everything times out.
+    """
+
+
 class DimensionMismatchError(ValidationError):
     """Vectors or datasets have incompatible dimensions."""
 

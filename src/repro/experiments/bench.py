@@ -29,7 +29,15 @@ tracks over time — and serializes them as ``BENCH_*.json``:
   asserted bit-identical first) — the fifth gated headline, introduced
   with the IVF backend.  CI runs it at a scaled-down ``train`` (the
   default below); the nightly job passes ``--train 1000000`` for the
-  full million-point measurement.
+  full million-point measurement;
+* ``serve_scaleout`` — the sharded multi-process
+  :class:`~repro.serve.ClusterService` against the single-process
+  service under the same deterministic open-loop mixed workload
+  (classify + SAT solves), payloads asserted bit-identical request for
+  request before timing — the sixth gated headline, introduced with
+  the cluster front.  The gated number is the **classify-class p99
+  latency ratio** (head-of-line blocking is what sharding removes;
+  see :func:`measure_serve_scaleout` for why it is clamped).
 
 Speedup *ratios* (not wall-clock seconds) are what the gate compares:
 ratios are stable across runner hardware, absolute times are not.  Each
@@ -63,6 +71,7 @@ GATED_HEADLINES = (
     "serve_throughput",
     "streaming_updates",
     "million_point",
+    "serve_scaleout",
 )
 
 #: the primary gated workload (legacy alias).
@@ -448,12 +457,188 @@ def measure_million_point(
     }
 
 
+#: clamp applied to the recorded ``serve_scaleout`` speedup.  The raw
+#: tail-latency ratio is heavy-tailed by nature — the numerator is "how
+#: long a classify waited behind a SAT solve" (a solver duration, often
+#: 100+ ms) and the denominator is scheduler noise (single-digit ms) —
+#: so raw ratios of 10-60x are routine and machine-dependent.  Clamping
+#: what the cross-machine regression gate compares keeps a 25% tolerance
+#: meaningful; the unclamped ratio is recorded alongside as
+#: ``p99_ratio``.
+SCALEOUT_SPEEDUP_CLAMP = 8.0
+
+#: cluster topology of the ``serve_scaleout`` contest.
+SCALEOUT_WORKERS = 3
+SCALEOUT_REPLICAS = 3
+
+
+def measure_serve_scaleout(seed: int = 20250601, repeats: int = 3) -> dict:
+    """Gated headline: the sharded cluster vs single-process tail latency.
+
+    Both contestants serve the *same* deterministic open-loop workload
+    (:func:`~repro.serve.build_workload`): ~96% single-instance
+    ``classify`` traffic mixed with ``minimum_sr`` (SAT) and
+    ``counterfactual`` (hamming-SAT) solves over four discrete dataset
+    lineages, result caches disabled on both sides.  Before any timing,
+    every request of the schedule is answered sequentially by both
+    targets and the payloads are asserted bit-identical — the cluster
+    must be a pure topology change, never an answer change.
+
+    The gated ``"speedup"`` is the classify-class **p99 latency ratio**
+    (clamped to :data:`SCALEOUT_SPEEDUP_CLAMP`): in one process a cheap
+    classify stalls behind a multi-hundred-millisecond pure-Python SAT
+    solve holding its lineage's engine lock (and the GIL), while the
+    cluster's read replicas let it run in a different worker process.
+    Aggregate throughput is measured separately as a saturating bulk of
+    concurrent SAT solves (``throughput_ratio``); it tracks available
+    cores, so the in-repo gate pins tail latency and the CI-scale
+    acceptance script (``benchmarks/bench_serve_scaleout.py``)
+    additionally gates throughput where enough cores exist.
+
+    A run with any overloaded, errored, or malformed answer on either
+    side fails outright — the contest is only valid when both targets
+    answered everything.
+    """
+    import os
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..serve import (
+        ClusterService,
+        ExplanationService,
+        LoadSpec,
+        build_workload,
+        run_load,
+    )
+
+    rng = np.random.default_rng(seed)
+    n_lineages, dim, points_per_label = 4, 10, 20
+    lineages = []
+    for _ in range(n_lineages):
+        pos = rng.integers(0, 2, size=(points_per_label, dim)).astype(float)
+        neg = rng.integers(0, 2, size=(points_per_label, dim)).astype(float)
+        lineages.append(Dataset(pos, neg, discrete=True))
+    spec = LoadSpec(
+        rate=60.0,
+        requests=400,
+        classify_weight=0.96,
+        minimum_sr_weight=0.025,
+        counterfactual_weight=0.015,
+        seed=seed,
+    )
+
+    single = ExplanationService(cache_size=0)
+    cluster = ClusterService(
+        workers=SCALEOUT_WORKERS,
+        replicas=SCALEOUT_REPLICAS,
+        queue_depth=256,
+        cache_size=0,
+        max_batch=8,
+    )
+    try:
+        fingerprints = [single.add_dataset(data) for data in lineages]
+        for data in lineages:
+            cluster.add_dataset(data)
+        # Warm every engine on both sides (and every cluster replica —
+        # the 24-instance batch scatters across workers) so the timed
+        # phase never measures index construction.
+        warm = [rng.integers(0, 2, size=dim).astype(float) for _ in range(24)]
+        for fingerprint in fingerprints:
+            single.explain(fingerprint, "classify", warm, {"k": 3})
+            cluster.explain(fingerprint, "classify", warm, {"k": 3})
+
+        # Phase 1 — parity: the full schedule, request by request, must
+        # produce bit-identical payloads (explicit raise: survives -O).
+        for item in build_workload(fingerprints, dim, spec):
+            args = (item.fingerprint, item.method, [item.instance], item.params)
+            single_payload = single.explain(*args)[0]["result"]
+            cluster_payload = cluster.explain(*args)[0]["result"]
+            if single_payload != cluster_payload:
+                raise AssertionError(
+                    f"cluster and single-process answers diverged for "
+                    f"{item.method}: {cluster_payload} vs {single_payload}"
+                )
+
+        # Phase 2 — open-loop latency, best ratio over `repeats` paired
+        # runs (same schedule; both sides warm).
+        best: dict | None = None
+        for _ in range(max(1, repeats)):
+            report_single = run_load(single, fingerprints, dim, spec)
+            report_cluster = run_load(cluster, fingerprints, dim, spec)
+            for side, report in (("single", report_single), ("cluster", report_cluster)):
+                bad = report.overloaded + report.errors + report.malformed
+                if bad:  # explicit: survives python -O
+                    raise AssertionError(
+                        f"{side} run produced {bad} non-ok answers "
+                        f"(overloaded={report.overloaded}, errors={report.errors}, "
+                        f"malformed={report.malformed})"
+                    )
+            ratio = (
+                report_single.latency_ms["batch"]["p99"]
+                / report_cluster.latency_ms["batch"]["p99"]
+            )
+            if best is None or ratio > best["p99_ratio"]:
+                best = {
+                    "p99_ratio": ratio,
+                    "single_p99_ms": report_single.latency_ms["batch"]["p99"],
+                    "cluster_p99_ms": report_cluster.latency_ms["batch"]["p99"],
+                    "single_p50_ms": report_single.latency_ms["batch"]["p50"],
+                    "cluster_p50_ms": report_cluster.latency_ms["batch"]["p50"],
+                    "single_rps": report_single.throughput_rps,
+                    "cluster_rps": report_cluster.throughput_rps,
+                }
+
+        # Phase 3 — saturating aggregate throughput: a bulk of concurrent
+        # SAT solves.  Tracks available cores (ratio ~1 on one core),
+        # recorded for the CI-scale gate, not gated here.
+        bulk = [
+            (fingerprints[i % n_lineages],
+             rng.integers(0, 2, size=dim).astype(float))
+            for i in range(12)
+        ]
+
+        def drain(target) -> float:
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [
+                    pool.submit(
+                        target.explain, fingerprint, "minimum_sr", [x],
+                        {"k": 1, "solver": "sat"},
+                    )
+                    for fingerprint, x in bulk
+                ]
+                for future in futures:
+                    future.result()
+            return time.perf_counter() - start
+
+        single_bulk_s = drain(single)
+        cluster_bulk_s = drain(cluster)
+    finally:
+        cluster.close()
+
+    return {
+        "speedup": min(best["p99_ratio"], SCALEOUT_SPEEDUP_CLAMP),
+        **best,
+        "throughput_ratio": single_bulk_s / cluster_bulk_s,
+        "single_bulk_s": single_bulk_s,
+        "cluster_bulk_s": cluster_bulk_s,
+        "workers": SCALEOUT_WORKERS,
+        "replicas": SCALEOUT_REPLICAS,
+        "cpus": os.cpu_count(),
+        "queries": spec.requests,
+        "train": 2 * points_per_label,
+        "dim": dim,
+        "metric": "hamming",
+        "k": 3,
+    }
+
+
 WORKLOADS = {
     "engine_batch": measure_engine_batch,
     "hamming_bitpack": measure_hamming_bitpack,
     "kdtree_lowdim": measure_kdtree_lowdim,
     "msr_incremental": measure_msr_incremental,
     "serve_throughput": measure_serve_throughput,
+    "serve_scaleout": measure_serve_scaleout,
     "streaming_updates": measure_streaming_updates,
     "million_point": measure_million_point,
 }

@@ -1,4 +1,4 @@
-"""``repro.serve`` — the batched, cached explanation serving layer.
+"""``repro.serve`` — the batched, cached, sharded explanation serving layer.
 
 Where the rest of the library is one-shot ("build an engine, answer a
 question, exit"), this package is the long-lived process the ROADMAP's
@@ -10,21 +10,36 @@ scaling north star calls for:
   vectorized paths, and memoizes every answer in a
   :class:`ResultCache` keyed by
   ``(dataset fingerprint, instance bytes, method, params)``;
+* :class:`ClusterService` scales that out horizontally: dataset
+  lineages are sharded over worker processes by content fingerprint,
+  hot lineages get read replicas, and bounded per-worker queues shed
+  overload as structured :class:`OverloadedError` (HTTP 429) instead
+  of stalling — see :mod:`repro.serve.cluster`;
 * :func:`serve_http` / :class:`~repro.serve.http.ExplanationHTTPServer`
-  expose the service over a stdlib-only JSON HTTP endpoint
-  (``repro-knn serve --port``);
-* :func:`dataset_fingerprint` is the content hash that keys both the
-  engine registry and the cache, making dataset-change invalidation
-  exact.
+  expose either target over a stdlib-only JSON HTTP endpoint speaking
+  the ``/v2`` resource scheme (``/v1`` kept as a delegating alias) with
+  one documented error envelope (:mod:`repro.serve.errors`);
+* :func:`run_load` / :class:`LoadSpec` generate deterministic open-loop
+  mixed traffic against either target — the measurement harness behind
+  the ``serve_scaleout`` benchmark headline;
+* :func:`dataset_fingerprint` is the content hash that keys the engine
+  registry, the cache, *and* cluster shard placement, making
+  dataset-change invalidation and routing exact.
 
-See ``docs/architecture.md`` ("how a request flows") and the README's
-"Serving explanations" quickstart.  Throughput of the batched path over
-a sequential per-request loop is the ``serve_throughput`` benchmark
-headline (``benchmarks/bench_serve_throughput.py``, gated ≥ 3× in CI).
+See ``docs/api.md`` for the HTTP surface, ``docs/architecture.md`` for
+the request flow and cluster topology, and the README's "Serving
+explanations" quickstart.  The batched path's throughput is the
+``serve_throughput`` headline and the cluster's tail latency the
+``serve_scaleout`` headline (both gated ≥ 3× in CI).
+
+This module's ``__all__`` is the **frozen public API** of the serving
+layer — ``tests/test_api_surface.py`` asserts it never silently
+shrinks.
 """
 
 from __future__ import annotations
 
+from ..exceptions import OverloadedError, UnknownDatasetError
 from .cache import (
     ResultCache,
     dataset_fingerprint,
@@ -32,7 +47,10 @@ from .cache import (
     split_fingerprint,
     versioned_fingerprint,
 )
+from .cluster import ClusterService
+from .errors import error_envelope, status_for
 from .http import ExplanationHTTPServer, serve_http
+from .loadgen import LoadReport, LoadSpec, build_workload, run_load
 from .service import (
     BATCH_METHODS,
     METHODS,
@@ -46,14 +64,23 @@ __all__ = [
     "BATCH_METHODS",
     "SOLVER_METHODS",
     "METHODS",
+    "ClusterService",
     "ExplanationRequest",
     "ExplanationResponse",
     "ExplanationService",
     "ExplanationHTTPServer",
+    "LoadReport",
+    "LoadSpec",
+    "OverloadedError",
     "ResultCache",
+    "UnknownDatasetError",
+    "build_workload",
     "dataset_fingerprint",
+    "error_envelope",
     "request_key",
+    "run_load",
     "serve_http",
     "split_fingerprint",
+    "status_for",
     "versioned_fingerprint",
 ]

@@ -1,47 +1,65 @@
-"""Stdlib-only HTTP front end for the explanation service.
+"""Stdlib-only HTTP front end for single-process and clustered serving.
 
-``repro-knn serve --port 8000`` (or :func:`serve_http` from code) wraps
-an :class:`~repro.serve.service.ExplanationService` in a
-``ThreadingHTTPServer`` speaking JSON:
+``repro serve --port 8000`` (or :func:`serve_http` from code) wraps an
+:class:`~repro.serve.service.ExplanationService` **or** a
+:class:`~repro.serve.cluster.ClusterService` in a
+``ThreadingHTTPServer`` speaking JSON.  The ``/v2`` resource scheme is
+the primary surface; every ``/v1`` route delegates to the *same*
+handler, so existing clients keep working unchanged:
 
-==============  ============================  ================================
-method          path                          body / response
-==============  ============================  ================================
-GET             ``/healthz``                  ``{"status": "ok", "datasets":
-                                              N}``
-GET             ``/v1/stats``                 service counters + cache stats
-POST            ``/v1/datasets``              ``{"positives": [[...]],
-                                              "negatives": [[...]],
-                                              "discrete": bool, ...}`` →
-                                              ``{"fingerprint": ...,
-                                              "dimension": n}``
-POST            ``/v1/datasets/<fp>/points``  ``{"points": [[...]],
-                                              "labels": [...],
-                                              "multiplicities": [...]}`` →
-                                              streaming insert; returns the
-                                              new ``<fp>@vN`` fingerprint
-DELETE          ``/v1/datasets/<fp>/points``  same body → streaming removal
-DELETE          ``/v1/datasets/<fp>``         drop dataset + invalidate its
-                                              cache (``<fp>@vN`` of a
-                                              superseded version sweeps just
-                                              that version's entries)
-POST            ``/v1/explain``               ``{"fingerprint", "method",
-                                              "instance" | "instances",
-                                              "params"}`` → answer(s)
-==============  ============================  ================================
+==============  ==============================  ==============================
+method          path                            body / response
+==============  ==============================  ==============================
+GET             ``/healthz``                    ``{"status": "ok",
+                                                "datasets": N}``
+GET             ``/v2/stats``                   service counters + cache stats
+GET             ``/v2/cluster``                 topology: workers, replicas,
+                                                placement, queue depths
+POST            ``/v2/datasets``                ``{"positives", "negatives",
+                                                "discrete", ...}`` →
+                                                ``{"fingerprint", ...}``
+GET             ``/v2/datasets/<fp>``           current metadata: versioned
+                                                fingerprint, shape, counts
+DELETE          ``/v2/datasets/<fp>``           drop dataset + invalidate its
+                                                cache (a superseded
+                                                ``<fp>@vN`` sweeps just that
+                                                version's entries)
+POST            ``/v2/datasets/<fp>/points``    ``{"points", "labels",
+                                                "multiplicities"}`` →
+                                                streaming insert; returns the
+                                                new ``<fp>@vN`` fingerprint
+DELETE          ``/v2/datasets/<fp>/points``    same body → streaming removal
+POST            ``/v2/explain``                 one envelope for single and
+                                                batch: ``{"fingerprint",
+                                                "method", "params",
+                                                "instances"}`` →
+                                                ``{"results": [...]}``
+==============  ==============================  ==============================
 
-Fingerprints in paths may be bare (the stable content hash of the
-dataset at registration — always addresses the *current* version) or
-versioned (``<fp>@vN``); both forms are validated strictly before they
-can reach the cache's disk sweep.
+``/v1`` differences (kept for one release): ``POST /v1/explain`` also
+accepts a scalar ``"instance"`` and then answers with a flat
+``{"result", "cached", "elapsed_ms"}`` instead of the ``"results"``
+list.
 
-Each HTTP request is handled on its own thread, but every explanation
-funnels through **one** asyncio loop (a daemon thread) running the
-service's micro-batching queue — so concurrent HTTP clients asking
-compatible questions share vectorized engine calls, exactly like
-in-process :meth:`~repro.serve.service.ExplanationService.asubmit`
-callers.  Non-finite floats are encoded as the strings ``"Infinity"`` /
-``"-Infinity"`` / ``"NaN"`` so the wire format stays strict JSON.
+**Errors** are one envelope everywhere — ``{"error": {"type",
+"message", "detail"}}`` plus the deprecated flat compat fields — with
+the status mapping documented in :mod:`repro.serve.errors`
+(``OverloadedError`` → 429, ``UnknownDatasetError`` → 404, validation →
+400, other library errors → 422, internal → 500).  Error replies carry
+a ``Deprecation`` header while the compat fields last.
+
+Fingerprints in paths may be bare (always the *current* version) or
+versioned (``<fp>@vN``); both are validated strictly before they can
+reach the cache's disk sweep.
+
+Each HTTP request is handled on its own thread.  With a single-process
+service every explanation funnels through **one** asyncio loop (a
+daemon thread) running the micro-batching queue, so concurrent clients
+share vectorized engine calls; with a cluster the handler threads call
+:meth:`~repro.serve.cluster.ClusterService.explain` directly — the
+scatter/gather front is already thread-safe and the workers do the
+batching.  Non-finite floats are encoded as the strings ``"Infinity"``
+/ ``"-Infinity"`` / ``"NaN"`` so the wire format stays strict JSON.
 """
 
 from __future__ import annotations
@@ -54,9 +72,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
-from ..exceptions import ReproError, ValidationError
+from ..exceptions import ValidationError
 from ..knn import Dataset
-from .service import ExplanationService
+from .errors import DEPRECATION_HEADER, error_envelope, error_payload, status_for
 
 #: largest accepted request body (16 MiB) — a serving process should not
 #: be OOM-able by one oversized POST.
@@ -66,6 +84,9 @@ MAX_BODY_BYTES = 16 << 20
 #: Anything else is rejected before it can reach the cache's disk sweep
 #: (no wildcard deletion via the URL), without loosening the hex check.
 _FINGERPRINT_RE = re.compile(r"^[0-9a-f]{64}(@v[0-9]+)?$")
+
+#: path versions sharing one handler table (the whole point of /v2).
+_API_VERSIONS = ("v1", "v2")
 
 
 def jsonable(obj):
@@ -96,26 +117,34 @@ def jsonable(obj):
     return obj
 
 
-class ExplanationHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one service and one asyncio loop.
+class _NotFound(ValidationError):
+    """Internal marker for an unroutable path (mapped to a plain 404)."""
 
-    ``port=0`` binds an ephemeral port; read the actual one from
-    :attr:`port`.  :meth:`shutdown` stops both the HTTP threads and the
-    batching loop.
+
+class ExplanationHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one serving target.
+
+    The target is an :class:`ExplanationService` (micro-batched through
+    one asyncio loop) or a
+    :class:`~repro.serve.cluster.ClusterService` (scatter/gather,
+    called directly).  ``port=0`` binds an ephemeral port; read the
+    actual one from :attr:`port`.  :meth:`shutdown` stops the HTTP
+    threads, the batching loop, and closes the target.
     """
 
     daemon_threads = True
 
-    def __init__(
-        self, service: ExplanationService, host: str = "127.0.0.1", port: int = 8000
-    ):
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 8000):
         super().__init__((host, port), _Handler)
         self.service = service
-        self.loop = asyncio.new_event_loop()
-        self._loop_thread = threading.Thread(
-            target=self.loop.run_forever, name="repro-serve-loop", daemon=True
-        )
-        self._loop_thread.start()
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        if hasattr(service, "asubmit"):  # single-process: shared batching loop
+            self.loop = asyncio.new_event_loop()
+            self._loop_thread = threading.Thread(
+                target=self.loop.run_forever, name="repro-serve-loop", daemon=True
+            )
+            self._loop_thread.start()
 
     @property
     def port(self) -> int:
@@ -123,20 +152,42 @@ class ExplanationHTTPServer(ThreadingHTTPServer):
         return self.server_address[1]
 
     def shutdown(self) -> None:
-        """Stop serving HTTP and wind down the batching loop."""
+        """Stop serving HTTP, wind down the batching loop, close the target."""
         super().shutdown()
-        self.loop.call_soon_threadsafe(self.loop.stop)
-        self._loop_thread.join(timeout=5)
+        if self.loop is not None:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self._loop_thread.join(timeout=5)
+        close = getattr(self.service, "close", None)
+        if close is not None:
+            close()
 
-    def explain(self, calls: list[dict]):
-        """Run a list of asubmit kwargs through the shared batching loop."""
+    def explain(self, fingerprint: str, method: str, instances, params) -> list[dict]:
+        """Serve one homogeneous batch; returns wire-ready result dicts.
+
+        Single-process targets go through the shared asyncio
+        micro-batching loop (concurrent HTTP clients share kernel
+        calls); clusters are called directly on the handler thread.
+        """
+        if self.loop is None:
+            return self.service.explain(fingerprint, method, instances, params)
 
         async def gather():
             return await asyncio.gather(
-                *(self.service.asubmit(**call) for call in calls)
+                *(
+                    self.service.asubmit(fingerprint, method, instance, **params)
+                    for instance in instances
+                )
             )
 
-        return asyncio.run_coroutine_threadsafe(gather(), self.loop).result()
+        responses = asyncio.run_coroutine_threadsafe(gather(), self.loop).result()
+        return [
+            {
+                "result": response.payload,
+                "cached": response.cached,
+                "elapsed_ms": response.elapsed_s * 1000.0,
+            }
+            for response in responses
+        ]
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -148,71 +199,63 @@ class _Handler(BaseHTTPRequestHandler):
     # -- verbs -----------------------------------------------------------
 
     def do_GET(self) -> None:
-        """``/healthz`` and ``/v1/stats``."""
-        service = self.server.service
-        if self.path == "/healthz":
-            self._reply(
-                200, {"status": "ok", "datasets": len(service.fingerprints())}
-            )
-        elif self.path == "/v1/stats":
-            self._reply(200, service.stats())
-        else:
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
+        """Route a GET through the shared version-agnostic handler table."""
+        self._handle("GET")
 
     def do_POST(self) -> None:
-        """``/v1/datasets`` (register), ``.../points`` (insert), ``/v1/explain``."""
-        try:
-            body = self._read_json()
-            fingerprint = self._points_path()
-            if self.path == "/v1/datasets":
-                self._reply(200, self._register_dataset(body))
-            elif fingerprint is not None:
-                self._reply(200, self._mutate_dataset(fingerprint, body, add=True))
-            elif self.path == "/v1/explain":
-                self._reply(200, self._explain(body))
-            else:
-                self._reply(404, {"error": f"unknown path {self.path!r}"})
-        except (ValidationError, ValueError, KeyError, TypeError) as exc:
-            self._reply(400, {"error": str(exc) or exc.__class__.__name__})
-        except ReproError as exc:
-            self._reply(422, {"error": str(exc)})
+        """Route a POST through the shared version-agnostic handler table."""
+        self._handle("POST")
 
     def do_DELETE(self) -> None:
-        """``/v1/datasets/<fp>`` (drop) and ``/v1/datasets/<fp>/points``."""
-        prefix = "/v1/datasets/"
-        if not self.path.startswith(prefix):
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
-            return
+        """Route a DELETE through the shared version-agnostic handler table."""
+        self._handle("DELETE")
+
+    def _handle(self, verb: str) -> None:
+        """Dispatch one request and map any exception to the error surface."""
         try:
-            fingerprint = self._points_path()
-            if fingerprint is not None:
-                body = self._read_json()
-                self._reply(200, self._mutate_dataset(fingerprint, body, add=False))
-                return
-            fingerprint = self._checked_fingerprint(self.path[len(prefix) :])
-            removed = self.server.service.remove_dataset(fingerprint)
-            self._reply(200, {"fingerprint": fingerprint, "invalidated": removed})
-        except (ValidationError, ValueError, KeyError, TypeError) as exc:
-            self._reply(400, {"error": str(exc) or exc.__class__.__name__})
-        except ReproError as exc:
-            self._reply(422, {"error": str(exc)})
+            segments = [part for part in self.path.split("/") if part]
+            self._reply(200, self._route(verb, segments))
+        except _NotFound:
+            self._reply_error(
+                _NotFound(f"unknown path {self.path!r}"), status=404
+            )
+        except Exception as exc:
+            self._reply_error(exc)
+
+    def _route(self, verb: str, segments: list[str]) -> dict:
+        """The one handler table shared by ``/v1`` and ``/v2``."""
+        if segments == ["healthz"] and verb == "GET":
+            return {
+                "status": "ok",
+                "datasets": len(self.server.service.fingerprints()),
+            }
+        if not segments or segments[0] not in _API_VERSIONS:
+            raise _NotFound()
+        version, rest = segments[0], segments[1:]
+        if rest == ["stats"] and verb == "GET":
+            return self.server.service.stats()
+        if rest == ["cluster"] and verb == "GET":
+            return self._cluster_info()
+        if rest == ["explain"] and verb == "POST":
+            return self._explain(self._read_json(), version)
+        if rest == ["datasets"] and verb == "POST":
+            return self._register_dataset(self._read_json())
+        if len(rest) == 2 and rest[0] == "datasets":
+            fingerprint = self._checked_fingerprint(rest[1])
+            if verb == "GET":
+                return self.server.service.describe(fingerprint)
+            if verb == "DELETE":
+                removed = self.server.service.remove_dataset(fingerprint)
+                return {"fingerprint": fingerprint, "invalidated": removed}
+        if len(rest) == 3 and rest[0] == "datasets" and rest[2] == "points":
+            fingerprint = self._checked_fingerprint(rest[1])
+            if verb in ("POST", "DELETE"):
+                return self._mutate_dataset(
+                    fingerprint, self._read_json(), add=verb == "POST"
+                )
+        raise _NotFound()
 
     # -- endpoint bodies --------------------------------------------------
-
-    def _points_path(self) -> str | None:
-        """The validated fingerprint of a ``/v1/datasets/<fp>/points`` path.
-
-        ``None`` when the path has a different shape; raises
-        :class:`~repro.exceptions.ValidationError` on a malformed
-        fingerprint between the markers.
-        """
-        prefix, suffix = "/v1/datasets/", "/points"
-        if not (self.path.startswith(prefix) and self.path.endswith(suffix)):
-            return None
-        middle = self.path[len(prefix) : -len(suffix)]
-        if not middle:
-            return None
-        return self._checked_fingerprint(middle)
 
     @staticmethod
     def _checked_fingerprint(fingerprint: str) -> str:
@@ -222,6 +265,13 @@ class _Handler(BaseHTTPRequestHandler):
                 "malformed fingerprint (want 64 hex chars, optionally @v<N>)"
             )
         return fingerprint
+
+    def _cluster_info(self) -> dict:
+        """``/v2/cluster``: topology of a cluster, or the 1-process shape."""
+        info = getattr(self.server.service, "cluster_info", None)
+        if info is None:
+            return {"mode": "single-process", "workers": 1, "replicas": 1}
+        return {"mode": "cluster", **info()}
 
     def _mutate_dataset(self, fingerprint: str, body: dict, *, add: bool) -> dict:
         """Apply one streaming insert/remove batch to a registered dataset."""
@@ -254,39 +304,31 @@ class _Handler(BaseHTTPRequestHandler):
             "n_negative": data.n_negative,
         }
 
-    def _explain(self, body: dict) -> dict:
-        """Answer one instance or a batch through the shared asyncio loop."""
+    def _explain(self, body: dict, version: str) -> dict:
+        """One request envelope for single and batch explanation calls.
+
+        ``/v2`` takes exactly ``{"fingerprint", "method", "params",
+        "instances"}`` and always answers ``{"results": [...]}``;
+        ``/v1`` additionally accepts a scalar ``"instance"`` and then
+        answers with the flat single-result shape, unchanged.
+        """
         fingerprint = body["fingerprint"]
         method = body["method"]
         params = body.get("params", {})
         if not isinstance(params, dict):
             raise ValidationError("params must be a JSON object")
+        single = False
         if "instances" in body:
             instances = body["instances"]
-            single = False
-        elif "instance" in body:
+            if not isinstance(instances, list):
+                raise ValidationError("'instances' must be a list of vectors")
+        elif version == "v1" and "instance" in body:
             instances = [body["instance"]]
             single = True
         else:
-            raise ValidationError("body needs 'instance' or 'instances'")
-        calls = [
-            {
-                "fingerprint": fingerprint,
-                "method": method,
-                "instance": instance,
-                **params,
-            }
-            for instance in instances
-        ]
-        responses = self.server.explain(calls)
-        results = [
-            {
-                "result": response.payload,
-                "cached": response.cached,
-                "elapsed_ms": response.elapsed_s * 1000.0,
-            }
-            for response in responses
-        ]
+            needed = "'instances'" if version == "v2" else "'instance' or 'instances'"
+            raise ValidationError(f"body needs {needed}")
+        results = self.server.explain(fingerprint, method, instances, params)
         return results[0] if single else {"results": results}
 
     # -- plumbing ---------------------------------------------------------
@@ -304,12 +346,29 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValidationError("request body must be a JSON object")
         return body
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply_error(self, exc: BaseException, status: int | None = None) -> None:
+        """Render *exc* through the unified envelope + status mapping."""
+        status = status_for(exc) if status is None else status
+        if status == 500:
+            # Never leak arbitrary exception class names for unexpected
+            # failures; the documented type for these is "InternalError".
+            payload = error_envelope(
+                "InternalError", str(exc) or exc.__class__.__name__
+            )
+        else:
+            payload = error_payload(exc)
+        self._reply(status, payload, deprecated=True)
+
+    def _reply(self, status: int, payload: dict, *, deprecated: bool = False) -> None:
         """Serialize *payload* as JSON and finish the response."""
         blob = json.dumps(jsonable(payload)).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(blob)))
+        if deprecated:
+            # Error bodies still carry the pre-v2 flat compat fields for
+            # one release; the header is the machine-readable notice.
+            self.send_header(*DEPRECATION_HEADER)
         self.end_headers()
         self.wfile.write(blob)
 
@@ -317,12 +376,12 @@ class _Handler(BaseHTTPRequestHandler):
         """Silence per-request stderr logging (stats live at /v1/stats)."""
 
 
-def serve_http(
-    service: ExplanationService, *, host: str = "127.0.0.1", port: int = 8000
-) -> ExplanationHTTPServer:
+def serve_http(service, *, host: str = "127.0.0.1", port: int = 8000):
     """Bind an :class:`ExplanationHTTPServer`; call ``serve_forever()`` on it.
 
-    Returned unstarted so callers (tests, the CLI) control the serving
-    thread; ``server.port`` holds the bound port when ``port=0``.
+    *service* may be a single-process :class:`ExplanationService` or a
+    :class:`~repro.serve.cluster.ClusterService`.  Returned unstarted so
+    callers (tests, the CLI) control the serving thread; ``server.port``
+    holds the bound port when ``port=0``.
     """
     return ExplanationHTTPServer(service, host=host, port=port)

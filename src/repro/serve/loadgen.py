@@ -1,0 +1,273 @@
+"""Open-loop load generation against a serving target (single or cluster).
+
+The harness models "many users" the way serving papers do: arrivals are
+an **open-loop** Poisson process (exponential interarrivals at a fixed
+rate), so a slow server does not slow the offered load down — queueing
+delay shows up in the measured latency instead of being hidden by a
+closed loop that politely waits.  Traffic is a deterministic mix of
+cheap batchable ``classify`` calls and expensive ``minimum_sr`` /
+``counterfactual`` solves (the head-of-line blockers), optionally with
+background **mutation noise** exercising the ``<fp>@vN``
+version-bump/invalidation path while queries are in flight.
+
+Everything is seeded: :func:`build_workload` produces the identical
+request schedule for the same :class:`LoadSpec`, which is what lets the
+``serve_scaleout`` benchmark assert bit-parity between a single-process
+reference and the cluster on the *same* requests before timing either.
+
+The *target* is duck-typed — anything with the
+:meth:`~repro.serve.service.ExplanationService.explain` /
+``add_points`` / ``remove_points`` / ``stats`` verbs works, so
+:class:`~repro.serve.service.ExplanationService` and
+:class:`~repro.serve.cluster.ClusterService` are driven identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from time import perf_counter, sleep
+
+import numpy as np
+
+from ..exceptions import OverloadedError, ReproError
+
+#: payload key whose presence marks a well-formed answer, per method.
+_ANSWER_KEYS = {
+    "classify": "label",
+    "margin": "margin",
+    "radii": "r_pos",
+    "minimal_sr": "X",
+    "minimum_sr": "X",
+    "counterfactual": "found",
+}
+
+#: methods timed as the cheap batchable class (vs the solver class).
+BATCH_CLASS = ("classify", "margin", "radii")
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Parameters of one deterministic open-loop run.
+
+    ``rate`` is offered requests/second; ``requests`` the total count.
+    The ``*_weight`` fields set the traffic mix (normalized internally).
+    ``mutation_every_s > 0`` starts a background thread that adds and
+    then removes a random point on a rotating dataset at that period —
+    version-bump noise, not measured traffic.  ``concurrency`` bounds
+    the in-flight requests the generator itself will hold open.
+    """
+
+    rate: float = 100.0
+    requests: int = 200
+    classify_weight: float = 0.95
+    minimum_sr_weight: float = 0.03
+    counterfactual_weight: float = 0.02
+    k: int = 3
+    solver_k: int = 1
+    sr_solver: str = "sat"
+    cf_solver: str = "hamming-sat"
+    mutation_every_s: float = 0.0
+    concurrency: int = 32
+    seed: int = 0
+    discrete: bool = True
+
+
+@dataclass(frozen=True)
+class _Item:
+    """One scheduled request of a workload (arrival offset in seconds)."""
+
+    arrival_s: float
+    fingerprint: str
+    method: str
+    instance: np.ndarray
+    params: dict
+
+
+@dataclass
+class LoadReport:
+    """What one :func:`run_load` measured.
+
+    ``latency_ms`` maps ``"all"`` / ``"batch"`` / ``"solver"`` to
+    ``{"p50", "p95", "p99", "mean"}`` dictionaries (milliseconds,
+    measured from each request's *scheduled* arrival, so queueing delay
+    counts).  ``stats_before`` / ``stats_after`` are the target's own
+    counters around the run, for monotonicity checks.
+    """
+
+    requests: int = 0
+    ok: int = 0
+    overloaded: int = 0
+    errors: int = 0
+    malformed: int = 0
+    mutations: int = 0
+    duration_s: float = 0.0
+    throughput_rps: float = 0.0
+    latency_ms: dict = field(default_factory=dict)
+    stats_before: dict = field(default_factory=dict)
+    stats_after: dict = field(default_factory=dict)
+
+
+def build_workload(
+    fingerprints: list[str], dimension: int, spec: LoadSpec
+) -> list[_Item]:
+    """The deterministic request schedule for *spec* (same seed, same list).
+
+    Arrivals are cumulative exponential interarrivals at ``spec.rate``;
+    each request draws a dataset lineage, a method from the weighted
+    mix, and a fresh random instance of the right kind (0/1 vectors
+    when ``spec.discrete``).
+    """
+    rng = np.random.default_rng(spec.seed)
+    weights = np.array(
+        [spec.classify_weight, spec.minimum_sr_weight, spec.counterfactual_weight],
+        dtype=float,
+    )
+    weights /= weights.sum()
+    methods = ("classify", "minimum_sr", "counterfactual")
+    params_by_method = {
+        "classify": {"k": spec.k},
+        "minimum_sr": {"k": spec.solver_k, "solver": spec.sr_solver},
+        "counterfactual": {"k": spec.solver_k, "solver": spec.cf_solver},
+    }
+    arrivals = np.cumsum(rng.exponential(1.0 / spec.rate, size=spec.requests))
+    items = []
+    for arrival in arrivals:
+        method = methods[int(rng.choice(len(methods), p=weights))]
+        fingerprint = fingerprints[int(rng.integers(len(fingerprints)))]
+        if spec.discrete:
+            instance = rng.integers(0, 2, size=dimension).astype(float)
+        else:
+            instance = rng.normal(size=dimension)
+        items.append(
+            _Item(float(arrival), fingerprint, method, instance,
+                  params_by_method[method])
+        )
+    return items
+
+
+def _serve_one(target, item: _Item, t0: float) -> tuple[str, str, float]:
+    """Serve one scheduled request; returns ``(method, status, latency_s)``.
+
+    Latency runs from the request's *scheduled* arrival to completion
+    (open-loop convention), so time spent queueing behind a saturated
+    server is charged to the server.
+    """
+    try:
+        answers = target.explain(item.fingerprint, item.method,
+                                 [item.instance], item.params)
+        payload = answers[0]["result"]
+    except OverloadedError:
+        status = "overloaded"
+    except ReproError:
+        status = "error"
+    except Exception:
+        status = "malformed"
+    else:
+        if not isinstance(payload, dict):
+            status = "malformed"
+        elif "error" in payload:
+            status = "error"
+        elif _ANSWER_KEYS[item.method] not in payload:
+            status = "malformed"
+        else:
+            status = "ok"
+    return item.method, status, (perf_counter() - t0) - item.arrival_s
+
+
+def _mutation_noise(target, fingerprints, dimension, spec, stop, counter):
+    """Background thread body: periodic add+remove of one random point."""
+    rng = np.random.default_rng(spec.seed + 1)
+    index = 0
+    while not stop.wait(spec.mutation_every_s):
+        fingerprint = fingerprints[index % len(fingerprints)]
+        index += 1
+        point = (
+            rng.integers(0, 2, size=dimension).astype(float)
+            if spec.discrete
+            else rng.normal(size=dimension)
+        )
+        try:
+            target.add_points(fingerprint, [point], [True])
+            target.remove_points(fingerprint, [point], [True])
+            counter.append(2)
+        except ReproError:  # e.g. duplicate point; noise is best-effort
+            continue
+
+
+def _percentiles(latencies_s: list[float]) -> dict:
+    """``{"p50","p95","p99","mean"}`` in milliseconds (zeros when empty)."""
+    if not latencies_s:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0}
+    arr = np.asarray(latencies_s) * 1000.0
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "mean": float(arr.mean()),
+    }
+
+
+def run_load(target, fingerprints: list[str], dimension: int,
+             spec: LoadSpec) -> LoadReport:
+    """Drive *target* with the workload of *spec* and measure it.
+
+    Dispatches each scheduled request at its arrival time into a bounded
+    thread pool (open loop up to ``spec.concurrency`` in flight),
+    optionally running the mutation-noise thread, and aggregates
+    statuses, throughput, and per-class latency percentiles into a
+    :class:`LoadReport`.
+    """
+    workload = build_workload(fingerprints, dimension, spec)
+    stats_before = target.stats()
+    stop = threading.Event()
+    mutation_counter: list[int] = []
+    mutator = None
+    if spec.mutation_every_s > 0:
+        mutator = threading.Thread(
+            target=_mutation_noise,
+            args=(target, fingerprints, dimension, spec, stop, mutation_counter),
+            daemon=True,
+        )
+    pool = ThreadPoolExecutor(max_workers=max(1, spec.concurrency))
+    t0 = perf_counter()
+    if mutator is not None:
+        mutator.start()
+    futures = []
+    for item in workload:
+        lag = item.arrival_s - (perf_counter() - t0)
+        if lag > 0:
+            sleep(lag)
+        futures.append(pool.submit(_serve_one, target, item, t0))
+    outcomes = [future.result() for future in futures]
+    duration = perf_counter() - t0
+    stop.set()
+    if mutator is not None:
+        mutator.join(timeout=10.0)
+    pool.shutdown(wait=True)
+    stats_after = target.stats()
+
+    report = LoadReport(
+        requests=len(outcomes),
+        mutations=sum(mutation_counter),
+        duration_s=duration,
+        stats_before=stats_before,
+        stats_after=stats_after,
+    )
+    by_class: dict[str, list[float]] = {"all": [], "batch": [], "solver": []}
+    for method, status, latency in outcomes:
+        if status == "ok":
+            report.ok += 1
+            by_class["all"].append(latency)
+            kind = "batch" if method in BATCH_CLASS else "solver"
+            by_class[kind].append(latency)
+        elif status == "overloaded":
+            report.overloaded += 1
+        elif status == "error":
+            report.errors += 1
+        else:
+            report.malformed += 1
+    report.throughput_rps = report.ok / duration if duration > 0 else 0.0
+    report.latency_ms = {k: _percentiles(v) for k, v in by_class.items()}
+    return report

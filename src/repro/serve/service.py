@@ -53,7 +53,7 @@ from typing import Sequence
 import numpy as np
 
 from .._validation import as_vector, check_odd_k
-from ..exceptions import ReproError, ValidationError
+from ..exceptions import ReproError, UnknownDatasetError, ValidationError
 from ..knn import Dataset, QueryEngine
 from ..metrics import get_metric
 from .cache import (
@@ -63,6 +63,7 @@ from .cache import (
     split_fingerprint,
     versioned_fingerprint,
 )
+from .errors import error_payload
 
 #: methods answered through the engine's vectorized batch paths.
 BATCH_METHODS = ("classify", "margin", "radii")
@@ -193,7 +194,7 @@ class ExplanationService:
         base, version = split_fingerprint(fingerprint)
         with self._lock:
             if base not in self._datasets:
-                raise ValidationError(
+                raise UnknownDatasetError(
                     f"unknown dataset fingerprint {base[:16]!r}...; "
                     "register the dataset first (add_dataset / POST /v1/datasets)"
                 )
@@ -250,7 +251,7 @@ class ExplanationService:
                 snapshot = self._datasets.get(base)
                 engine_keys = sorted(k for k in self._engines if k[0] == base)
             if snapshot is None:  # removed while we waited on the lock
-                raise ValidationError(
+                raise UnknownDatasetError(
                     f"unknown dataset fingerprint {base[:16]!r}...; it was removed"
                 )
             # Validate once, functionally — a bad batch must leave the
@@ -342,6 +343,28 @@ class ExplanationService:
                 versioned_fingerprint(base, self._versions.get(base, 0))
                 for base in self._datasets
             ]
+
+    def describe(self, fingerprint: str) -> dict:
+        """JSON-ready metadata of a registered dataset (``GET /v2/datasets/{fp}``).
+
+        Returns the *current* versioned fingerprint plus shape facts:
+        ``{"fingerprint", "version", "dimension", "n_positive",
+        "n_negative", "discrete"}``.  Raises
+        :class:`~repro.exceptions.UnknownDatasetError` for fingerprints
+        the service has never seen.
+        """
+        base, current = self._resolve(fingerprint)
+        with self._lock:
+            data = self._datasets[base]
+            version = self._versions.get(base, 0)
+        return {
+            "fingerprint": current,
+            "version": version,
+            "dimension": data.dimension,
+            "n_positive": data.n_positive,
+            "n_negative": data.n_negative,
+            "discrete": bool(data.discrete),
+        }
 
     def engine(self, fingerprint: str, metric=None) -> QueryEngine:
         """The warm shared engine for ``(fingerprint, metric)``.
@@ -462,6 +485,34 @@ class ExplanationService:
             [self.make_request(fingerprint, method, instance, **params)]
         )[0]
 
+    def explain(
+        self, fingerprint: str, method: str, instances: Sequence, params: dict | None = None
+    ) -> list[dict]:
+        """Serve a homogeneous instance batch as JSON-ready wire dicts.
+
+        This is the ``/v2/explain`` envelope's programmatic twin — one
+        ``(fingerprint, method, params)`` triple applied to a list of
+        *instances* — and the call surface the cluster front scatters to
+        workers (:class:`~repro.serve.cluster.ClusterService` exposes
+        the same signature).  Validation errors raise; execution
+        failures stay in-band per instance.  Returns one
+        ``{"result", "cached", "elapsed_ms"}`` dict per instance, in
+        order.
+        """
+        params = dict(params or {})
+        requests = [
+            self.make_request(fingerprint, method, instance, **params)
+            for instance in instances
+        ]
+        return [
+            {
+                "result": response.payload,
+                "cached": response.cached,
+                "elapsed_ms": response.elapsed_s * 1000.0,
+            }
+            for response in self.submit_requests(requests)
+        ]
+
     def submit_many(self, requests: Sequence) -> list[ExplanationResponse]:
         """Serve a batch of requests, micro-batching compatible ones.
 
@@ -564,8 +615,7 @@ class ExplanationService:
             except ReproError as exc:
                 # Dataset gone, or k outgrew a shrunken dataset: the whole
                 # group fails in-band (errors are never cached).
-                payload = {"error": str(exc), "error_type": exc.__class__.__name__}
-                return [req.key for req in reqs], [dict(payload) for _ in reqs]
+                return [req.key for req in reqs], [error_payload(exc) for _ in reqs]
             keys = [
                 req.key
                 if req.fingerprint == current
@@ -613,7 +663,7 @@ class ExplanationService:
         try:
             return self._dispatch_solver(fingerprint, method, params, x)
         except ReproError as exc:
-            return {"error": str(exc), "error_type": exc.__class__.__name__}
+            return error_payload(exc)
 
     def _dispatch_solver(
         self, fingerprint: str, method: str, params: dict, x: np.ndarray
@@ -748,6 +798,14 @@ class ExplanationService:
                 },
                 "cache": self.cache.stats(),
             }
+
+    def close(self) -> None:
+        """Release serving resources (a no-op for the in-process service).
+
+        Exists so callers can treat :class:`ExplanationService` and
+        :class:`~repro.serve.cluster.ClusterService` uniformly — the
+        cluster variant tears down its worker processes here.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:

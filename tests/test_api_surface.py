@@ -1,0 +1,66 @@
+"""Freeze of the public serving API surface.
+
+``repro.serve`` is the layer external callers script against, so its
+``__all__`` is a contract: names may be *added* in a PR, but a name
+disappearing (or silently stopping to resolve) is a breaking change
+and must fail loudly here, not in a downstream deployment.
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.serve as serve
+
+#: the v2 surface as frozen by the API-redesign PR.  Grow-only: extend
+#: this set when adding names; removing a name is a breaking change.
+FROZEN_SERVE_SURFACE = frozenset(
+    {
+        "BATCH_METHODS",
+        "SOLVER_METHODS",
+        "METHODS",
+        "ClusterService",
+        "ExplanationRequest",
+        "ExplanationResponse",
+        "ExplanationService",
+        "ExplanationHTTPServer",
+        "LoadReport",
+        "LoadSpec",
+        "OverloadedError",
+        "ResultCache",
+        "UnknownDatasetError",
+        "build_workload",
+        "dataset_fingerprint",
+        "error_envelope",
+        "request_key",
+        "run_load",
+        "serve_http",
+        "split_fingerprint",
+        "status_for",
+        "versioned_fingerprint",
+    }
+)
+
+
+def test_serve_surface_does_not_shrink():
+    missing = FROZEN_SERVE_SURFACE - set(serve.__all__)
+    assert not missing, f"public serve names removed from __all__: {sorted(missing)}"
+
+
+def test_serve_all_names_resolve():
+    for name in serve.__all__:
+        assert getattr(serve, name, None) is not None, f"broken export: {name}"
+
+
+def test_top_level_reexports_serving_entry_points():
+    for name in ("ClusterService", "ExplanationService", "serve_http",
+                 "OverloadedError", "UnknownDatasetError"):
+        assert name in repro.__all__
+        assert getattr(repro, name, None) is not None
+
+
+def test_error_surface_maps_to_documented_statuses():
+    # The status table documented in docs/api.md, spot-checked in code.
+    assert serve.status_for(serve.OverloadedError("x")) == 429
+    assert serve.status_for(serve.UnknownDatasetError("x")) == 404
+    assert serve.status_for(repro.ValidationError("x")) == 400
+    assert serve.status_for(RuntimeError("x")) == 500

@@ -534,7 +534,13 @@ def test_http_error_codes(server, service):
             "fingerprint": service.fp, "method": "nope", "instance": [0] * 8,
         })
     assert err.value.code == 400
-    assert "unknown method" in json.load(err.value)["error"]
+    body = json.load(err.value)
+    assert "unknown method" in body["error"]["message"]
+    assert body["error"]["type"] == "ValidationError"
+    # One-release compat: the flat pre-v2 fields, flagged as deprecated.
+    assert body["error_type"] == "ValidationError"
+    assert "unknown method" in body["error_message"]
+    assert err.value.headers["Deprecation"] is not None
     with pytest.raises(urllib.error.HTTPError) as err:
         _post(url + "/v1/explain", {"fingerprint": service.fp, "method": "classify"})
     assert err.value.code == 400
