@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from .exceptions import (
     DimensionMismatchError,
+    DurabilityError,
     InfeasibleError,
     OverloadedError,
     ReproError,
@@ -135,6 +136,7 @@ __all__ = [
     "ReproError",
     "ValidationError",
     "DimensionMismatchError",
+    "DurabilityError",
     "UnknownDatasetError",
     "UnsupportedSettingError",
     "OverloadedError",

@@ -24,8 +24,11 @@ Subcommands
     start the long-lived explanation service (:mod:`repro.serve`) on a
     stdlib HTTP endpoint: datasets are registered over ``POST
     /v1/datasets``, explanations answered (micro-batched and cached)
-    over ``POST /v1/explain`` — see the README's "Serving explanations"
-    quickstart and ``docs/architecture.md``.
+    over ``POST /v1/explain``; ``--state-dir`` makes every dataset
+    lineage durable (WAL + snapshots, restored on restart) and ``GET
+    /metrics`` exposes Prometheus series — see the README's "Serving
+    explanations" quickstart, ``docs/architecture.md``, and
+    ``docs/operations.md``.
 """
 
 from __future__ import annotations
@@ -217,6 +220,7 @@ def _build_serve_service(args):
     """
     from .serve import ClusterService, ExplanationService
 
+    log_stream = None if args.no_json_logs else sys.stderr
     if args.workers <= 1:
         return ExplanationService(
             backend=args.backend,
@@ -224,6 +228,9 @@ def _build_serve_service(args):
             cache_dir=args.cache_dir,
             max_batch=args.max_batch,
             max_wait_s=args.max_wait_ms / 1000.0,
+            state_dir=args.state_dir,
+            snapshot_every=args.snapshot_every,
+            log_stream=log_stream,
         )
     return ClusterService(
         workers=args.workers,
@@ -233,6 +240,9 @@ def _build_serve_service(args):
         cache_size=args.cache_size,
         cache_dir=args.cache_dir,
         max_batch=args.max_batch,
+        state_dir=args.state_dir,
+        snapshot_every=args.snapshot_every,
+        log_stream=log_stream,
     )
 
 
@@ -246,6 +256,17 @@ def _cmd_serve(args) -> int:
             f"cluster topology: {args.workers} workers, "
             f"{args.replicas} replicas/dataset, queue depth {args.queue_depth}"
         )
+    if args.state_dir:
+        restored = getattr(service, "restored", {}) or {}
+        recovered = sum(
+            1 for info in restored.values() if info.get("recovered", True)
+        )
+        print(
+            f"durable state dir: {args.state_dir} "
+            f"(restored {recovered} dataset lineage(s))"
+        )
+        for base, info in sorted(restored.items()):
+            print(f"  {base}... -> v{info['version']}")
     if args.demo_size:
         rng = np.random.default_rng(args.seed)
         data = random_boolean_dataset(rng, args.demo_dimension, args.demo_size)
@@ -256,7 +277,7 @@ def _cmd_serve(args) -> int:
     print(f"serving explanations on http://{args.host}:{server.port}")
     print(
         "  POST /v2/datasets | POST /v2/explain | GET /v2/stats "
-        "| GET /v2/cluster | GET /healthz (v1 aliases kept)"
+        "| GET /v2/cluster | GET /metrics | GET /healthz (v1 aliases kept)"
     )
     if args.demo_size:
         instance = ", ".join(
@@ -401,6 +422,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=int, default=64,
         help="admitted-but-unanswered requests each worker holds before "
              "shedding load with HTTP 429 (requires --workers > 1)",
+    )
+    serve_p.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable state root: every registration/mutation is WAL-logged "
+             "and snapshotted there, and the service restores all dataset "
+             "lineages from it on startup (see docs/operations.md)",
+    )
+    serve_p.add_argument(
+        "--snapshot-every", type=int, default=64, metavar="N",
+        help="mutations between dataset+engine snapshots per lineage "
+             "(0 disables snapshots; the WAL alone still restores)",
+    )
+    serve_p.add_argument(
+        "--no-json-logs", action="store_true",
+        help="suppress the structured JSON log records written to stderr",
     )
     serve_p.add_argument(
         "--demo-size", type=int, default=0, metavar="N",

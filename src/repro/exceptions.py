@@ -39,6 +39,18 @@ class OverloadedError(ReproError):
     """
 
 
+class DurabilityError(ReproError, RuntimeError):
+    """The durability layer could not make state durable or restore it.
+
+    Raised when a WAL append or snapshot write fails (disk full,
+    permissions) — in which case the in-memory mutation is refused, so
+    acknowledged state is always recoverable.  Restore-side damage
+    (truncated or corrupt WAL tails) deliberately does *not* raise:
+    recovery degrades to the last good record with a structured
+    warning instead (see :mod:`repro.serve.durability`).
+    """
+
+
 class DimensionMismatchError(ValidationError):
     """Vectors or datasets have incompatible dimensions."""
 

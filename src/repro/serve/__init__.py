@@ -24,7 +24,14 @@ scaling north star calls for:
   the ``serve_scaleout`` benchmark headline;
 * :func:`dataset_fingerprint` is the content hash that keys the engine
   registry, the cache, *and* cluster shard placement, making
-  dataset-change invalidation and routing exact.
+  dataset-change invalidation and routing exact;
+* :class:`DurableStore` (see :mod:`repro.serve.durability`) makes
+  dataset lineages survive crashes — an fsync'd mutation WAL plus
+  periodic snapshots, replayed on boot by either service when given a
+  ``state_dir`` — and :class:`MetricsRegistry` /
+  :class:`StructuredLogger` (see :mod:`repro.serve.metrics`) provide
+  the ``GET /metrics`` Prometheus page and provenance-id structured
+  logging documented in ``docs/metrics.md`` / ``docs/operations.md``.
 
 See ``docs/api.md`` for the HTTP surface, ``docs/architecture.md`` for
 the request flow and cluster topology, and the README's "Serving
@@ -39,7 +46,7 @@ shrinks.
 
 from __future__ import annotations
 
-from ..exceptions import OverloadedError, UnknownDatasetError
+from ..exceptions import DurabilityError, OverloadedError, UnknownDatasetError
 from .cache import (
     ResultCache,
     dataset_fingerprint,
@@ -48,9 +55,18 @@ from .cache import (
     versioned_fingerprint,
 )
 from .cluster import ClusterService
+from .durability import DurableStore, RestoredLineage
 from .errors import error_envelope, status_for
 from .http import ExplanationHTTPServer, serve_http
 from .loadgen import LoadReport, LoadSpec, build_workload, run_load
+from .metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    StructuredLogger,
+    new_request_id,
+    render_states,
+    stderr_logger,
+)
 from .service import (
     BATCH_METHODS,
     METHODS,
@@ -64,23 +80,32 @@ __all__ = [
     "BATCH_METHODS",
     "SOLVER_METHODS",
     "METHODS",
+    "PROMETHEUS_CONTENT_TYPE",
     "ClusterService",
+    "DurabilityError",
+    "DurableStore",
     "ExplanationRequest",
     "ExplanationResponse",
     "ExplanationService",
     "ExplanationHTTPServer",
     "LoadReport",
     "LoadSpec",
+    "MetricsRegistry",
     "OverloadedError",
+    "RestoredLineage",
     "ResultCache",
+    "StructuredLogger",
     "UnknownDatasetError",
     "build_workload",
     "dataset_fingerprint",
     "error_envelope",
+    "new_request_id",
+    "render_states",
     "request_key",
     "run_load",
     "serve_http",
     "split_fingerprint",
     "status_for",
+    "stderr_logger",
     "versioned_fingerprint",
 ]

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue
+import sys
 import threading
 from concurrent.futures import Future
 from typing import Sequence
@@ -52,12 +53,13 @@ from .. import exceptions as _exceptions
 from ..exceptions import OverloadedError, SolverError, UnknownDatasetError
 from ..knn import Dataset
 from .cache import dataset_fingerprint, split_fingerprint
+from .metrics import MetricsRegistry, StructuredLogger, render_states
 from .service import ExplanationService
 
 #: ops exempt from admission control (control plane beats data plane).
 _CONTROL_OPS = frozenset(
     {"add_dataset", "mutate", "remove_dataset", "describe", "stats",
-     "fingerprints", "ping", "shutdown"}
+     "fingerprints", "metrics", "ping", "shutdown"}
 )
 
 
@@ -83,8 +85,8 @@ def _rebuild_exception(type_name: str, message: str) -> BaseException:
 def _worker_dispatch(service: ExplanationService, op: str, payload) -> object:
     """Execute one front message against the worker's local service."""
     if op == "explain":
-        fingerprint, method, instances, params = payload
-        return service.explain(fingerprint, method, instances, params)
+        fingerprint, method, instances, params, request_id = payload
+        return service.explain(fingerprint, method, instances, params, request_id)
     if op == "mutate":
         kind, fingerprint, points, labels, multiplicities = payload
         mutate = service.add_points if kind == "add" else service.remove_points
@@ -112,6 +114,8 @@ def _worker_dispatch(service: ExplanationService, op: str, payload) -> object:
         return service.stats()
     if op == "fingerprints":
         return service.fingerprints()
+    if op == "metrics":
+        return service.metrics_states()
     if op == "ping":
         return "pong"
     raise SolverError(f"unknown worker op {op!r}")  # pragma: no cover
@@ -129,13 +133,18 @@ def _worker_main(conn, config: dict) -> None:
         cache_size=config["cache_size"],
         cache_dir=config["cache_dir"],
         max_batch=config["max_batch"],
+        state_dir=config.get("state_dir"),
+        snapshot_every=config.get("snapshot_every", 64),
+        log_stream=sys.stderr if config.get("log") else None,
     )
     while True:
         try:
             op, payload = conn.recv()
         except (EOFError, OSError):  # front went away; die quietly
+            service.close()
             return
         if op == "shutdown":
+            service.close()
             conn.send(("ok", None))
             return
         try:
@@ -300,6 +309,21 @@ class ClusterService:
         forwarded to each worker's :class:`ExplanationService`
         (``cache_dir`` gets a per-worker subdirectory so workers never
         share persisted cache files).
+    state_dir:
+        optional durability root.  Each worker keeps its own
+        :class:`~repro.serve.durability.DurableStore` under
+        ``state_dir/worker-<i>`` (workers never share WAL files), and
+        on boot every worker **restores its owned lineages** before the
+        cluster takes traffic; the front then adopts the restored
+        lineages into its routing table.  Keep the worker count stable
+        across restarts — a lineage restored by a worker that is no
+        longer on its replica set is skipped with a structured warning
+        (see ``docs/operations.md``).
+    snapshot_every:
+        per-worker snapshot cadence, forwarded to each worker's store.
+    log_stream:
+        optional stream for the *front's* structured JSON logs; when
+        set, workers log to their (inherited) ``stderr``.
     start_method:
         :mod:`multiprocessing` start method (default: ``fork`` where
         available, else ``spawn``).
@@ -315,6 +339,9 @@ class ClusterService:
         cache_size: int = 2048,
         cache_dir=None,
         max_batch: int = 256,
+        state_dir=None,
+        snapshot_every: int = 64,
+        log_stream=None,
         start_method: str | None = None,
     ):
         self.n_workers = max(1, int(workers))
@@ -322,6 +349,9 @@ class ClusterService:
         self.queue_depth = max(1, int(queue_depth))
         self.max_batch = max(1, int(max_batch))
         self.backend = backend
+        self.state_dir = state_dir
+        self.log = StructuredLogger(log_stream, component="cluster")
+        self.metrics = MetricsRegistry()
         self.start_method = start_method or _preferred_start_method()
         ctx = multiprocessing.get_context(self.start_method)
         self._workers = []
@@ -329,11 +359,17 @@ class ClusterService:
             worker_cache_dir = (
                 None if cache_dir is None else f"{cache_dir}/worker-{index}"
             )
+            worker_state_dir = (
+                None if state_dir is None else f"{state_dir}/worker-{index}"
+            )
             config = {
                 "backend": backend,
                 "cache_size": int(cache_size),
                 "cache_dir": worker_cache_dir,
                 "max_batch": self.max_batch,
+                "state_dir": worker_state_dir,
+                "snapshot_every": int(snapshot_every),
+                "log": log_stream is not None,
             }
             self._workers.append(_Worker(index, config, self.queue_depth, ctx))
         # Every fork happened above, before any front thread exists; only
@@ -346,6 +382,73 @@ class ClusterService:
         self._dispatched = 0
         self._rejected = 0
         self._closed = False
+        self.restored: dict = {}
+        if state_dir is not None:
+            self._adopt_restored()
+
+    # -- durability ------------------------------------------------------
+
+    def _adopt_restored(self) -> None:
+        """Adopt lineages the workers restored from their state dirs.
+
+        Each worker restores its own ``state_dir/worker-<i>`` before the
+        front exists; this walks every worker's restored fingerprints
+        and re-enters into the routing table each lineage whose **owner**
+        worker holds it.  Degradations are reported, never fatal:
+        a lineage held by a worker off its replica set (the worker
+        count changed across restarts) is skipped with a structured
+        warning, and a replica whose restored version lags its owner's
+        is warned about (it missed the crash-window broadcast; see
+        ``docs/operations.md`` for the repair procedure).
+        """
+        placements: dict[str, dict[int, int]] = {}
+        for worker in self._workers:
+            for fingerprint in worker.call("fingerprints", force=True):
+                base, version = split_fingerprint(fingerprint)
+                placements.setdefault(base, {})[worker.index] = version
+        for base, holders in sorted(placements.items()):
+            owner = self.owner_of(base)
+            replica_set = set(self.replica_set(base))
+            strays = sorted(set(holders) - replica_set)
+            if strays:
+                self.log.log(
+                    "restored_lineage_stray", level="warning",
+                    base=base[:16], workers=strays, owner=owner,
+                    hint="worker count changed across restarts?",
+                )
+            if owner not in holders:
+                self.log.log(
+                    "restored_lineage_skipped", level="warning",
+                    base=base[:16], owner=owner, holders=sorted(holders),
+                    hint="owner worker has no durable copy; not adopted",
+                )
+                continue
+            behind = sorted(
+                index for index in replica_set & set(holders)
+                if holders[index] < holders[owner]
+            )
+            missing = sorted(replica_set - set(holders))
+            if behind or missing:
+                self.log.log(
+                    "restored_replica_behind", level="warning",
+                    base=base[:16], owner_version=holders[owner],
+                    behind=behind, missing=missing,
+                )
+            meta = self._workers[owner].call("describe", base, force=True)
+            with self._lock:
+                self._datasets[base] = {
+                    "dimension": meta["dimension"],
+                    "discrete": meta["discrete"],
+                }
+            self.restored[base[:16]] = {
+                "version": holders[owner],
+                "owner": owner,
+                "holders": {str(i): v for i, v in sorted(holders.items())},
+            }
+            self.log.log(
+                "lineage_adopted", base=base[:16],
+                version=holders[owner], owner=owner,
+            )
 
     # -- placement -------------------------------------------------------
 
@@ -448,7 +551,8 @@ class ClusterService:
     # -- serving ---------------------------------------------------------
 
     def explain(
-        self, fingerprint: str, method: str, instances: Sequence, params: dict | None = None
+        self, fingerprint: str, method: str, instances: Sequence,
+        params: dict | None = None, request_id: str | None = None,
     ) -> list[dict]:
         """Scatter an instance batch across the lineage's replicas and gather.
 
@@ -458,6 +562,9 @@ class ClusterService:
         payload shape.  Admission failure on any block raises
         :class:`~repro.exceptions.OverloadedError` (already-dispatched
         blocks complete in their workers and are discarded).
+        ``request_id`` travels with every block, so the worker-side
+        ``explain_served`` log records carry the same provenance id the
+        HTTP front stamped on the response.
         """
         _, workers = self._replicas_for(fingerprint)
         n = len(instances)
@@ -469,7 +576,9 @@ class ClusterService:
                 block = instances[start : start + self.max_batch]
                 worker = min(workers, key=lambda w: w.outstanding)
                 futures.append(
-                    worker.submit("explain", (fingerprint, method, block, params))
+                    worker.submit(
+                        "explain", (fingerprint, method, block, params, request_id)
+                    )
                 )
         except OverloadedError:
             with self._lock:
@@ -529,6 +638,7 @@ class ClusterService:
                  "size": 0, "maxsize": 0}
         total = {"engines": 0, "requests": 0, "batches": 0,
                  "batched_requests": 0, "mutations": 0}
+        durability: dict | None = None
         largest = 0
         for stats in worker_stats:
             for key in total:
@@ -538,6 +648,14 @@ class ClusterService:
                 versions[base] = max(versions.get(base, 0), version)
             for key in cache:
                 cache[key] += stats["cache"][key]
+            if "durability" in stats:
+                if durability is None:
+                    durability = dict.fromkeys(
+                        ("appends", "fsync_s", "snapshots", "compactions",
+                         "restores", "truncated_tails"), 0,
+                    )
+                for key in durability:
+                    durability[key] += stats["durability"][key]
         with self._lock:
             cluster = {
                 "workers": self.n_workers,
@@ -550,7 +668,7 @@ class ClusterService:
                 "alive": [w.process.is_alive() for w in self._workers],
             }
             n_datasets = len(self._datasets)
-        return {
+        out = {
             "datasets": n_datasets,
             "engines": total["engines"],
             "requests": total["requests"],
@@ -562,6 +680,64 @@ class ClusterService:
             "cache": cache,
             "cluster": cluster,
         }
+        if durability is not None:
+            out["durability"] = durability
+            out["restored"] = dict(self.restored)
+        return out
+
+    def _refresh_metrics(self) -> None:
+        """Mirror the front's own counters/health into its registry.
+
+        Worker-side series come back through the ``metrics`` worker op;
+        this covers only what the front alone knows — dispatch/overload
+        totals and per-worker health gauges (labeled ``worker="i"`` so
+        they stay meaningful after :func:`~repro.serve.metrics.
+        render_states` sums across processes).
+        """
+        with self._lock:
+            dispatched, rejected = self._dispatched, self._rejected
+            workers = list(self._workers)
+        reg = self.metrics
+        reg.counter(
+            "repro_cluster_dispatched_total",
+            "Request blocks dispatched to workers by the front.",
+        ).set_total(dispatched)
+        reg.counter(
+            "repro_cluster_rejected_total",
+            "Request blocks refused by admission control (HTTP 429).",
+        ).set_total(rejected)
+        outstanding = reg.gauge(
+            "repro_worker_outstanding",
+            "Requests admitted to a worker but not yet answered.",
+            ("worker",),
+        )
+        alive = reg.gauge(
+            "repro_worker_alive",
+            "1 when the worker process is alive, 0 when it exited.",
+            ("worker",),
+        )
+        for worker in workers:
+            outstanding.set(worker.outstanding, worker=str(worker.index))
+            alive.set(float(worker.process.is_alive()), worker=str(worker.index))
+
+    def metrics_states(self) -> list:
+        """Every worker's raw metric states plus the front's own.
+
+        One flat list, ready for
+        :func:`~repro.serve.metrics.render_states` — same-name series
+        are summed across workers, which is why worker-distinct gauges
+        carry a ``worker`` label.
+        """
+        self._refresh_metrics()
+        states = [self.metrics.state()]
+        futures = [w.submit("metrics", None, force=True) for w in self._workers]
+        for future in futures:
+            states.extend(future.result())
+        return states
+
+    def metrics_text(self) -> str:
+        """The fleet-wide ``GET /metrics`` page (Prometheus text format)."""
+        return render_states(self.metrics_states())
 
     def cluster_info(self) -> dict:
         """Topology snapshot for ``GET /v2/cluster``: placement and health."""

@@ -12,6 +12,11 @@ method          path                            body / response
 ==============  ==============================  ==============================
 GET             ``/healthz``                    ``{"status": "ok",
                                                 "datasets": N}``
+GET             ``/metrics``                    Prometheus text exposition of
+                                                every serving/durability
+                                                series (also reachable as
+                                                ``/v2/metrics``); see
+                                                ``docs/metrics.md``
 GET             ``/v2/stats``                   service counters + cache stats
 GET             ``/v2/cluster``                 topology: workers, replicas,
                                                 placement, queue depths
@@ -52,6 +57,13 @@ Fingerprints in paths may be bare (always the *current* version) or
 versioned (``<fp>@vN``); both are validated strictly before they can
 reach the cache's disk sweep.
 
+**Provenance**: every response carries an ``X-Request-ID`` header — the
+caller's own header value when supplied, a fresh
+:func:`~repro.serve.metrics.new_request_id` otherwise.  The same id is
+threaded into the serving target (and, for a cluster, across the pipe
+into the worker's ``explain_served`` log record), so one grep over the
+structured logs follows a request front → worker → solver.
+
 Each HTTP request is handled on its own thread.  With a single-process
 service every explanation funnels through **one** asyncio loop (a
 daemon thread) running the micro-batching queue, so concurrent clients
@@ -69,12 +81,14 @@ import json
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
 
 import numpy as np
 
 from ..exceptions import ValidationError
 from ..knn import Dataset
 from .errors import DEPRECATION_HEADER, error_envelope, error_payload, status_for
+from .metrics import PROMETHEUS_CONTENT_TYPE, StructuredLogger, new_request_id
 
 #: largest accepted request body (16 MiB) — a serving process should not
 #: be OOM-able by one oversized POST.
@@ -137,6 +151,13 @@ class ExplanationHTTPServer(ThreadingHTTPServer):
     def __init__(self, service, host: str = "127.0.0.1", port: int = 8000):
         super().__init__((host, port), _Handler)
         self.service = service
+        # Share the target's structured-log stream (silent when the
+        # target has none — libraries stay quiet by default).
+        target_log = getattr(service, "log", None)
+        if isinstance(target_log, StructuredLogger):
+            self.log = target_log.child("http")
+        else:
+            self.log = StructuredLogger(None, component="http")
         self.loop: asyncio.AbstractEventLoop | None = None
         self._loop_thread: threading.Thread | None = None
         if hasattr(service, "asubmit"):  # single-process: shared batching loop
@@ -161,15 +182,23 @@ class ExplanationHTTPServer(ThreadingHTTPServer):
         if close is not None:
             close()
 
-    def explain(self, fingerprint: str, method: str, instances, params) -> list[dict]:
+    def explain(
+        self, fingerprint: str, method: str, instances, params,
+        request_id: str | None = None,
+    ) -> list[dict]:
         """Serve one homogeneous batch; returns wire-ready result dicts.
 
         Single-process targets go through the shared asyncio
         micro-batching loop (concurrent HTTP clients share kernel
         calls); clusters are called directly on the handler thread.
+        ``request_id`` rides along either way, so the target's
+        ``explain_served`` record carries the id stamped on the HTTP
+        response.
         """
         if self.loop is None:
-            return self.service.explain(fingerprint, method, instances, params)
+            return self.service.explain(
+                fingerprint, method, instances, params, request_id
+            )
 
         async def gather():
             return await asyncio.gather(
@@ -180,6 +209,17 @@ class ExplanationHTTPServer(ThreadingHTTPServer):
             )
 
         responses = asyncio.run_coroutine_threadsafe(gather(), self.loop).result()
+        if self.service.log.enabled:
+            # The asyncio path bypasses ExplanationService.explain, so
+            # emit its provenance record here.
+            self.service.log.log(
+                "explain_served",
+                request_id=request_id,
+                method=method,
+                instances=len(responses),
+                cached=sum(1 for r in responses if r.cached),
+                errors=sum(1 for r in responses if not r.ok),
+            )
         return [
             {
                 "result": response.payload,
@@ -211,16 +251,47 @@ class _Handler(BaseHTTPRequestHandler):
         self._handle("DELETE")
 
     def _handle(self, verb: str) -> None:
-        """Dispatch one request and map any exception to the error surface."""
+        """Dispatch one request and map any exception to the error surface.
+
+        Stamps every response with an ``X-Request-ID`` (honoring a
+        caller-supplied header) and emits one structured
+        ``http_request`` access record when the server has a log
+        stream.
+        """
+        start = perf_counter()
+        self.request_id = self.headers.get("X-Request-ID") or new_request_id()
+        self._status = 500
         try:
             segments = [part for part in self.path.split("/") if part]
-            self._reply(200, self._route(verb, segments))
+            if verb == "GET" and self._is_metrics_path(segments):
+                self._reply_metrics()
+            else:
+                self._reply(200, self._route(verb, segments))
         except _NotFound:
             self._reply_error(
                 _NotFound(f"unknown path {self.path!r}"), status=404
             )
         except Exception as exc:
             self._reply_error(exc)
+        finally:
+            if self.server.log.enabled:
+                self.server.log.log(
+                    "http_request",
+                    request_id=self.request_id,
+                    verb=verb,
+                    path=self.path,
+                    status=self._status,
+                    elapsed_ms=round((perf_counter() - start) * 1000.0, 3),
+                )
+
+    @staticmethod
+    def _is_metrics_path(segments: list[str]) -> bool:
+        """``/metrics`` (scrape-config friendly) or ``/v1|v2/metrics``."""
+        return segments == ["metrics"] or (
+            len(segments) == 2
+            and segments[0] in _API_VERSIONS
+            and segments[1] == "metrics"
+        )
 
     def _route(self, verb: str, segments: list[str]) -> dict:
         """The one handler table shared by ``/v1`` and ``/v2``."""
@@ -328,7 +399,9 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             needed = "'instances'" if version == "v2" else "'instance' or 'instances'"
             raise ValidationError(f"body needs {needed}")
-        results = self.server.explain(fingerprint, method, instances, params)
+        results = self.server.explain(
+            fingerprint, method, instances, params, self.request_id
+        )
         return results[0] if single else {"results": results}
 
     # -- plumbing ---------------------------------------------------------
@@ -359,12 +432,31 @@ class _Handler(BaseHTTPRequestHandler):
             payload = error_payload(exc)
         self._reply(status, payload, deprecated=True)
 
+    def _reply_metrics(self) -> None:
+        """``GET /metrics``: the target's Prometheus text exposition page."""
+        render = getattr(self.server.service, "metrics_text", None)
+        if render is None:
+            raise _NotFound()
+        self._reply_bytes(
+            200, render().encode("utf-8"), content_type=PROMETHEUS_CONTENT_TYPE
+        )
+
     def _reply(self, status: int, payload: dict, *, deprecated: bool = False) -> None:
         """Serialize *payload* as JSON and finish the response."""
         blob = json.dumps(jsonable(payload)).encode("utf-8")
+        self._reply_bytes(
+            status, blob, content_type="application/json", deprecated=deprecated
+        )
+
+    def _reply_bytes(
+        self, status: int, blob: bytes, *, content_type: str, deprecated: bool = False
+    ) -> None:
+        """Finish the response with *blob* (shared by JSON and text bodies)."""
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
+        self.send_header("X-Request-ID", getattr(self, "request_id", "-"))
         if deprecated:
             # Error bodies still carry the pre-v2 flat compat fields for
             # one release; the header is the machine-readable notice.

@@ -1,0 +1,391 @@
+"""Production observability: Prometheus metrics + structured JSON logs.
+
+Stdlib-only implementations of the two observability primitives the
+serving layer exposes:
+
+* **metrics** — :class:`Counter`, :class:`Gauge` and :class:`Histogram`
+  collected in a :class:`MetricsRegistry` and rendered in the
+  Prometheus `text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+  (``# HELP`` / ``# TYPE`` headers, ``_bucket``/``_sum``/``_count``
+  histogram series, escaped label values).  A registry also exports its
+  raw sample state as JSON-able dicts (:meth:`MetricsRegistry.state`),
+  and :func:`render_states` merges any number of such states — this is
+  how the cluster front aggregates its workers' registries into one
+  ``GET /metrics`` page without sharing memory.  Every series the
+  service exposes is documented in ``docs/metrics.md``.
+
+* **structured logs** — :class:`StructuredLogger` writes one JSON
+  object per line (timestamp, level, component, event, free-form
+  fields) to any stream.  Serving code threads a **provenance id**
+  (:func:`new_request_id`) through every hop — the HTTP front stamps
+  it on the response as ``X-Request-ID``, the single-process service
+  and each cluster worker log their share of the work under the same
+  id — so one grep over the logs reconstructs a request's whole path.
+
+Nothing here depends on the rest of the serving layer, so solvers and
+benchmarks can reuse the registry directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import threading
+import time
+
+#: default histogram bucket upper bounds, in seconds (latency-shaped).
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: the content type Prometheus scrapers expect from a /metrics page.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict) -> str:
+    """The ``{k="v",...}`` suffix of one series (empty for no labels)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared base: name, help text, declared label names, sample store."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames=()):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict) -> tuple:
+        """Canonical series key for one label-value assignment."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _labels_dict(self, key: tuple) -> dict:
+        """The label mapping behind one series key."""
+        return dict(zip(self.labelnames, key))
+
+    def state(self) -> dict:
+        """JSON-able snapshot of this metric (mergeable via render_states)."""
+        with self._lock:
+            series = {json.dumps(key): value for key, value in self._series.items()}
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "series": series,
+        }
+
+
+class Counter(_Metric):
+    """A monotonically increasing sample (requests served, records appended)."""
+
+    kind = "counter"
+
+    def labels(self, **labels) -> "_CounterChild":
+        """The child series for one label assignment."""
+        return _CounterChild(self, self._key(labels))
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less series."""
+        self.labels().inc(amount)
+
+    def set_total(self, value: float, **labels) -> None:
+        """Overwrite a series with an externally tracked running total.
+
+        Used for counters that mirror an existing ``stats()`` field
+        (cache hits, requests) instead of being incremented in line —
+        the source of truth stays the service counters.
+        """
+        with self._lock:
+            self._series[self._key(labels)] = float(value)
+
+
+class _CounterChild:
+    """One labeled series of a :class:`Counter`."""
+
+    def __init__(self, parent: Counter, key: tuple):
+        self._parent = parent
+        self._key_tuple = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to this series."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._parent._lock:
+            current = self._parent._series.get(self._key_tuple, 0.0)
+            self._parent._series[self._key_tuple] = current + float(amount)
+
+
+class Gauge(_Metric):
+    """A sample that can go both ways (queue depth, registered datasets)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set one series to *value*."""
+        with self._lock:
+            self._series[self._key(labels)] = float(value)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket latency/size distribution plus sum and count."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labelnames=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the right buckets."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = {
+                    "buckets": [0] * len(self.buckets), "sum": 0.0, "count": 0,
+                }
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series["buckets"][i] += 1
+            series["sum"] += float(value)
+            series["count"] += 1
+
+    def state(self) -> dict:
+        """JSON-able snapshot including the bucket bounds."""
+        payload = super().state()
+        payload["buckets"] = list(self.buckets)
+        return payload
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create semantics.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the existing metric
+    when the name was registered before (so independent modules can
+    share series), and :meth:`render` emits the whole registry in the
+    Prometheus text format.  :meth:`state` exports the raw samples for
+    cross-process merging (see :func:`render_states`).
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, help_text, labelnames, **kwargs) -> _Metric:
+        """Return the registered metric *name*, creating it on first use."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, help_text, labelnames, **kwargs)
+            elif not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name, help_text="", labelnames=()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help_text, labelnames)
+
+    def gauge(self, name, help_text="", labelnames=()) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help_text, labelnames)
+
+    def histogram(self, name, help_text="", labelnames=(), buckets=DEFAULT_BUCKETS):
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def state(self) -> list[dict]:
+        """JSON-able snapshot of every registered metric (name-sorted)."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        return [metric.state() for metric in metrics]
+
+    def render(self) -> str:
+        """This registry alone, in the Prometheus text format."""
+        return render_states([self.state()])
+
+
+def _merge_series(kind: str, into: dict, state: dict) -> None:
+    """Fold one metric state's series into the accumulated *into* dict."""
+    for key_json, value in state["series"].items():
+        key = tuple(json.loads(key_json))
+        if kind == "histogram":
+            slot = into.get(key)
+            if slot is None:
+                into[key] = {
+                    "buckets": list(value["buckets"]),
+                    "sum": value["sum"],
+                    "count": value["count"],
+                }
+            else:
+                for i, count in enumerate(value["buckets"]):
+                    slot["buckets"][i] += count
+                slot["sum"] += value["sum"]
+                slot["count"] += value["count"]
+        else:
+            # Counters sum across processes; gauges do too because every
+            # cross-process gauge series carries a disambiguating label
+            # (e.g. worker="3") — document new gauges accordingly.
+            into[key] = into.get(key, 0.0) + float(value)
+
+
+def render_states(states: list[list[dict]]) -> str:
+    """Merge metric states from N registries into one exposition page.
+
+    Same-name metrics are summed series-wise (histogram buckets
+    bucket-wise).  This is what lets each cluster worker keep a plain
+    local registry while ``GET /metrics`` serves one fleet-wide page.
+    """
+    merged: dict[str, dict] = {}
+    for state in states:
+        for metric in state:
+            slot = merged.setdefault(metric["name"], {
+                "kind": metric["kind"],
+                "help": metric["help"],
+                "labelnames": metric["labelnames"],
+                "buckets": metric.get("buckets"),
+                "series": {},
+            })
+            _merge_series(metric["kind"], slot["series"], metric)
+    lines: list[str] = []
+    for name in sorted(merged):
+        slot = merged[name]
+        if slot["help"]:
+            lines.append(f"# HELP {name} {slot['help']}")
+        lines.append(f"# TYPE {name} {slot['kind']}")
+        for key in sorted(slot["series"]):
+            labels = dict(zip(slot["labelnames"], key))
+            value = slot["series"][key]
+            if slot["kind"] == "histogram":
+                # Bucket counts are stored cumulatively (observe() adds to
+                # every bucket whose bound covers the value), matching the
+                # exposition format's le= semantics directly.
+                for bound, count in zip(slot["buckets"], value["buckets"]):
+                    bucket_labels = dict(labels, le=_format_value(float(bound)))
+                    lines.append(
+                        f"{name}_bucket{_labels_text(bucket_labels)} {count}"
+                    )
+                inf_labels = dict(labels, le="+Inf")
+                lines.append(
+                    f"{name}_bucket{_labels_text(inf_labels)} {value['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_format_value(value['sum'])}"
+                )
+                lines.append(f"{name}_count{_labels_text(labels)} {value['count']}")
+            else:
+                lines.append(f"{name}{_labels_text(labels)} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- structured logging ---------------------------------------------------
+
+_REQUEST_COUNTER = iter(range(1, 1 << 62))
+_REQUEST_PREFIX = os.urandom(4).hex()
+_REQUEST_LOCK = threading.Lock()
+
+
+def new_request_id() -> str:
+    """A process-unique provenance id (``<boot hex>-<seq>``).
+
+    Stamped on every HTTP request as ``X-Request-ID`` and threaded
+    through the structured logs of every layer that touches the
+    request — front, worker, solver dispatch.
+    """
+    with _REQUEST_LOCK:
+        return f"{_REQUEST_PREFIX}-{next(_REQUEST_COUNTER):06d}"
+
+
+class StructuredLogger:
+    """One-JSON-object-per-line logger for the serving layer.
+
+    Parameters
+    ----------
+    stream:
+        writable text stream, or ``None`` for a silent logger (the
+        default inside libraries; the ``repro serve`` CLI wires
+        ``sys.stderr``).
+    component:
+        stamped on every record (``"http"``, ``"service"``,
+        ``"worker"``, ``"durability"``...).
+
+    Every record carries ``ts`` (unix seconds), ``level``,
+    ``component`` and ``event``; all other fields are caller-supplied
+    and JSON-serialized with ``default=str`` so a log call can never
+    raise.  ``docs/metrics.md`` documents the field vocabulary.
+    """
+
+    def __init__(self, stream=None, *, component: str = "serve"):
+        self.stream = stream
+        self.component = component
+        self._lock = threading.Lock()
+
+    def child(self, component: str) -> "StructuredLogger":
+        """A logger for a sub-component sharing this logger's stream."""
+        return StructuredLogger(self.stream, component=component)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records go anywhere (False for the silent logger)."""
+        return self.stream is not None
+
+    def log(self, event: str, *, level: str = "info", **fields) -> None:
+        """Emit one structured record (a no-op when no stream is bound)."""
+        if self.stream is None:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        record.update(fields)
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            try:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+            except (OSError, ValueError):  # closed stream: logging never raises
+                pass
+
+
+def stderr_logger(component: str = "serve") -> StructuredLogger:
+    """A :class:`StructuredLogger` bound to ``sys.stderr`` (the CLI default)."""
+    return StructuredLogger(sys.stderr, component=component)

@@ -34,7 +34,15 @@ top of that it adds:
   current when they were constructed, group solves hold the engine
   lock for their whole batch (no torn batches), and a batch overtaken
   by a mutation re-pins to the current version rather than answering
-  from dead data.
+  from dead data;
+* **durability & observability** — with a ``state_dir``, every
+  registration and mutation batch is WAL-logged (fsync'd *before* the
+  version bump) and periodically snapshotted by a
+  :class:`~repro.serve.durability.DurableStore`, and the service
+  restores all of it on construction; :meth:`ExplanationService.
+  metrics_text` renders the Prometheus ``/metrics`` page and a
+  :class:`~repro.serve.metrics.StructuredLogger` emits one JSON record
+  per served event (see ``docs/operations.md`` / ``docs/metrics.md``).
 
 The solver methods — ``minimal_sr``, ``minimum_sr``,
 ``counterfactual`` — are not batchable (each is its own NP-hard solve),
@@ -45,6 +53,7 @@ else, which is where a serving process beats one-shot CLI calls.
 from __future__ import annotations
 
 import asyncio
+import pickle
 import threading
 from dataclasses import dataclass
 from time import perf_counter
@@ -53,7 +62,12 @@ from typing import Sequence
 import numpy as np
 
 from .._validation import as_vector, check_odd_k
-from ..exceptions import ReproError, UnknownDatasetError, ValidationError
+from ..exceptions import (
+    DurabilityError,
+    ReproError,
+    UnknownDatasetError,
+    ValidationError,
+)
 from ..knn import Dataset, QueryEngine
 from ..metrics import get_metric
 from .cache import (
@@ -63,7 +77,9 @@ from .cache import (
     split_fingerprint,
     versioned_fingerprint,
 )
+from .durability import DurableStore
 from .errors import error_payload
+from .metrics import MetricsRegistry, StructuredLogger, render_states
 
 #: methods answered through the engine's vectorized batch paths.
 BATCH_METHODS = ("classify", "margin", "radii")
@@ -77,6 +93,10 @@ METHODS = BATCH_METHODS + SOLVER_METHODS
 #: payload key holding race/timing metadata; everything *outside* this
 #: key is a deterministic function of (dataset, instance, method, params).
 PROVENANCE_KEY = "provenance"
+
+#: bucket bounds of the ``repro_batch_occupancy`` histogram (requests
+#: per solved group — batching efficiency, not latency).
+OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
 
 
 @dataclass(frozen=True, eq=False)
@@ -135,6 +155,20 @@ class ExplanationService:
     max_wait_s:
         how long the asyncio path lets concurrent requests accumulate
         before flushing a micro-batch (the batching window).
+    state_dir:
+        optional durability root.  When set, the service keeps a
+        :class:`~repro.serve.durability.DurableStore` there: every
+        registration and applied mutation batch is WAL-logged (fsync'd
+        *before* the version bump) and the service **restores** every
+        recoverable lineage from that directory on construction —
+        datasets, ``@vN`` versions, and (when the newest snapshot is
+        current) warm engines all survive a crash or restart.
+    snapshot_every:
+        mutations between dataset(+engine) snapshots per lineage
+        (``0`` disables snapshots; the WAL alone still restores).
+    log_stream:
+        optional writable stream for structured JSON logs (one object
+        per line; ``None`` — the library default — logs nothing).
     """
 
     def __init__(
@@ -145,6 +179,9 @@ class ExplanationService:
         cache_dir=None,
         max_batch: int = 256,
         max_wait_s: float = 0.002,
+        state_dir=None,
+        snapshot_every: int = 64,
+        log_stream=None,
     ):
         self.backend = backend
         self.cache = ResultCache(cache_size, cache_dir)
@@ -163,6 +200,83 @@ class ExplanationService:
         self._batched_requests = 0
         self._largest_batch = 0
         self._mutations = 0
+        self.log = StructuredLogger(log_stream, component="service")
+        self.metrics = MetricsRegistry()
+        self._latency_hist = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "Serving latency of one solved request group, split by class "
+            "(batch = vectorized engine call, solver = per-instance NP solve).",
+            ("class",),
+        )
+        self._occupancy_hist = self.metrics.histogram(
+            "repro_batch_occupancy",
+            "Requests per solved group (micro-batching efficiency).",
+            buckets=OCCUPANCY_BUCKETS,
+        )
+        self.durability: DurableStore | None = None
+        self.restored: dict = {}
+        if state_dir is not None:
+            self.durability = DurableStore(
+                state_dir,
+                snapshot_every=snapshot_every,
+                metrics=self.metrics,
+                logger=self.log.child("durability"),
+            )
+            self._restore_state()
+
+    # -- durability ------------------------------------------------------
+
+    def _restore_state(self) -> None:
+        """Adopt every recoverable lineage from the durability root.
+
+        Runs once, from the constructor, before the service takes any
+        traffic: restored datasets and their ``@vN`` versions enter the
+        registry exactly as they were acknowledged pre-crash (the WAL
+        fsync-before-bump ordering guarantees every acknowledged version
+        is on disk), and warm engines ride along when the newest
+        snapshot captured the final restored version.  Unrecoverable
+        lineages are logged and skipped — boot never fails on damaged
+        state.  ``self.restored`` keeps the per-lineage outcome summary
+        surfaced by :meth:`stats`.
+        """
+        for base, lineage in self.durability.restore_all().items():
+            self.restored[base[:16]] = {
+                "version": lineage.version,
+                "replayed": lineage.replayed,
+                "recovered": lineage.dataset is not None,
+                "truncated": lineage.truncated,
+            }
+            if lineage.dataset is None:
+                continue
+            with self._lock:
+                self._datasets[base] = lineage.dataset
+                self._versions[base] = lineage.version
+                for metric, engine in lineage.engines.items():
+                    self._engines[(base, metric)] = engine
+                    self._engine_locks.setdefault((base, metric), threading.Lock())
+
+    def _engine_blobs(self, base: str, engine_keys) -> dict:
+        """Pickle the lineage's warm engines for a snapshot.
+
+        Called while the caller holds every engine lock of *base* (so no
+        solve or mutation races the serialization).  Engines that refuse
+        to pickle are skipped with a structured warning — a snapshot
+        without engines still restores, just cold.
+        """
+        blobs: dict[str, bytes] = {}
+        for key in engine_keys:
+            with self._lock:
+                engine = self._engines.get(key)
+            if engine is None:
+                continue
+            try:
+                blobs[key[1]] = pickle.dumps(engine)
+            except Exception as exc:
+                self.log.log(
+                    "engine_snapshot_skipped", level="warning",
+                    base=base[:16], metric=key[1], error=str(exc),
+                )
+        return blobs
 
     # -- dataset registry ------------------------------------------------
 
@@ -177,6 +291,11 @@ class ExplanationService:
         version suffix instead of re-hashing (see :meth:`add_points`).
         """
         fingerprint = dataset_fingerprint(dataset)
+        if self.durability is not None:
+            # Durable *before* visible: a crash right after this call
+            # must restore the registration (idempotent when the
+            # lineage already has a WAL — including via restore).
+            self.durability.register(fingerprint, dataset)
         with self._lock:
             self._datasets.setdefault(fingerprint, dataset)
             self._versions.setdefault(fingerprint, 0)
@@ -278,6 +397,19 @@ class ExplanationService:
                 check_op = "add" if engine_op == "add_points" else "remove"
                 for engine in engines:
                     engine.check_mutation(points, labels, multiplicities, op=check_op)
+                # WAL point: the batch passed every validation, so it
+                # *will* apply — make it durable (fsync'd) before any
+                # engine or the version is touched.  A DurabilityError
+                # here aborts the mutation with all state untouched;
+                # under the mutation lock the version cannot move, so
+                # the version the record commits to is exact.
+                with self._lock:
+                    next_version = self._versions.get(base, 0) + 1
+                if self.durability is not None:
+                    self.durability.append_mutation(
+                        base, next_version, check_op, new_snapshot,
+                        points, labels, multiplicities,
+                    )
                 for engine in engines:
                     getattr(engine, engine_op)(points, labels, multiplicities)
                 with self._lock:
@@ -285,15 +417,42 @@ class ExplanationService:
                     old_version = self._versions.get(base, 0)
                     self._versions[base] = old_version + 1
                     self._mutations += 1
+                # Pickle warm engines for the periodic snapshot while we
+                # still hold every engine lock (no solve can race the
+                # serialization); the snapshot file itself is written
+                # after the locks drop.
+                engine_blobs = None
+                if self.durability is not None and self.durability.snapshot_due(
+                    old_version + 1
+                ):
+                    engine_blobs = self._engine_blobs(base, engine_keys)
             finally:
                 for lock in locks:
                     lock.release()
+            if engine_blobs is not None:
+                try:
+                    self.durability.snapshot(
+                        base, new_snapshot, old_version + 1, engine_blobs
+                    )
+                except DurabilityError as exc:
+                    # Snapshot failure is not fatal: the WAL already
+                    # covers every acknowledged version.
+                    self.log.log(
+                        "snapshot_failed", level="warning",
+                        base=base[:16], version=old_version + 1, error=str(exc),
+                    )
             # The superseded version's sweep can touch disk (persisted
             # entries); run it after the engine locks are down so query
             # traffic is never stalled behind filesystem I/O.  No group
             # can still write old-version entries: every group that
             # started before the bump completed while we held its lock.
             removed = self.cache.invalidate(versioned_fingerprint(base, old_version))
+        if self.log.enabled:
+            self.log.log(
+                "mutation_applied", base=base[:16], op=check_op,
+                version=old_version + 1, batch=int(np.asarray(points).shape[0]),
+                invalidated=removed,
+            )
         return {
             "fingerprint": versioned_fingerprint(base, old_version + 1),
             "version": old_version + 1,
@@ -330,6 +489,10 @@ class ExplanationService:
                 for key in [k for k in self._engines if k[0] == base]:
                     del self._engines[key]
                     self._engine_locks.pop(key, None)
+            if self.durability is not None:
+                # Under the mutation lock, so no concurrent mutation can
+                # append to the lineage while its directory is removed.
+                self.durability.retire(base)
         return self.cache.invalidate(base)
 
     def invalidate(self, fingerprint: str) -> int:
@@ -486,7 +649,8 @@ class ExplanationService:
         )[0]
 
     def explain(
-        self, fingerprint: str, method: str, instances: Sequence, params: dict | None = None
+        self, fingerprint: str, method: str, instances: Sequence,
+        params: dict | None = None, request_id: str | None = None,
     ) -> list[dict]:
         """Serve a homogeneous instance batch as JSON-ready wire dicts.
 
@@ -497,20 +661,36 @@ class ExplanationService:
         the same signature).  Validation errors raise; execution
         failures stay in-band per instance.  Returns one
         ``{"result", "cached", "elapsed_ms"}`` dict per instance, in
-        order.
+        order.  ``request_id`` is the provenance id threaded down from
+        the HTTP front (stamped on the response as ``X-Request-ID``) —
+        this layer's structured ``explain_served`` record carries it, so
+        one grep reconstructs the request's path across processes.
         """
         params = dict(params or {})
+        start = perf_counter()
         requests = [
             self.make_request(fingerprint, method, instance, **params)
             for instance in instances
         ]
+        responses = self.submit_requests(requests)
+        if self.log.enabled:
+            self.log.log(
+                "explain_served",
+                request_id=request_id,
+                base=split_fingerprint(fingerprint)[0][:16],
+                method=method,
+                instances=len(responses),
+                cached=sum(1 for r in responses if r.cached),
+                errors=sum(1 for r in responses if not r.ok),
+                elapsed_ms=round((perf_counter() - start) * 1000.0, 3),
+            )
         return [
             {
                 "result": response.payload,
                 "cached": response.cached,
                 "elapsed_ms": response.elapsed_s * 1000.0,
             }
-            for response in self.submit_requests(requests)
+            for response in responses
         ]
 
     def submit_many(self, requests: Sequence) -> list[ExplanationResponse]:
@@ -564,7 +744,13 @@ class ExplanationService:
         for (fingerprint, method, _), keys in groups.items():
             reqs = [requests[cold[key][0]] for key in keys]
             params = reqs[0].params
+            group_start = perf_counter()
             solved_keys, payloads = self._serve_group(fingerprint, method, params, reqs)
+            self._latency_hist.observe(
+                perf_counter() - group_start,
+                **{"class": "batch" if method in BATCH_METHODS else "solver"},
+            )
+            self._occupancy_hist.observe(float(len(reqs)))
             with self._lock:
                 self._batches += 1
                 self._batched_requests += len(reqs)
@@ -785,7 +971,7 @@ class ExplanationService:
     def stats(self) -> dict:
         """Service counters: datasets, engines, requests, batching, cache."""
         with self._lock:
-            return {
+            out = {
                 "datasets": len(self._datasets),
                 "engines": len(self._engines),
                 "requests": self._requests,
@@ -798,14 +984,73 @@ class ExplanationService:
                 },
                 "cache": self.cache.stats(),
             }
+        if self.durability is not None:
+            out["durability"] = self.durability.stats()
+            out["restored"] = dict(self.restored)
+        return out
+
+    def _refresh_metrics(self) -> None:
+        """Mirror the ``stats()`` counters into the metrics registry.
+
+        The service counters stay the source of truth; right before a
+        scrape their running totals are copied into Prometheus series
+        (``set_total``), so ``stats()`` and ``/metrics`` can never
+        disagree.  Derived values (hit *ratios*) are never exported —
+        scrapers compute them from the raw totals, which also makes the
+        series safely summable across cluster workers.
+        """
+        stats = self.stats()
+        cache = stats["cache"]
+        reg = self.metrics
+        reg.counter(
+            "repro_requests_total", "Requests accepted by the service."
+        ).set_total(stats["requests"])
+        reg.counter(
+            "repro_mutations_total", "Streaming mutation batches applied."
+        ).set_total(stats["mutations"])
+        hits = reg.counter(
+            "repro_cache_requests_total",
+            "Result-cache lookups, split by outcome (hit rate = "
+            "hit / (hit + miss)).",
+            ("outcome",),
+        )
+        hits.set_total(cache["hits"], outcome="hit")
+        hits.set_total(cache["misses"], outcome="miss")
+        hits.set_total(cache["disk_hits"], outcome="disk_hit")
+        reg.gauge(
+            "repro_datasets", "Dataset lineages currently registered."
+        ).set(stats["datasets"])
+        reg.gauge(
+            "repro_engines", "Warm (dataset, metric) engines currently held."
+        ).set(stats["engines"])
+        reg.gauge(
+            "repro_cache_entries", "Result-cache entries currently in memory."
+        ).set(cache["size"])
+
+    def metrics_states(self) -> list:
+        """Raw metric states for cross-process aggregation.
+
+        The single-process service contributes one registry state; the
+        cluster front concatenates the states of every worker plus its
+        own and merges them with
+        :func:`~repro.serve.metrics.render_states`.
+        """
+        self._refresh_metrics()
+        return [self.metrics.state()]
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` page (Prometheus text exposition format)."""
+        return render_states(self.metrics_states())
 
     def close(self) -> None:
-        """Release serving resources (a no-op for the in-process service).
+        """Release serving resources (open WAL handles, for this service).
 
         Exists so callers can treat :class:`ExplanationService` and
         :class:`~repro.serve.cluster.ClusterService` uniformly — the
         cluster variant tears down its worker processes here.
         """
+        if self.durability is not None:
+            self.durability.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:

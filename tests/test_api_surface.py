@@ -18,7 +18,16 @@ FROZEN_SERVE_SURFACE = frozenset(
         "BATCH_METHODS",
         "SOLVER_METHODS",
         "METHODS",
+        "PROMETHEUS_CONTENT_TYPE",
         "ClusterService",
+        "DurabilityError",
+        "DurableStore",
+        "MetricsRegistry",
+        "RestoredLineage",
+        "StructuredLogger",
+        "new_request_id",
+        "render_states",
+        "stderr_logger",
         "ExplanationRequest",
         "ExplanationResponse",
         "ExplanationService",

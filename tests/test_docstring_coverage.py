@@ -18,7 +18,7 @@ CHECKER = REPO / "tools" / "check_docstrings.py"
 
 #: keep in sync with the --fail-under value in .github/workflows/ci.yml;
 #: ratchet it up as coverage improves, never down.
-CI_FLOOR = 97.0
+CI_FLOOR = 100.0
 
 
 def _load_checker():
