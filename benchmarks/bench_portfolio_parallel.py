@@ -1,0 +1,179 @@
+"""Acceptance gate: parallel-race + warm-pool portfolio vs sequential-cold.
+
+The sequential portfolio tries exact methods one after another and
+re-encodes every query from scratch.  The parallel portfolio races the
+methods concurrently in a process pool (first exact answer cancels the
+losers) and reuses warm pooled SAT solvers across queries of a dataset
+lineage.  This gate requires the mixed ``minimum_sr`` +
+``counterfactual`` serving drain to beat the sequential-cold baseline
+by at least ``MIN_SPEEDUP``x — after the measurement has asserted,
+request for request, that both sides return **bit-identical canonical
+payloads** (the race and the pool may only change when answers arrive,
+never what they are).
+
+The speedup is parallelism across cores plus warm-pool reuse; on a
+single core the race degenerates to sequential-in-child and the ratio
+is IPC arithmetic, so the throughput half of the gate applies when
+``os.cpu_count() >= MIN_CPUS_FOR_THROUGHPUT_GATE`` (CI-scale runners)
+and is reported informationally below that.  The **parity half always
+gates**: every measurement attempt replays the whole schedule on both
+sides and raises on the first divergent answer, whatever the core
+count.
+
+The measurement core lives in
+:func:`repro.experiments.bench.measure_portfolio_parallel` — the same
+numbers the ``bench-baseline`` CI job gates against the committed
+baseline.  Shared runners are noisy, so the gate takes the best of up
+to ``MAX_ATTEMPTS`` full measurements before declaring failure.
+
+Run directly for a quick report::
+
+    PYTHONPATH=src python benchmarks/bench_portfolio_parallel.py
+
+or through pytest for the parity checks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_portfolio_parallel.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.bench import gated_best, measure_portfolio_parallel
+from repro.knn import Dataset
+from repro.portfolio import (
+    portfolio_closest_counterfactual,
+    portfolio_minimum_sufficient_reason,
+)
+from repro.solvers import ProcessRacer, SATSolverPool
+
+MIN_SPEEDUP = 2.0
+#: full re-measurements allowed before the gate declares failure
+#: (best-of-3 retry, same rationale as the other headline gates).
+MAX_ATTEMPTS = 3
+#: below this core count the throughput ratio is scheduler arithmetic
+#: (~1x on one core no matter how good the racer is) and is only
+#: reported; the parity assertions inside the measurement still gate.
+MIN_CPUS_FOR_THROUGHPUT_GATE = 4
+
+
+def gated_speedup(seed: int = 20250601, *, attempts: int = MAX_ATTEMPTS) -> dict:
+    """Best-of-*attempts* measurement against the 2x throughput gate."""
+    return gated_best(
+        measure_portfolio_parallel, threshold=MIN_SPEEDUP, attempts=attempts, seed=seed
+    )
+
+
+def _throughput_gated(stats: dict) -> bool:
+    """Whether this machine has enough cores to gate the throughput half."""
+    return (stats.get("cpus") or 0) >= MIN_CPUS_FOR_THROUGHPUT_GATE
+
+
+def _write_job_summary(stats: dict) -> None:
+    """Append the measured ratios to the GitHub job summary, if present."""
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    gated = _throughput_gated(stats)
+    ok = (not gated) or stats["speedup"] >= MIN_SPEEDUP
+    throughput_line = (
+        f"(gated at {MIN_SPEEDUP:.0f}x, {stats['cpus']} cpus)"
+        if gated
+        else f"(informational: {stats['cpus']} cpu(s) < "
+        f"{MIN_CPUS_FOR_THROUGHPUT_GATE} needed to gate)"
+    )
+    with open(summary_path, "a") as handle:
+        handle.write(
+            f"### Portfolio-parallel gate: {'pass' if ok else 'FAIL'}\n\n"
+            f"mixed MSR+CF drain: sequential-cold {stats['baseline_s']:.2f} s vs "
+            f"parallel+pool {stats['contest_s']:.2f} s — ratio "
+            f"**{stats['speedup']:.1f}x** {throughput_line}; "
+            f"parity checked on {stats['parity_checked']} requests "
+            f"(best of {stats['attempts']} attempt(s); "
+            f"{stats['race_workers']} race workers, pool "
+            f"{stats['pool_hits']} hits / {stats['pool_misses']} misses)\n"
+        )
+
+
+def test_portfolio_parallel_speedup_and_parity():
+    """The >= 2x parallel-over-sequential gate where cores allow; parity always."""
+    # A single attempt already runs the full phase-0 parity sweep and
+    # raises on divergence — that part gates on every machine.
+    stats = (
+        gated_speedup()
+        if (os.cpu_count() or 0) >= MIN_CPUS_FOR_THROUGHPUT_GATE
+        else {**measure_portfolio_parallel(repeats=2), "attempts": 1}
+    )
+    assert stats["parity_checked"] == stats["requests"]
+    if _throughput_gated(stats):
+        assert stats["speedup"] >= MIN_SPEEDUP, (
+            f"parallel+pool portfolio is only {stats['speedup']:.1f}x the "
+            f"sequential-cold baseline on {stats['cpus']} cpus after "
+            f"{stats['attempts']} attempts (required: {MIN_SPEEDUP:.0f}x)"
+        )
+
+
+def test_race_answers_match_sequential(rng):
+    """Direct bit-parity: raced answers equal sequential canonical answers."""
+    racer = ProcessRacer(max_workers=2)
+    pool = SATSolverPool()
+    try:
+        for trial in range(3):
+            n = int(rng.integers(6, 10))
+            pos = rng.integers(0, 2, size=(7, n)).astype(float)
+            neg = rng.integers(0, 2, size=(7, n)).astype(float)
+            data = Dataset(pos, neg)
+            x = rng.integers(0, 2, size=n).astype(float)
+            stagger = {"milp": 0.03 * (trial % 2), "sat": 0.03 * ((trial + 1) % 2)}
+            seq = portfolio_minimum_sufficient_reason(data, 1, "hamming", x)
+            par = portfolio_minimum_sufficient_reason(
+                data, 1, "hamming", x,
+                parallel=True, racer=racer, solver_pool=pool, stagger=stagger,
+            )
+            assert par.mode == "parallel" and par.canonical
+            assert par.answer.X == seq.answer.X
+            assert par.answer.size == seq.answer.size
+            cs = portfolio_closest_counterfactual(data, 1, "hamming", x)
+            cp = portfolio_closest_counterfactual(
+                data, 1, "hamming", x, parallel=True, racer=racer, solver_pool=pool,
+            )
+            assert cp.canonical
+            if cs.answer.y is None:
+                assert cp.answer.y is None
+            else:
+                np.testing.assert_array_equal(cp.answer.y, cs.answer.y)
+    finally:
+        racer.close()
+
+
+if __name__ == "__main__":
+    import sys
+
+    stats = gated_speedup()
+    _write_job_summary(stats)
+    throughput_note = (
+        "gated" if _throughput_gated(stats)
+        else f"informational on {stats['cpus']} cpu(s)"
+    )
+    print(
+        f"Parallel portfolio on {stats['requests']} mixed MSR+CF requests "
+        f"({stats['lineages']} lineages, hamming, dim {stats['dim']}, "
+        f"{stats['race_workers']} race workers):\n"
+        f"  sequential-cold drain: {stats['baseline_s']:9.2f} s\n"
+        f"  parallel+pool drain  : {stats['contest_s']:9.2f} s\n"
+        f"  ratio                : {stats['speedup']:9.1f}x ({throughput_note}, "
+        f"best of {stats['attempts']} attempt(s))\n"
+        f"  parity               : {stats['parity_checked']} requests bit-identical\n"
+        f"  warm pool            : {stats['pool_hits']} hits / "
+        f"{stats['pool_misses']} misses; races {stats['races']}, "
+        f"cancelled {stats['race_cancelled']}, "
+        f"hard kills {stats['race_hard_kills']}"
+    )
+    if _throughput_gated(stats) and stats["speedup"] < MIN_SPEEDUP:
+        sys.exit(
+            f"FAIL: drain ratio {stats['speedup']:.1f}x is below the "
+            f"{MIN_SPEEDUP:.0f}x acceptance gate on {stats['cpus']} cpus "
+            f"after {stats['attempts']} attempts"
+        )

@@ -6,13 +6,48 @@ a budget is converted to an absolute deadline once at entry, every
 checkpoint asks how much is left, and an exhausted budget surfaces as
 :class:`~repro.exceptions.ResourceLimitError` — the signal the
 portfolio racer catches to move on to the next method.
+
+Process-level racing adds a second interrupt source: a *cancel event*.
+Race worker processes install their ``multiprocessing.Event`` here once
+at startup; every budget checkpoint then doubles as a cancellation
+point, so a losing attempt unwinds through the exact same
+``ResourceLimitError`` path a timeout would take — no new control flow
+in the pipelines.  The parent process never installs an event, so
+in-process callers pay a single ``is None`` check.
 """
 
 from __future__ import annotations
 
 import time
+from typing import Any
 
 from .exceptions import ResourceLimitError
+
+# The cancel event of the current race attempt, if this process is a
+# portfolio race worker (set once by repro.solvers.race._worker_main).
+_cancel_event: Any = None
+
+
+def install_cancel_event(event: Any) -> None:
+    """Register *event* as this process's race-cancellation flag.
+
+    Passing ``None`` uninstalls.  Intended for race worker processes;
+    the event is shared with the parent, which sets it when another
+    method wins so every budget checkpoint in this process aborts.
+    """
+    global _cancel_event
+    _cancel_event = event
+
+
+def cancel_requested() -> bool:
+    """True when a cancel event is installed and has been set."""
+    return _cancel_event is not None and _cancel_event.is_set()
+
+
+def check_cancelled(what: str) -> None:
+    """Raise :class:`ResourceLimitError` if the race cancelled *what*."""
+    if _cancel_event is not None and _cancel_event.is_set():
+        raise ResourceLimitError(f"{what} cancelled by the portfolio race")
 
 
 def start_deadline(time_limit: float | None) -> float | None:
@@ -24,8 +59,11 @@ def remaining_budget(deadline: float | None, what: str) -> float | None:
     """Seconds left before *deadline*; raises once the budget is spent.
 
     Returns None for the uncapped case so callers can pass the result
-    straight through as a nested ``time_limit``.
+    straight through as a nested ``time_limit``.  Also serves as a
+    cancellation point for process-level races (see
+    :func:`install_cancel_event`).
     """
+    check_cancelled(what)
     if deadline is None:
         return None
     left = deadline - time.perf_counter()

@@ -51,7 +51,13 @@ from ..knn import Dataset, QueryEngine
 from ..knn.engine import as_engine
 from ..metrics import get_metric
 from ..solvers.milp import MILPModel
-from ..solvers.sat import CNFBuilder, minimize_bound, minimize_bound_assumptions
+from ..solvers.sat import (
+    CNFBuilder,
+    SATSolver,
+    minimize_bound,
+    minimize_bound_assumptions,
+)
+from ..solvers.sat.pool import SATSolverPool, lease_or_build
 from .check import check_sufficient_reason
 
 
@@ -229,35 +235,61 @@ def _minimum_milp_hamming_k1(
     return MinimumSRResult(X, len(X), "milp")
 
 
-def _encode_msr_base(
-    x: np.ndarray, sources, winners, rivals, margin: int
-) -> tuple[CNFBuilder, list[int]]:
-    """Encode the Proposition-6 characterization (without any size bound).
+class _BuilderSink:
+    """Encoding sink over a :class:`CNFBuilder` (the cold, one-shot path)."""
 
-    Returns the builder and the ``keep`` indicator variables; the bound
-    searches append their cardinality constraint afterwards — unguarded
-    for the rebuild-per-bound path, guard-per-bound for the incremental
-    assumption sweep.
+    def __init__(self, builder: CNFBuilder) -> None:
+        self.builder = builder
+
+    def new_vars(self, count: int, prefix: str | None = None) -> list[int]:
+        return self.builder.new_vars(count, prefix=prefix)
+
+    def add_clause(self, lits: list[int]) -> None:
+        self.builder.add_clause(lits)
+
+    def add_at_least(self, lits: list[int], bound: int, guard: int) -> None:
+        self.builder.add_at_least(lits, bound, guard=guard)
+
+
+class _SolverSink:
+    """Encoding sink over a live pooled solver, behind an activation guard.
+
+    Every plain clause gets the query's activation literal woven in
+    (``g_q -> clause``), so encodings for many queries coexist on one
+    warm solver and each query asserts only its own guard.  Cardinality
+    constraints are already guarded by per-query pick variables, so they
+    need no extra weaving: an old query's picks stay freely assignable
+    and only ever *restrict* when set, never enable anything.
+    """
+
+    def __init__(self, solver, activation: int) -> None:
+        self.solver = solver
+        self.activation = activation
+
+    def new_vars(self, count: int, prefix: str | None = None) -> list[int]:
+        return [self.solver.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: list[int]) -> None:
+        self.solver.add_clause([-self.activation, *lits])
+
+    def add_at_least(self, lits: list[int], bound: int, guard: int) -> None:
+        self.solver.add_cardinality(lits, bound, guard=guard)
+
+
+def _encode_msr_query(
+    x: np.ndarray, sources, winners, rivals, margin: int, sink, keep, twin
+) -> None:
+    """Encode one query's Proposition-6 characterization onto *sink*.
+
+    ``keep`` are the (possibly shared) indicator variables and ``twin``
+    maps a component index to a variable clamped equal to its keep
+    indicator — the caller owns both, so the cold path and the warm
+    pool share this exact constraint generator.
     """
     n = x.shape[0]
-    builder = CNFBuilder()
-    keep = builder.new_vars(n, prefix="s")
-    # Coefficients of the distance differences live in {-2..2}; a
-    # cardinality constraint takes each variable once, so coefficient
-    # 2 is expressed by a twin variable clamped equal to the original.
-    twins: dict[int, int] = {}
-
-    def twin(i: int) -> int:
-        if i not in twins:
-            t = builder.new_var()
-            builder.add_clause([-keep[i], t])
-            builder.add_clause([keep[i], -t])
-            twins[i] = t
-        return twins[i]
-
     for src_idx, o in enumerate(sources):
-        picks = builder.new_vars(winners.shape[0], prefix=f"w{src_idx}")
-        builder.add_clause(picks)
+        picks = sink.new_vars(winners.shape[0], prefix=f"w{src_idx}")
+        sink.add_clause(list(picks))
         for j, w in enumerate(winners):
             const_w, coef_w = _distance_coefficients(x, o, w)
             for r in rivals:
@@ -286,9 +318,38 @@ def _encode_msr_base(
                 if bound <= 0:
                     continue  # comparison holds for every X
                 if bound > len(lits):
-                    builder.add_clause([-picks[j]])  # never satisfiable
+                    sink.add_clause([-picks[j]])  # never satisfiable
                     break
-                builder.add_at_least(lits, bound, guard=picks[j])
+                sink.add_at_least(lits, bound, picks[j])
+
+
+def _encode_msr_base(
+    x: np.ndarray, sources, winners, rivals, margin: int
+) -> tuple[CNFBuilder, list[int]]:
+    """Encode the Proposition-6 characterization (without any size bound).
+
+    Returns the builder and the ``keep`` indicator variables; the bound
+    searches append their cardinality constraint afterwards — unguarded
+    for the rebuild-per-bound path, guard-per-bound for the incremental
+    assumption sweep.
+    """
+    n = x.shape[0]
+    builder = CNFBuilder()
+    keep = builder.new_vars(n, prefix="s")
+    # Coefficients of the distance differences live in {-2..2}; a
+    # cardinality constraint takes each variable once, so coefficient
+    # 2 is expressed by a twin variable clamped equal to the original.
+    twins: dict[int, int] = {}
+
+    def twin(i: int) -> int:
+        if i not in twins:
+            t = builder.new_var()
+            builder.add_clause([-keep[i], t])
+            builder.add_clause([keep[i], -t])
+            twins[i] = t
+        return twins[i]
+
+    _encode_msr_query(x, sources, winners, rivals, margin, _BuilderSink(builder), keep, twin)
     return builder, keep
 
 
@@ -346,6 +407,162 @@ def _minimum_sat_hamming_k1(
     size, X = found
     _assert_sufficient(dataset, x, X, engine)
     return MinimumSRResult(X, len(X), "sat")
+
+
+# ---------------------------------------------------------------------------
+# Warm-pool variants and the canonical (lex-min) witness
+# ---------------------------------------------------------------------------
+
+
+def _build_msr_entry(n: int):
+    """Build the shared half of a pooled MSR entry: solver + keep vars."""
+    solver = SATSolver(0)
+    keep = [solver.new_var() for _ in range(n)]
+    state: dict = {"keep": keep, "twins": {}, "bounds": {}, "queries": {}}
+    return solver, state
+
+
+def _ensure_msr_query(entry, x, sources, winners, rivals, margin: int) -> int:
+    """Encode this query onto the pooled solver once; return its guard."""
+    solver, state = entry.solver, entry.state
+    xb = x.tobytes()
+    guard = state["queries"].get(xb)
+    if guard is not None:
+        return guard
+    guard = solver.new_var()
+    keep = state["keep"]
+    twins = state["twins"]
+
+    def twin(i: int) -> int:
+        # Twin definitions are pure equivalences shared by every query,
+        # so they are added unguarded, directly on the solver.
+        if i not in twins:
+            t = solver.new_var()
+            solver.add_clause([-keep[i], t])
+            solver.add_clause([keep[i], -t])
+            twins[i] = t
+        return twins[i]
+
+    _encode_msr_query(
+        x, sources, winners, rivals, margin, _SolverSink(solver, guard), keep, twin
+    )
+    state["queries"][xb] = guard
+    return guard
+
+
+def _ensure_msr_bound(entry, t: int) -> int:
+    """Guarded ``|X| <= t`` constraint, shared across pooled queries."""
+    guard = entry.state["bounds"].get(t)
+    if guard is None:
+        solver = entry.solver
+        guard = solver.new_var()
+        solver.add_at_most(entry.state["keep"], t, guard=guard)
+        entry.state["bounds"][t] = guard
+    return guard
+
+
+def minimum_sat_hamming_k1_pooled(
+    dataset: Dataset,
+    x: np.ndarray,
+    engine: QueryEngine,
+    *,
+    solver_pool: SATSolverPool | None = None,
+    fingerprint: str | None = None,
+    strategy: str = "binary",
+    time_limit: float | None = None,
+) -> MinimumSRResult:
+    """Incremental Minimum-SR sweep over a warm pooled solver.
+
+    Semantically identical to the incremental path of
+    :func:`_minimum_sat_hamming_k1` — the optimal *size* is a pure
+    feasibility question, so warm learnt clauses change speed, never
+    the answer — but the encoding shared across queries on the same
+    dataset version is reused instead of rebuilt.  With
+    ``solver_pool=None`` the entry is ephemeral (cold but single-path).
+    """
+    label, sources, winners, rivals, margin = _projection_facts(dataset, x, engine)
+    n = dataset.dimension
+    if winners.shape[0] == 0:
+        return MinimumSRResult(frozenset(), 0, "sat")
+    deadline = start_deadline(time_limit)
+    key = (fingerprint or "", "msr", 1, label, n)
+    with lease_or_build(solver_pool, key, lambda: _build_msr_entry(n)) as entry:
+        remaining_budget(deadline, "minimum-SR SAT search")
+        guard = _ensure_msr_query(entry, x, sources, winners, rivals, margin)
+        keep = entry.state["keep"]
+        found = minimize_bound_assumptions(
+            entry.solver,
+            lambda t: _ensure_msr_bound(entry, t),
+            lambda model: frozenset(i for i in range(n) if model[keep[i]]),
+            0,
+            n,
+            strategy=strategy,
+            time_limit=remaining_budget(deadline, "minimum-SR SAT search"),
+            assumptions=(guard,),
+        )
+    assert found is not None, "the full component set is always sufficient"
+    _size, X = found
+    _assert_sufficient(dataset, x, X, engine)
+    return MinimumSRResult(X, len(X), "sat")
+
+
+def minimum_sr_canonical_witness(
+    dataset: Dataset,
+    x: np.ndarray,
+    engine: QueryEngine,
+    size: int,
+    *,
+    solver_pool: SATSolverPool | None = None,
+    fingerprint: str | None = None,
+    time_limit: float | None = None,
+) -> frozenset[int]:
+    """The lexicographically smallest sufficient reason of optimal *size*.
+
+    Every exact pipeline agrees on the optimal cardinality but may
+    return different witnesses; the portfolio replaces the winner's
+    witness with this canonical one so its answers are bit-identical
+    regardless of which method (or race schedule) won.  The extraction
+    is the classic lex-leader walk: ascending component index, prefer
+    *include*, each preference settled by a feasibility probe under the
+    ``|X| <= size`` guard — with the current model reused to skip
+    probes whose answer it already witnesses.  By construction this
+    equals the first subset ``combinations(range(n), size)`` order
+    would hit, i.e. exactly what the brute pipeline returns.
+    """
+    label, sources, winners, rivals, margin = _projection_facts(dataset, x, engine)
+    n = dataset.dimension
+    if winners.shape[0] == 0 or size <= 0:
+        return frozenset()
+    deadline = start_deadline(time_limit)
+    key = (fingerprint or "", "msr", 1, label, n)
+    with lease_or_build(solver_pool, key, lambda: _build_msr_entry(n)) as entry:
+        solver, keep = entry.solver, entry.state["keep"]
+        query = _ensure_msr_query(entry, x, sources, winners, rivals, margin)
+        bound = _ensure_msr_bound(entry, size)
+        fixed = [query, bound]
+        decided: list[int] = []
+        chosen: set[int] = set()
+        model = None
+        for i in range(n):
+            if model is not None and model[keep[i]]:
+                decided.append(keep[i])
+                chosen.add(i)
+            else:
+                remaining = remaining_budget(deadline, "canonical-witness extraction")
+                probe = solver.solve([*fixed, *decided, keep[i]], time_limit=remaining)
+                if probe is not None:
+                    model = probe
+                    decided.append(keep[i])
+                    chosen.add(i)
+                else:
+                    # Excluding i keeps the prefix feasible (it was
+                    # feasible before the probe), so walk on.
+                    decided.append(-keep[i])
+            if len(chosen) == size:
+                break  # every model at this bound has exactly `size` kept
+    X = frozenset(chosen)
+    _assert_sufficient(dataset, x, X, engine)
+    return X
 
 
 def _assert_sufficient(

@@ -231,6 +231,9 @@ def _build_serve_service(args):
             state_dir=args.state_dir,
             snapshot_every=args.snapshot_every,
             log_stream=log_stream,
+            solver_pool=args.solver_pool,
+            parallel_portfolio=args.parallel_portfolio,
+            race_workers=args.race_workers,
         )
     return ClusterService(
         workers=args.workers,
@@ -243,6 +246,9 @@ def _build_serve_service(args):
         state_dir=args.state_dir,
         snapshot_every=args.snapshot_every,
         log_stream=log_stream,
+        solver_pool=args.solver_pool,
+        parallel_portfolio=args.parallel_portfolio,
+        race_workers=args.race_workers,
     )
 
 
@@ -422,6 +428,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=int, default=64,
         help="admitted-but-unanswered requests each worker holds before "
              "shedding load with HTTP 429 (requires --workers > 1)",
+    )
+    serve_p.add_argument(
+        "--solver-pool", type=int, default=32, metavar="N",
+        help="warm cross-query SAT solvers kept per worker for the "
+             "portfolio solver (0 disables pooling)",
+    )
+    serve_p.add_argument(
+        "--parallel-portfolio", action="store_true",
+        help="race the portfolio's exact methods concurrently in a "
+             "process pool (first exact answer wins; answers stay "
+             "bit-identical to the sequential race)",
+    )
+    serve_p.add_argument(
+        "--race-workers", type=int, default=None, metavar="N",
+        help="race worker processes when --parallel-portfolio is set "
+             "(default: min(3, cpu count))",
     )
     serve_p.add_argument(
         "--state-dir", default=None, metavar="DIR",

@@ -37,6 +37,7 @@ from ..exceptions import UnsupportedSettingError
 from ..knn import Dataset, QueryEngine
 from ..knn.engine import as_engine
 from ..solvers.sat import CNFBuilder, minimize_bound, minimize_bound_assumptions
+from ..solvers.sat.pool import SATSolverPool, lease_or_build
 from . import CounterfactualResult
 
 
@@ -161,3 +162,167 @@ def closest_counterfactual_hamming_sat(
         label_from=label,
         method="hamming-sat",
     )
+
+
+# ---------------------------------------------------------------------------
+# Warm-pool variants and the canonical (lex-min) witness
+# ---------------------------------------------------------------------------
+
+
+def _cf_facts(dataset: Dataset, x: np.ndarray, query_engine: QueryEngine | None):
+    """Classify *x* and group the flip-encoding inputs for its label."""
+    knn = as_engine(dataset, "hamming", query_engine)
+    label = knn.classify(x, 1)
+    expanded = dataset.expanded()
+    if label == 1:
+        winning, losing, margin = expanded.negatives, expanded.positives, 1
+    else:
+        winning, losing, margin = expanded.positives, expanded.negatives, 0
+    return knn, label, winning, losing, margin
+
+
+def _build_cf_entry(x: np.ndarray, winning, losing, margin: int):
+    """Build a pooled counterfactual entry: flip encoding on a live solver.
+
+    The flip constraints only mention the dataset points (``x`` supplies
+    the dimension), so one entry serves every query with this label on
+    this dataset version; the per-query distance bounds are added later
+    as guarded cardinality constraints.
+    """
+    builder, y = build_flip_encoding(x, winning, losing, margin)
+    return builder.build_solver(), {"y": y, "bounds": {}}
+
+
+def _ensure_cf_bound(entry, x: np.ndarray, t: int) -> int:
+    """Guarded ``d_H(x, y) <= t`` constraint, cached per (query, bound)."""
+    key = (x.tobytes(), t)
+    guard = entry.state["bounds"].get(key)
+    if guard is None:
+        y = entry.state["y"]
+        n = x.shape[0]
+        agree = [y[i] if x[i] == 1 else -y[i] for i in range(n)]
+        guard = entry.solver.new_var()
+        entry.solver.add_cardinality(agree, n - t, guard=guard)
+        entry.state["bounds"][key] = guard
+    return guard
+
+
+def closest_counterfactual_hamming_sat_pooled(
+    dataset: Dataset,
+    k: int,
+    x: np.ndarray,
+    *,
+    solver_pool: SATSolverPool | None = None,
+    fingerprint: str | None = None,
+    strategy: str = "binary",
+    query_engine: QueryEngine | None = None,
+    time_limit: float | None = None,
+) -> CounterfactualResult:
+    """Incremental counterfactual sweep over a warm pooled solver.
+
+    Same optimal distance as :func:`closest_counterfactual_hamming_sat`
+    — feasibility verdicts do not depend on warm solver state — but the
+    flip encoding shared by every query with this label on this dataset
+    version is built once and reused.  ``solver_pool=None`` degrades to
+    an ephemeral (cold) entry.
+    """
+    check_odd_k(k)
+    if k != 1:
+        raise UnsupportedSettingError(
+            "the Section 9.2 SAT encoding targets k = 1; use hamming-milp "
+            "with the enumerated formulation for k >= 3"
+        )
+    _, label, winning, losing, margin = _cf_facts(dataset, x, query_engine)
+    if winning.shape[0] == 0:
+        return CounterfactualResult(
+            y=None, distance=np.inf, infimum=np.inf, label_from=label, method="hamming-sat"
+        )
+    n = dataset.dimension
+    key = (fingerprint or "", "cf", 1, label, n)
+    with lease_or_build(
+        solver_pool, key, lambda: _build_cf_entry(x, winning, losing, margin)
+    ) as entry:
+        y_vars = entry.state["y"]
+        found = minimize_bound_assumptions(
+            entry.solver,
+            lambda t: _ensure_cf_bound(entry, x, t),
+            lambda model: np.array([1.0 if model[v] else 0.0 for v in y_vars]),
+            1,
+            n,
+            strategy=strategy,
+            time_limit=time_limit,
+        )
+    if found is None:
+        return CounterfactualResult(
+            y=None, distance=np.inf, infimum=np.inf, label_from=label, method="hamming-sat"
+        )
+    _t, y_val = found
+    distance = float(np.abs(y_val - x).sum())
+    return CounterfactualResult(
+        y=y_val,
+        distance=distance,
+        infimum=distance,
+        label_from=label,
+        method="hamming-sat",
+    )
+
+
+def counterfactual_canonical_witness(
+    dataset: Dataset,
+    x: np.ndarray,
+    distance: float,
+    *,
+    solver_pool: SATSolverPool | None = None,
+    fingerprint: str | None = None,
+    query_engine: QueryEngine | None = None,
+    time_limit: float | None = None,
+) -> np.ndarray:
+    """The lex-smallest counterfactual at the optimal Hamming *distance*.
+
+    Among all points flipping the classification at distance exactly
+    ``t = distance``, this returns the one whose *flip set* (sorted
+    component indices) is lexicographically smallest — exactly the
+    first point the brute pipeline's ``combinations`` enumeration would
+    hit, so every portfolio winner canonicalizes to the same array.
+    The walk prefers flipping each ascending index, settling each
+    preference with a feasibility probe under the ``d_H(x, y) <= t``
+    guard (the current model short-circuits probes it already
+    witnesses; every model under the guard sits at exactly the optimal
+    distance, so prefixes stay feasible).
+    """
+    knn, label, winning, losing, margin = _cf_facts(dataset, x, query_engine)
+    n = dataset.dimension
+    t = int(distance)
+    key = (fingerprint or "", "cf", 1, label, n)
+    deadline = start_deadline(time_limit)
+    with lease_or_build(
+        solver_pool, key, lambda: _build_cf_entry(x, winning, losing, margin)
+    ) as entry:
+        solver, y = entry.solver, entry.state["y"]
+        guard = _ensure_cf_bound(entry, x, t)
+        decided: list[int] = []
+        flips: set[int] = set()
+        model = None
+        for i in range(n):
+            # "Flip i" as a literal: y_i takes the value opposite x_i.
+            flip_lit = -y[i] if x[i] == 1 else y[i]
+            if model is not None and (model[y[i]] != (x[i] == 1)):
+                decided.append(flip_lit)
+                flips.add(i)
+            else:
+                remaining = remaining_budget(deadline, "canonical-witness extraction")
+                probe = solver.solve([guard, *decided, flip_lit], time_limit=remaining)
+                if probe is not None:
+                    model = probe
+                    decided.append(flip_lit)
+                    flips.add(i)
+                else:
+                    decided.append(-flip_lit)
+            if len(flips) == t:
+                break  # every model under the guard flips exactly t bits
+    y_val = np.array(x, dtype=float)
+    for i in flips:
+        y_val[i] = 1.0 - y_val[i]
+    if knn.classify(y_val, 1) == label:  # pragma: no cover - encoding bug guard
+        raise AssertionError("canonical counterfactual fails to flip the label")
+    return y_val

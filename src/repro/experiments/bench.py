@@ -72,6 +72,7 @@ GATED_HEADLINES = (
     "streaming_updates",
     "million_point",
     "serve_scaleout",
+    "portfolio_parallel",
 )
 
 #: the primary gated workload (legacy alias).
@@ -632,6 +633,130 @@ def measure_serve_scaleout(seed: int = 20250601, repeats: int = 3) -> dict:
     }
 
 
+def measure_portfolio_parallel(seed: int = 20250601, repeats: int = 3) -> dict:
+    """Gated headline: parallel-race + warm-pool portfolio vs sequential-cold.
+
+    Both contestants serve the *same* mixed schedule of ``minimum_sr``
+    and ``counterfactual`` portfolio solves (hamming, k = 1, the
+    NP-complete Table-1 cells) over three discrete dataset lineages
+    through the serving layer, result caches disabled.  The contest
+    side races exact methods in the process pool and reuses warm
+    pooled SAT solvers across queries of a lineage; the baseline side
+    is the sequential racer with pooling disabled — every query pays a
+    fresh encode.
+
+    Phase 0 — before any timing — answers the whole schedule on both
+    sides sequentially and asserts the payloads (minus provenance)
+    bit-identical, and the contest side's answers canonical: the race
+    and the pool may only change *when* answers arrive, never *what*
+    they are.  The gated ``"speedup"`` is the wall-clock ratio of
+    draining the schedule through four client threads (best of
+    *repeats* paired runs).  The parallel half of the gain tracks
+    available cores — the CI-scale acceptance script
+    (``benchmarks/bench_portfolio_parallel.py``) gates >= 2x only on
+    machines with >= 4 cpus; the warm-pool half shows on any core
+    count.
+    """
+    import os
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..serve import ExplanationService
+    from ..serve.service import PROVENANCE_KEY
+
+    rng = np.random.default_rng(seed)
+    n_lineages, dim, points_per_label = 3, 10, 16
+    lineages = []
+    for _ in range(n_lineages):
+        pos = rng.integers(0, 2, size=(points_per_label, dim)).astype(float)
+        neg = rng.integers(0, 2, size=(points_per_label, dim)).astype(float)
+        lineages.append(Dataset(pos, neg, discrete=True))
+    schedule = [
+        (i % n_lineages,
+         "minimum_sr" if i % 2 == 0 else "counterfactual",
+         rng.integers(0, 2, size=dim).astype(float))
+        for i in range(36)
+    ]
+
+    race_workers = max(1, min(4, os.cpu_count() or 1))
+    contest = ExplanationService(
+        cache_size=0, parallel_portfolio=True, race_workers=race_workers
+    )
+    baseline = ExplanationService(cache_size=0, solver_pool=0)
+    try:
+        contest_fps = [contest.add_dataset(data) for data in lineages]
+        baseline_fps = [baseline.add_dataset(data) for data in lineages]
+        warm = [rng.integers(0, 2, size=dim).astype(float) for _ in range(4)]
+        for c_fp, b_fp in zip(contest_fps, baseline_fps):
+            contest.explain(c_fp, "classify", warm, {"k": 1})
+            baseline.explain(b_fp, "classify", warm, {"k": 1})
+
+        # Phase 0 — parity: racing and pooling must never change an
+        # answer, only its latency (explicit raise: survives -O).
+        for lineage, method, x in schedule:
+            got = contest.submit(
+                contest_fps[lineage], method, x,
+                k=1, metric="hamming", solver="portfolio",
+            ).payload
+            want = baseline.submit(
+                baseline_fps[lineage], method, x,
+                k=1, metric="hamming", solver="portfolio",
+            ).payload
+            provenance = got.get(PROVENANCE_KEY, {})
+            if not provenance.get("canonical"):
+                raise AssertionError(
+                    f"contest answer for {method} is not canonical: {provenance}"
+                )
+            got = {k: v for k, v in got.items() if k != PROVENANCE_KEY}
+            want = {k: v for k, v in want.items() if k != PROVENANCE_KEY}
+            if got != want:
+                raise AssertionError(
+                    f"parallel+pooled and sequential-cold answers diverged "
+                    f"for {method}: {got} vs {want}"
+                )
+
+        def drain(service, fingerprints) -> float:
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(
+                        service.submit, fingerprints[lineage], method, x,
+                        k=1, metric="hamming", solver="portfolio",
+                    )
+                    for lineage, method, x in schedule
+                ]
+                for future in futures:
+                    future.result()
+            return time.perf_counter() - start
+
+        contest_s = min(drain(contest, contest_fps) for _ in range(max(1, repeats)))
+        baseline_s = min(drain(baseline, baseline_fps) for _ in range(max(1, repeats)))
+        pool_stats = contest.solver_pool.stats()
+        race_stats = contest.racer.stats()
+    finally:
+        contest.close()
+        baseline.close()
+
+    return {
+        "speedup": baseline_s / contest_s,
+        "contest_s": contest_s,
+        "baseline_s": baseline_s,
+        "requests": len(schedule),
+        "parity_checked": len(schedule),
+        "pool_hits": pool_stats["hits"],
+        "pool_misses": pool_stats["misses"],
+        "races": race_stats["races"],
+        "race_cancelled": race_stats["cancelled"],
+        "race_hard_kills": race_stats["hard_kills"],
+        "race_workers": race_workers,
+        "cpus": os.cpu_count(),
+        "lineages": n_lineages,
+        "train": 2 * points_per_label,
+        "dim": dim,
+        "metric": "hamming",
+        "k": 1,
+    }
+
+
 WORKLOADS = {
     "engine_batch": measure_engine_batch,
     "hamming_bitpack": measure_hamming_bitpack,
@@ -639,6 +764,7 @@ WORKLOADS = {
     "msr_incremental": measure_msr_incremental,
     "serve_throughput": measure_serve_throughput,
     "serve_scaleout": measure_serve_scaleout,
+    "portfolio_parallel": measure_portfolio_parallel,
     "streaming_updates": measure_streaming_updates,
     "million_point": measure_million_point,
 }

@@ -7,13 +7,21 @@ pipeline dominates: MILP usually leads on the random workloads, SAT
 wins when the optimum is small, brute force wins at tiny dimension.
 This module races them:
 
-* every *applicable* method for the instance runs in a fixed order
-  under a **per-method wall-clock budget** (``budget`` seconds),
-  sharing one :class:`~repro.knn.QueryEngine` so distance work is never
-  repeated;
+* every *applicable* method for the instance runs under a
+  **per-method wall-clock budget** (``budget`` seconds) — sequentially
+  in a fixed order by default, or **concurrently in a process pool**
+  (``parallel=True``, via :class:`~repro.solvers.race.ProcessRacer`)
+  where the first exact answer cancels the losers cooperatively
+  through the shared budget/cancel plumbing, with a hard-kill backstop;
 * the first method to finish inside its budget supplies the exact
-  answer, stamped with a provenance record (which method won, what the
-  budget was, how long each attempt ran);
+  answer, stamped with a provenance record (which method won, which
+  were cancelled, what the budget was, how long each attempt ran);
+* the winner's *witness* is then replaced by the **canonical witness**
+  — the lexicographically smallest optimal reason set / flip set,
+  exactly what the brute pipeline's enumeration order returns — so the
+  portfolio's answer is bit-identical no matter which method won or
+  how a parallel race was scheduled (``canonical`` records the rare
+  budget-pressed fallback to the winner's own witness);
 * if **every** exact method runs out of budget, the portfolio degrades
   to a polynomial *anytime* answer instead of failing: the
   Proposition-2 greedy for Minimum-SR (a genuine, just not necessarily
@@ -21,11 +29,20 @@ This module races them:
   opposite predicted class for counterfactuals (a genuine, just not
   necessarily closest, counterfactual).
 
+A warm :class:`~repro.solvers.sat.pool.SATSolverPool` may be passed so
+the SAT sweeps and the canonicalization probes reuse one incremental
+solver per (dataset version, label) across related queries —
+mutations must invalidate by fingerprint exactly like result caches
+(the serve layer wires this up automatically).
+
 Budgets are enforced cooperatively through the ``time_limit`` plumbing
 of the underlying solvers (SAT conflict loop, HiGHS ``time_limit``,
 enumeration batch checks), surfacing as
 :class:`~repro.exceptions.ResourceLimitError` — best-effort rather than
 preemptive, which keeps the racer deterministic and dependency-free.
+Every attempt's budget starts when the attempt does (in its own worker
+for parallel races), so a cancelled or timed-out attempt never burns
+the next attempt's budget.
 """
 
 from __future__ import annotations
@@ -44,6 +61,7 @@ from .exceptions import (
 from .knn import Dataset, QueryEngine
 from .knn.engine import as_engine
 from .metrics import get_metric
+from .solvers.sat.pool import SATSolverPool
 
 #: exact Minimum-SR methods raced on the discrete k = 1 cell, in order.
 MSR_PORTFOLIO = ("milp", "sat", "brute")
@@ -55,6 +73,12 @@ CF_PORTFOLIO = {
     "l2": ("l2-qp",),
 }
 
+#: exception types a race worker may report for an "unsupported" attempt.
+_UNSUPPORTED_TYPES = {
+    "UnsupportedSettingError": UnsupportedSettingError,
+    "ValidationError": ValidationError,
+}
+
 
 @dataclass(frozen=True)
 class PortfolioAttempt:
@@ -63,7 +87,7 @@ class PortfolioAttempt:
     method: str
     budget_s: float | None
     elapsed_s: float
-    status: str  # "exact" | "timeout" | "unsupported" | "anytime"
+    status: str  # "exact" | "timeout" | "cancelled" | "unsupported" | "error" | "anytime"
     detail: str = ""
 
 
@@ -75,7 +99,11 @@ class PortfolioResult:
     (:class:`~repro.abductive.MinimumSRResult` or
     :class:`~repro.counterfactual.CounterfactualResult`); ``exact`` is
     False only when every exact method timed out and the anytime
-    fallback supplied the answer.
+    fallback supplied the answer.  ``mode`` records whether the
+    attempts raced sequentially or in the process pool; ``canonical``
+    whether the witness is the canonical (lex-min) one — it is False
+    only for anytime answers and for exact answers whose
+    canonicalization was cut short by budget pressure.
     """
 
     answer: object
@@ -84,6 +112,180 @@ class PortfolioResult:
     elapsed_s: float
     exact: bool
     attempts: tuple[PortfolioAttempt, ...]
+    mode: str = "sequential"
+    canonical: bool = False
+
+
+def _pool_fingerprint(
+    dataset: Dataset, solver_pool: SATSolverPool | None, fingerprint: str | None
+) -> str | None:
+    """The pool key fingerprint: caller-supplied, else content-addressed.
+
+    A shared pool must never mix datasets under one key, so when the
+    caller passes a pool without a fingerprint we fall back to the
+    exact content hash (the serve layer passes its versioned ``@vN``
+    fingerprints instead, which is what makes mutation-driven pool
+    invalidation line up with result-cache invalidation).
+    """
+    if solver_pool is None or fingerprint is not None:
+        return fingerprint
+    from .serve.cache import dataset_fingerprint  # local: avoids an import cycle
+
+    return dataset_fingerprint(dataset)
+
+
+def _canonical_msr(
+    result,
+    dataset: Dataset,
+    k: int,
+    metric,
+    x: np.ndarray,
+    engine: QueryEngine,
+    solver_pool: SATSolverPool | None,
+    fingerprint: str | None,
+    budget: float | None,
+):
+    """Replace an exact Minimum-SR winner's witness by the canonical one.
+
+    Returns ``(result, canonical)``.  Brute answers are canonical by
+    construction (size-ascending lexicographic enumeration); the MILP
+    and SAT winners are re-anchored by the lex-leader extraction, which
+    agrees with brute bit-for-bit.  Budget pressure keeps the winner's
+    own witness and reports ``canonical=False``.
+    """
+    from .abductive.minimum import MinimumSRResult, minimum_sr_canonical_witness
+
+    if metric.name != "hamming" or k != 1 or result.method == "brute":
+        return result, True
+    try:
+        X = minimum_sr_canonical_witness(
+            dataset,
+            x,
+            engine,
+            result.size,
+            solver_pool=solver_pool,
+            fingerprint=fingerprint,
+            time_limit=budget,
+        )
+    except ResourceLimitError:
+        return result, False
+    return MinimumSRResult(X=X, size=result.size, method=result.method), True
+
+
+def _canonical_cf(
+    result,
+    dataset: Dataset,
+    k: int,
+    metric,
+    x: np.ndarray,
+    engine: QueryEngine,
+    solver_pool: SATSolverPool | None,
+    fingerprint: str | None,
+    budget: float | None,
+):
+    """Replace an exact counterfactual winner's point by the canonical one.
+
+    Returns ``(result, canonical)``.  Non-Hamming cells have a single
+    deterministic member; Hamming brute is canonical by construction.
+    For k = 1 the lex-min flip set comes from the SAT extraction; for
+    k >= 3 (no SAT member) from a brute re-enumeration capped at the
+    known optimal distance — if that enumeration is too large or the
+    budget runs out, the winner's own point stands with
+    ``canonical=False``.
+    """
+    from .counterfactual import CounterfactualResult
+    from .counterfactual.brute import closest_counterfactual_hamming_brute
+    from .counterfactual.hamming_sat import counterfactual_canonical_witness
+
+    if metric.name != "hamming" or result.y is None or result.method == "hamming-brute":
+        return result, True
+    if k == 1:
+        try:
+            y = counterfactual_canonical_witness(
+                dataset,
+                x,
+                result.distance,
+                solver_pool=solver_pool,
+                fingerprint=fingerprint,
+                query_engine=engine,
+                time_limit=budget,
+            )
+        except ResourceLimitError:
+            return result, False
+    else:
+        try:
+            redo = closest_counterfactual_hamming_brute(
+                dataset,
+                k,
+                x,
+                max_distance=int(result.distance),
+                query_engine=engine,
+                time_limit=budget,
+            )
+        except (ResourceLimitError, ValidationError):
+            return result, False
+        if redo.y is None:  # pragma: no cover - the winner's y witnesses feasibility
+            return result, False
+        y = redo.y
+    canonical = CounterfactualResult(
+        y=y,
+        distance=result.distance,
+        infimum=result.infimum,
+        label_from=result.label_from,
+        method=result.method,
+    )
+    return canonical, True
+
+
+def _race_parallel(
+    kind: str,
+    dataset: Dataset,
+    k: int,
+    metric,
+    x: np.ndarray,
+    methods: tuple[str, ...],
+    budget: float | None,
+    stagger: dict[str, float] | None,
+    racer,
+    extra: dict | None,
+):
+    """Run the process race; returns the outcome or None to go sequential."""
+    from .solvers.race import default_racer
+
+    racer = racer if racer is not None else default_racer()
+    return racer.race(
+        kind,
+        dataset,
+        k,
+        metric.name,
+        x,
+        tuple(methods),
+        budget=budget,
+        stagger=stagger,
+        extra=extra,
+    )
+
+
+def _attempts_from_race(outcome, budget: float | None) -> list[PortfolioAttempt]:
+    """Convert race attempts to provenance records, winner last."""
+    records = [
+        PortfolioAttempt(a.method, budget, a.elapsed_s, a.status, a.detail)
+        for a in outcome.attempts
+    ]
+    if outcome.winner is not None:
+        records.sort(key=lambda a: a.status == "exact")
+    return records
+
+
+def _raise_race_failure(outcome, methods: tuple[str, ...]) -> None:
+    """Re-raise all-inapplicable or worker-error races like the sequential path."""
+    by_status = {a.status for a in outcome.attempts}
+    if by_status <= {"unsupported"}:
+        last = next(a for a in reversed(outcome.attempts) if a.status == "unsupported")
+        raise _UNSUPPORTED_TYPES.get(last.exc_type, UnsupportedSettingError)(last.detail)
+    if "timeout" not in by_status and "cancelled" not in by_status and "error" in by_status:
+        bad = next(a for a in outcome.attempts if a.status == "error")
+        raise RuntimeError(f"race worker failed on {bad.method}: {bad.detail}")
 
 
 def portfolio_minimum_sufficient_reason(
@@ -98,17 +300,31 @@ def portfolio_minimum_sufficient_reason(
     max_brute_dimension: int = 18,
     restarts: int = 8,
     seed: int | None = 0,
+    parallel: bool = False,
+    racer=None,
+    solver_pool: SATSolverPool | None = None,
+    fingerprint: str | None = None,
+    stagger: dict[str, float] | None = None,
 ) -> PortfolioResult:
     """Race the exact Minimum-SR pipelines under per-method budgets.
 
     ``methods`` defaults to every pipeline applicable to the instance's
     (metric, k) cell; ``budget`` is seconds *per method* (None = no
-    cap, so the first applicable method simply wins).  On all-timeout
-    the Proposition-2 greedy (``restarts`` shuffled orders) provides
-    the anytime answer.  All attempts share one query engine.
+    cap).  ``parallel=True`` races the methods concurrently in the
+    process pool (``racer`` or the shared default); ``stagger`` adds
+    artificial per-method start delays (the determinism harness forces
+    arbitrary winners with it).  ``solver_pool`` warms the SAT sweeps
+    and canonicalization across related queries; ``fingerprint``
+    identifies the dataset version in that pool (content hash when
+    omitted).  On all-timeout the Proposition-2 greedy (``restarts``
+    shuffled orders) provides the anytime answer.  Exact answers carry
+    the canonical lex-min witness, so they are bit-identical across
+    modes, method subsets and race schedules.
     """
-    from .abductive.approximate import approximate_minimum_sufficient_reason
-    from .abductive.minimum import MinimumSRResult, minimum_sufficient_reason
+    from .abductive.minimum import (
+        minimum_sat_hamming_k1_pooled,
+        minimum_sufficient_reason,
+    )
 
     k = check_odd_k(k)
     metric = get_metric(metric)
@@ -122,9 +338,39 @@ def portfolio_minimum_sufficient_reason(
         methods = (
             MSR_PORTFOLIO if (metric.name == "hamming" and k == 1) else ("brute",)
         )
+    fingerprint = _pool_fingerprint(dataset, solver_pool, fingerprint)
     start = perf_counter()
     attempts: list[PortfolioAttempt] = []
     last_unsupported: Exception | None = None
+    mode = "sequential"
+    if parallel and not (budget is not None and budget <= 0):
+        outcome = _race_parallel(
+            "msr", dataset, k, metric, xv, methods, budget, stagger, racer,
+            {"max_brute_dimension": max_brute_dimension},
+        )
+        if outcome is not None:
+            mode = "parallel"
+            attempts = _attempts_from_race(outcome, budget)
+            if outcome.winner is not None:
+                answer, canonical = _canonical_msr(
+                    outcome.winner.answer, dataset, k, metric, xv, engine,
+                    solver_pool, fingerprint, budget,
+                )
+                return PortfolioResult(
+                    answer=answer,
+                    method=answer.method,
+                    budget_s=budget,
+                    elapsed_s=perf_counter() - start,
+                    exact=True,
+                    attempts=tuple(attempts),
+                    mode=mode,
+                    canonical=canonical,
+                )
+            _raise_race_failure(outcome, methods)
+            return _msr_anytime(
+                dataset, k, metric, xv, engine, budget, restarts, seed,
+                attempts, start, mode,
+            )
     for method in methods:
         if budget is not None and budget <= 0:
             attempts.append(PortfolioAttempt(
@@ -133,11 +379,20 @@ def portfolio_minimum_sufficient_reason(
             continue
         t0 = perf_counter()
         try:
-            result = minimum_sufficient_reason(
-                dataset, k, metric, xv,
-                method=method, engine=engine, time_limit=budget,
-                max_brute_dimension=max_brute_dimension,
-            )
+            if method == "sat" and solver_pool is not None and (
+                metric.name == "hamming" and k == 1
+            ):
+                result = minimum_sat_hamming_k1_pooled(
+                    dataset, xv, engine,
+                    solver_pool=solver_pool, fingerprint=fingerprint,
+                    time_limit=budget,
+                )
+            else:
+                result = minimum_sufficient_reason(
+                    dataset, k, metric, xv,
+                    method=method, engine=engine, time_limit=budget,
+                    max_brute_dimension=max_brute_dimension,
+                )
         except ResourceLimitError as exc:
             attempts.append(PortfolioAttempt(
                 method, budget, perf_counter() - t0, "timeout", str(exc)
@@ -150,29 +405,44 @@ def portfolio_minimum_sufficient_reason(
             last_unsupported = exc
             continue
         attempts.append(PortfolioAttempt(method, budget, perf_counter() - t0, "exact"))
+        answer, canonical = _canonical_msr(
+            result, dataset, k, metric, xv, engine, solver_pool, fingerprint, budget
+        )
         return PortfolioResult(
-            answer=result,
-            method=result.method,
+            answer=answer,
+            method=answer.method,
             budget_s=budget,
             elapsed_s=perf_counter() - start,
             exact=True,
             attempts=tuple(attempts),
+            mode=mode,
+            canonical=canonical,
         )
     if last_unsupported is not None and not any(
-        a.status == "timeout" for a in attempts
+        a.status in ("timeout", "cancelled") for a in attempts
     ):
         # Nothing timed out — every member was inapplicable.  That is an
         # input problem, not budget pressure, so fail like the
         # single-method entry points instead of degrading silently.
         raise last_unsupported
-    # Anytime degradation: the greedy always returns a genuine
-    # (minimal) sufficient reason in polynomial time; only its
-    # *cardinality minimality* is approximate.
+    return _msr_anytime(
+        dataset, k, metric, xv, engine, budget, restarts, seed, attempts, start, mode
+    )
+
+
+def _msr_anytime(
+    dataset, k, metric, xv, engine, budget, restarts, seed, attempts, start, mode
+) -> PortfolioResult:
+    """The Proposition-2 greedy degradation shared by both race modes."""
+    from .abductive.approximate import approximate_minimum_sufficient_reason
+    from .abductive.minimum import MinimumSRResult
+
     t0 = perf_counter()
     approx = approximate_minimum_sufficient_reason(
         dataset, k, metric, xv, engine=engine, restarts=restarts, seed=seed
     )
     answer = MinimumSRResult(X=approx.X, size=approx.size, method="greedy-anytime")
+    attempts = list(attempts)
     attempts.append(PortfolioAttempt(
         "greedy-anytime", None, perf_counter() - t0, "anytime",
         f"upper bound after {approx.restarts_used} greedy restarts",
@@ -184,6 +454,8 @@ def portfolio_minimum_sufficient_reason(
         elapsed_s=perf_counter() - start,
         exact=False,
         attempts=tuple(attempts),
+        mode=mode,
+        canonical=False,
     )
 
 
@@ -196,15 +468,25 @@ def portfolio_closest_counterfactual(
     budget: float | None = None,
     methods: tuple[str, ...] | None = None,
     query_engine: QueryEngine | None = None,
+    parallel: bool = False,
+    racer=None,
+    solver_pool: SATSolverPool | None = None,
+    fingerprint: str | None = None,
+    stagger: dict[str, float] | None = None,
 ) -> PortfolioResult:
     """Race the exact closest-counterfactual pipelines under budgets.
 
     Applicable methods come from :data:`CF_PORTFOLIO` keyed by the
-    metric.  On all-timeout the anytime fallback returns the nearest
-    *training* point whose prediction differs from ``f(x)`` — a
-    genuine counterfactual whose distance upper-bounds the optimum.
+    metric.  ``parallel``, ``racer``, ``solver_pool``, ``fingerprint``
+    and ``stagger`` behave exactly as in
+    :func:`portfolio_minimum_sufficient_reason`; exact answers carry
+    the canonical lex-min flip set.  On all-timeout the anytime
+    fallback returns the nearest *training* point whose prediction
+    differs from ``f(x)`` — a genuine counterfactual whose distance
+    upper-bounds the optimum.
     """
     from .counterfactual import closest_counterfactual
+    from .counterfactual.hamming_sat import closest_counterfactual_hamming_sat_pooled
 
     k = check_odd_k(k)
     metric = get_metric(metric)
@@ -220,9 +502,35 @@ def portfolio_closest_counterfactual(
             raise UnsupportedSettingError(
                 f"no portfolio members for metric {metric.name!r}; pass methods="
             )
+    fingerprint = _pool_fingerprint(dataset, solver_pool, fingerprint)
     start = perf_counter()
     attempts: list[PortfolioAttempt] = []
     last_unsupported: Exception | None = None
+    mode = "sequential"
+    if parallel and not (budget is not None and budget <= 0):
+        outcome = _race_parallel(
+            "cf", dataset, k, metric, xv, methods, budget, stagger, racer, None
+        )
+        if outcome is not None:
+            mode = "parallel"
+            attempts = _attempts_from_race(outcome, budget)
+            if outcome.winner is not None:
+                answer, canonical = _canonical_cf(
+                    outcome.winner.answer, dataset, k, metric, xv, engine,
+                    solver_pool, fingerprint, budget,
+                )
+                return PortfolioResult(
+                    answer=answer,
+                    method=answer.method,
+                    budget_s=budget,
+                    elapsed_s=perf_counter() - start,
+                    exact=True,
+                    attempts=tuple(attempts),
+                    mode=mode,
+                    canonical=canonical,
+                )
+            _raise_race_failure(outcome, methods)
+            return _cf_anytime(dataset, k, metric, xv, engine, budget, attempts, start, mode)
     for method in methods:
         if budget is not None and budget <= 0:
             attempts.append(PortfolioAttempt(
@@ -231,10 +539,17 @@ def portfolio_closest_counterfactual(
             continue
         t0 = perf_counter()
         try:
-            result = closest_counterfactual(
-                dataset, k, metric, xv,
-                method=method, query_engine=engine, time_limit=budget,
-            )
+            if method == "hamming-sat" and solver_pool is not None and k == 1:
+                result = closest_counterfactual_hamming_sat_pooled(
+                    dataset, k, xv,
+                    solver_pool=solver_pool, fingerprint=fingerprint,
+                    query_engine=engine, time_limit=budget,
+                )
+            else:
+                result = closest_counterfactual(
+                    dataset, k, metric, xv,
+                    method=method, query_engine=engine, time_limit=budget,
+                )
         except ResourceLimitError as exc:
             attempts.append(PortfolioAttempt(
                 method, budget, perf_counter() - t0, "timeout", str(exc)
@@ -247,20 +562,33 @@ def portfolio_closest_counterfactual(
             last_unsupported = exc
             continue
         attempts.append(PortfolioAttempt(method, budget, perf_counter() - t0, "exact"))
+        answer, canonical = _canonical_cf(
+            result, dataset, k, metric, xv, engine, solver_pool, fingerprint, budget
+        )
         return PortfolioResult(
-            answer=result,
-            method=result.method,
+            answer=answer,
+            method=answer.method,
             budget_s=budget,
             elapsed_s=perf_counter() - start,
             exact=True,
             attempts=tuple(attempts),
+            mode=mode,
+            canonical=canonical,
         )
     if last_unsupported is not None and not any(
-        a.status == "timeout" for a in attempts
+        a.status in ("timeout", "cancelled") for a in attempts
     ):
         raise last_unsupported  # all members inapplicable: an input problem
+    return _cf_anytime(dataset, k, metric, xv, engine, budget, attempts, start, mode)
+
+
+def _cf_anytime(
+    dataset, k, metric, xv, engine, budget, attempts, start, mode
+) -> PortfolioResult:
+    """The nearest-training degradation shared by both race modes."""
     t0 = perf_counter()
     answer = _anytime_counterfactual(dataset, k, metric, xv, engine)
+    attempts = list(attempts)
     attempts.append(PortfolioAttempt(
         "nearest-training-anytime", None, perf_counter() - t0, "anytime",
         "nearest opposite-predicted training point (distance upper bound)",
@@ -272,6 +600,8 @@ def portfolio_closest_counterfactual(
         elapsed_s=perf_counter() - start,
         exact=False,
         attempts=tuple(attempts),
+        mode=mode,
+        canonical=False,
     )
 
 

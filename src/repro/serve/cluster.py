@@ -136,6 +136,9 @@ def _worker_main(conn, config: dict) -> None:
         state_dir=config.get("state_dir"),
         snapshot_every=config.get("snapshot_every", 64),
         log_stream=sys.stderr if config.get("log") else None,
+        solver_pool=config.get("solver_pool", 32),
+        parallel_portfolio=config.get("parallel_portfolio", False),
+        race_workers=config.get("race_workers"),
     )
     while True:
         try:
@@ -343,6 +346,9 @@ class ClusterService:
         snapshot_every: int = 64,
         log_stream=None,
         start_method: str | None = None,
+        solver_pool: int = 32,
+        parallel_portfolio: bool = False,
+        race_workers: int | None = None,
     ):
         self.n_workers = max(1, int(workers))
         self.replicas = min(self.n_workers, max(1, int(replicas)))
@@ -370,6 +376,9 @@ class ClusterService:
                 "state_dir": worker_state_dir,
                 "snapshot_every": int(snapshot_every),
                 "log": log_stream is not None,
+                "solver_pool": int(solver_pool),
+                "parallel_portfolio": bool(parallel_portfolio),
+                "race_workers": race_workers,
             }
             self._workers.append(_Worker(index, config, self.queue_depth, ctx))
         # Every fork happened above, before any front thread exists; only
@@ -638,6 +647,11 @@ class ClusterService:
                  "size": 0, "maxsize": 0}
         total = {"engines": 0, "requests": 0, "batches": 0,
                  "batched_requests": 0, "mutations": 0}
+        solver_pool = {"hits": 0, "misses": 0, "recycled": 0, "evictions": 0,
+                       "invalidated": 0, "entries": 0, "leases": 0}
+        portfolio = {"races": 0, "parallel": 0, "sequential": 0,
+                     "canonical": 0, "fallback_witness": 0, "anytime": 0}
+        attempts: dict[str, int] = {}
         durability: dict | None = None
         largest = 0
         for stats in worker_stats:
@@ -648,6 +662,12 @@ class ClusterService:
                 versions[base] = max(versions.get(base, 0), version)
             for key in cache:
                 cache[key] += stats["cache"][key]
+            for key in solver_pool:
+                solver_pool[key] += stats["solver_pool"][key]
+            for key in portfolio:
+                portfolio[key] += stats["portfolio"][key]
+            for status, count in stats["portfolio"]["attempts"].items():
+                attempts[status] = attempts.get(status, 0) + count
             if "durability" in stats:
                 if durability is None:
                     durability = dict.fromkeys(
@@ -678,6 +698,8 @@ class ClusterService:
             "mutations": total["mutations"],
             "versions": versions,
             "cache": cache,
+            "solver_pool": solver_pool,
+            "portfolio": {**portfolio, "attempts": attempts},
             "cluster": cluster,
         }
         if durability is not None:

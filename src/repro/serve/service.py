@@ -70,6 +70,8 @@ from ..exceptions import (
 )
 from ..knn import Dataset, QueryEngine
 from ..metrics import get_metric
+from ..solvers.race import ProcessRacer
+from ..solvers.sat.pool import SATSolverPool
 from .cache import (
     ResultCache,
     dataset_fingerprint,
@@ -169,6 +171,21 @@ class ExplanationService:
     log_stream:
         optional writable stream for structured JSON logs (one object
         per line; ``None`` — the library default — logs nothing).
+    solver_pool:
+        max entries of the warm cross-query SAT solver pool used by the
+        portfolio solver (``0`` disables pooling).  Pool entries are
+        keyed by versioned ``@vN`` fingerprint, so streaming mutations
+        invalidate pooled solvers exactly like result-cache entries.
+    parallel_portfolio:
+        when True, ``solver="portfolio"`` requests race their exact
+        methods concurrently in a process pool
+        (:class:`~repro.solvers.race.ProcessRacer`, spawned eagerly in
+        the constructor, before any serving thread exists) instead of
+        sequentially.  Answers are bit-identical either way — the
+        portfolio always returns the canonical witness.
+    race_workers:
+        worker processes of the parallel-portfolio racer (default
+        ``min(3, cpu_count)``); ignored unless *parallel_portfolio*.
     """
 
     def __init__(
@@ -182,6 +199,9 @@ class ExplanationService:
         state_dir=None,
         snapshot_every: int = 64,
         log_stream=None,
+        solver_pool: int = 32,
+        parallel_portfolio: bool = False,
+        race_workers: int | None = None,
     ):
         self.backend = backend
         self.cache = ResultCache(cache_size, cache_dir)
@@ -200,6 +220,25 @@ class ExplanationService:
         self._batched_requests = 0
         self._largest_batch = 0
         self._mutations = 0
+        self.solver_pool = (
+            SATSolverPool(max_entries=int(solver_pool)) if solver_pool else None
+        )
+        self.parallel_portfolio = bool(parallel_portfolio)
+        # The racer forks eagerly, before any serving thread exists
+        # (fork-after-threads is the classic deadlock); with the flag off
+        # no processes are spawned at all.
+        self.racer = (
+            ProcessRacer(max_workers=race_workers) if self.parallel_portfolio else None
+        )
+        self._portfolio = {
+            "races": 0,
+            "parallel": 0,
+            "sequential": 0,
+            "canonical": 0,
+            "fallback_witness": 0,
+            "anytime": 0,
+        }
+        self._portfolio_attempts: dict[str, int] = {}
         self.log = StructuredLogger(log_stream, component="service")
         self.metrics = MetricsRegistry()
         self._latency_hist = self.metrics.histogram(
@@ -447,6 +486,11 @@ class ExplanationService:
             # can still write old-version entries: every group that
             # started before the bump completed while we held its lock.
             removed = self.cache.invalidate(versioned_fingerprint(base, old_version))
+            if self.solver_pool is not None:
+                # Pooled solvers encode the superseded version's dataset;
+                # sweep them under the same versioned fingerprint as the
+                # result cache so warm state can never outlive its data.
+                self.solver_pool.invalidate(versioned_fingerprint(base, old_version))
         if self.log.enabled:
             self.log.log(
                 "mutation_applied", base=base[:16], op=check_op,
@@ -476,6 +520,8 @@ class ExplanationService:
             known = base in self._datasets
             current = self._versions.get(base, 0)
         if known and "@" in fingerprint and version != current:
+            if self.solver_pool is not None:
+                self.solver_pool.invalidate(fingerprint)
             return self.cache.invalidate(fingerprint)
         # Serialize with streaming mutations: an in-flight _mutate must
         # finish (or see the dataset gone and refuse) before the registry
@@ -493,6 +539,8 @@ class ExplanationService:
                 # Under the mutation lock, so no concurrent mutation can
                 # append to the lineage while its directory is removed.
                 self.durability.retire(base)
+        if self.solver_pool is not None:
+            self.solver_pool.invalidate(base)
         return self.cache.invalidate(base)
 
     def invalidate(self, fingerprint: str) -> int:
@@ -874,8 +922,12 @@ class ExplanationService:
         if method == "minimum_sr":
             if params["solver"] == "portfolio":
                 race = portfolio_minimum_sufficient_reason(
-                    data, k, metric, x, budget=params["budget"], engine=engine
+                    data, k, metric, x, budget=params["budget"], engine=engine,
+                    parallel=self.parallel_portfolio, racer=self.racer,
+                    solver_pool=self.solver_pool,
+                    fingerprint=self._portfolio_fingerprint(fingerprint),
                 )
+                self._note_race(race)
                 answer = race.answer
                 return {
                     "X": sorted(int(i) for i in answer.X),
@@ -897,8 +949,12 @@ class ExplanationService:
         # counterfactual
         if params["solver"] == "portfolio":
             race = portfolio_closest_counterfactual(
-                data, k, metric, x, budget=params["budget"], query_engine=engine
+                data, k, metric, x, budget=params["budget"], query_engine=engine,
+                parallel=self.parallel_portfolio, racer=self.racer,
+                solver_pool=self.solver_pool,
+                fingerprint=self._portfolio_fingerprint(fingerprint),
             )
+            self._note_race(race)
             payload = _counterfactual_payload(race.answer)
             payload["exact"] = race.exact
             payload[PROVENANCE_KEY] = _race_provenance(race)
@@ -910,6 +966,36 @@ class ExplanationService:
         payload = _counterfactual_payload(result)
         payload["exact"] = True
         return payload
+
+    def _portfolio_fingerprint(self, fingerprint: str) -> str | None:
+        """The versioned pool fingerprint for a portfolio request.
+
+        Pool entries must key on the dataset *version*, not the lineage:
+        a mutation bumps ``@vN`` and the superseded version's pooled
+        solvers are swept alongside its cache entries.  Returns None
+        when pooling is disabled (the portfolio then skips hashing).
+        """
+        if self.solver_pool is None:
+            return None
+        _, current = self._resolve(fingerprint)
+        return current
+
+    def _note_race(self, race) -> None:
+        """Fold one portfolio result into the serving counters."""
+        with self._lock:
+            counters = self._portfolio
+            counters["races"] += 1
+            counters[race.mode] += 1
+            if not race.exact:
+                counters["anytime"] += 1
+            elif race.canonical:
+                counters["canonical"] += 1
+            else:
+                counters["fallback_witness"] += 1
+            for attempt in race.attempts:
+                self._portfolio_attempts[attempt.status] = (
+                    self._portfolio_attempts.get(attempt.status, 0) + 1
+                )
 
     # -- asynchronous serving --------------------------------------------
 
@@ -983,7 +1069,21 @@ class ExplanationService:
                     base[:16]: version for base, version in self._versions.items()
                 },
                 "cache": self.cache.stats(),
+                "portfolio": {
+                    **self._portfolio,
+                    "attempts": dict(self._portfolio_attempts),
+                },
             }
+        out["solver_pool"] = (
+            self.solver_pool.stats()
+            if self.solver_pool is not None
+            else {
+                "hits": 0, "misses": 0, "recycled": 0, "evictions": 0,
+                "invalidated": 0, "entries": 0, "leases": 0,
+            }
+        )
+        if self.racer is not None:
+            out["portfolio"]["race_pool"] = self.racer.stats()
         if self.durability is not None:
             out["durability"] = self.durability.stats()
             out["restored"] = dict(self.restored)
@@ -1026,6 +1126,49 @@ class ExplanationService:
         reg.gauge(
             "repro_cache_entries", "Result-cache entries currently in memory."
         ).set(cache["size"])
+        pool = stats["solver_pool"]
+        pool_events = reg.counter(
+            "repro_solver_pool_requests_total",
+            "Warm SAT-solver pool leases and lifecycle events, by outcome "
+            "(hit rate = hit / (hit + miss)).",
+            ("outcome",),
+        )
+        for outcome, key in (
+            ("hit", "hits"), ("miss", "misses"), ("recycled", "recycled"),
+            ("evicted", "evictions"), ("invalidated", "invalidated"),
+        ):
+            pool_events.set_total(pool[key], outcome=outcome)
+        reg.gauge(
+            "repro_solver_pool_entries", "Warm pooled SAT solvers currently held."
+        ).set(pool["entries"])
+        portfolio = stats["portfolio"]
+        races = reg.counter(
+            "repro_portfolio_races_total",
+            "Portfolio races served, by execution mode.",
+            ("mode",),
+        )
+        races.set_total(portfolio["parallel"], mode="parallel")
+        races.set_total(portfolio["sequential"], mode="sequential")
+        attempts = reg.counter(
+            "repro_portfolio_attempts_total",
+            "Portfolio attempt outcomes across all races.",
+            ("status",),
+        )
+        for status, count in sorted(portfolio["attempts"].items()):
+            attempts.set_total(count, status=status)
+        race_pool = portfolio.get("race_pool")
+        if race_pool is not None:
+            events = reg.counter(
+                "repro_race_events_total",
+                "Process-racer lifecycle events (cancellations are "
+                "cooperative; hard kills are the grace-window backstop).",
+                ("event",),
+            )
+            for event in ("races", "cancelled", "hard_kills", "inline_fallbacks"):
+                events.set_total(race_pool[event], event=event)
+            reg.gauge(
+                "repro_race_workers_alive", "Live race worker processes."
+            ).set(race_pool["workers_alive"])
 
     def metrics_states(self) -> list:
         """Raw metric states for cross-process aggregation.
@@ -1049,6 +1192,8 @@ class ExplanationService:
         :class:`~repro.serve.cluster.ClusterService` uniformly — the
         cluster variant tears down its worker processes here.
         """
+        if self.racer is not None:
+            self.racer.close()
         if self.durability is not None:
             self.durability.close()
 
@@ -1065,6 +1210,8 @@ def _race_provenance(race) -> dict:
     return {
         "winner": race.method,
         "exact": race.exact,
+        "mode": race.mode,
+        "canonical": race.canonical,
         "budget_s": race.budget_s,
         "elapsed_s": race.elapsed_s,
         "attempts": [

@@ -12,16 +12,28 @@ The paper's algorithms reduce explanation problems to:
 
 All four engines are implemented here so the library runs fully offline;
 the MILP layer can optionally delegate to scipy's HiGHS backend.
+
+On top of the engines sit two shared substrates for the portfolio:
+:mod:`repro.solvers.race` (process-level racing with cooperative
+cancellation) and :mod:`repro.solvers.sat.pool` (warm cross-query
+incremental SAT solvers keyed by dataset version).
 """
 
 from __future__ import annotations
 
 from .lp import LPResult, feasible_point_strict, solve_lp
 from .qp import project_onto_polyhedron
+from .race import ProcessRacer, RaceAttempt, RaceOutcome, default_racer
+from .sat.pool import SATSolverPool
 
 __all__ = [
     "LPResult",
     "solve_lp",
     "feasible_point_strict",
     "project_onto_polyhedron",
+    "ProcessRacer",
+    "RaceAttempt",
+    "RaceOutcome",
+    "default_racer",
+    "SATSolverPool",
 ]

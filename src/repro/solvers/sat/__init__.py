@@ -12,12 +12,16 @@ package is an offline, from-scratch equivalent:
   restarts) extended with counter-based propagation of cardinality
   constraints (:mod:`cardinality`);
 * :mod:`search` — linear/binary-search drivers that minimize a bound by
-  repeated SAT calls, as the paper does for the Hamming distance.
+  repeated SAT calls, as the paper does for the Hamming distance;
+* :mod:`pool` — a warm pool of incremental solvers whose learnt clauses
+  and heuristic state persist across related queries, keyed by dataset
+  version so mutations invalidate them like result caches.
 """
 
 from __future__ import annotations
 
 from .cnf import CNFBuilder
+from .pool import PoolEntry, SATSolverPool
 from .solver import SATSolver, Model
 from .types import CardinalityConstraint, neg
 from .search import minimize_bound, minimize_bound_assumptions
@@ -30,4 +34,6 @@ __all__ = [
     "neg",
     "minimize_bound",
     "minimize_bound_assumptions",
+    "PoolEntry",
+    "SATSolverPool",
 ]

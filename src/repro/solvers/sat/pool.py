@@ -1,0 +1,201 @@
+"""A warm pool of incremental SAT solvers shared across related queries.
+
+PR 3 measured ~5x from *within-sweep* incrementality: encode once,
+sweep the cardinality bound through guard assumptions.  This module
+extends the same idea *across queries*: the parts of an encoding that
+depend only on the dataset (and the queried label) are built once into
+a live :class:`~repro.solvers.sat.SATSolver`, and every subsequent
+query against the same dataset version reuses that solver — learnt
+clauses, VSIDS activities and phase saving intact — adding only its
+small query-specific slice of clauses under a fresh activation guard.
+
+Entries are keyed by a tuple whose first element is a dataset
+fingerprint — the serve layer passes the PR-5 versioned form
+(``<fp>@vN``), so a mutation invalidates pooled solvers exactly like
+result-cache entries: :meth:`SATSolverPool.invalidate` accepts either
+the exact versioned fingerprint or a bare base fingerprint (which
+matches every ``@vN`` of that lineage).
+
+Correctness never depends on pooling: pooled solvers answer
+*feasibility* questions (optimal bounds, lex-min witness probes), and
+SAT/UNSAT verdicts are independent of learnt-clause or heuristic
+state.  The portfolio therefore returns bit-identical answers warm or
+cold — the pool only changes how fast they arrive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["PoolEntry", "SATSolverPool", "lease_or_build"]
+
+PoolKey = tuple
+"""Pool key: ``(fingerprint, kind, k, label)`` by convention; the first
+element must be the dataset fingerprint string used for invalidation."""
+
+
+@dataclass
+class PoolEntry:
+    """One pooled solver plus its encoding-specific shared state.
+
+    ``state`` is owned by the encoding that built the entry (e.g. keep
+    variables and twin caches for Minimum-SR, flip variables and bound
+    guards for counterfactuals); the pool itself only tracks the lease
+    lock and the per-entry query count used for recycling.
+    """
+
+    key: PoolKey
+    solver: Any
+    state: dict[str, Any]
+    queries: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SATSolverPool:
+    """LRU pool of warm incremental SAT solvers keyed by dataset version.
+
+    Thread-safe: each entry carries its own lock, held for the duration
+    of a :meth:`lease`; concurrent leases of *different* keys proceed in
+    parallel.  ``max_entries`` bounds how many live solvers exist at
+    once (least-recently-leased evicted first); ``max_queries`` recycles
+    an entry after that many leases so accumulated learnt clauses and
+    query guards cannot grow without bound.
+    """
+
+    def __init__(self, *, max_entries: int = 32, max_queries: int = 512) -> None:
+        self.max_entries = int(max_entries)
+        self.max_queries = int(max_queries)
+        self._entries: OrderedDict[PoolKey, PoolEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "recycled": 0,
+            "evictions": 0,
+            "invalidated": 0,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @contextmanager
+    def lease(
+        self, key: PoolKey, build: Callable[[], tuple[Any, dict[str, Any]]]
+    ) -> Iterator[PoolEntry]:
+        """Borrow the warm solver for *key*, building it on a miss.
+
+        ``build()`` must return ``(solver, state)``; it runs under the
+        entry lock, so concurrent leases of the same key build exactly
+        once.  The entry stays locked until the ``with`` block exits —
+        callers may freely add query clauses and run solves inside.
+        """
+        if self.max_entries <= 0:
+            solver, state = build()
+            self._count("misses")
+            yield PoolEntry(key=key, solver=solver, state=state, queries=1)
+            return
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.queries >= self.max_queries:
+                # Recycled: the accumulated guards/learnts are dropped
+                # and the next lease rebuilds from the dataset encoding.
+                del self._entries[key]
+                self._counters["recycled"] += 1
+                entry = None
+            if entry is None:
+                self._counters["misses"] += 1
+                entry = PoolEntry(key=key, solver=None, state={})
+                self._entries[key] = entry
+                self._evict_over_capacity()
+            else:
+                self._counters["hits"] += 1
+            self._entries.move_to_end(key)
+        with entry.lock:
+            if entry.solver is None:
+                entry.solver, entry.state = build()
+            entry.queries += 1
+            yield entry
+
+    def _evict_over_capacity(self) -> None:
+        # Caller holds self._lock.  Entries whose lease lock is held are
+        # skipped: evicting them would pull a live solver out from under
+        # a solve in progress.
+        while len(self._entries) > self.max_entries:
+            for key, entry in self._entries.items():
+                if not entry.lock.locked():
+                    del self._entries[key]
+                    self._counters["evictions"] += 1
+                    break
+            else:  # every entry is mid-lease; let the pool run hot
+                break
+
+    def invalidate(self, fingerprint: str) -> int:
+        """Drop every entry for *fingerprint*; returns how many.
+
+        Accepts the exact (possibly versioned ``<fp>@vN``) fingerprint
+        or a bare base fingerprint, which matches all of its versions —
+        the same two shapes the serve result cache invalidates by.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if key[0] == fingerprint or str(key[0]).startswith(fingerprint + "@")
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._counters["invalidated"] += len(doomed)
+        return len(doomed)
+
+    def keys(self) -> list[PoolKey]:
+        """Current entry keys, least recently leased first."""
+        with self._lock:
+            return list(self._entries)
+
+    def fingerprints(self) -> list[str]:
+        """Dataset fingerprints with at least one pooled solver."""
+        with self._lock:
+            return sorted({str(key[0]) for key in self._entries})
+
+    def clear(self) -> None:
+        """Drop every entry without touching the counters."""
+        with self._lock:
+            self._entries.clear()
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._counters[name] += 1
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters plus the current entry count."""
+        with self._lock:
+            out = dict(self._counters)
+            out["entries"] = len(self._entries)
+            out["leases"] = out["hits"] + out["misses"]
+            return out
+
+
+@contextmanager
+def lease_or_build(
+    pool: SATSolverPool | None,
+    key: PoolKey,
+    build: Callable[[], tuple[Any, dict[str, Any]]],
+) -> Iterator[PoolEntry]:
+    """Lease *key* from *pool*, or build a throwaway entry when pool is None.
+
+    The encodings call this so the warm-pool and the cold path share
+    one code path: with no pool the entry lives for a single ``with``
+    block and is discarded afterwards.
+    """
+    if pool is None:
+        solver, state = build()
+        yield PoolEntry(key=key, solver=solver, state=state, queries=1)
+        return
+    with pool.lease(key, build) as entry:
+        yield entry

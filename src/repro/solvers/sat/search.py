@@ -79,6 +79,7 @@ def minimize_bound_assumptions(
     *,
     strategy: str = "binary",
     time_limit: float | None = None,
+    assumptions: tuple[int, ...] = (),
 ) -> tuple[int, T] | None:
     """Incremental :func:`minimize_bound` over one shared SAT solver.
 
@@ -90,16 +91,21 @@ def minimize_bound_assumptions(
     satisfying assignment to the returned witness.  ``time_limit``
     (seconds) caps the *whole* sweep, raising
     :class:`~repro.exceptions.ResourceLimitError` on expiry.
+
+    ``assumptions`` are extra literals asserted on every probe — the
+    warm solver pool passes the per-query activation guard here, so one
+    pooled solver hosts many queries' encodings side by side.
     """
     guards: dict[int, int] = {}
     deadline = start_deadline(time_limit)
+    base = list(assumptions)
 
     def feasible(t: int):
         guard = guards.get(t)
         if guard is None:
             guards[t] = guard = encode_bound(t)
         remaining = remaining_budget(deadline, "incremental bound search")
-        model = solver.solve([guard], time_limit=remaining)
+        model = solver.solve([*base, guard], time_limit=remaining)
         return None if model is None else decode(model)
 
     return minimize_bound(feasible, lo, hi, strategy=strategy)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import heapq
 import time
 
+from ..._budget import check_cancelled
 from ...exceptions import ResourceLimitError, ValidationError
 from .types import CardinalityConstraint, check_literal, var_of
 
@@ -422,6 +423,7 @@ class SATSolver:
                     raise ResourceLimitError(
                         f"SAT solver exceeded its {time_limit:.3g}s time budget"
                     )
+                check_cancelled("SAT solver")
                 if not self._trail_lim:
                     self._unsat = True  # conflict at level 0: UNSAT forever
                     return None
@@ -463,6 +465,7 @@ class SATSolver:
                     raise ResourceLimitError(
                         f"SAT solver exceeded its {time_limit:.3g}s time budget"
                     )
+                check_cancelled("SAT solver")
                 decision = self._decide()
                 if decision is None:
                     model = {

@@ -362,6 +362,118 @@ def test_distance_cache_is_extended_not_flushed(rng):
     np.testing.assert_array_equal(neg_d, fresh_neg)
 
 
+# -- portfolio warm-pool parity under mutation ---------------------------
+
+#: portfolio scripts are NP-solve heavy, so the differential harness
+#: runs a tenth of the engine-level round count per run.
+PORTFOLIO_FUZZ_ROUNDS = max(2, FUZZ_ROUNDS // 10)
+
+
+def _portfolio_script(seed: int) -> int:
+    """One add/remove/query script: warm-pool serving vs cold solves.
+
+    Every query step answers through the serving layer (warm pooled SAT
+    solvers, keyed by the ``@vN`` versioned fingerprint) and through a
+    cold portfolio call over the independently folded dataset — the two
+    must be bit-identical, whatever mutations the pool absorbed.  After
+    every step, pooled solvers for superseded versions must be provably
+    gone: each pooled fingerprint equals the service's *current*
+    versioned fingerprint.  Returns the pool's lifetime hit count.
+    """
+    from repro.portfolio import (
+        portfolio_closest_counterfactual,
+        portfolio_minimum_sufficient_reason,
+    )
+    from repro.serve import ExplanationService
+
+    rng = np.random.default_rng(seed)
+    dim = 5
+    data = Dataset(
+        _random_points(rng, 6, dim, "hamming"),
+        _random_points(rng, 6, dim, "hamming"),
+    )
+    service = ExplanationService(cache_size=0)  # no result cache: every
+    fingerprint = service.add_dataset(data)     # query exercises the pool
+    folded = data
+    for _ in range(int(rng.integers(6, 10))):
+        op = rng.choice(["add", "remove", "query"], p=[0.3, 0.2, 0.5])
+        if op == "remove" and len(folded) <= 4:
+            op = "add"
+        if op == "add":
+            count = int(rng.integers(1, 3))
+            points = _random_points(rng, count, dim, "hamming")
+            labels = rng.integers(0, 2, size=count)
+            out = service.add_points(fingerprint, points, labels)
+            folded = folded.with_added(points, labels)
+            fingerprint = out["fingerprint"]
+        elif op == "remove":
+            rows = _existing_rows(folded)
+            row, label, _ = rows[rng.integers(0, len(rows))]
+            try:
+                out = service.remove_points(fingerprint, [row], [label])
+            except ValidationError:
+                continue  # e.g. removal would empty a class; skip the step
+            folded = folded.with_removed([row], [label])
+            fingerprint = out["fingerprint"]
+        else:
+            x = _random_points(rng, 1, dim, "hamming")[0]
+            got = service.submit(
+                fingerprint, "minimum_sr", x,
+                k=1, metric="hamming", solver="portfolio",
+            ).payload
+            cold = portfolio_minimum_sufficient_reason(folded, 1, "hamming", x)
+            assert got["X"] == sorted(int(i) for i in cold.answer.X)
+            assert got["size"] == int(cold.answer.size)
+            got_cf = service.submit(
+                fingerprint, "counterfactual", x,
+                k=1, metric="hamming", solver="portfolio",
+            ).payload
+            cold_cf = portfolio_closest_counterfactual(folded, 1, "hamming", x)
+            if cold_cf.answer.y is None:
+                assert got_cf["y"] is None
+            else:
+                assert got_cf["distance"] == float(cold_cf.answer.distance)
+                np.testing.assert_array_equal(
+                    np.asarray(got_cf["y"]), cold_cf.answer.y
+                )
+        # Superseded @vN pooled solvers are provably evicted: whatever
+        # the script did, every pooled fingerprint is the current one.
+        assert set(service.solver_pool.fingerprints()) <= set(service.fingerprints())
+    # Deterministic warm-reuse probe: the same query twice with no
+    # mutation in between — the second solve must lease the solver the
+    # first one pooled, whatever keys the random script happened to use.
+    x = _random_points(rng, 1, dim, "hamming")[0]
+    hits_before = service.solver_pool.stats()["hits"]
+    for _ in range(2):
+        got = service.submit(
+            fingerprint, "minimum_sr", x,
+            k=1, metric="hamming", solver="portfolio",
+        ).payload
+    cold = portfolio_minimum_sufficient_reason(folded, 1, "hamming", x)
+    assert got["X"] == sorted(int(i) for i in cold.answer.X)
+    assert got["size"] == int(cold.answer.size)
+    assert service.solver_pool.stats()["hits"] > hits_before
+    # ... and the engine the pool answered against equals the fold.
+    assert dataset_fingerprint(service.dataset(fingerprint)) == dataset_fingerprint(
+        folded
+    )
+    return service.solver_pool.stats()["hits"]
+
+
+def test_fuzz_portfolio_pool_parity():
+    """Seeded scripts: warm-pool portfolio serving ≡ cold solves."""
+    hits = 0
+    for seed in range(PORTFOLIO_FUZZ_ROUNDS):
+        try:
+            hits += _portfolio_script(seed)
+        except AssertionError as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"portfolio pool parity broke for seed={seed}: {exc}"
+            ) from exc
+    # Vacuity guard: the scripts must actually have reused warm solvers.
+    assert hits > 0
+
+
 def test_map_shards_and_pickling_after_mutation(rng):
     """A mutated engine still pickles and shards identically."""
     import pickle

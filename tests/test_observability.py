@@ -162,6 +162,8 @@ REQUIRED_SERIES = (
     "repro_cache_requests_total",
     "repro_requests_total",
     "repro_datasets",
+    "repro_solver_pool_requests_total",
+    "repro_portfolio_races_total",
 )
 
 
@@ -292,4 +294,12 @@ def test_stats_and_metrics_agree(rng, data):
     assert (
         f"repro_cache_requests_total{{outcome=\"hit\"}} {stats['cache']['hits']}"
         in text
+    )
+    assert (
+        f"repro_solver_pool_requests_total{{outcome=\"hit\"}} "
+        f"{stats['solver_pool']['hits']}" in text
+    )
+    assert (
+        f"repro_portfolio_races_total{{mode=\"parallel\"}} "
+        f"{stats['portfolio']['parallel']}" in text
     )

@@ -941,3 +941,111 @@ def test_concurrent_mutation_and_query_stress(rng):
     assert cache_stats["hits"] >= 8  # every 'again' probe hit
     assert cache_stats["size"] <= cache_stats["maxsize"]
     assert dataset_fingerprint(service.dataset(fp)) == fp  # fully unplanted
+
+
+def test_portfolio_stress_under_mutation_with_counter_consistency(rng):
+    """Portfolio racing + warm pool under live mutation churn.
+
+    Hammer threads pour ``solver="portfolio"`` MSR and counterfactual
+    traffic over a live HTTP server (parallel racing on, result cache
+    off so every request genuinely races and leases pooled solvers)
+    while a mutator plants and removes a block of points, superseding
+    the versions the pooled solvers were keyed under.  Zero malformed
+    answers are tolerated, and the pool / race counters the run
+    produced must agree across ``service.stats()``, ``GET /v2/stats``
+    and the rendered ``/metrics`` exposition.
+    """
+    n = 6
+    data = random_discrete_dataset(rng, n, 8, 8)
+    # Racer processes fork before the server/hammer threads start.
+    service = ExplanationService(cache_size=0, parallel_portfolio=True, race_workers=2)
+    fp = service.add_dataset(data)
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.port}"
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def hammer(worker: int) -> None:
+        local = np.random.default_rng(worker)
+        method = ("minimum_sr", "counterfactual")[worker % 2]
+        while not stop.is_set():
+            x = local.integers(0, 2, size=n).astype(float).tolist()
+            try:
+                out = _post(url + "/v1/explain", {
+                    "fingerprint": fp, "method": method, "instance": x,
+                    "params": {"k": 1, "metric": "hamming", "solver": "portfolio"},
+                })
+                result = out["result"]
+                if method == "minimum_sr":
+                    ok = (
+                        isinstance(result.get("X"), list)
+                        and result.get("size") == len(result["X"])
+                        and all(0 <= int(i) < n for i in result["X"])
+                    )
+                else:
+                    y = result.get("y")
+                    ok = y is None or (
+                        len(y) == n and float(result["distance"]) >= 0
+                    )
+                if not ok:
+                    failures.append(f"malformed portfolio answer: {out}")
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                failures.append(f"worker {worker}: {exc}")
+
+    workers = [threading.Thread(target=hammer, args=(w,)) for w in range(3)]
+    for worker in workers:
+        worker.start()
+    try:
+        block = rng.integers(0, 2, size=(2, n)).astype(float)
+        for round_no in range(4):
+            planted = round_no % 2 == 0
+            if planted:
+                info = _post(url + f"/v1/datasets/{fp}/points", {
+                    "points": block.tolist(), "labels": [1, 0],
+                })
+            else:
+                info = _delete(url + f"/v1/datasets/{fp}/points", {
+                    "points": block.tolist(), "labels": [1, 0],
+                })
+            assert info["version"] == round_no + 1
+            time.sleep(0.3)  # let portfolio traffic land on this version
+        stop.set()
+        for worker in workers:
+            worker.join(timeout=30)
+        # Counters are quiescent now: compare the three surfaces.
+        with urllib.request.urlopen(url + "/v2/stats") as response:
+            v2 = json.load(response)
+        with urllib.request.urlopen(url + "/metrics") as response:
+            metrics = response.read().decode()
+        # Snapshot before shutdown: closing the server closes the
+        # service, which tears the race workers down.
+        stats = service.stats()
+        pooled = set(service.solver_pool.fingerprints())
+        pool_keys = len(service.solver_pool.keys())
+        current = set(service.fingerprints())
+    finally:
+        stop.set()
+        server.shutdown()
+    assert not failures, failures[:3]
+    portfolio, pool = stats["portfolio"], stats["solver_pool"]
+    assert v2["portfolio"] == portfolio
+    assert v2["solver_pool"] == pool
+    assert portfolio["races"] > 0
+    assert portfolio["races"] == portfolio["parallel"] + portfolio["sequential"]
+    assert sum(portfolio["attempts"].values()) >= portfolio["races"]
+    assert pool["hits"] + pool["misses"] > 0
+    assert pool["entries"] == pool_keys
+    # Mutations superseded pooled versions: whatever remains pooled
+    # belongs to the dataset's current version only.
+    assert pooled <= current
+    # The rendered exposition must agree with the JSON counters.
+    pool_hit = f'repro_solver_pool_requests_total{{outcome="hit"}} {pool["hits"]}'
+    pool_miss = f'repro_solver_pool_requests_total{{outcome="miss"}} {pool["misses"]}'
+    races_par = f'repro_portfolio_races_total{{mode="parallel"}} {portfolio["parallel"]}'
+    assert pool_hit in metrics and pool_miss in metrics
+    assert races_par in metrics
+    race_pool = portfolio["race_pool"]
+    assert f'repro_race_events_total{{event="races"}} {race_pool["races"]}' in metrics
+    service.close()  # idempotent: the server shutdown already closed it
