@@ -73,6 +73,7 @@ GATED_HEADLINES = (
     "million_point",
     "serve_scaleout",
     "portfolio_parallel",
+    "scenario_multiclass",
 )
 
 #: the primary gated workload (legacy alias).
@@ -368,6 +369,70 @@ def measure_streaming_updates(seed: int = 20250601, repeats: int = 3) -> dict:
         "dim": n_dim,
         "metric": "hamming",
         "k": 3,
+    }
+
+
+def measure_scenario_multiclass(seed: int = 20250601, repeats: int = 3) -> dict:
+    """Gated headline: shared multiclass engine vs naive per-class rebuild.
+
+    The multiclass tentpole's claim is that one shared
+    :class:`~repro.knn.MultiClassEngine` serves every one-vs-rest
+    question without materializing a merged dataset (or index) per
+    class.  The naive contestant is what a user had before: for each of
+    the C classes, build the merged binary :class:`~repro.knn.Dataset`,
+    construct a fresh :class:`~repro.knn.QueryEngine` over it, and ask
+    for its radii — C full index builds and C distance passes per batch.
+    The shared side answers the same queries from one engine via
+    :meth:`~repro.knn.MultiClassEngine.class_radii_batch` (one distance
+    pass, per-class order statistics).  Per-class radii and the derived
+    nearest-class labels are asserted bit-identical before timing —
+    the invariant ``tests/test_multiclass_parity.py`` pins broadly.
+    """
+    from ..knn import MultiClassDataset, MultiClassEngine
+
+    rng = np.random.default_rng(seed)
+    n_train, n_dim, n_classes, n_queries, k = 3_000, 48, 5, 300, 3
+    points = rng.integers(0, 2, size=(n_train, n_dim)).astype(float)
+    labels = rng.integers(0, n_classes, size=n_train)
+    labels[:n_classes] = np.arange(n_classes)
+    data = MultiClassDataset(points, labels, discrete=True)
+    queries = rng.integers(0, 2, size=(n_queries, n_dim)).astype(float)
+
+    def merged() -> tuple:
+        engine = MultiClassEngine(data, "hamming", backend="bitpack", cache_size=0)
+        radii, rest = engine.class_radii_batch(queries, k)
+        return radii, rest, engine.classify_batch(queries, 1)
+
+    def naive() -> tuple:
+        radii = np.empty((n_queries, n_classes))
+        rest = np.empty((n_queries, n_classes))
+        nearest = np.empty((n_queries, n_classes))
+        for j, label in enumerate(data.classes):
+            engine = QueryEngine(
+                data.merged(label), "hamming", backend="bitpack", cache_size=0
+            )
+            radii[:, j], rest[:, j] = engine.radii_batch(queries, k)
+            nearest[:, j] = engine.radii_batch(queries, 1)[0]
+        # Nearest-class (k = 1) labels; argmin ties break toward the
+        # smallest label, matching the engine's documented tie rule.
+        return radii, rest, np.asarray(data.classes)[np.argmin(nearest, axis=1)]
+
+    ours, theirs = merged(), naive()
+    for mine, other in zip(ours, theirs):  # explicit: survives python -O
+        if not np.array_equal(mine, other):
+            raise AssertionError("shared-engine and per-class answers diverged")
+    naive_s = best_of(naive, repeats=repeats)
+    merged_s = best_of(merged, repeats=repeats)
+    return {
+        "naive_s": naive_s,
+        "merged_s": merged_s,
+        "speedup": naive_s / merged_s,
+        "train": n_train,
+        "dim": n_dim,
+        "classes": n_classes,
+        "queries": n_queries,
+        "metric": "hamming",
+        "k": k,
     }
 
 
@@ -767,6 +832,7 @@ WORKLOADS = {
     "portfolio_parallel": measure_portfolio_parallel,
     "streaming_updates": measure_streaming_updates,
     "million_point": measure_million_point,
+    "scenario_multiclass": measure_scenario_multiclass,
 }
 
 

@@ -13,6 +13,8 @@ from .dataset import Dataset
 from .engine import QueryEngine
 from .certificates import Witness, find_witness, verify_witness
 from .multiclass import MultiClass1NN
+from .multiclass_data import MultiClassDataset
+from .multiclass_engine import MultiClassEngine
 from .thinning import condense, relevant_points_1nn
 
 __all__ = [
@@ -23,6 +25,8 @@ __all__ = [
     "find_witness",
     "verify_witness",
     "MultiClass1NN",
+    "MultiClassDataset",
+    "MultiClassEngine",
     "condense",
     "relevant_points_1nn",
 ]

@@ -93,7 +93,7 @@ import numpy as np
 
 from .._validation import as_matrix, as_vector, check_multiplicities, check_odd_k
 from ..exceptions import ValidationError
-from ..metrics import HammingMetric, LpMetric, Metric, get_metric
+from ..metrics import HammingMetric, LpMetric, Metric, default_metric_name, get_metric
 from ..metrics.hamming import is_binary
 from ..neighbors.brute import GrowableMatrix
 from .dataset import Dataset
@@ -167,6 +167,26 @@ def _kth_smallest_batch(
     return values[np.arange(q), picked]
 
 
+def _vote_weights(sel_powers: np.ndarray, metric) -> np.ndarray:
+    """Distance-vote weight matrix for ``(q, k)`` selected powers.
+
+    Each neighbor weighs ``1 / d`` in *true* distance.  A query that
+    hits a training point exactly (power 0) makes the inverse diverge,
+    so the standard limit rule applies: the zero-distance neighbors get
+    weight 1 and every other neighbor weight 0 — the exact hits decide
+    the vote alone.  Both the engines and the definition-based reference
+    implementations route through this one function, so the weighted
+    sums they compare are term-for-term identical.
+    """
+    zero = sel_powers == 0
+    with np.errstate(divide="ignore"):
+        weights = 1.0 / metric._power_to_distance(sel_powers)
+    exact = zero.any(axis=1)
+    weights[exact] = 0.0
+    weights[zero] = 1.0
+    return weights
+
+
 def _shard_call(engine: "QueryEngine", method: str, shard: np.ndarray, k):
     """Module-level worker for :meth:`QueryEngine.map_shards` (picklable)."""
     fn = getattr(engine, method)
@@ -209,7 +229,7 @@ class QueryEngine:
         if not isinstance(dataset, Dataset):
             raise ValidationError("dataset must be a repro.knn.Dataset")
         if metric is None:
-            metric = "hamming" if dataset.discrete else "l2"
+            metric = default_metric_name(dataset.discrete)
         self.metric: Metric = get_metric(metric)
         self._dim = dataset.dimension
         self._discrete = dataset.discrete
@@ -905,15 +925,78 @@ class QueryEngine:
 
     # -- classification and margins -------------------------------------
 
-    def classify(self, x, k: int) -> int:
-        """``f^k_{S+,S-}(x)`` as 0 or 1 (cached single-query path)."""
+    def classify(self, x, k: int, *, vote: str = "uniform") -> int:
+        """``f^k_{S+,S-}(x)`` as 0 or 1 (cached single-query path).
+
+        ``vote="uniform"`` is the paper's optimistic rule (``r+ <= r-``);
+        ``vote="distance"`` weighs each of the k nearest points by its
+        inverse true distance (exact hits dominate), ties toward the
+        positive class — the distance-weighted kNN variant, validated
+        against :func:`repro.knn.reference.classify_weighted_by_definition`.
+        """
+        if vote == "distance":
+            return int(
+                self._classify_batch_weighted(
+                    self._check_query(x).reshape(1, -1), k
+                )[0]
+            )
+        if vote != "uniform":
+            raise ValidationError(
+                f"vote must be 'uniform' or 'distance', got {vote!r}"
+            )
         r_pos, r_neg = self.radii(x, k)
         return 1 if r_pos <= r_neg else 0
 
-    def classify_batch(self, points, k: int) -> np.ndarray:
-        """Vector of ``f(x)`` values for every row of *points*."""
+    def classify_batch(self, points, k: int, *, vote: str = "uniform") -> np.ndarray:
+        """Vector of ``f(x)`` values for every row of *points*.
+
+        Same *vote* modes as :meth:`classify`.
+        """
+        if vote == "distance":
+            return self._classify_batch_weighted(self._check_queries(points), k)
+        if vote != "uniform":
+            raise ValidationError(
+                f"vote must be 'uniform' or 'distance', got {vote!r}"
+            )
         r_pos, r_neg = self.radii_batch(points, k)
         return (r_pos <= r_neg).astype(np.int64)
+
+    def _classify_batch_weighted(self, pts: np.ndarray, k: int) -> np.ndarray:
+        """Distance-weighted vote over the k nearest expanded points.
+
+        Selection ties at the k-th distance break by expanded canonical
+        index (positives first — the same order :meth:`neighbors` uses),
+        and a tied weight sum goes to the positive class, consistent
+        with the optimistic rule.  All backends route through the joint
+        kernel pass here (a tree cannot enumerate the k nearest faster
+        than one vectorized scan at these scales).
+        """
+        self._need(k)  # validates odd k and k <= total
+        q = pts.shape[0]
+        out = np.empty(q, dtype=np.int64)
+        n_pos_expanded = int(self._pos_mult.sum())
+        rows = max(1, _BLOCK_ELEMENTS // max(1, self._total))
+        for start in range(0, q, rows):
+            block = slice(start, min(start + rows, q))
+            pos_p, neg_p = self._class_power_blocks(pts[block])
+            d = np.hstack(
+                [
+                    np.repeat(
+                        np.asarray(pos_p, dtype=np.float64), self._pos_mult, axis=1
+                    ),
+                    np.repeat(
+                        np.asarray(neg_p, dtype=np.float64), self._neg_mult, axis=1
+                    ),
+                ]
+            )
+            order = np.argsort(d, axis=1, kind="stable")[:, :k]
+            sel_powers = np.take_along_axis(d, order, axis=1)
+            sel_pos = order < n_pos_expanded
+            weights = _vote_weights(sel_powers, self.metric)
+            w_pos = (weights * sel_pos).sum(axis=1)
+            w_neg = (weights * ~sel_pos).sum(axis=1)
+            out[block] = (w_pos >= w_neg).astype(np.int64)
+        return out
 
     def margin(self, x, k: int) -> float:
         """Signed surrogate margin ``r- − r+`` (positive ⇒ class 1)."""

@@ -5,28 +5,36 @@ case reduces to the binary one: to explain why ``x`` was classified
 with label ``l``, merge all other labels into a single negative class
 — the explanation problems on the merged dataset coincide with the
 multi-label ones.  (For ``k >= 3`` the same trick fails and the
-complexity is open; this module therefore supports ``k = 1`` only.)
+complexity is open; this class therefore keeps its ``k = 1`` contract,
+while :class:`~repro.knn.multiclass_engine.MultiClassEngine` serves the
+``k >= 3`` *voting* semantics directly.)
 
 :class:`MultiClass1NN` wraps an integer-labeled point set and exposes
 classification, sufficient reasons, and counterfactuals — either
 "change to anything else" or targeted "change to label t" (merge
-``S+ = class t`` instead).
+``S+ = class t`` instead).  Since the multiclass engine landed it is a
+thin facade over one shared :class:`MultiClassEngine`: classification
+runs on the shared index, and each explanation call reuses the engine's
+lazily merged binary view (and its warm caches) instead of
+materializing a fresh merged dataset per call.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .._validation import as_matrix, as_vector
+from .._validation import as_matrix
 from ..exceptions import ValidationError
-from ..metrics import get_metric
+from ..metrics import default_metric_name, get_metric
 from .dataset import Dataset
+from .multiclass_data import MultiClassDataset
+from .multiclass_engine import MultiClassEngine
 
 
 class MultiClass1NN:
     """1-NN over integer labels with merge-based formal explanations."""
 
-    def __init__(self, points, labels, metric=None):
+    def __init__(self, points, labels, metric=None, *, backend: str = "auto"):
         self.points = as_matrix(points, name="points")
         self.labels = np.asarray(labels, dtype=np.int64).ravel()
         if self.labels.shape[0] != self.points.shape[0]:
@@ -39,14 +47,37 @@ class MultiClass1NN:
         self.classes = sorted(int(c) for c in np.unique(self.labels))
         discrete_data = bool(np.all((self.points == 0) | (self.points == 1)))
         if metric is None:
-            metric = "hamming" if discrete_data else "l2"
+            metric = default_metric_name(discrete_data)
         self.metric = get_metric(metric)
         self._discrete = discrete_data and self.metric.is_discrete
+        # The shared engine needs two classes to merge against; a
+        # single-label set stays engine-less (classification is constant
+        # and merging raises, as before).
+        if len(self.classes) >= 2:
+            data = MultiClassDataset(
+                self.points, self.labels, discrete=self._discrete
+            )
+            self._engine: MultiClassEngine | None = MultiClassEngine(
+                data, self.metric, backend=backend
+            )
+        else:
+            self._engine = None
 
     @property
     def dimension(self) -> int:
         """Number of features ``n``."""
         return self.points.shape[1]
+
+    @property
+    def engine(self) -> MultiClassEngine:
+        """The shared :class:`MultiClassEngine` behind every query.
+
+        Raises for single-label training sets, which have nothing to
+        merge against (same condition as :meth:`merged`).
+        """
+        if self._engine is None:
+            raise ValidationError("merging needs at least two distinct labels")
+        return self._engine
 
     def classify(self, x, *, favor: int | None = None) -> int:
         """Label of the nearest point.
@@ -59,34 +90,39 @@ class MultiClass1NN:
         produced through :meth:`merged` certify labels under
         ``classify(x, favor=l)`` semantics.
         """
-        xv = as_vector(x, name="x")
-        d = self.metric.powers_to(self.points, xv)
-        best = d.min()
-        candidates = self.labels[d <= best]
-        if favor is not None and int(favor) in candidates:
-            return int(favor)
-        return int(candidates.min())
+        if self._engine is None:
+            return self.classes[0]
+        if favor is not None and int(favor) not in self.classes:
+            favor = None
+        return self._engine.classify(x, 1, favor=favor)
 
     def merged(self, positive_label: int) -> Dataset:
-        """The binary dataset ``class l`` vs everything else."""
+        """The binary dataset ``class l`` vs everything else.
+
+        Negatives follow the canonical order (classes ascending, rows
+        in insertion order) — the order the multiclass differential
+        oracle suite pins tie-dependent witnesses against.
+        """
         if positive_label not in self.classes:
             raise ValidationError(f"unknown label {positive_label}")
-        mask = self.labels == positive_label
-        if mask.all():
-            raise ValidationError("merging needs at least two distinct labels")
-        return Dataset(
-            self.points[mask], self.points[~mask], discrete=self._discrete
-        )
+        return self.engine.dataset.merged(positive_label)
 
     # -- explanations ---------------------------------------------------
+
+    def _merged_engine(self, label: int):
+        """The engine's lazily merged binary view for one label."""
+        return self.engine.merged_engine(label)
 
     def check_sufficient_reason(self, x, X) -> bool:
         """Is X sufficient for x's multi-label classification?"""
         from ..abductive import check_sufficient_reason
 
         label = self.classify(x)
+        engine = self._merged_engine(label)
         return bool(
-            check_sufficient_reason(self.merged(label), 1, self.metric, x, X)
+            check_sufficient_reason(
+                engine.dataset, 1, self.metric, x, X, engine=engine
+            )
         )
 
     def minimal_sufficient_reason(self, x) -> frozenset[int]:
@@ -94,7 +130,10 @@ class MultiClass1NN:
         from ..abductive import minimal_sufficient_reason
 
         label = self.classify(x)
-        return minimal_sufficient_reason(self.merged(label), 1, self.metric, x)
+        engine = self._merged_engine(label)
+        return minimal_sufficient_reason(
+            engine.dataset, 1, self.metric, x, engine=engine
+        )
 
     def closest_counterfactual(self, x, *, target: int | None = None, **kwargs):
         """Closest input with a different label (or with label *target*).
@@ -110,13 +149,15 @@ class MultiClass1NN:
 
         label = self.classify(x)
         if target is None:
-            data = self.merged(label)
+            engine = self._merged_engine(label)
         else:
             target = int(target)
             if target == label:
                 raise ValidationError("x already has the target label")
-            data = self.merged(target)
-        return closest_counterfactual(data, 1, self.metric, x, **kwargs)
+            engine = self._merged_engine(target)
+        return closest_counterfactual(
+            engine.dataset, 1, self.metric, x, query_engine=engine, **kwargs
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -43,3 +43,80 @@ def classify_by_definition(dataset: Dataset, k: int, metric, x) -> int:
         if not outside.any() or inside_max <= d[outside].min():
             return 1
     return 0
+
+
+def classify_weighted_by_definition(dataset: Dataset, k: int, metric, x) -> int:
+    """Distance-weighted kNN by direct evaluation of the definition.
+
+    Selects the k nearest expanded points (ties at the boundary broken
+    by expanded index, positives first, matching
+    :meth:`Dataset.all_points <repro.knn.dataset.Dataset.all_points>`),
+    weighs each by its inverse true distance through the shared
+    :func:`repro.knn.engine._vote_weights` rule (exact hits dominate),
+    and awards weight-sum ties to the positive class.  The oracle the
+    engine's ``vote="distance"`` mode is pinned against.
+    """
+    from .engine import _vote_weights
+
+    k = check_odd_k(k)
+    metric = get_metric(metric)
+    xv = as_vector(x, name="x")
+    points, labels = dataset.all_points()
+    if points.shape[0] < k:
+        raise ValueError(f"need at least k={k} points, have {points.shape[0]}")
+    d = metric.powers_to(points, xv)
+    order = np.argsort(d, kind="stable")[:k]
+    weights = _vote_weights(d[order][None, :], metric)[0]
+    sel_pos = labels[order]
+    w_pos = (weights * sel_pos).sum()
+    w_neg = (weights * ~sel_pos).sum()
+    return 1 if w_pos >= w_neg else 0
+
+
+def multiclass_classify_by_definition(
+    data, k: int, metric, x, *, vote: str = "uniform", favor: int | None = None
+) -> int:
+    """Multiclass kNN by direct evaluation of the documented contract.
+
+    ``k = 1`` classifies by the nearest point's label (distance ties
+    toward *favor* when given and tied, else the smallest label — the
+    merge-reduction semantics of :class:`~repro.knn.multiclass.
+    MultiClass1NN`).  ``k >= 3`` votes among the k nearest expanded
+    points (selection ties by canonical expanded order: classes
+    ascending, rows in insertion order), counting points under
+    ``vote="uniform"`` and weighing by inverse true distance under
+    ``vote="distance"``; a tied score goes to *favor* when tied, else
+    the smallest label.  The oracle
+    :meth:`MultiClassEngine.classify_batch
+    <repro.knn.multiclass_engine.MultiClassEngine.classify_batch>` is
+    pinned against.
+    """
+    from .engine import _vote_weights
+
+    k = check_odd_k(k)
+    metric = get_metric(metric)
+    xv = as_vector(x, name="x")
+    points, labels = data.all_points()
+    if points.shape[0] < k:
+        raise ValueError(f"need at least k={k} points, have {points.shape[0]}")
+    d = metric.powers_to(points, xv)
+    if k == 1:
+        candidates = labels[d <= d.min()]
+        if favor is not None and int(favor) in candidates:
+            return int(favor)
+        return int(candidates.min())
+    order = np.argsort(d, kind="stable")[:k]
+    sel_labels = labels[order]
+    classes = data.classes
+    if vote == "uniform":
+        scores = np.array([(sel_labels == c).sum() for c in classes], dtype=np.float64)
+    elif vote == "distance":
+        weights = _vote_weights(d[order][None, :], metric)[0]
+        scores = np.array([(weights * (sel_labels == c)).sum() for c in classes])
+    else:
+        raise ValueError(f"vote must be 'uniform' or 'distance', got {vote!r}")
+    best = scores.max()
+    tied = [c for c, s in zip(classes, scores) if s == best]
+    if favor is not None and int(favor) in tied:
+        return int(favor)
+    return int(tied[0])

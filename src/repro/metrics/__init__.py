@@ -25,7 +25,20 @@ __all__ = [
     "LInfMetric",
     "HammingMetric",
     "get_metric",
+    "default_metric_name",
 ]
+
+
+def default_metric_name(discrete: bool) -> str:
+    """The repo-wide metric default for data of the given discreteness.
+
+    Binary {0,1} data defaults to the paper's discrete setting (Hamming),
+    everything else to the continuous l2 setting.  Every entry point that
+    auto-detects a metric (``QueryEngine``, ``MultiClass1NN``, the serve
+    layer) routes through this one definition so the load-bearing rule
+    cannot drift between layers.
+    """
+    return "hamming" if discrete else "l2"
 
 _ALIASES = {
     "l1": L1Metric,

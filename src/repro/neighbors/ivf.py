@@ -453,6 +453,20 @@ class IVFIndex(NNIndex):
             out[i] = float(np.partition(powers, k - 1)[k - 1])
         return out
 
+    def top_powers_batch(self, queries: np.ndarray, need: int) -> np.ndarray:
+        """``(q, need)`` matrix of the *need* smallest powers per query.
+
+        Column ``j`` holds the ``(j+1)``-th order-statistic power
+        (ascending along each row by construction, ``+inf``-padded when
+        fewer than ``need`` live rows exist) — the per-class "top-need"
+        block the multiclass engine combines into exact one-vs-rest
+        radii without building a merged index.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        return np.column_stack(
+            [self.kth_power_batch(queries, j) for j in range(1, int(need) + 1)]
+        )
+
     def query(self, x, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
         """The k nearest live rows to *x*: ``(distances, slots)``, ties by slot.
 

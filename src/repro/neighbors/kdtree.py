@@ -360,3 +360,17 @@ class LazyKDTree:
         """Row-wise :meth:`kth_power` over a query matrix."""
         queries = np.asarray(queries, dtype=np.float64)
         return np.array([self.kth_power(x, k) for x in queries])
+
+    def top_powers_batch(self, queries: np.ndarray, need: int) -> np.ndarray:
+        """``(q, need)`` matrix of the *need* smallest powers per query.
+
+        Column ``j`` holds the ``(j+1)``-th order-statistic power
+        (ascending along each row by construction, ``+inf``-padded when
+        the live multiset holds fewer than ``need`` rows) — the
+        per-class "top-need" block the multiclass engine combines into
+        exact one-vs-rest radii without building a merged index.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        return np.column_stack(
+            [self.kth_power_batch(queries, j) for j in range(1, int(need) + 1)]
+        )

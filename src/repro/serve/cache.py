@@ -55,6 +55,7 @@ import numpy as np
 
 from ..exceptions import ValidationError
 from ..knn.dataset import Dataset
+from ..knn.multiclass_data import MultiClassDataset
 
 #: separator inside a cache key; fingerprints are hex so it cannot collide.
 _KEY_SEP = b"|"
@@ -108,26 +109,45 @@ def _disk_fragment(fingerprint: str) -> str | None:
     return versioned_fingerprint(base[:16], version)
 
 
-def dataset_fingerprint(dataset: Dataset) -> str:
+def _digest_array(digest, part) -> None:
+    """Fold one array's dtype, shape and raw bytes into *digest*."""
+    arr = np.ascontiguousarray(part)
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+
+
+def dataset_fingerprint(dataset) -> str:
     """SHA-256 fingerprint of a dataset's exact contents.
 
-    Covers the positive and negative point matrices, both multiplicity
-    vectors (dtype, shape and raw bytes each) and the discrete flag.
+    For a binary :class:`~repro.knn.Dataset` the hash covers the
+    positive and negative point matrices, both multiplicity vectors
+    (dtype, shape and raw bytes each) and the discrete flag.  A
+    :class:`~repro.knn.MultiClassDataset` hashes a ``multiclass``
+    domain marker plus every class's label, rows and multiplicities in
+    canonical (ascending-label) order — so a multiclass lineage can
+    never collide with a binary one, even over identical bytes.
     Bit-identical datasets — and only those — share a fingerprint.
     """
-    if not isinstance(dataset, Dataset):
-        raise ValidationError("dataset must be a repro.knn.Dataset")
     digest = hashlib.sha256()
-    for part in (
-        dataset.positives,
-        dataset.negatives,
-        dataset.positive_multiplicities,
-        dataset.negative_multiplicities,
-    ):
-        arr = np.ascontiguousarray(part)
-        digest.update(str(arr.dtype).encode())
-        digest.update(str(arr.shape).encode())
-        digest.update(arr.tobytes())
+    if isinstance(dataset, MultiClassDataset):
+        digest.update(b"multiclass")
+        for label in dataset.classes:
+            digest.update(str(int(label)).encode())
+            _digest_array(digest, dataset.class_points(label))
+            _digest_array(digest, dataset.class_multiplicities(label))
+    elif isinstance(dataset, Dataset):
+        for part in (
+            dataset.positives,
+            dataset.negatives,
+            dataset.positive_multiplicities,
+            dataset.negative_multiplicities,
+        ):
+            _digest_array(digest, part)
+    else:
+        raise ValidationError(
+            "dataset must be a repro.knn.Dataset or repro.knn.MultiClassDataset"
+        )
     digest.update(b"discrete" if dataset.discrete else b"continuous")
     return digest.hexdigest()
 

@@ -51,7 +51,7 @@ from typing import Sequence
 
 from .. import exceptions as _exceptions
 from ..exceptions import OverloadedError, SolverError, UnknownDatasetError
-from ..knn import Dataset
+from ..knn import Dataset, MultiClassDataset
 from .cache import dataset_fingerprint, split_fingerprint
 from .metrics import MetricsRegistry, StructuredLogger, render_states
 from .service import ExplanationService
@@ -92,13 +92,21 @@ def _worker_dispatch(service: ExplanationService, op: str, payload) -> object:
         mutate = service.add_points if kind == "add" else service.remove_points
         return mutate(fingerprint, points, labels, multiplicities)
     if op == "add_dataset":
-        dataset = Dataset(
-            payload["positives"],
-            payload["negatives"],
-            positive_multiplicities=payload["positive_multiplicities"],
-            negative_multiplicities=payload["negative_multiplicities"],
-            discrete=payload["discrete"],
-        )
+        if payload.get("kind") == "multiclass":
+            dataset = MultiClassDataset(
+                payload["points"],
+                payload["labels"],
+                multiplicities=payload["multiplicities"],
+                discrete=payload["discrete"],
+            )
+        else:
+            dataset = Dataset(
+                payload["positives"],
+                payload["negatives"],
+                positive_multiplicities=payload["positive_multiplicities"],
+                negative_multiplicities=payload["negative_multiplicities"],
+                discrete=payload["discrete"],
+            )
         fingerprint = service.add_dataset(dataset)
         if fingerprint != payload["expect"]:  # pragma: no cover - defensive
             raise SolverError(
@@ -485,22 +493,33 @@ class ClusterService:
 
     # -- dataset registry ------------------------------------------------
 
-    def add_dataset(self, dataset: Dataset) -> str:
+    def add_dataset(self, dataset: Dataset | MultiClassDataset) -> str:
         """Register *dataset* on its replica set; returns the base fingerprint.
 
-        Idempotent like the single-process service: re-registering
+        Accepts either dataset kind (binary or multiclass — the same
+        surface as the single-process service).  Idempotent: registering
         bit-identical data returns the same fingerprint and keeps every
         worker's warm engines.
         """
         fingerprint = dataset_fingerprint(dataset)
-        payload = {
-            "positives": dataset.positives,
-            "negatives": dataset.negatives,
-            "positive_multiplicities": dataset.positive_multiplicities,
-            "negative_multiplicities": dataset.negative_multiplicities,
-            "discrete": dataset.discrete,
-            "expect": fingerprint,
-        }
+        if isinstance(dataset, MultiClassDataset):
+            payload = {
+                "kind": "multiclass",
+                "points": dataset.points,
+                "labels": dataset.row_labels,
+                "multiplicities": dataset.multiplicities,
+                "discrete": dataset.discrete,
+                "expect": fingerprint,
+            }
+        else:
+            payload = {
+                "positives": dataset.positives,
+                "negatives": dataset.negatives,
+                "positive_multiplicities": dataset.positive_multiplicities,
+                "negative_multiplicities": dataset.negative_multiplicities,
+                "discrete": dataset.discrete,
+                "expect": fingerprint,
+            }
         with self._mutation_lock(fingerprint):
             futures = [
                 self._workers[i].submit("add_dataset", payload, force=True)

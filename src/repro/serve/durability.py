@@ -61,6 +61,7 @@ import numpy as np
 
 from ..exceptions import DurabilityError
 from ..knn.dataset import Dataset
+from ..knn.multiclass_data import MultiClassDataset
 from .cache import dataset_fingerprint, versioned_fingerprint
 from .metrics import MetricsRegistry, StructuredLogger
 
@@ -81,8 +82,23 @@ def _record_checksum(record: dict) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _dataset_payload(dataset: Dataset) -> dict:
-    """JSON-able full contents of *dataset* (the ``register`` record body)."""
+def _dataset_payload(dataset) -> dict:
+    """JSON-able full contents of *dataset* (the ``register`` record body).
+
+    Multiclass lineages carry a ``"kind": "multiclass"`` tag plus their
+    canonical row stack (points, per-row integer labels and
+    multiplicities in class-ascending, insertion order); binary ones
+    keep the original untagged positives/negatives shape, so WALs
+    written before multiclass serving existed replay unchanged.
+    """
+    if isinstance(dataset, MultiClassDataset):
+        return {
+            "kind": "multiclass",
+            "points": dataset.points.tolist(),
+            "labels": dataset.row_labels.tolist(),
+            "multiplicities": dataset.multiplicities.tolist(),
+            "discrete": bool(dataset.discrete),
+        }
     return {
         "positives": dataset.positives.tolist(),
         "negatives": dataset.negatives.tolist(),
@@ -92,8 +108,15 @@ def _dataset_payload(dataset: Dataset) -> dict:
     }
 
 
-def _dataset_from_payload(payload: dict) -> Dataset:
-    """Rebuild a :class:`Dataset` from a ``register`` record body."""
+def _dataset_from_payload(payload: dict) -> Dataset | MultiClassDataset:
+    """Rebuild either dataset kind from a ``register`` record body."""
+    if payload.get("kind") == "multiclass":
+        return MultiClassDataset(
+            np.asarray(payload["points"], dtype=float),
+            np.asarray(payload["labels"], dtype=np.int64),
+            multiplicities=payload["multiplicities"],
+            discrete=bool(payload["discrete"]),
+        )
     return Dataset(
         np.asarray(payload["positives"], dtype=float),
         np.asarray(payload["negatives"], dtype=float),

@@ -86,7 +86,7 @@ from time import perf_counter
 import numpy as np
 
 from ..exceptions import ValidationError
-from ..knn import Dataset
+from ..knn import Dataset, MultiClassDataset
 from .errors import DEPRECATION_HEADER, error_envelope, error_payload, status_for
 from .metrics import PROMETHEUS_CONTENT_TYPE, StructuredLogger, new_request_id
 
@@ -359,7 +359,38 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _register_dataset(self, body: dict) -> dict:
-        """Build and register a Dataset from a JSON body."""
+        """Build and register a dataset from a JSON body.
+
+        ``{"positives", "negatives", ...}`` registers a binary
+        :class:`~repro.knn.Dataset`; ``{"points", "labels", ...}`` (an
+        integer label per row) registers a multiclass
+        :class:`~repro.knn.MultiClassDataset`.  The two shapes are
+        mutually exclusive — mixing them is a validation error.
+        """
+        multiclass = "points" in body or "labels" in body
+        if multiclass and ("positives" in body or "negatives" in body):
+            raise ValidationError(
+                "register either a binary dataset (positives/negatives) or a "
+                "multiclass one (points/labels), not both"
+            )
+        if multiclass:
+            if "points" not in body or "labels" not in body:
+                raise ValidationError(
+                    "multiclass registration needs both 'points' and 'labels'"
+                )
+            data = MultiClassDataset(
+                body["points"],
+                body["labels"],
+                multiplicities=body.get("multiplicities"),
+                discrete=bool(body.get("discrete", False)),
+            )
+            fingerprint = self.server.service.add_dataset(data)
+            return {
+                "fingerprint": fingerprint,
+                "dimension": data.dimension,
+                "classes": [int(c) for c in data.classes],
+                "counts": {str(c): int(n) for c, n in data.counts.items()},
+            }
         data = Dataset(
             body["positives"],
             body["negatives"],

@@ -68,8 +68,9 @@ from ..exceptions import (
     UnknownDatasetError,
     ValidationError,
 )
-from ..knn import Dataset, QueryEngine
-from ..metrics import get_metric
+from ..knn import Dataset, MultiClassDataset, MultiClassEngine, QueryEngine
+from ..knn.multiclass_engine import VOTES
+from ..metrics import default_metric_name, get_metric
 from ..solvers.race import ProcessRacer
 from ..solvers.sat.pool import SATSolverPool
 from .cache import (
@@ -207,9 +208,9 @@ class ExplanationService:
         self.cache = ResultCache(cache_size, cache_dir)
         self.max_batch = max(1, int(max_batch))
         self.max_wait_s = max(0.0, float(max_wait_s))
-        self._datasets: dict[str, Dataset] = {}
+        self._datasets: dict[str, Dataset | MultiClassDataset] = {}
         self._versions: dict[str, int] = {}
-        self._engines: dict[tuple[str, str], QueryEngine] = {}
+        self._engines: dict[tuple[str, str], QueryEngine | MultiClassEngine] = {}
         self._engine_locks: dict[tuple[str, str], threading.Lock] = {}
         self._mutation_locks: dict[str, threading.Lock] = {}
         self._lock = threading.RLock()
@@ -319,9 +320,13 @@ class ExplanationService:
 
     # -- dataset registry ------------------------------------------------
 
-    def add_dataset(self, dataset: Dataset) -> str:
+    def add_dataset(self, dataset: Dataset | MultiClassDataset) -> str:
         """Register *dataset* and return its fingerprint (idempotent).
 
+        Accepts a binary :class:`~repro.knn.Dataset` or an
+        integer-labeled :class:`~repro.knn.MultiClassDataset` — the two
+        kinds share the registry, the mutation lifecycle and the cache
+        machinery, differing only in which engine answers their queries.
         Re-registering bit-identical data returns the same fingerprint
         and keeps the warm engines; different data gets a different
         fingerprint, so answers can never leak across dataset versions.
@@ -382,8 +387,10 @@ class ExplanationService:
         add_points>`), the registered snapshot is replaced, the version
         is bumped, and only the superseded version's cache entries are
         invalidated — other datasets and other versions are untouched.
-        Returns ``{"fingerprint", "version", "invalidated", "n_positive",
-        "n_negative"}`` with the new versioned fingerprint.
+        Returns ``{"fingerprint", "version", "invalidated"}`` plus the
+        dataset's shape counts (``n_positive``/``n_negative`` for binary
+        lineages, ``classes``/``counts`` for multiclass ones) with the
+        new versioned fingerprint.
         """
         return self._mutate(fingerprint, "with_added", "add_points",
                             points, labels, multiplicities)
@@ -501,8 +508,7 @@ class ExplanationService:
             "fingerprint": versioned_fingerprint(base, old_version + 1),
             "version": old_version + 1,
             "invalidated": removed,
-            "n_positive": new_snapshot.n_positive,
-            "n_negative": new_snapshot.n_negative,
+            **_counts_payload(new_snapshot),
         }
 
     def remove_dataset(self, fingerprint: str) -> int:
@@ -559,8 +565,10 @@ class ExplanationService:
         """JSON-ready metadata of a registered dataset (``GET /v2/datasets/{fp}``).
 
         Returns the *current* versioned fingerprint plus shape facts:
-        ``{"fingerprint", "version", "dimension", "n_positive",
-        "n_negative", "discrete"}``.  Raises
+        ``{"fingerprint", "version", "kind", "dimension", "discrete"}``
+        and the kind-specific counts — ``n_positive``/``n_negative``
+        for a binary lineage, ``classes``/``counts`` for a multiclass
+        one.  Raises
         :class:`~repro.exceptions.UnknownDatasetError` for fingerprints
         the service has never seen.
         """
@@ -571,19 +579,22 @@ class ExplanationService:
         return {
             "fingerprint": current,
             "version": version,
+            "kind": _dataset_kind(data),
             "dimension": data.dimension,
-            "n_positive": data.n_positive,
-            "n_negative": data.n_negative,
             "discrete": bool(data.discrete),
+            **_counts_payload(data),
         }
 
-    def engine(self, fingerprint: str, metric=None) -> QueryEngine:
+    def engine(self, fingerprint: str, metric=None) -> QueryEngine | MultiClassEngine:
         """The warm shared engine for ``(fingerprint, metric)``.
 
         Built on first use with the service's backend and reused (and
         mutated in place by :meth:`add_points` / :meth:`remove_points`)
         by every subsequent request — this is the construction cost a
-        long-lived service amortizes away.
+        long-lived service amortizes away.  Binary lineages get a
+        :class:`~repro.knn.QueryEngine`, multiclass ones a
+        :class:`~repro.knn.MultiClassEngine` (one shared joint index —
+        never a per-class copy).
         """
         base, _ = self._resolve(fingerprint)
         with self._lock:
@@ -602,7 +613,12 @@ class ExplanationService:
                 engine = self._engines.get((base, name))
                 if engine is None:
                     data = self._datasets[base]
-                    engine = QueryEngine(data, name, backend=self.backend)
+                    engine_cls = (
+                        MultiClassEngine
+                        if isinstance(data, MultiClassDataset)
+                        else QueryEngine
+                    )
+                    engine = engine_cls(data, name, backend=self.backend)
                     self._engines[(base, name)] = engine
                     # setdefault: a group solve may already hold a lock
                     # created for this key — never swap the object out
@@ -631,10 +647,10 @@ class ExplanationService:
             return self._mutation_locks.setdefault(base, threading.Lock())
 
     @staticmethod
-    def _metric_name(dataset: Dataset, metric) -> str:
+    def _metric_name(dataset, metric) -> str:
         """Resolve a request's metric (default: Hamming iff discrete)."""
         if metric is None:
-            metric = "hamming" if dataset.discrete else "l2"
+            metric = default_metric_name(dataset.discrete)
         return get_metric(metric).name
 
     # -- request construction --------------------------------------------
@@ -672,12 +688,45 @@ class ExplanationService:
         key = request_key(current, method, xv, norm)
         return ExplanationRequest(current, method, xv, norm, key)
 
-    def _normalize_params(self, dataset: Dataset, method: str, params: dict) -> dict:
-        """Canonical parameter dict for *method* (defaults made explicit)."""
+    def _normalize_params(self, dataset, method: str, params: dict) -> dict:
+        """Canonical parameter dict for *method* (defaults made explicit).
+
+        ``classify`` accepts ``vote`` (``uniform`` | ``distance``) on
+        every dataset kind.  Multiclass lineages additionally accept
+        ``target_label`` on ``margin``, ``radii`` and the solver
+        methods — the one-vs-rest label the answer is scoped to
+        (omitted: per-class payloads for margin/radii, the predicted
+        label for solvers) — and restrict solver methods to ``k = 1``,
+        the regime where the paper's merge reduction is exact.
+        """
+        multiclass = isinstance(dataset, MultiClassDataset)
         out = {
             "k": check_odd_k(params.pop("k", 1)),
             "metric": self._metric_name(dataset, params.pop("metric", None)),
         }
+        if method == "classify":
+            vote = str(params.pop("vote", "uniform"))
+            if vote not in VOTES:
+                raise ValidationError(
+                    f"vote must be one of {'|'.join(VOTES)}, got {vote!r}"
+                )
+            out["vote"] = vote
+        if multiclass and method in ("margin", "radii") + SOLVER_METHODS:
+            target = params.pop("target_label", None)
+            if target is not None:
+                target = int(target)
+                if target not in dataset.classes:
+                    raise ValidationError(
+                        f"unknown target_label {target}; dataset classes are "
+                        f"{[int(c) for c in dataset.classes]}"
+                    )
+            out["target_label"] = target
+        if multiclass and method in SOLVER_METHODS and out["k"] != 1:
+            raise ValidationError(
+                "multiclass explanations require k=1 (the paper's merge "
+                "reduction is exact only there); got k="
+                f"{out['k']}"
+            )
         if method in ("minimum_sr", "counterfactual"):
             out["solver"] = str(params.pop("solver", "auto"))
             budget = params.pop("budget", None)
@@ -865,24 +914,70 @@ class ExplanationService:
         params: dict,
         reqs: Sequence[ExplanationRequest],
     ) -> list[dict]:
-        """Answer a compatible group through one engine batch call per block."""
+        """Answer a compatible group through one engine batch call per block.
+
+        Binary and multiclass lineages share the batching machinery; the
+        payload shapes differ only where the question does — a
+        multiclass ``margin``/``radii`` request without ``target_label``
+        answers per class (``{"margins": {label: v}}`` /
+        ``{"r_pos": {label: v}, "r_neg": {label: v}}``), with a target it
+        answers the scalar one-vs-rest shape binary requests use.
+        """
         engine = self.engine(fingerprint, params["metric"])
         k = params["k"]
+        multiclass = isinstance(engine, MultiClassEngine)
         payloads: list[dict] = []
         for start in range(0, len(reqs), self.max_batch):
             block = np.vstack([r.instance for r in reqs[start : start + self.max_batch]])
             if method == "classify":
-                labels = engine.classify_batch(block, k)
+                labels = engine.classify_batch(block, k, vote=params["vote"])
                 payloads.extend({"label": int(v)} for v in labels)
             elif method == "margin":
-                margins = engine.margins_batch(block, k)
-                payloads.extend({"margin": float(v)} for v in margins)
+                if multiclass and params["target_label"] is None:
+                    margins = engine.class_margins_batch(block, k)
+                    payloads.extend(
+                        {
+                            "margins": {
+                                str(c): float(row[j])
+                                for j, c in enumerate(engine.classes)
+                            }
+                        }
+                        for row in margins
+                    )
+                elif multiclass:
+                    margins = engine.margins_batch(block, k, params["target_label"])
+                    payloads.extend({"margin": float(v)} for v in margins)
+                else:
+                    margins = engine.margins_batch(block, k)
+                    payloads.extend({"margin": float(v)} for v in margins)
             else:  # radii
-                r_pos, r_neg = engine.radii_batch(block, k)
-                payloads.extend(
-                    {"r_pos": float(p), "r_neg": float(n)}
-                    for p, n in zip(r_pos, r_neg)
-                )
+                if multiclass and params["target_label"] is None:
+                    radii, rest = engine.class_radii_batch(block, k)
+                    payloads.extend(
+                        {
+                            "r_pos": {
+                                str(c): float(radii[i, j])
+                                for j, c in enumerate(engine.classes)
+                            },
+                            "r_neg": {
+                                str(c): float(rest[i, j])
+                                for j, c in enumerate(engine.classes)
+                            },
+                        }
+                        for i in range(block.shape[0])
+                    )
+                elif multiclass:
+                    r_pos, r_neg = engine.radii_batch(block, k, params["target_label"])
+                    payloads.extend(
+                        {"r_pos": float(p), "r_neg": float(n)}
+                        for p, n in zip(r_pos, r_neg)
+                    )
+                else:
+                    r_pos, r_neg = engine.radii_batch(block, k)
+                    payloads.extend(
+                        {"r_pos": float(p), "r_neg": float(n)}
+                        for p, n in zip(r_pos, r_neg)
+                    )
         return payloads
 
     def _solve_one(
@@ -902,7 +997,48 @@ class ExplanationService:
     def _dispatch_solver(
         self, fingerprint: str, method: str, params: dict, x: np.ndarray
     ) -> dict:
-        """Route a solver method to its pipeline over the shared engine."""
+        """Route a solver method to its pipeline over the shared engine.
+
+        Binary lineages solve directly on their warm engine.  Multiclass
+        lineages go through the paper's merge reduction: the engine's
+        lazily cached one-vs-rest binary view of ``target_label`` (or of
+        the predicted label when no target is given) answers the solve,
+        and the payload echoes the resolved ``label`` (plus
+        ``target_label`` when one was requested).  Merged views carry no
+        ``@vN`` lineage fingerprint of their own, so multiclass solves
+        skip the warm solver pool — correctness over reuse.
+        """
+        engine = self.engine(fingerprint, params["metric"])
+        if isinstance(engine, MultiClassEngine):
+            target = params.get("target_label")
+            label = int(engine.classify(x, 1))
+            if method == "counterfactual" and target is not None and target == label:
+                raise ValidationError("x already has the target label")
+            merged = engine.merged_engine(label if target is None else target)
+            payload = self._run_solver(
+                merged, method, params, x, pool_fingerprint=None, solver_pool=None
+            )
+            payload["label"] = label
+            if target is not None:
+                payload["target_label"] = int(target)
+            return payload
+        return self._run_solver(
+            engine, method, params, x,
+            pool_fingerprint=self._portfolio_fingerprint(fingerprint),
+            solver_pool=self.solver_pool,
+        )
+
+    def _run_solver(
+        self,
+        engine: QueryEngine,
+        method: str,
+        params: dict,
+        x: np.ndarray,
+        *,
+        pool_fingerprint: str | None,
+        solver_pool,
+    ) -> dict:
+        """Run one solver pipeline on a warm binary *engine*."""
         from ..abductive import minimal_sufficient_reason, minimum_sufficient_reason
         from ..counterfactual import closest_counterfactual
         from ..portfolio import (
@@ -910,7 +1046,6 @@ class ExplanationService:
             portfolio_minimum_sufficient_reason,
         )
 
-        engine = self.engine(fingerprint, params["metric"])
         # The engine's own snapshot, not the registry's: after a streaming
         # mutation the two are equal but not identical, and the pipeline
         # entry points check identity (as_engine).
@@ -924,8 +1059,8 @@ class ExplanationService:
                 race = portfolio_minimum_sufficient_reason(
                     data, k, metric, x, budget=params["budget"], engine=engine,
                     parallel=self.parallel_portfolio, racer=self.racer,
-                    solver_pool=self.solver_pool,
-                    fingerprint=self._portfolio_fingerprint(fingerprint),
+                    solver_pool=solver_pool,
+                    fingerprint=pool_fingerprint,
                 )
                 self._note_race(race)
                 answer = race.answer
@@ -951,8 +1086,8 @@ class ExplanationService:
             race = portfolio_closest_counterfactual(
                 data, k, metric, x, budget=params["budget"], query_engine=engine,
                 parallel=self.parallel_portfolio, racer=self.racer,
-                solver_pool=self.solver_pool,
-                fingerprint=self._portfolio_fingerprint(fingerprint),
+                solver_pool=solver_pool,
+                fingerprint=pool_fingerprint,
             )
             self._note_race(race)
             payload = _counterfactual_payload(race.answer)
@@ -1203,6 +1338,29 @@ class ExplanationService:
                 f"ExplanationService(datasets={len(self._datasets)}, "
                 f"backend={self.backend!r}, cache={len(self.cache)})"
             )
+
+
+def _dataset_kind(dataset) -> str:
+    """``"multiclass"`` or ``"binary"`` — the wire tag of a dataset kind."""
+    return "multiclass" if isinstance(dataset, MultiClassDataset) else "binary"
+
+
+def _counts_payload(dataset) -> dict:
+    """JSON-ready shape counts of either dataset kind.
+
+    Binary lineages report ``n_positive``/``n_negative``; multiclass
+    ones report the ascending ``classes`` list and a ``counts`` map of
+    per-class sizes (multiplicities included, string keys for JSON).
+    """
+    if isinstance(dataset, MultiClassDataset):
+        return {
+            "classes": [int(c) for c in dataset.classes],
+            "counts": {str(c): int(n) for c, n in dataset.counts.items()},
+        }
+    return {
+        "n_positive": dataset.n_positive,
+        "n_negative": dataset.n_negative,
+    }
 
 
 def _race_provenance(race) -> dict:

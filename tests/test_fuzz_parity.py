@@ -20,7 +20,12 @@ to 200), applies each to
   :meth:`~repro.knn.Dataset.with_removed` semantics),
 
 and at every query step compares the mutated engine against a fresh
-engine built from the folded dataset.  Alongside the differential core
+engine built from the folded dataset.  The same discipline covers the
+multiclass engine (scripts over integer label vectors, parity on
+per-class radii/margins and both vote modes against a rebuilt
+:class:`~repro.knn.MultiClassEngine`) and the distance-weighted vote
+(mutated engine ≡ rebuilt engine ≡ the brute-force weighted reference).
+Alongside the differential core
 live the metamorphic mutation properties the ISSUE calls out:
 insert-then-remove is an identity (including multiplicity counts), and
 removing a point never changes answers whose k-neighborhood excluded
@@ -171,6 +176,195 @@ def test_fuzz_differential_parity(backend, metric):
             ) from exc
     # The grid is tie-rich by construction; a run that never exercised
     # the Proposition 1 r+ == r- case would be vacuous on ties.
+    assert ties > 0
+
+
+# -- multiclass & weighted-vote differential scripts ---------------------
+
+#: multiclass scripts compare full per-class batches plus two vote modes
+#: per query step, so they run at half the binary round count.
+MULTICLASS_FUZZ_ROUNDS = max(2, FUZZ_ROUNDS // 2)
+
+
+def _existing_multiclass_rows(data):
+    """Every (row, label, multiplicity) triple currently in *data*."""
+    return [
+        (row, int(label), int(m))
+        for label in data.classes
+        for row, m in zip(
+            data.class_points(label), data.class_multiplicities(label)
+        )
+    ]
+
+
+def _assert_multiclass_parity(engine, fresh, queries, k: int) -> int:
+    """Bit-identical per-class answers and votes; returns observed ties."""
+    from repro.knn.reference import multiclass_classify_by_definition
+
+    radii, rest = engine.class_radii_batch(queries, k)
+    fresh_radii, fresh_rest = fresh.class_radii_batch(queries, k)
+    np.testing.assert_array_equal(radii, fresh_radii)
+    np.testing.assert_array_equal(rest, fresh_rest)
+    np.testing.assert_array_equal(
+        engine.class_margins_batch(queries, k),
+        fresh.class_margins_batch(queries, k),
+    )
+    for vote in ("uniform", "distance"):
+        got = engine.classify_batch(queries, k, vote=vote)
+        np.testing.assert_array_equal(got, fresh.classify_batch(queries, k, vote=vote))
+        # ... and the brute reference agrees with both (oracle triangle).
+        np.testing.assert_array_equal(
+            got,
+            [
+                multiclass_classify_by_definition(
+                    fresh.dataset, k, engine.metric, x, vote=vote
+                )
+                for x in queries
+            ],
+        )
+    x = queries[0]
+    np.testing.assert_array_equal(engine.class_radii(x, k), fresh.class_radii(x, k))
+    assert engine.classify(x, k) == fresh.classify(x, k)
+    return int(np.sum((radii == rest) & np.isfinite(radii)))
+
+
+def _run_multiclass_script(seed: int, backend: str, metric: str) -> int:
+    """One random multiclass insert/delete/query script; returns ties."""
+    from repro.knn import MultiClassDataset, MultiClassEngine
+
+    rng = np.random.default_rng(seed)
+    dim = 5 if metric == "hamming" else 4
+    n_classes = 3
+    points = _random_points(rng, 9, dim, metric)
+    labels = rng.integers(0, n_classes, size=9)
+    labels[:n_classes] = np.arange(n_classes)
+    data = MultiClassDataset(points, labels)
+    engine = MultiClassEngine(data, metric, backend=backend)
+    folded = data
+    ties = 0
+    for _ in range(int(rng.integers(8, 14))):
+        op = rng.choice(["add", "remove", "query"], p=[0.35, 0.25, 0.4])
+        if op == "remove" and len(folded) <= 4:
+            op = "add"
+        if op == "add":
+            count = int(rng.integers(1, 4))
+            batch = _random_points(rng, count, dim, metric)
+            batch_labels = rng.integers(0, n_classes, size=count)
+            mult = rng.integers(1, 3, size=count)
+            version = engine.version
+            engine.add_points(batch, batch_labels, mult)
+            folded = folded.with_added(batch, batch_labels, mult)
+            assert engine.version == version + 1
+        elif op == "remove":
+            rows = _existing_multiclass_rows(folded)
+            row, label, available = rows[rng.integers(0, len(rows))]
+            count = int(rng.integers(1, available + 1))
+            try:
+                engine.remove_points([row], [label], [count])
+            except ValidationError:
+                # Emptying a class (multiclass needs >= 2) must fail the
+                # functional fold identically, and leave the engine as-is.
+                with pytest.raises(ValidationError):
+                    folded.with_removed([row], [label], [count])
+                continue
+            folded = folded.with_removed([row], [label], [count])
+        else:
+            k = int(rng.choice([1, 3]))
+            if len(folded) < k:
+                continue
+            queries = _random_points(rng, 3, dim, metric)
+            fresh = MultiClassEngine(folded, metric, backend=backend)
+            ties += _assert_multiclass_parity(engine, fresh, queries, k)
+    # The engine's snapshot must equal the functional fold exactly — the
+    # multiclass fingerprint hashes per-class points and multiplicities.
+    assert dataset_fingerprint(engine.dataset) == dataset_fingerprint(folded)
+    final = _random_points(rng, 3, dim, metric)
+    ties += _assert_multiclass_parity(
+        engine, MultiClassEngine(folded, metric, backend=backend), final, 3
+    )
+    return ties
+
+
+@pytest.mark.parametrize("backend,metric", CONFIGS)
+def test_fuzz_multiclass_differential_parity(backend, metric):
+    """Seeded multiclass scripts: mutated engine ≡ rebuilt ≡ reference."""
+    ties = 0
+    for seed in range(MULTICLASS_FUZZ_ROUNDS):
+        try:
+            ties += _run_multiclass_script(seed, backend, metric)
+        except AssertionError as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"multiclass parity broke for seed={seed}, "
+                f"backend={backend}, metric={metric}: {exc}"
+            ) from exc
+    # Per-class r == rest ties are the multiclass Proposition 1 case.
+    assert ties > 0
+
+
+def _run_weighted_script(seed: int, backend: str, metric: str) -> int:
+    """One weighted-vote script: mutated ≡ rebuilt ≡ weighted reference."""
+    from repro.knn.reference import classify_weighted_by_definition
+
+    rng = np.random.default_rng(seed)
+    dim = 5 if metric == "hamming" else 4
+    data = Dataset(
+        _random_points(rng, 6, dim, metric),
+        _random_points(rng, 6, dim, metric),
+    )
+    engine = QueryEngine(data, metric, backend=backend)
+    folded = data
+    ties = 0
+    for _ in range(int(rng.integers(6, 10))):
+        op = rng.choice(["add", "remove", "query"], p=[0.35, 0.25, 0.4])
+        if op == "remove" and len(folded) <= 3:
+            op = "add"
+        if op == "add":
+            count = int(rng.integers(1, 4))
+            points = _random_points(rng, count, dim, metric)
+            labels = rng.integers(0, 2, size=count)
+            engine.add_points(points, labels)
+            folded = folded.with_added(points, labels)
+        elif op == "remove":
+            rows = _existing_rows(folded)
+            row, label, available = rows[rng.integers(0, len(rows))]
+            if len(folded) - 1 < 1:
+                continue
+            engine.remove_points([row], [label])
+            folded = folded.with_removed([row], [label])
+        else:
+            k = int(rng.choice([1, 3]))
+            if len(folded) < k:
+                continue
+            queries = _random_points(rng, 3, dim, metric)
+            fresh = QueryEngine(folded, metric, backend=backend)
+            got = engine.classify_batch(queries, k, vote="distance")
+            np.testing.assert_array_equal(
+                got, fresh.classify_batch(queries, k, vote="distance")
+            )
+            reference = [
+                classify_weighted_by_definition(folded, k, metric, x)
+                for x in queries
+            ]
+            np.testing.assert_array_equal(got, reference)
+            assert engine.classify(queries[0], k, vote="distance") == int(got[0])
+            r_pos, r_neg = engine.radii_batch(queries, k)
+            ties += int(np.sum((r_pos == r_neg) & np.isfinite(r_pos)))
+    assert dataset_fingerprint(engine.dataset) == dataset_fingerprint(folded)
+    return ties
+
+
+@pytest.mark.parametrize("backend,metric", CONFIGS)
+def test_fuzz_weighted_vote_parity(backend, metric):
+    """Seeded weighted-vote scripts across mutations, all backends."""
+    ties = 0
+    for seed in range(MULTICLASS_FUZZ_ROUNDS):
+        try:
+            ties += _run_weighted_script(seed, backend, metric)
+        except AssertionError as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"weighted-vote parity broke for seed={seed}, "
+                f"backend={backend}, metric={metric}: {exc}"
+            ) from exc
     assert ties > 0
 
 

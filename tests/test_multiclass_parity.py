@@ -1,0 +1,301 @@
+"""Multiclass differential oracle suite: every answer ≡ merged-binary.
+
+The paper's final remarks reduce multi-label classification (``k = 1``)
+to the binary case by merging every other label into one negative
+class.  The tentpole contract is that the shared
+:class:`~repro.knn.MultiClassEngine` — one joint index, no per-class
+copies — reproduces that reduction **bit for bit**: per-class radii,
+one-vs-rest margins, predicted labels (including Proposition 1
+distance-tie behavior and the ``favor`` rule), sufficient-reason and
+counterfactual witnesses must all equal what the binary pipeline
+computes on an *independently constructed* merged
+:class:`~repro.knn.Dataset`, across every backend, both metrics, and
+every applicable solver method.  All data is drawn from small integer
+grids — the regime where the repo's exactness contract makes
+"bit-identical" a meaningful demand, and where distance ties (the
+Proposition 1 case) occur constantly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abductive import (
+    check_sufficient_reason,
+    minimal_sufficient_reason,
+    minimum_sufficient_reason,
+)
+from repro.counterfactual import closest_counterfactual
+from repro.knn import (
+    Dataset,
+    MultiClass1NN,
+    MultiClassDataset,
+    MultiClassEngine,
+    QueryEngine,
+)
+from repro.knn.reference import (
+    classify_weighted_by_definition,
+    multiclass_classify_by_definition,
+)
+
+#: every backend crossed with both metrics it supports (bitpack is
+#: Hamming-only by construction) — the same grid the fuzz harness runs.
+CONFIGS = [
+    ("dense", "l2"),
+    ("dense", "hamming"),
+    ("kdtree", "l2"),
+    ("kdtree", "hamming"),
+    ("bitpack", "hamming"),
+    ("ivf", "l2"),
+    ("ivf", "hamming"),
+]
+
+#: differential seeds per configuration (each seed is a fresh dataset).
+SEEDS = range(5)
+
+
+def _random_grid(rng, count, dim, metric):
+    """Integer-grid points: binary for Hamming, {0,1,2} for l2 (tie-rich)."""
+    high = 2 if metric == "hamming" else 3
+    return rng.integers(0, high, size=(count, dim)).astype(float)
+
+
+def _random_multiclass(rng, metric, *, n_classes=3, size=13, dim=None, weighted=True):
+    """A random labeled grid dataset with every class inhabited.
+
+    ``weighted=False`` skips multiplicities — the SR/CF witness tests
+    need the facade's merged view and the independent oracle dataset to
+    agree row for row, and expanding multiplicities would reorder them.
+    """
+    dim = dim if dim is not None else (5 if metric == "hamming" else 4)
+    points = _random_grid(rng, size, dim, metric)
+    labels = rng.integers(0, n_classes, size=size)
+    labels[:n_classes] = np.arange(n_classes)  # every class present
+    mult = rng.integers(1, 3, size=size) if weighted else None
+    return MultiClassDataset(points, labels, multiplicities=mult)
+
+
+def _independent_merged(data: MultiClassDataset, label: int) -> Dataset:
+    """The one-vs-rest binary dataset, built WITHOUT the library's merge.
+
+    Reconstructs ``label`` vs everything-else directly from the class
+    accessors (classes ascending, rows in insertion order) so the oracle
+    cannot share a code path — or a bug — with
+    :meth:`MultiClassDataset.merged`.
+    """
+    rest = [c for c in data.classes if c != label]
+    return Dataset(
+        data.class_points(label),
+        np.vstack([data.class_points(c) for c in rest]),
+        positive_multiplicities=data.class_multiplicities(label),
+        negative_multiplicities=np.concatenate(
+            [data.class_multiplicities(c) for c in rest]
+        ),
+        discrete=data.discrete,
+    )
+
+
+# -- per-class radii, margins, classification vs merged binary ----------
+
+
+@pytest.mark.parametrize("backend,metric", CONFIGS)
+def test_per_class_radii_and_margins_match_merged_binary(backend, metric):
+    """class_radii/margins ≡ the binary engine on each merged dataset."""
+    ties = 0
+    for seed in SEEDS:
+        rng = np.random.default_rng(seed)
+        data = _random_multiclass(rng, metric)
+        engine = MultiClassEngine(data, metric, backend=backend)
+        queries = _random_grid(rng, 6, data.dimension, metric)
+        for k in (1, 3):
+            radii, rest = engine.class_radii_batch(queries, k)
+            margins = engine.class_margins_batch(queries, k)
+            for j, label in enumerate(data.classes):
+                merged = QueryEngine(
+                    _independent_merged(data, label), metric, backend=backend
+                )
+                r_pos, r_neg = merged.radii_batch(queries, k)
+                np.testing.assert_array_equal(radii[:, j], r_pos)
+                np.testing.assert_array_equal(rest[:, j], r_neg)
+                np.testing.assert_array_equal(
+                    margins[:, j], merged.margins_batch(queries, k)
+                )
+                np.testing.assert_array_equal(
+                    engine.radii_batch(queries, k, label)[0], r_pos
+                )
+                # Single-query paths agree with the binary single-query
+                # (row-wise, exact-boundary) kernel, point for point.
+                for x in queries[:2]:
+                    assert engine.radii(x, k, label) == merged.radii(x, k)
+                    assert engine.margin(x, k, label) == merged.margin(x, k)
+                ties += int(np.sum((r_pos == r_neg) & np.isfinite(r_pos)))
+    # Vacuity guard: the grids must exercise the Proposition 1 tie case.
+    assert ties > 0
+
+
+@pytest.mark.parametrize("backend,metric", CONFIGS)
+def test_classification_matches_brute_reference(backend, metric):
+    """Uniform and distance votes ≡ the definition-based oracle."""
+    for seed in SEEDS:
+        rng = np.random.default_rng(100 + seed)
+        data = _random_multiclass(rng, metric)
+        engine = MultiClassEngine(data, metric, backend=backend)
+        queries = _random_grid(rng, 6, data.dimension, metric)
+        for k in (1, 3):
+            for vote in ("uniform", "distance"):
+                for favor in (None, *data.classes):
+                    got = engine.classify_batch(queries, k, favor=favor, vote=vote)
+                    want = [
+                        multiclass_classify_by_definition(
+                            data, k, metric, x, vote=vote, favor=favor
+                        )
+                        for x in queries
+                    ]
+                    np.testing.assert_array_equal(got, want)
+                    for x in queries[:2]:
+                        assert engine.classify(
+                            x, k, favor=favor, vote=vote
+                        ) == multiclass_classify_by_definition(
+                            data, k, metric, x, vote=vote, favor=favor
+                        )
+
+
+@pytest.mark.parametrize("backend,metric", CONFIGS)
+def test_k1_favor_rule_equals_merged_binary_positive(backend, metric):
+    """``classify(x, favor=c) == c`` iff the merged binary problem says 1.
+
+    This is the documented correctness contract of the merge reduction:
+    "class c vs rest" counts boundary points as class c, so optimistic
+    binary positivity and favor-c multiclass classification coincide.
+    """
+    for seed in SEEDS:
+        rng = np.random.default_rng(200 + seed)
+        data = _random_multiclass(rng, metric)
+        engine = MultiClassEngine(data, metric, backend=backend)
+        queries = _random_grid(rng, 8, data.dimension, metric)
+        for label in data.classes:
+            merged = QueryEngine(
+                _independent_merged(data, label), metric, backend=backend
+            )
+            for x in queries:
+                favored = engine.classify(x, 1, favor=label) == label
+                assert favored == (merged.classify(x, 1) == 1)
+
+
+def test_binary_weighted_vote_matches_reference():
+    """The engine's ``vote="distance"`` ≡ the weighted brute oracle."""
+    for seed in SEEDS:
+        rng = np.random.default_rng(300 + seed)
+        data = Dataset(
+            _random_grid(rng, 8, 4, "l2"), _random_grid(rng, 8, 4, "l2")
+        )
+        engine = QueryEngine(data, "l2")
+        queries = _random_grid(rng, 8, 4, "l2")
+        for k in (1, 3):
+            got = engine.classify_batch(queries, k, vote="distance")
+            want = [
+                classify_weighted_by_definition(data, k, "l2", x) for x in queries
+            ]
+            np.testing.assert_array_equal(got, want)
+
+
+# -- constructed Proposition 1 ties -------------------------------------
+
+
+def test_constructed_tie_order_and_favor():
+    """Exact equidistant classes: tie order, favor, and radii equality."""
+    # x = origin sits exactly 2.0 (squared) from one point of each class.
+    points = [[2, 0], [0, 2], [-2, 0], [5, 5], [-5, 5], [0, -5]]
+    labels = [0, 1, 2, 0, 1, 2]
+    data = MultiClassDataset(points, labels)
+    engine = MultiClassEngine(data, "l2")
+    x = [0.0, 0.0]
+    radii, rest = engine.class_radii(x, 1)
+    assert radii[0] == radii[1] == radii[2] == 4.0
+    np.testing.assert_array_equal(rest, [4.0, 4.0, 4.0])
+    assert engine.classify(x, 1) == 0  # smallest label wins the tie
+    for favor in (0, 1, 2):
+        assert engine.classify(x, 1, favor=favor) == favor
+    # ... and each merged binary problem sees the Proposition 1 tie as 1.
+    for label in data.classes:
+        merged = QueryEngine(_independent_merged(data, label), "l2")
+        assert merged.radii(x, 1) == (4.0, 4.0)
+        assert merged.classify(x, 1) == 1
+
+
+# -- solver-method witness parity ---------------------------------------
+
+#: Minimum-SR pipelines applicable per metric (k = 1 throughout).
+MINIMUM_SR_METHODS = {
+    "hamming": ("auto", "brute", "milp", "sat", "portfolio"),
+    "l2": ("auto", "brute", "portfolio"),
+}
+
+#: counterfactual pipelines applicable per metric.
+COUNTERFACTUAL_METHODS = {
+    "hamming": ("auto", "hamming-milp", "hamming-sat", "hamming-brute", "portfolio"),
+    "l2": ("auto", "l2-qp", "portfolio"),
+}
+
+
+@pytest.mark.parametrize("metric", ["hamming", "l2"])
+def test_sr_witnesses_match_merged_binary(metric):
+    """Minimal and minimum SRs ≡ the binary pipelines on merged data."""
+    for seed in range(3):
+        rng = np.random.default_rng(400 + seed)
+        data = _random_multiclass(rng, metric, size=10, weighted=False)
+        clf = MultiClass1NN(data.points, data.row_labels, metric)
+        x = _random_grid(rng, 1, data.dimension, metric)[0]
+        label = clf.classify(x)
+        merged = _independent_merged(data, label)
+        want_minimal = minimal_sufficient_reason(merged, 1, metric, x)
+        assert clf.minimal_sufficient_reason(x) == want_minimal
+        assert clf.check_sufficient_reason(x, want_minimal)
+        assert check_sufficient_reason(merged, 1, metric, x, want_minimal)
+        shared = clf.engine.merged_engine(label)
+        for method in MINIMUM_SR_METHODS[metric]:
+            got = minimum_sufficient_reason(
+                shared.dataset, 1, metric, x, method=method, engine=shared
+            )
+            want = minimum_sufficient_reason(merged, 1, metric, x, method=method)
+            assert got.X == want.X, (seed, method)
+            assert got.size == want.size
+
+
+@pytest.mark.parametrize("metric", ["hamming", "l2"])
+def test_counterfactual_witnesses_match_merged_binary(metric):
+    """Targeted and untargeted CFs ≡ the binary pipeline on merged data."""
+    for seed in range(3):
+        rng = np.random.default_rng(500 + seed)
+        data = _random_multiclass(rng, metric, size=10, weighted=False)
+        clf = MultiClass1NN(data.points, data.row_labels, metric)
+        x = _random_grid(rng, 1, data.dimension, metric)[0]
+        label = clf.classify(x)
+        targets = [None] + [c for c in data.classes if c != label]
+        for target in targets:
+            merged = _independent_merged(data, label if target is None else target)
+            for method in COUNTERFACTUAL_METHODS[metric]:
+                got = clf.closest_counterfactual(x, target=target, method=method)
+                want = closest_counterfactual(merged, 1, metric, x, method=method)
+                assert got.found == want.found, (seed, target, method)
+                assert got.distance == want.distance
+                assert got.label_from == want.label_from
+                if want.y is None:
+                    assert got.y is None
+                else:
+                    np.testing.assert_array_equal(got.y, want.y)
+
+
+def test_multiclass_engine_rejects_bad_vote_and_label():
+    """Engine-level validation: unknown vote modes and labels raise."""
+    from repro.exceptions import ValidationError
+
+    data = MultiClassDataset([[0.0], [1.0], [2.0]], [0, 1, 2])
+    engine = MultiClassEngine(data, "l2")
+    with pytest.raises(ValidationError):
+        engine.classify([0.0], 3, vote="plurality")
+    with pytest.raises(ValidationError):
+        engine.radii([0.0], 1, 9)
+    with pytest.raises(ValidationError):
+        engine.classify([0.0], 1, favor=9)

@@ -1,0 +1,268 @@
+"""Multiclass lineages through the full serving stack.
+
+The serving contract the tentpole adds: a dataset registered with an
+integer **label vector** (``{"points", "labels"}``) lives the same life
+as a binary one — versioned ``@vN`` fingerprints, WAL-durable streaming
+mutations, result-cache invalidation, cluster owner/replica lockstep —
+while its queries gain ``vote`` (uniform/distance) and ``target_label``
+parameters.  These tests drive that lifecycle over live HTTP, the
+cluster topology, and a durability restore, and pin the structured 400
+envelope for the new failure modes (wrong-arity label vectors, unknown
+target labels, multiclass solves at k != 1).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.knn import MultiClassDataset, MultiClassEngine
+from repro.serve import ExplanationService, dataset_fingerprint, serve_http
+from repro.serve.cluster import ClusterService
+
+
+def _post(url: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.load(response)
+
+
+def _http_error(url: str, body: dict) -> tuple[int, dict]:
+    """POST and return (status, decoded error envelope) for a failure."""
+    try:
+        _post(url, body)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode())
+    raise AssertionError(f"expected an HTTP error for {body!r}")
+
+
+@pytest.fixture
+def data(rng):
+    """A 3-class integer-grid dataset (tie-rich, exact on every kernel)."""
+    points = rng.integers(0, 2, size=(12, 6)).astype(float)
+    labels = rng.integers(0, 3, size=12)
+    labels[:3] = np.arange(3)
+    return MultiClassDataset(points, labels, discrete=True)
+
+
+@pytest.fixture
+def service(data):
+    service = ExplanationService(cache_size=64)
+    service.fp = service.add_dataset(data)
+    return service
+
+
+@pytest.fixture
+def server(service):
+    server = serve_http(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+
+
+def test_http_multiclass_lineage_end_to_end(rng, data, server, service):
+    """register → mixed batch → mutation flips a sentinel → @vN cache."""
+    url = f"http://127.0.0.1:{server.port}"
+    registered = _post(url + "/v2/datasets", {
+        "points": data.points.tolist(),
+        "labels": data.row_labels.tolist(),
+        "discrete": True,
+    })
+    fp = registered["fingerprint"]
+    assert registered["classes"] == [0, 1, 2]
+    assert sum(registered["counts"].values()) == 12
+    # The HTTP registration is bit-identical to the fixture's lineage.
+    assert fp == service.fp
+
+    x = rng.integers(0, 2, size=6).astype(float).tolist()
+    engine = MultiClassEngine(data, "hamming")
+    sentinel = int(engine.classify(np.asarray(x), 1))
+
+    # One mixed batch: classification (both votes), minimum SR, CF.
+    batch = _post(url + "/v2/explain", {
+        "fingerprint": fp, "method": "classify",
+        "instances": [x, x], "params": {"k": 3, "vote": "distance"},
+    })
+    labels = [r["result"]["label"] for r in batch["results"]]
+    assert labels == [
+        int(engine.classify(np.asarray(x), 3, vote="distance"))
+    ] * 2
+    sr = _post(url + "/v2/explain", {
+        "fingerprint": fp, "method": "minimum_sr",
+        "instances": [x], "params": {"k": 1, "solver": "sat"},
+    })["results"][0]["result"]
+    assert sr["label"] == sentinel and sr["size"] >= 0
+    cf = _post(url + "/v2/explain", {
+        "fingerprint": fp, "method": "counterfactual",
+        "instances": [x],
+        "params": {"k": 1, "target_label": (sentinel + 1) % 3},
+    })["results"][0]["result"]
+    assert cf["target_label"] == (sentinel + 1) % 3
+
+    # Cache: the identical classify call is served from the result cache.
+    again = _post(url + "/v2/explain", {
+        "fingerprint": fp, "method": "classify",
+        "instances": [x], "params": {"k": 3, "vote": "distance"},
+    })["results"][0]
+    assert again["cached"] is True
+
+    # Mutation: pile copies of x into another class until the sentinel
+    # query's 1-NN prediction flips — then the @vN bump must have
+    # invalidated every cached answer of the old version.
+    flip_to = (sentinel + 1) % 3
+    mutated = _post(url + f"/v2/datasets/{fp}/points", {
+        "points": [x], "labels": [flip_to], "multiplicities": [5],
+    })
+    assert mutated["version"] == 1
+    assert mutated["counts"][str(flip_to)] == data.counts[flip_to] + 5
+    assert mutated["invalidated"] >= 1
+    flipped = _post(url + "/v2/explain", {
+        "fingerprint": mutated["fingerprint"], "method": "classify",
+        "instances": [x], "params": {"k": 1},
+    })["results"][0]
+    assert flipped["cached"] is False
+    assert flipped["result"]["label"] == flip_to != sentinel
+    # The bare fingerprint now routes to the mutated current version.
+    with urllib.request.urlopen(url + f"/v2/datasets/{fp}") as response:
+        described = json.load(response)
+    assert described["kind"] == "multiclass"
+    assert described["version"] == 1
+
+
+def test_http_multiclass_validation_envelopes(server, service, rng):
+    """Wrong-arity labels and unknown targets → structured 400s."""
+    url = f"http://127.0.0.1:{server.port}"
+    x = rng.integers(0, 2, size=6).astype(float).tolist()
+
+    # Registration with mismatched label arity.
+    status, envelope = _http_error(url + "/v2/datasets", {
+        "points": [[0, 1], [1, 0], [1, 1]], "labels": [0, 1],
+    })
+    assert status == 400
+    assert envelope["error"]["type"] == "ValidationError"
+    assert "labels" in envelope["error"]["message"]
+
+    # Mixing binary and multiclass registration shapes.
+    status, envelope = _http_error(url + "/v2/datasets", {
+        "points": [[0, 1]], "labels": [0], "positives": [[1, 1]],
+    })
+    assert status == 400 and envelope["error"]["type"] == "ValidationError"
+
+    # Unknown target_label names the known classes in the message.
+    status, envelope = _http_error(url + "/v2/explain", {
+        "fingerprint": service.fp, "method": "counterfactual",
+        "instances": [x], "params": {"k": 1, "target_label": 9},
+    })
+    assert status == 400
+    assert envelope["error"]["type"] == "ValidationError"
+    assert "unknown target_label 9" in envelope["error"]["message"]
+    assert "[0, 1, 2]" in envelope["error"]["message"]
+
+    # Multiclass solves outside the paper's k = 1 merge reduction.
+    status, envelope = _http_error(url + "/v2/explain", {
+        "fingerprint": service.fp, "method": "minimum_sr",
+        "instances": [x], "params": {"k": 3},
+    })
+    assert status == 400 and "k=1" in envelope["error"]["message"]
+
+    # Unknown vote mode.
+    status, envelope = _http_error(url + "/v2/explain", {
+        "fingerprint": service.fp, "method": "classify",
+        "instances": [x], "params": {"k": 3, "vote": "plurality"},
+    })
+    assert status == 400 and envelope["error"]["type"] == "ValidationError"
+
+    # A mutation that would leave fewer than two classes is rejected
+    # in-band with 400 and must not bump the version.
+    two = _post(url + "/v2/datasets", {
+        "points": [[0, 1], [1, 0], [1, 1]], "labels": [0, 0, 1],
+    })
+    try:
+        request = urllib.request.Request(
+            url + f"/v2/datasets/{two['fingerprint']}/points",
+            data=json.dumps({"points": [[1, 1]], "labels": [1]}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="DELETE",
+        )
+        urllib.request.urlopen(request)
+        raise AssertionError("dropping the last class must be rejected")
+    except urllib.error.HTTPError as err:
+        assert err.code == 400
+        assert json.loads(err.read().decode())["error"]["type"] == "ValidationError"
+    assert service.describe(two["fingerprint"])["version"] == 0
+
+
+def test_multiclass_cluster_lockstep(rng, data):
+    """Owner and replicas answer and mutate a multiclass lineage in lockstep."""
+    single = ExplanationService(cache_size=0)
+    fp = single.add_dataset(data)
+    x = rng.integers(0, 2, size=6).astype(float)
+    with ClusterService(workers=2, replicas=2, cache_size=16) as cluster:
+        assert cluster.add_dataset(data) == fp
+        assert cluster.describe(fp) == single.describe(fp)
+        for params in ({"k": 1}, {"k": 3, "vote": "distance"}):
+            one = single.explain(fp, "classify", [x], dict(params))[0]["result"]
+            many = cluster.explain(fp, "classify", [x], dict(params))[0]["result"]
+            assert many == one
+        # Per-class radii dicts agree replica-for-replica.
+        mine = cluster.explain(fp, "radii", [x], {"k": 1})[0]["result"]
+        theirs = single.explain(fp, "radii", [x], {"k": 1})[0]["result"]
+        assert mine == theirs and set(mine["r_pos"]) == {"0", "1", "2"}
+        # A mutation lands on every replica: same new fingerprint, same
+        # counts, and the folded dataset matches the single-process one.
+        batch = rng.integers(0, 2, size=(2, 6)).astype(float)
+        out_single = single.add_points(fp, batch, [0, 2])
+        out_cluster = cluster.add_points(fp, batch, [0, 2])
+        assert out_cluster["fingerprint"] == out_single["fingerprint"]
+        assert out_cluster["counts"] == out_single["counts"]
+        after_single = single.explain(fp, "classify", [x], {"k": 3})[0]["result"]
+        after_cluster = cluster.explain(fp, "classify", [x], {"k": 3})[0]["result"]
+        assert after_cluster == after_single
+        # Targeted counterfactual served by whichever worker owns the
+        # shard (the payload's label is the k = 1 prediction).
+        label = int(single.explain(fp, "classify", [x], {"k": 1})[0]["result"]["label"])
+        target = (label + 1) % 3
+        cf = cluster.explain(
+            fp, "counterfactual", [x], {"k": 1, "target_label": target}
+        )[0]["result"]
+        assert cf["label"] == label and cf["target_label"] == target
+
+
+def test_multiclass_durable_restore(rng, data, tmp_path):
+    """register → mutate ×2 → crash → restore: bit-identical lineage."""
+    service = ExplanationService(state_dir=tmp_path, snapshot_every=1, cache_size=0)
+    fp = service.add_dataset(data)
+    x = rng.integers(0, 2, size=6).astype(float)
+    folded = data
+    for step in range(2):
+        batch = rng.integers(0, 2, size=(2, 6)).astype(float)
+        labels = rng.integers(0, 3, size=2)
+        out = service.add_points(fp, batch, labels)
+        folded = folded.with_added(batch, labels)
+        assert out["version"] == step + 1
+    before = service.explain(fp, "classify", [x], {"k": 3, "vote": "distance"})
+    service.close()
+
+    revived = ExplanationService(state_dir=tmp_path, cache_size=0)
+    assert revived.describe(fp)["version"] == 2
+    assert revived.describe(fp)["kind"] == "multiclass"
+    assert dataset_fingerprint(revived.dataset(fp)) == dataset_fingerprint(folded)
+    after = revived.explain(fp, "classify", [x], {"k": 3, "vote": "distance"})
+    assert after[0]["result"] == before[0]["result"]
+    # The restored lineage keeps mutating: version numbering continues.
+    out = revived.add_points(fp, [x.tolist()], [1])
+    assert out["version"] == 3
+    revived.close()
